@@ -1,0 +1,444 @@
+//! Closed-form attention-cost estimator.
+//!
+//! The end-to-end serving experiments (Figures 12 and 15, Tables 5–7)
+//! simulate hundreds of thousands of scheduler iterations, far too many to
+//! run each one through the CTA-level contention engine. This module provides
+//! a closed-form estimate of the attention time of a hybrid batch for each
+//! execution strategy, derived from the same kernel work-models and the same
+//! roofline reasoning the engine applies. The kernel-level figures use the
+//! full simulation; the estimator is validated against it in tests.
+
+use crate::batch::HybridBatch;
+use crate::batched::BatchedPrefillKernel;
+use crate::config::AttentionConfig;
+use crate::cost::KERNEL_LAUNCH_OVERHEAD;
+use crate::decode::DecodeKernel;
+use crate::prefill::{PrefillKernel, SplitPolicy};
+use gpu_sim::{EngineOptions, GpuConfig};
+
+/// How the attention of a hybrid batch is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttentionStrategy {
+    /// FlashAttention prefill kernel followed by FlashAttention decode kernel.
+    FaSerial,
+    /// FlashAttention kernels on two CUDA streams.
+    FaStreams,
+    /// FlashAttention kernels fused warp-parallel (HFuse).
+    FaHFuse,
+    /// FlashInfer prefill kernel followed by FlashInfer decode kernel.
+    FiSerial,
+    /// Both operations computed by FlashInfer's prefill kernel (FI_Batched).
+    FiBatched,
+    /// POD-Attention: fused CTA-parallel execution with SM-aware scheduling.
+    Pod,
+}
+
+impl AttentionStrategy {
+    /// All strategies, in the order Figure 11 reports them.
+    pub fn all() -> [AttentionStrategy; 6] {
+        [
+            AttentionStrategy::FaSerial,
+            AttentionStrategy::FaStreams,
+            AttentionStrategy::FiSerial,
+            AttentionStrategy::FiBatched,
+            AttentionStrategy::FaHFuse,
+            AttentionStrategy::Pod,
+        ]
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttentionStrategy::FaSerial => "FA_Serial",
+            AttentionStrategy::FaStreams => "FA_Streams",
+            AttentionStrategy::FaHFuse => "FA_HFuse",
+            AttentionStrategy::FiSerial => "FI_Serial",
+            AttentionStrategy::FiBatched => "FI_Batched",
+            AttentionStrategy::Pod => "POD",
+        }
+    }
+}
+
+impl std::fmt::Display for AttentionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Estimated cost of one attention computation (all layers use the same
+/// shape, so this is the per-layer cost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticCost {
+    /// Time attributable to the prefill operation alone (seconds).
+    pub prefill_time: f64,
+    /// Time attributable to the decode operation alone (seconds).
+    pub decode_time: f64,
+    /// Total attention time for the batch under the chosen strategy.
+    pub total_time: f64,
+    /// Tensor FLOPs performed.
+    pub flops: f64,
+    /// HBM bytes moved.
+    pub bytes: f64,
+}
+
+/// Closed-form estimator of hybrid-batch attention time.
+///
+/// # Examples
+///
+/// ```
+/// use attn_kernels::{AttentionConfig, AttentionEstimator, AttentionStrategy, HybridBatch};
+/// use gpu_sim::GpuConfig;
+///
+/// let est = AttentionEstimator::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
+/// let batch = HybridBatch::config_c1();
+/// let serial = est.estimate(&batch, AttentionStrategy::FaSerial);
+/// let pod = est.estimate(&batch, AttentionStrategy::Pod);
+/// assert!(pod.total_time < serial.total_time);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttentionEstimator {
+    cfg: AttentionConfig,
+    gpu: GpuConfig,
+    opts: EngineOptions,
+}
+
+impl AttentionEstimator {
+    /// Create an estimator for a model/device pair.
+    pub fn new(cfg: AttentionConfig, gpu: GpuConfig) -> Self {
+        AttentionEstimator {
+            cfg,
+            gpu,
+            opts: EngineOptions::default(),
+        }
+    }
+
+    /// The attention configuration this estimator uses.
+    pub fn config(&self) -> &AttentionConfig {
+        &self.cfg
+    }
+
+    /// The device this estimator targets.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// Estimate the per-layer attention time of `batch` under `strategy`.
+    pub fn estimate(&self, batch: &HybridBatch, strategy: AttentionStrategy) -> AnalyticCost {
+        match strategy {
+            AttentionStrategy::FaSerial => self.serial(batch, false),
+            AttentionStrategy::FiSerial => self.serial(batch, true),
+            AttentionStrategy::FaStreams => self.streams(batch),
+            AttentionStrategy::FaHFuse => self.hfuse(batch),
+            AttentionStrategy::FiBatched => self.batched(batch),
+            AttentionStrategy::Pod => self.pod(batch),
+        }
+    }
+
+    /// Roofline time of the prefill chunk alone: (compute, memory, flops, bytes).
+    fn prefill_side(&self, batch: &HybridBatch, flashinfer: bool, limited_splits: bool) -> (f64, f64, f64, f64) {
+        let Some(chunk) = &batch.prefill else {
+            return (0.0, 0.0, 0.0, 0.0);
+        };
+        let mut kernel = if flashinfer {
+            PrefillKernel::flashinfer()
+        } else {
+            PrefillKernel::flash_attention()
+        };
+        if limited_splits {
+            kernel = kernel.with_split_policy(SplitPolicy::LimitedToTwoWaves);
+        }
+        let flops: f64 = kernel.total_flops(chunk, &self.cfg, &self.gpu);
+        let bytes: f64 = kernel.total_bytes(chunk, &self.cfg, &self.gpu);
+        let fp = kernel.footprint(&self.cfg);
+        let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
+        let ctas = kernel.base_ctas(chunk, &self.cfg) * kernel.num_splits(chunk, &self.cfg, &self.gpu);
+        let tc = flops / self.effective_compute(ctas) * self.quantization_factor(ctas, wave);
+        let tm = bytes / self.effective_bandwidth(ctas);
+        (tc, tm, flops, bytes)
+    }
+
+    /// Roofline time of the decode batch alone: (compute, memory, flops, bytes).
+    fn decode_side(&self, batch: &HybridBatch, flashinfer: bool, pod_tile: bool) -> (f64, f64, f64, f64) {
+        if batch.decodes.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let kernel = if pod_tile {
+            DecodeKernel::pod()
+        } else if flashinfer {
+            DecodeKernel::flashinfer()
+        } else {
+            DecodeKernel::flash_attention()
+        };
+        let flops = kernel.total_flops(&batch.decodes, &self.cfg, &self.gpu);
+        let bytes = kernel.total_bytes(&batch.decodes, &self.cfg, &self.gpu);
+        let max_ctx = batch.decodes.iter().map(|d| d.context_len).max().unwrap_or(1);
+        let splits = kernel.num_splits(batch.decodes.len(), max_ctx, &self.cfg, &self.gpu);
+        let ctas = batch.decodes.len() * self.cfg.kv_heads_per_gpu() * splits;
+        let fp = kernel.footprint(&self.cfg);
+        let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
+        let tc = flops / self.effective_compute(ctas);
+        let tm = bytes / self.effective_bandwidth(ctas) * self.quantization_factor(ctas, wave);
+        (tc, tm, flops, bytes)
+    }
+
+    /// Compute throughput achievable by `ctas` concurrent CTAs.
+    fn effective_compute(&self, ctas: usize) -> f64 {
+        let per_cta = self.opts.max_cta_compute_fraction * self.gpu.sm_compute_flops();
+        (ctas as f64 * per_cta).min(self.gpu.tensor_flops)
+    }
+
+    /// HBM bandwidth achievable by `ctas` concurrent CTAs.
+    fn effective_bandwidth(&self, ctas: usize) -> f64 {
+        let per_cta = self.opts.max_cta_bandwidth_fraction * self.gpu.hbm_bandwidth;
+        (ctas as f64 * per_cta).min(self.gpu.hbm_bandwidth)
+    }
+
+    /// Slow-down from wave quantization when `ctas` spill into a partial last
+    /// wave. A partial wave costs roughly a third of a full wave (its CTAs
+    /// run closer to the per-CTA throughput cap because they no longer share
+    /// the SM), which matches the ~25 % decode-time increase the paper
+    /// observes going from 216 to 220 CTAs.
+    fn quantization_factor(&self, ctas: usize, wave: usize) -> f64 {
+        if ctas == 0 || wave == 0 || ctas <= wave {
+            return 1.0;
+        }
+        let full_waves = (ctas / wave) as f64;
+        let tail = ctas % wave;
+        let effective_waves = full_waves + if tail > 0 { 0.3 } else { 0.0 };
+        (effective_waves / (ctas as f64 / wave as f64)).max(1.0)
+    }
+
+    fn serial(&self, batch: &HybridBatch, flashinfer: bool) -> AnalyticCost {
+        let (pc, pm, pf, pb) = self.prefill_side(batch, flashinfer, false);
+        let (dc, dm, df, db) = self.decode_side(batch, flashinfer, false);
+        let prefill_time = pc.max(pm) + overhead_if(batch.has_prefill());
+        let decode_time = dc.max(dm) + overhead_if(batch.has_decode());
+        AnalyticCost {
+            prefill_time,
+            decode_time,
+            total_time: prefill_time + decode_time,
+            flops: pf + df,
+            bytes: pb + db,
+        }
+    }
+
+    fn streams(&self, batch: &HybridBatch) -> AnalyticCost {
+        let serial = self.serial(batch, false);
+        if !batch.has_prefill() || !batch.has_decode() {
+            return serial;
+        }
+        // Streams only overlap the tail of the first kernel with the second:
+        // a small, quantization-sized fraction of the shorter operation.
+        let longer = serial.prefill_time.max(serial.decode_time);
+        let shorter = serial.prefill_time.min(serial.decode_time);
+        let total = (longer + 0.85 * shorter).max(longer);
+        AnalyticCost {
+            total_time: total,
+            ..serial
+        }
+    }
+
+    fn hfuse(&self, batch: &HybridBatch) -> AnalyticCost {
+        let serial = self.serial(batch, false);
+        if !batch.has_prefill() || !batch.has_decode() {
+            return serial;
+        }
+        let (pc, pm, _, _) = self.prefill_side(batch, false, false);
+        let (dc, dm, _, _) = self.decode_side(batch, false, false);
+        // Warp-parallel fusion guarantees co-location, so compute and memory
+        // overlap; but each fused CTA is held until its slower half finishes,
+        // which wastes a fraction of the machine proportional to the
+        // imbalance between the two operations (the straggler effect).
+        let ideal = (pc + dc).max(pm + dm);
+        let p = pc.max(pm);
+        let d = dc.max(dm);
+        let imbalance = ((p - d).abs() / (p + d).max(1e-12)).min(1.0);
+        let total = (ideal * (1.0 + 0.45 * imbalance) + KERNEL_LAUNCH_OVERHEAD)
+            .min(serial.total_time * 1.15);
+        AnalyticCost {
+            total_time: total,
+            ..serial
+        }
+    }
+
+    fn batched(&self, batch: &HybridBatch) -> AnalyticCost {
+        let kernel = BatchedPrefillKernel::flashinfer();
+        let units = kernel.build_units(batch, &self.cfg, &self.gpu);
+        let flops: f64 = units.iter().map(|u| u.flops).sum();
+        let bytes: f64 = units.iter().map(|u| u.bytes).sum();
+        let ctas = units.len();
+        let fp = kernel.footprint(&self.cfg);
+        let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
+        let tc = flops / self.effective_compute(ctas);
+        let tm = bytes / self.effective_bandwidth(ctas);
+        let total = tc.max(tm) * self.quantization_factor(ctas, wave) + KERNEL_LAUNCH_OVERHEAD;
+        let serial = self.serial(batch, true);
+        AnalyticCost {
+            prefill_time: serial.prefill_time,
+            decode_time: serial.decode_time,
+            total_time: total,
+            flops,
+            bytes,
+        }
+    }
+
+    fn pod(&self, batch: &HybridBatch) -> AnalyticCost {
+        let serial = self.serial(batch, false);
+        if !batch.has_prefill() || !batch.has_decode() {
+            return serial;
+        }
+        let (pc, pm, pf, pb) = self.prefill_side(batch, false, true);
+        let (dc, dm, df, db) = self.decode_side(batch, false, true);
+        // CTA-parallel fusion with SM-aware scheduling: prefill keeps the
+        // tensor pipes busy while decode streams the KV cache, so the fused
+        // time approaches max(total compute, total memory). The overlap
+        // efficiency accounts for imperfect interleaving at the start/end of
+        // the kernel and residual interference on shared resources: POD
+        // recovers ~85 % of the time that perfect overlap would hide.
+        let overlap_efficiency = 0.85;
+        let ideal = (pc + dc).max(pm + dm) + KERNEL_LAUNCH_OVERHEAD;
+        let floor = pc.max(pm).max(dc.max(dm)) + KERNEL_LAUNCH_OVERHEAD;
+        let saved = (serial.total_time - ideal).max(0.0) * overlap_efficiency;
+        // POD never does worse than serial execution (§5.1).
+        let total = (serial.total_time - saved).max(floor).min(serial.total_time);
+        AnalyticCost {
+            prefill_time: serial.prefill_time,
+            decode_time: serial.decode_time,
+            total_time: total,
+            flops: pf + df,
+            bytes: pb + db,
+        }
+    }
+}
+
+fn overhead_if(present: bool) -> f64 {
+    if present {
+        KERNEL_LAUNCH_OVERHEAD
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::HybridBatch;
+    use gpu_sim::Engine;
+
+    fn estimator() -> AttentionEstimator {
+        AttentionEstimator::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb())
+    }
+
+    #[test]
+    fn pod_beats_serial_on_hybrid_batches() {
+        let est = estimator();
+        for batch in [
+            HybridBatch::config_c0(),
+            HybridBatch::config_c1(),
+            HybridBatch::config_c2(),
+        ] {
+            let serial = est.estimate(&batch, AttentionStrategy::FaSerial);
+            let pod = est.estimate(&batch, AttentionStrategy::Pod);
+            assert!(
+                pod.total_time < serial.total_time,
+                "POD {} vs serial {}",
+                pod.total_time,
+                serial.total_time
+            );
+            // Paper: up to 59 % faster, i.e. serial/pod <= ~1.8 and always >= 1.
+            let speedup = serial.total_time / pod.total_time;
+            assert!(speedup >= 1.0 && speedup < 2.2, "speedup {speedup}");
+        }
+    }
+
+    #[test]
+    fn pod_gain_is_largest_for_balanced_batches() {
+        let est = estimator();
+        let speedup = |b: &HybridBatch| {
+            est.estimate(b, AttentionStrategy::FaSerial).total_time
+                / est.estimate(b, AttentionStrategy::Pod).total_time
+        };
+        let balanced = speedup(&HybridBatch::config_c1());
+        let decode_heavy = speedup(&HybridBatch::config_c0());
+        assert!(balanced > decode_heavy, "balanced {balanced} vs decode-heavy {decode_heavy}");
+    }
+
+    #[test]
+    fn prefill_or_decode_only_batches_gain_nothing() {
+        let est = estimator();
+        let prefill_only = HybridBatch::prefill_only(2048, 8192);
+        let decode_only = HybridBatch::decode_only(64, 8192);
+        for b in [prefill_only, decode_only] {
+            let serial = est.estimate(&b, AttentionStrategy::FaSerial);
+            let pod = est.estimate(&b, AttentionStrategy::Pod);
+            assert!((serial.total_time - pod.total_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn streams_and_hfuse_fall_between_serial_and_pod() {
+        let est = estimator();
+        let batch = HybridBatch::config_c1();
+        let serial = est.estimate(&batch, AttentionStrategy::FaSerial).total_time;
+        let streams = est.estimate(&batch, AttentionStrategy::FaStreams).total_time;
+        let pod = est.estimate(&batch, AttentionStrategy::Pod).total_time;
+        assert!(streams <= serial);
+        assert!(pod <= streams);
+    }
+
+    #[test]
+    fn fi_batched_degrades_at_long_context() {
+        let est = estimator();
+        let long = HybridBatch::uniform(1024, 16 * 1024, 64, 16 * 1024);
+        let serial = est.estimate(&long, AttentionStrategy::FaSerial).total_time;
+        let batched = est.estimate(&long, AttentionStrategy::FiBatched).total_time;
+        assert!(batched > serial, "batched {batched} vs serial {serial}");
+    }
+
+    #[test]
+    fn fi_serial_modestly_better_than_fa_serial() {
+        let est = estimator();
+        let batch = HybridBatch::config_c0();
+        let fa = est.estimate(&batch, AttentionStrategy::FaSerial).total_time;
+        let fi = est.estimate(&batch, AttentionStrategy::FiSerial).total_time;
+        assert!(fi < fa);
+        assert!(fi > 0.75 * fa);
+    }
+
+    /// The analytic serial estimate tracks the CTA-level simulation.
+    #[test]
+    fn analytic_serial_matches_simulation() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        let est = AttentionEstimator::new(cfg, gpu.clone());
+        let engine = Engine::new(gpu.clone());
+        for batch in [
+            HybridBatch::uniform(1024, 8 * 1024, 64, 8 * 1024),
+            HybridBatch::uniform(2048, 2048, 32, 4 * 1024),
+        ] {
+            let analytic = est.estimate(&batch, AttentionStrategy::FaSerial).total_time;
+            let prefill = PrefillKernel::flash_attention().launch(
+                "p",
+                &batch.prefill.unwrap(),
+                &cfg,
+                &gpu,
+            );
+            let decode =
+                DecodeKernel::flash_attention().launch("d", &batch.decodes, &cfg, &gpu);
+            let sim = engine.run_serial(vec![prefill, decode]).unwrap().makespan;
+            let ratio = analytic / sim;
+            assert!(
+                (0.6..1.6).contains(&ratio),
+                "analytic {analytic} vs simulated {sim} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_labels_are_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = AttentionStrategy::all().iter().map(|s| s.label()).collect();
+        assert_eq!(set.len(), 6);
+        assert_eq!(AttentionStrategy::Pod.to_string(), "POD");
+    }
+}

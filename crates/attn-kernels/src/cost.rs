@@ -1,0 +1,110 @@
+//! FLOP and HBM-byte accounting shared by the kernel work-models.
+
+use crate::config::AttentionConfig;
+
+/// FLOPs for attention of `q_rows` query rows (already padded to the tile
+/// shape if applicable) against `kv_cols` keys for a single head:
+/// one `q×d×kv` matmul for `QK^T` and one `q×kv×d` matmul for `PV`,
+/// at 2 FLOPs per multiply-accumulate.
+pub fn attention_flops_per_head(q_rows: f64, kv_cols: f64, head_dim: usize) -> f64 {
+    4.0 * q_rows * kv_cols * head_dim as f64
+}
+
+/// Bytes of K and V that must be read for `kv_cols` keys of a single KV head.
+pub fn kv_bytes_per_head(kv_cols: f64, cfg: &AttentionConfig) -> f64 {
+    2.0 * kv_cols * (cfg.head_dim * cfg.dtype_bytes) as f64
+}
+
+/// Bytes of Q read (or O written) for `q_rows` real query rows of a single
+/// query head.
+pub fn q_bytes_per_head(q_rows: f64, cfg: &AttentionConfig) -> f64 {
+    q_rows * (cfg.head_dim * cfg.dtype_bytes) as f64
+}
+
+/// How many of the `logical_bytes` of KV reads actually reach HBM, given that
+/// the unique working set is `unique_bytes` and the device has an L2 cache of
+/// `l2_bytes`.
+///
+/// FlashAttention CTAs for different query tiles (and for query heads that
+/// share a KV head) re-read the same K/V data. When the per-layer KV working
+/// set fits in L2, those re-reads are served on chip and only the unique
+/// bytes reach HBM — which is why the paper measures <5 % HBM bandwidth
+/// utilization for prefill attention. When the working set greatly exceeds
+/// L2, re-reads spill to HBM.
+pub fn hbm_bytes_with_l2(logical_bytes: f64, unique_bytes: f64, l2_bytes: f64) -> f64 {
+    if logical_bytes <= unique_bytes {
+        return logical_bytes;
+    }
+    // Fraction of the working set that is L2-resident while being re-read.
+    let resident = if unique_bytes <= 0.0 {
+        1.0
+    } else {
+        (0.9 * l2_bytes / unique_bytes).clamp(0.0, 1.0)
+    };
+    let rereads = logical_bytes - unique_bytes;
+    unique_bytes + rereads * (1.0 - resident)
+}
+
+/// Fixed host-side launch overhead per kernel, seconds. Hybrid batching
+/// executes the prefill and decode kernels back to back every layer, so this
+/// small constant matters for the serial baselines.
+pub const KERNEL_LAUNCH_OVERHEAD: f64 = 6.0e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_are_4qkd() {
+        assert_eq!(attention_flops_per_head(2.0, 3.0, 128), 4.0 * 2.0 * 3.0 * 128.0);
+    }
+
+    #[test]
+    fn kv_and_q_bytes() {
+        let cfg = AttentionConfig::llama3_8b();
+        // 2 tensors * 256 bytes per token-head.
+        assert_eq!(kv_bytes_per_head(1.0, &cfg), 512.0);
+        assert_eq!(q_bytes_per_head(1.0, &cfg), 256.0);
+    }
+
+    #[test]
+    fn l2_absorbs_rereads_when_working_set_fits() {
+        let l2 = 40e6;
+        let unique = 10e6;
+        let logical = 100e6;
+        let hbm = hbm_bytes_with_l2(logical, unique, l2);
+        // Working set fits comfortably: only the unique bytes reach HBM.
+        assert!((hbm - unique).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_spills_when_working_set_exceeds_cache() {
+        let l2 = 40e6;
+        let unique = 400e6;
+        let logical = 1200e6;
+        let hbm = hbm_bytes_with_l2(logical, unique, l2);
+        // Only ~9 % of re-reads are served from L2.
+        assert!(hbm > 1100e6);
+        assert!(hbm <= logical);
+    }
+
+    #[test]
+    fn no_rereads_means_logical_bytes() {
+        assert_eq!(hbm_bytes_with_l2(5.0, 10.0, 40e6), 5.0);
+        assert_eq!(hbm_bytes_with_l2(10.0, 10.0, 40e6), 10.0);
+    }
+
+    #[test]
+    fn l2_model_is_monotonic_in_logical_bytes() {
+        let l2 = 40e6;
+        let unique = 100e6;
+        let a = hbm_bytes_with_l2(150e6, unique, l2);
+        let b = hbm_bytes_with_l2(300e6, unique, l2);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn zero_unique_bytes_is_handled() {
+        assert_eq!(hbm_bytes_with_l2(10.0, 0.0, 40e6), 0.0 + 10.0 * 0.0);
+    }
+}

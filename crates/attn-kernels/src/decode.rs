@@ -1,0 +1,331 @@
+//! Work-model of FlashAttention / FlashDecoding / FlashInfer *decode*
+//! attention kernels.
+//!
+//! Decode attention processes a single new query token per request (or the
+//! GQA group of query heads that share a KV head), so its tensor-core work is
+//! negligible and its runtime is governed by streaming each request's KV
+//! cache from HBM. The kernel grid is
+//! `(requests) × (KV heads per GPU) × (KV splits)`; FlashDecoding adds the KV
+//! splits when the grid would otherwise leave SMs idle.
+
+use crate::batch::DecodeRequest;
+use crate::config::AttentionConfig;
+use crate::cost::{attention_flops_per_head, kv_bytes_per_head, q_bytes_per_head};
+use crate::tiles::TileShape;
+use gpu_sim::{CtaWork, Footprint, GpuConfig, KernelLaunch, OpClass, WorkUnit};
+
+/// How many query rows the decode kernel actually runs through the tensor
+/// cores per CTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPadding {
+    /// Pad only to the GQA group size, rounded up to the 16-row MMA
+    /// granularity. This is what the production FlashAttention / FlashInfer
+    /// decode paths achieve, and why Figure 1 measures <10 % compute
+    /// utilization for decode attention.
+    GroupGranularity,
+    /// Pad all the way to the tile's query dimension, so redundant compute
+    /// grows with the tile (the design-space exploration of Figure 10 and the
+    /// behaviour of prefill-style kernels applied to decodes).
+    FullTile,
+}
+
+/// Configuration of a decode attention kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeKernel {
+    /// Tile shape. The query dimension determines the CTA's shared-memory
+    /// footprint and — under [`QueryPadding::FullTile`] — its redundant
+    /// compute (Figure 10a).
+    pub tile: TileShape,
+    /// Threads per CTA.
+    pub threads: usize,
+    /// Fraction of peak HBM bandwidth the kernel's access pattern achieves.
+    pub bandwidth_efficiency: f64,
+    /// Whether the kernel applies FlashDecoding-style KV splitting when the
+    /// grid does not fill the GPU.
+    pub split_kv: bool,
+    /// Query-row padding behaviour.
+    pub padding: QueryPadding,
+}
+
+impl DecodeKernel {
+    /// FlashAttention's decode kernel (`flash_fwd_splitkv`), tile (64, 128).
+    pub fn flash_attention() -> Self {
+        DecodeKernel {
+            tile: TileShape::fa_decode(),
+            threads: 128,
+            bandwidth_efficiency: 0.88,
+            split_kv: true,
+            padding: QueryPadding::GroupGranularity,
+        }
+    }
+
+    /// FlashInfer's decode kernel: pads queries only to the GQA group size
+    /// (less redundant compute) and sustains slightly higher bandwidth,
+    /// giving it the modest edge over FlashAttention the paper reports for
+    /// FI_Serial.
+    pub fn flashinfer() -> Self {
+        DecodeKernel {
+            tile: TileShape::new(16, 64),
+            threads: 128,
+            bandwidth_efficiency: 0.95,
+            split_kv: true,
+            padding: QueryPadding::GroupGranularity,
+        }
+    }
+
+    /// The decode configuration POD-Attention uses inside the fused kernel:
+    /// minimum query tile so decode's redundant compute does not steal tensor
+    /// cores from co-located prefill CTAs.
+    pub fn pod() -> Self {
+        DecodeKernel {
+            tile: TileShape::pod_decode(),
+            threads: 128,
+            bandwidth_efficiency: 0.88,
+            split_kv: true,
+            padding: QueryPadding::GroupGranularity,
+        }
+    }
+
+    /// Use a specific tile shape.
+    pub fn with_tile(mut self, tile: TileShape) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Pad queries to the full tile (Figure 10's design-space exploration).
+    pub fn with_full_tile_padding(mut self) -> Self {
+        self.padding = QueryPadding::FullTile;
+        self
+    }
+
+    /// Disable KV splitting.
+    pub fn without_split_kv(mut self) -> Self {
+        self.split_kv = false;
+        self
+    }
+
+    /// Per-CTA resource footprint.
+    pub fn footprint(&self, cfg: &AttentionConfig) -> Footprint {
+        Footprint::new(self.threads, self.tile.shared_mem_bytes(cfg))
+    }
+
+    /// Number of KV splits used for a batch of `batch_size` requests:
+    /// enough to give every SM at least one CTA, capped by the KV length.
+    pub fn num_splits(
+        &self,
+        batch_size: usize,
+        max_context: usize,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> usize {
+        if !self.split_kv || batch_size == 0 {
+            return 1;
+        }
+        let base = batch_size * cfg.kv_heads_per_gpu();
+        if base >= gpu.num_sms {
+            return 1;
+        }
+        let wanted = gpu.num_sms.div_ceil(base);
+        wanted.min(self.tile.kv_tiles(max_context).max(1)).max(1)
+    }
+
+    /// Build the per-CTA work units for a batch of decode requests.
+    ///
+    /// Each unit corresponds to one CTA of the grid
+    /// `(requests) × (KV heads per GPU) × (KV splits)`.
+    pub fn build_units(
+        &self,
+        decodes: &[DecodeRequest],
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> Vec<WorkUnit> {
+        if decodes.is_empty() {
+            return Vec::new();
+        }
+        let kv_heads = cfg.kv_heads_per_gpu();
+        let group = cfg.group_size();
+        let d = cfg.head_dim;
+        let max_context = decodes.iter().map(|r| r.context_len).max().unwrap_or(0);
+        let splits = self.num_splits(decodes.len(), max_context, cfg, gpu);
+        // Query rows actually run through the tensor cores per CTA.
+        let padded_q = match self.padding {
+            QueryPadding::GroupGranularity => group.div_ceil(16).max(1) * 16,
+            QueryPadding::FullTile => self.tile.q.max(group),
+        } as f64;
+
+        let mut units = Vec::with_capacity(decodes.len() * kv_heads * splits);
+        for req in decodes {
+            let kv_per_split = (req.context_len as f64 / splits as f64).max(1.0);
+            for _h in 0..kv_heads {
+                for _s in 0..splits {
+                    let flops = attention_flops_per_head(padded_q, kv_per_split, d);
+                    let mut bytes = kv_bytes_per_head(kv_per_split, cfg)
+                        + q_bytes_per_head(group as f64, cfg);
+                    if splits > 1 {
+                        // Partial output written in fp32 and re-read by the
+                        // reduction pass.
+                        bytes += 2.0 * group as f64 * (d * 4) as f64;
+                    }
+                    units.push(WorkUnit::new(
+                        OpClass::Decode,
+                        flops,
+                        bytes / self.bandwidth_efficiency,
+                    ));
+                }
+            }
+        }
+        units
+    }
+
+    /// Total FLOPs (including padding) across the batch.
+    pub fn total_flops(&self, decodes: &[DecodeRequest], cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
+        self.build_units(decodes, cfg, gpu).iter().map(|u| u.flops).sum()
+    }
+
+    /// Total HBM bytes across the batch.
+    pub fn total_bytes(&self, decodes: &[DecodeRequest], cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
+        self.build_units(decodes, cfg, gpu).iter().map(|u| u.bytes).sum()
+    }
+
+    /// Build a ready-to-submit [`KernelLaunch`] for a decode batch.
+    pub fn launch(
+        &self,
+        name: &str,
+        decodes: &[DecodeRequest],
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> KernelLaunch {
+        let ctas: Vec<CtaWork> = self
+            .build_units(decodes, cfg, gpu)
+            .into_iter()
+            .map(|u| CtaWork { units: vec![u] })
+            .collect();
+        KernelLaunch::from_ctas(name, self.footprint(cfg), ctas)
+    }
+}
+
+impl Default for DecodeKernel {
+    fn default() -> Self {
+        DecodeKernel::flash_attention()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Engine;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::yi_6b()
+    }
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_80gb()
+    }
+
+    #[test]
+    fn grid_matches_paper_figure6_setup() {
+        // Yi-6B: 4 KV heads, so a batch of 54 requests uses 216 CTAs
+        // (no splits needed since 216 >= 108 SMs).
+        let k = DecodeKernel::flash_attention();
+        let decodes = vec![DecodeRequest::new(16 * 1024); 54];
+        let units = k.build_units(&decodes, &cfg(), &gpu());
+        assert_eq!(units.len(), 216);
+        assert_eq!(k.num_splits(54, 16 * 1024, &cfg(), &gpu()), 1);
+    }
+
+    #[test]
+    fn small_batches_get_kv_splits() {
+        let k = DecodeKernel::flash_attention();
+        // 8 requests * 4 KV heads = 32 CTAs < 108 SMs: FlashDecoding splits.
+        let splits = k.num_splits(8, 8192, &cfg(), &gpu());
+        assert!(splits > 1);
+        let units = k.build_units(&vec![DecodeRequest::new(8192); 8], &cfg(), &gpu());
+        assert_eq!(units.len(), 8 * 4 * splits);
+    }
+
+    #[test]
+    fn splits_preserve_kv_traffic() {
+        let k = DecodeKernel::flash_attention();
+        let small = vec![DecodeRequest::new(8192); 8];
+        let big = vec![DecodeRequest::new(8192); 54];
+        let per_req_small = k.total_bytes(&small, &cfg(), &gpu()) / 8.0;
+        let per_req_big = k.total_bytes(&big, &cfg(), &gpu()) / 54.0;
+        // Splitting adds only the tiny partial-output traffic.
+        assert!((per_req_small - per_req_big).abs() / per_req_big < 0.01);
+    }
+
+    #[test]
+    fn larger_tiles_do_more_redundant_compute() {
+        let decodes = vec![DecodeRequest::new(4096); 32];
+        let t128 = DecodeKernel::flash_attention()
+            .with_tile(TileShape::new(128, 64))
+            .with_full_tile_padding();
+        let t16 = DecodeKernel::flash_attention()
+            .with_tile(TileShape::new(16, 64))
+            .with_full_tile_padding();
+        let f128 = t128.total_flops(&decodes, &cfg(), &gpu());
+        let f16 = t16.total_flops(&decodes, &cfg(), &gpu());
+        assert!(f128 > 4.0 * f16, "128-tile flops {f128} vs 16-tile {f16}");
+    }
+
+    #[test]
+    fn group_granularity_padding_is_independent_of_tile() {
+        let decodes = vec![DecodeRequest::new(4096); 32];
+        let t128 = DecodeKernel::flash_attention().with_tile(TileShape::new(128, 64));
+        let t64 = DecodeKernel::flash_attention().with_tile(TileShape::new(64, 128));
+        let f128 = t128.total_flops(&decodes, &cfg(), &gpu());
+        let f64_ = t64.total_flops(&decodes, &cfg(), &gpu());
+        assert!((f128 - f64_).abs() / f64_ < 1e-9);
+    }
+
+    /// Decode attention is memory bound: high HBM utilization, negligible
+    /// compute utilization (Figure 1, middle panel).
+    #[test]
+    fn decode_kernel_is_memory_bound() {
+        let k = DecodeKernel::flash_attention();
+        let decodes = vec![DecodeRequest::new(4096); 128];
+        let launch = k.launch("fa_decode", &decodes, &cfg(), &gpu());
+        let report = Engine::new(gpu()).run_kernel(launch).unwrap();
+        assert!(
+            report.memory_utilization() > 0.5,
+            "memory util {}",
+            report.memory_utilization()
+        );
+        assert!(
+            report.compute_utilization() < 0.15,
+            "compute util {}",
+            report.compute_utilization()
+        );
+    }
+
+    #[test]
+    fn flashinfer_decode_is_modestly_faster_than_flash_attention() {
+        let decodes = vec![DecodeRequest::new(8 * 1024); 64];
+        let engine = Engine::new(gpu());
+        let fa = engine
+            .run_kernel(DecodeKernel::flash_attention().launch("fa", &decodes, &cfg(), &gpu()))
+            .unwrap()
+            .makespan;
+        let fi = engine
+            .run_kernel(DecodeKernel::flashinfer().launch("fi", &decodes, &cfg(), &gpu()))
+            .unwrap()
+            .makespan;
+        assert!(fi < fa, "FI {fi} vs FA {fa}");
+        assert!(fi > fa * 0.8, "FI should only be modestly faster");
+    }
+
+    #[test]
+    fn empty_batch_builds_no_work() {
+        let k = DecodeKernel::flash_attention();
+        assert!(k.build_units(&[], &cfg(), &gpu()).is_empty());
+        assert_eq!(k.num_splits(0, 0, &cfg(), &gpu()), 1);
+    }
+
+    #[test]
+    fn pod_decode_tile_shrinks_shared_memory() {
+        let fa = DecodeKernel::flash_attention().footprint(&cfg());
+        let pod = DecodeKernel::pod().footprint(&cfg());
+        assert!(pod.shared_mem * 2 < fa.shared_mem);
+    }
+}

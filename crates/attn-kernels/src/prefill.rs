@@ -1,0 +1,326 @@
+//! Work-model of FlashAttention-2 style *prefill* attention kernels,
+//! including the FlashDecoding-style KV splitting that FlashAttention applies
+//! to chunked prefills (§4.2.4 of the paper).
+
+use crate::batch::PrefillChunk;
+use crate::config::AttentionConfig;
+use crate::cost::{attention_flops_per_head, hbm_bytes_with_l2, kv_bytes_per_head, q_bytes_per_head};
+use crate::tiles::TileShape;
+use gpu_sim::{CtaWork, Footprint, GpuConfig, KernelLaunch, OpClass, WorkUnit};
+
+/// How the number of KV splits for a chunked prefill is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// No splitting along the KV dimension.
+    None,
+    /// FlashAttention's default behaviour: split until the prefill grid alone
+    /// fills roughly four waves of the GPU (maximizes prefill-only
+    /// parallelism, at the cost of re-reading Q per split).
+    Vanilla,
+    /// POD-Attention's behaviour: split only until the prefill grid fills at
+    /// most two waves, so the extra memory traffic does not starve co-located
+    /// decode CTAs (Table 8).
+    LimitedToTwoWaves,
+    /// An explicit number of splits.
+    Fixed(usize),
+}
+
+/// Configuration of a prefill attention kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillKernel {
+    /// Tile shape used by the kernel.
+    pub tile: TileShape,
+    /// Threads per CTA.
+    pub threads: usize,
+    /// Fraction of peak HBM bandwidth the kernel's access pattern achieves.
+    pub bandwidth_efficiency: f64,
+    /// KV-split policy for chunked prefills.
+    pub split_policy: SplitPolicy,
+}
+
+impl PrefillKernel {
+    /// FlashAttention-2's prefill kernel with its default tile and vanilla
+    /// split heuristic.
+    pub fn flash_attention() -> Self {
+        PrefillKernel {
+            tile: TileShape::fa2_prefill(),
+            threads: 128,
+            bandwidth_efficiency: 0.85,
+            split_policy: SplitPolicy::Vanilla,
+        }
+    }
+
+    /// FlashInfer's prefill kernel: same tiling strategy, slightly better
+    /// scheduling of global loads.
+    pub fn flashinfer() -> Self {
+        PrefillKernel {
+            bandwidth_efficiency: 0.9,
+            ..PrefillKernel::flash_attention()
+        }
+    }
+
+    /// Use a specific tile shape.
+    pub fn with_tile(mut self, tile: TileShape) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Use a specific split policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
+        self
+    }
+
+    /// The per-CTA resource footprint of this kernel.
+    pub fn footprint(&self, cfg: &AttentionConfig) -> Footprint {
+        Footprint::new(self.threads, self.tile.shared_mem_bytes(cfg))
+    }
+
+    /// Number of KV splits the kernel will use for `chunk`.
+    ///
+    /// Splitting along the KV dimension (FlashDecoding-style) only applies to
+    /// *chunked* prefills — chunks appended to an existing KV cache — which is
+    /// when the query grid alone is too small to fill the GPU. A full prompt
+    /// processed from scratch uses the regular unsplit kernel.
+    pub fn num_splits(&self, chunk: &PrefillChunk, cfg: &AttentionConfig, gpu: &GpuConfig) -> usize {
+        let base = self.base_ctas(chunk, cfg);
+        let fp = self.footprint(cfg);
+        let wave = gpu.wave_size(fp.shared_mem, fp.threads).max(1);
+        let max_by_kv = self.tile.kv_tiles(chunk.context_len()).max(1);
+        if chunk.prior_len == 0
+            && !matches!(self.split_policy, SplitPolicy::Fixed(_))
+        {
+            return 1;
+        }
+        let splits = match self.split_policy {
+            SplitPolicy::None => 1,
+            SplitPolicy::Fixed(n) => n.max(1),
+            // Splitting is only worthwhile when the unsplit grid cannot fill
+            // the GPU (small chunks); the vanilla heuristic then aims for
+            // roughly four waves of CTAs, POD limits itself to two.
+            SplitPolicy::Vanilla => {
+                if base >= wave {
+                    1
+                } else {
+                    (4 * wave).div_ceil(base)
+                }
+            }
+            SplitPolicy::LimitedToTwoWaves => {
+                if base >= wave {
+                    1
+                } else {
+                    ((2 * wave) / base).max(1)
+                }
+            }
+        };
+        splits.min(max_by_kv)
+    }
+
+    /// CTAs in the grid before KV splitting: one per (query head, query tile).
+    pub fn base_ctas(&self, chunk: &PrefillChunk, cfg: &AttentionConfig) -> usize {
+        cfg.q_heads_per_gpu() * self.tile.q_tiles(chunk.chunk_len)
+    }
+
+    /// Build the per-CTA work units of this kernel for one prefill chunk.
+    ///
+    /// Each unit corresponds to one CTA of the grid
+    /// `(query heads per GPU) × (query tiles) × (KV splits)` and carries its
+    /// causally-correct share of tensor FLOPs and HBM traffic.
+    pub fn build_units(
+        &self,
+        chunk: &PrefillChunk,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> Vec<WorkUnit> {
+        if chunk.chunk_len == 0 {
+            return Vec::new();
+        }
+        let q_heads = cfg.q_heads_per_gpu();
+        let kv_heads = cfg.kv_heads_per_gpu();
+        let group = cfg.group_size().min(q_heads);
+        let d = cfg.head_dim;
+        let splits = self.num_splits(chunk, cfg, gpu);
+        let q_tiles = self.tile.q_tiles(chunk.chunk_len);
+        let eff = self.tile.tensor_efficiency();
+
+        // Causal KV length visible to each query tile.
+        let tile_kv: Vec<f64> = (0..q_tiles)
+            .map(|t| {
+                let tile_end = ((t + 1) * self.tile.q).min(chunk.chunk_len);
+                (chunk.prior_len + tile_end) as f64
+            })
+            .collect();
+        let total_tile_kv: f64 = tile_kv.iter().sum();
+
+        // HBM traffic for the whole kernel.
+        let unique_kv = kv_bytes_per_head(chunk.context_len() as f64, cfg) * kv_heads as f64;
+        let logical_kv: f64 = tile_kv
+            .iter()
+            .map(|kv| kv_bytes_per_head(*kv, cfg) * kv_heads as f64 * group as f64)
+            .sum();
+        let hbm_kv = hbm_bytes_with_l2(logical_kv, unique_kv, gpu.l2_cache_bytes as f64);
+        let q_bytes = q_bytes_per_head(chunk.chunk_len as f64, cfg) * q_heads as f64 * splits as f64;
+        let o_final = q_bytes_per_head(chunk.chunk_len as f64, cfg) * q_heads as f64;
+        // Partial (fp32) outputs written by every split and re-read by the
+        // reduction pass.
+        let o_partial = if splits > 1 {
+            2.0 * splits as f64 * chunk.chunk_len as f64 * (d * 4) as f64 * q_heads as f64
+        } else {
+            0.0
+        };
+        let total_bytes = (hbm_kv + q_bytes + o_final + o_partial) / self.bandwidth_efficiency;
+
+        let n_ctas = q_heads * q_tiles * splits;
+        let padded_q = self.tile.q as f64;
+        let mut units = Vec::with_capacity(n_ctas);
+        for _head in 0..q_heads {
+            for (t, kv) in tile_kv.iter().enumerate() {
+                let _ = t;
+                let flops_tile = attention_flops_per_head(padded_q, *kv, d) / eff;
+                // This tile's share of the kernel's HBM traffic.
+                let bytes_tile = total_bytes * (*kv / (total_tile_kv * q_heads as f64));
+                for _s in 0..splits {
+                    units.push(WorkUnit::new(
+                        OpClass::Prefill,
+                        flops_tile / splits as f64,
+                        bytes_tile / splits as f64,
+                    ));
+                }
+            }
+        }
+        units
+    }
+
+    /// Total tensor FLOPs (including tile padding) the kernel performs.
+    pub fn total_flops(&self, chunk: &PrefillChunk, cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
+        self.build_units(chunk, cfg, gpu).iter().map(|u| u.flops).sum()
+    }
+
+    /// Total HBM bytes the kernel moves.
+    pub fn total_bytes(&self, chunk: &PrefillChunk, cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
+        self.build_units(chunk, cfg, gpu).iter().map(|u| u.bytes).sum()
+    }
+
+    /// Build a ready-to-submit [`KernelLaunch`] for one prefill chunk.
+    pub fn launch(
+        &self,
+        name: &str,
+        chunk: &PrefillChunk,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> KernelLaunch {
+        let ctas: Vec<CtaWork> = self
+            .build_units(chunk, cfg, gpu)
+            .into_iter()
+            .map(|u| CtaWork { units: vec![u] })
+            .collect();
+        KernelLaunch::from_ctas(name, self.footprint(cfg), ctas)
+    }
+}
+
+impl Default for PrefillKernel {
+    fn default() -> Self {
+        PrefillKernel::flash_attention()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Engine;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::llama3_8b()
+    }
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_80gb()
+    }
+
+    #[test]
+    fn grid_size_matches_heads_tiles_and_splits() {
+        let k = PrefillKernel::flash_attention().with_split_policy(SplitPolicy::None);
+        let chunk = PrefillChunk::new(1024, 0);
+        let units = k.build_units(&chunk, &cfg(), &gpu());
+        // 16 q heads per GPU * ceil(1024/128) = 128 CTAs.
+        assert_eq!(units.len(), 16 * 8);
+    }
+
+    #[test]
+    fn splits_multiply_grid_size() {
+        let k = PrefillKernel::flash_attention().with_split_policy(SplitPolicy::Fixed(4));
+        let chunk = PrefillChunk::new(512, 8192);
+        let units = k.build_units(&chunk, &cfg(), &gpu());
+        assert_eq!(units.len(), 16 * 4 * 4);
+    }
+
+    #[test]
+    fn limited_splits_never_exceed_vanilla() {
+        let chunk = PrefillChunk::new(512, 15 * 1024 + 512);
+        let vanilla = PrefillKernel::flash_attention()
+            .with_split_policy(SplitPolicy::Vanilla)
+            .num_splits(&chunk, &cfg(), &gpu());
+        let limited = PrefillKernel::flash_attention()
+            .with_split_policy(SplitPolicy::LimitedToTwoWaves)
+            .num_splits(&chunk, &cfg(), &gpu());
+        assert!(limited <= vanilla);
+        assert!(limited >= 1);
+        // Vanilla splitting of a small chunk produces a lot of extra CTAs.
+        assert!(vanilla > limited);
+    }
+
+    #[test]
+    fn flops_grow_with_context_length() {
+        let k = PrefillKernel::flash_attention();
+        let short = k.total_flops(&PrefillChunk::new(1024, 1024), &cfg(), &gpu());
+        let long = k.total_flops(&PrefillChunk::new(1024, 15 * 1024), &cfg(), &gpu());
+        assert!(long > 2.0 * short);
+    }
+
+    #[test]
+    fn splits_increase_memory_traffic_not_flops() {
+        let chunk = PrefillChunk::new(512, 8192);
+        let one = PrefillKernel::flash_attention().with_split_policy(SplitPolicy::Fixed(1));
+        let eight = PrefillKernel::flash_attention().with_split_policy(SplitPolicy::Fixed(8));
+        let flops_1 = one.total_flops(&chunk, &cfg(), &gpu());
+        let flops_8 = eight.total_flops(&chunk, &cfg(), &gpu());
+        assert!((flops_1 - flops_8).abs() / flops_1 < 1e-9);
+        assert!(eight.total_bytes(&chunk, &cfg(), &gpu()) > one.total_bytes(&chunk, &cfg(), &gpu()));
+    }
+
+    #[test]
+    fn empty_chunk_builds_no_work() {
+        let k = PrefillKernel::flash_attention();
+        assert!(k.build_units(&PrefillChunk::new(0, 0), &cfg(), &gpu()).is_empty());
+    }
+
+    /// The headline motivation (Figure 1): prefill attention is
+    /// compute-bound — high compute utilization, tiny HBM utilization.
+    #[test]
+    fn prefill_kernel_is_compute_bound() {
+        let k = PrefillKernel::flash_attention();
+        let chunk = PrefillChunk::new(4096, 0);
+        let launch = k.launch("fa2_prefill", &chunk, &cfg(), &gpu());
+        let report = Engine::new(gpu()).run_kernel(launch).unwrap();
+        assert!(
+            report.compute_utilization() > 0.35,
+            "compute util {}",
+            report.compute_utilization()
+        );
+        assert!(
+            report.memory_utilization() < 0.10,
+            "memory util {}",
+            report.memory_utilization()
+        );
+    }
+
+    #[test]
+    fn footprint_matches_tile() {
+        let k = PrefillKernel::flash_attention();
+        let fp = k.footprint(&cfg());
+        assert_eq!(fp.shared_mem, 64 * 1024);
+        assert_eq!(fp.threads, 128);
+        // Occupancy 2 on the A100.
+        assert_eq!(gpu().occupancy(fp.shared_mem, fp.threads), 2);
+    }
+}

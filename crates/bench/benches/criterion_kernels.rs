@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the reproduction's own hot paths: the
+//! CTA-level contention engine, the POD-Attention launch builder and the
+//! closed-form attention estimator used by the serving simulator.
+
+use attn_kernels::{AttentionConfig, AttentionEstimator, AttentionStrategy, HybridBatch};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_sim::GpuConfig;
+use llm_serving::{ModelConfig, ServingConfig, ServingEngine, RequestSpec};
+use pod_attention::PodAttention;
+use std::hint::black_box;
+
+fn bench_pod_kernel_simulation(c: &mut Criterion) {
+    let pod = PodAttention::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
+    let batch = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
+    c.bench_function("pod_attention/simulate_c0_like_batch", |b| {
+        b.iter(|| pod.execute(black_box(&batch)).expect("POD executes"))
+    });
+}
+
+fn bench_serial_kernel_simulation(c: &mut Criterion) {
+    let pod = PodAttention::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
+    let batch = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
+    c.bench_function("fa_serial/simulate_c0_like_batch", |b| {
+        b.iter(|| pod.serial_baseline(black_box(&batch)).expect("serial executes"))
+    });
+}
+
+fn bench_analytic_estimator(c: &mut Criterion) {
+    let est = AttentionEstimator::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
+    let batch = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
+    c.bench_function("estimator/pod_hybrid_batch", |b| {
+        b.iter(|| est.estimate(black_box(&batch), AttentionStrategy::Pod))
+    });
+}
+
+fn bench_serving_iterations(c: &mut Criterion) {
+    let config = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024);
+    c.bench_function("serving/8_requests_end_to_end", |b| {
+        b.iter_batched(
+            || ServingEngine::new(config.clone()),
+            |engine| engine.run(vec![RequestSpec::new(0.0, 4096, 32); 8]),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pod_kernel_simulation,
+              bench_serial_kernel_simulation,
+              bench_analytic_estimator,
+              bench_serving_iterations
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Figure 1 + Table 1: compute and memory-bandwidth utilization of prefill
+//! attention, decode attention and POD-Attention, and the normalized runtime
+//! of the serial FA/FI kernels versus POD on the three hybrid-batch
+//! configurations of Table 1 (model: Llama-3-8B on A100, TP-2).
+
+use attn_kernels::{
+    AttentionConfig, AttentionStrategy, DecodeKernel, DecodeRequest, HybridBatch, PrefillChunk,
+    PrefillKernel,
+};
+use fusion_lab::HybridAttentionRunner;
+use gpu_sim::{Engine, GpuConfig};
+use pod_attention::PodAttention;
+use pod_bench::{heading, pct, print_table};
+
+fn main() {
+    let cfg = AttentionConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let engine = Engine::new(gpu.clone());
+
+    heading(
+        "Figure 1 (left): Prefill attention utilization (batch size = 1)",
+        "FlashAttention-2 prefill kernel, full prompt, Llama-3-8B TP-2.",
+    );
+    let mut rows = Vec::new();
+    for kib in [1usize, 2, 4, 8, 16] {
+        let context = kib * 1024;
+        let launch = PrefillKernel::flash_attention().launch(
+            "prefill",
+            &PrefillChunk::new(context, 0),
+            &cfg,
+            &gpu,
+        );
+        let report = engine.run_kernel(launch).expect("prefill kernel runs");
+        rows.push(vec![
+            format!("{kib}K"),
+            pct(report.compute_utilization()),
+            pct(report.memory_utilization()),
+        ]);
+    }
+    print_table(&["Context", "Compute util", "Mem BW util"], &rows);
+
+    heading(
+        "Figure 1 (middle): Decode attention utilization (context length = 4K)",
+        "FlashAttention decode kernel, Llama-3-8B TP-2.",
+    );
+    let mut rows = Vec::new();
+    for bs in [16usize, 32, 64, 128, 256] {
+        let decodes = vec![DecodeRequest::new(4 * 1024); bs];
+        let launch = DecodeKernel::flash_attention().launch("decode", &decodes, &cfg, &gpu);
+        let report = engine.run_kernel(launch).expect("decode kernel runs");
+        rows.push(vec![
+            format!("{bs}"),
+            pct(report.compute_utilization()),
+            pct(report.memory_utilization()),
+        ]);
+    }
+    print_table(&["Batch size", "Compute util", "Mem BW util"], &rows);
+
+    let configs: [(&str, HybridBatch); 3] = [
+        ("C0", HybridBatch::config_c0()),
+        ("C1", HybridBatch::config_c1()),
+        ("C2", HybridBatch::config_c2()),
+    ];
+
+    heading(
+        "Table 1: hybrid batch configurations",
+        "BS: batch size, CS: chunk size, CL: context length.",
+    );
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(name, b)| {
+            let p = b.prefill.expect("table 1 configs have a prefill chunk");
+            vec![
+                name.to_string(),
+                "1".to_string(),
+                format!("{}", p.chunk_len),
+                format!("{}", p.context_len()),
+                format!("{}", b.decode_batch_size()),
+                format!("{}", b.decodes[0].context_len),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Config", "Prefill BS", "CS", "CL", "Decode BS", "Decode CL"],
+        &rows,
+    );
+
+    heading(
+        "Figure 1 (right, top): POD-Attention utilization on hybrid batches",
+        "",
+    );
+    let pod = PodAttention::new(cfg, gpu.clone());
+    let mut rows = Vec::new();
+    for (name, batch) in &configs {
+        let report = pod.execute(batch).expect("POD executes");
+        rows.push(vec![
+            name.to_string(),
+            pct(report.compute_utilization()),
+            pct(report.memory_utilization()),
+        ]);
+    }
+    print_table(&["Config", "Compute util", "Mem BW util"], &rows);
+
+    heading(
+        "Figure 1 (right, bottom): normalized attention runtime",
+        "Serial FA / FI prefill+decode kernels and POD, normalized to FA serial.",
+    );
+    let runner = HybridAttentionRunner::new(cfg, gpu);
+    let mut rows = Vec::new();
+    for (name, batch) in &configs {
+        let fa = runner
+            .time(batch, AttentionStrategy::FaSerial)
+            .expect("FA serial runs");
+        let fi = runner
+            .time(batch, AttentionStrategy::FiSerial)
+            .expect("FI serial runs");
+        let pod_t = runner.time(batch, AttentionStrategy::Pod).expect("POD runs");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", fa / fa),
+            format!("{:.2}", fi / fa),
+            format!("{:.2}", pod_t / fa),
+            format!("{:.0}%", (fa / pod_t - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        &["Config", "FA serial", "FI serial", "POD", "POD speedup"],
+        &rows,
+    );
+}

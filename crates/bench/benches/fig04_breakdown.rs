@@ -1,0 +1,53 @@
+//! Figure 4: contribution of each operation to the iteration runtime under
+//! hybrid batching (model: Llama-3-8B, batch size 60, chunk size 1K). For
+//! each context length the iteration processing the *last* chunk of the
+//! prompt is shown.
+
+use attn_kernels::{AttentionStrategy, HybridBatch};
+use gpu_sim::GpuConfig;
+use llm_serving::{IterationCostModel, ModelConfig};
+use pod_bench::{heading, pct, print_table};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let cost = IterationCostModel::new(model, gpu);
+    let chunk = 1024usize;
+    let batch_size = 60usize;
+
+    heading(
+        "Figure 4: share of iteration time per operation",
+        "Llama-3-8B TP-2, decode batch 60, chunk 1K, last chunk of the prompt.",
+    );
+
+    let mut rows = Vec::new();
+    for kib in [1usize, 8, 16] {
+        let context = kib * 1024;
+        let chunk_len = chunk.min(context);
+        let batch = HybridBatch::uniform(chunk_len, context, batch_size, context);
+        let b = cost.breakdown(&batch, AttentionStrategy::FaSerial);
+        let total = b.total();
+        let mut row = vec![format!("{kib}K"), format!("{:.1} ms", total * 1e3)];
+        for (_, t) in b.components() {
+            row.push(pct(t / total));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &[
+            "Context",
+            "Iteration",
+            "Pre Proj",
+            "Prefill Attn",
+            "Decode Attn",
+            "Post Proj",
+            "FFN",
+            "Others",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nExpected shape (paper): attention grows from ~13% of the iteration at 1K context to >60% at 16K."
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 7: the fusion-method micro-benchmark. A compute-bound kernel
+//! (scalar multiply loop) and a memory-bound kernel (three-array add) are
+//! executed with each concurrent-execution method while the compute kernel's
+//! iteration count sweeps from memory-heavy to compute-heavy.
+
+use fusion_lab::{ComputeKernel, FusionExecutor, FusionStrategy, MemoryKernel, Operation};
+use gpu_sim::GpuConfig;
+use pod_bench::{heading, ms, print_table};
+
+fn main() {
+    let gpu = GpuConfig::a100_80gb();
+    let exec = FusionExecutor::new(gpu.clone());
+    let memory = MemoryKernel::figure7(&gpu);
+    let mem_op = Operation::new("memory", memory.footprint(), memory.ctas());
+
+    heading(
+        "Figure 7: fine-grained fusion versus serial computation",
+        "Runtime (ms) versus compute iterations; 100 iterations is the balanced point.",
+    );
+
+    let strategies = [
+        FusionStrategy::Serial,
+        FusionStrategy::Streams,
+        FusionStrategy::CtaParallel,
+        FusionStrategy::IntraThread,
+        FusionStrategy::SmAwareCta,
+    ];
+    let mut rows = Vec::new();
+    for iters in (20..=200).step_by(20) {
+        let compute = ComputeKernel::figure7(iters, &gpu);
+        let comp_op = Operation::new("compute", compute.footprint(), compute.ctas());
+        let mut row = vec![format!("{iters}")];
+        for &s in &strategies {
+            let t = exec.runtime(&comp_op, &mem_op, s).expect("strategy runs");
+            row.push(ms(t));
+        }
+        row.push(ms(exec.oracle(&comp_op, &mem_op)));
+        rows.push(row);
+    }
+    print_table(
+        &[
+            "Compute iters",
+            "Serial",
+            "Kernel (Streams)",
+            "CTA",
+            "Intra-thread",
+            "SM-aware CTA",
+            "Optimal",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nExpected shape (paper): streams/CTA give only a marginal gain over serial, intra-thread \
+         ~13% on average, SM-aware CTA scheduling tracks the optimal overlap across the sweep."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 10: impact of the decode tile size on compute utilization and HBM
+//! bandwidth utilization (context length 4K, batch sizes 8/16/32). This is
+//! the design-space exploration that motivates POD-Attention's choice of the
+//! minimum 16-row query tile for decode inside the fused kernel.
+
+use attn_kernels::{AttentionConfig, DecodeKernel, DecodeRequest, TileShape};
+use gpu_sim::{Engine, GpuConfig};
+use pod_bench::{heading, pct, print_table};
+
+fn main() {
+    let cfg = AttentionConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let engine = Engine::new(gpu.clone());
+    let tiles = [
+        TileShape::new(128, 64),
+        TileShape::new(64, 128),
+        TileShape::new(32, 64),
+        TileShape::new(16, 32),
+    ];
+    let batch_sizes = [8usize, 16, 32];
+    let context = 4 * 1024usize;
+
+    for (title, metric) in [
+        ("Figure 10a: compute utilization vs decode tile size", 0usize),
+        ("Figure 10b: HBM bandwidth utilization vs decode tile size", 1usize),
+    ] {
+        heading(title, "Decode kernel padding queries to the full tile, context 4K.");
+        let mut rows = Vec::new();
+        for tile in tiles {
+            let mut row = vec![format!("({}, {})", tile.q, tile.kv)];
+            for &bs in &batch_sizes {
+                let decodes = vec![DecodeRequest::new(context); bs];
+                let kernel = DecodeKernel::flash_attention()
+                    .with_tile(tile)
+                    .with_full_tile_padding();
+                let report = engine
+                    .run_kernel(kernel.launch("decode", &decodes, &cfg, &gpu))
+                    .expect("decode kernel runs");
+                let value = if metric == 0 {
+                    report.compute_utilization()
+                } else {
+                    report.memory_utilization()
+                };
+                row.push(pct(value));
+            }
+            rows.push(row);
+        }
+        print_table(&["Tile (Q, K/V)", "bs=8", "bs=16", "bs=32"], &rows);
+    }
+
+    println!(
+        "\nExpected shape (paper): compute utilization grows with the query tile (up to ~70% at 128, \
+         ~10% at 16) while bandwidth utilization is already saturated at large batch sizes regardless \
+         of tile — so a fused kernel should use the smallest tile."
+    );
+}

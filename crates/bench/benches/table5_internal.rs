@@ -1,0 +1,30 @@
+//! Table 5: online inference latency on the internal-enterprise-style
+//! workload (Llama-3-8B, chunk 1536) at QPS 1.1 and 1.2, comparing the
+//! original vLLM scheduler, Sarathi and Sarathi+POD on TTFT, TBT, request
+//! latency and generation stalls.
+
+use llm_serving::Workload;
+use pod_bench::online::{print_latency_block, run_three_systems};
+use pod_bench::{heading, scaled};
+
+fn main() {
+    let workload = Workload::internal();
+    let num_requests = scaled(256, 2048);
+    let chunk = 1536usize;
+
+    heading(
+        "Table 5: internal workload (latency in seconds)",
+        &format!("Llama-3-8B TP-2, {num_requests} requests, chunk size {chunk}."),
+    );
+
+    for qps in [1.1, 1.2] {
+        let reports = run_three_systems(&workload, qps, num_requests, chunk, 51);
+        print_latency_block(qps, &reports);
+    }
+
+    println!(
+        "Expected shape (paper): vLLM has the lowest TTFT but nearly all requests stall \
+         (P99 TBT in the seconds); Sarathi eliminates stalls at the cost of TTFT; Sarathi+POD \
+         keeps Sarathi's stall-free TBT while pulling TTFT and request latency back down."
+    );
+}

@@ -1,0 +1,61 @@
+//! Shared harness for the online-inference latency tables (Tables 5–7).
+
+use crate::{pct, print_table, secs};
+use gpu_sim::GpuConfig;
+use llm_serving::{ModelConfig, ServingConfig, ServingEngine, ServingReport, Workload};
+
+/// Run the three systems (vLLM, Sarathi, Sarathi+POD) on `workload` at one
+/// load level and return their reports in that order.
+pub fn run_three_systems(
+    workload: &Workload,
+    qps: f64,
+    num_requests: usize,
+    chunk_size: usize,
+    seed: u64,
+) -> [ServingReport; 3] {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let requests = workload.generate(num_requests, qps, seed);
+    let vllm =
+        ServingEngine::new(ServingConfig::vllm(model.clone(), gpu.clone())).run(requests.clone());
+    let sarathi = ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), chunk_size))
+        .run(requests.clone());
+    let pod = ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, chunk_size)).run(requests);
+    [vllm, sarathi, pod]
+}
+
+/// Print one QPS block of a Table 5/6-style latency comparison.
+pub fn print_latency_block(qps: f64, reports: &[ServingReport]) {
+    println!("QPS {qps}:");
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                secs(r.ttft.p50),
+                secs(r.ttft.p99),
+                format!("{:.3}", r.tbt.p50),
+                format!("{:.3}", r.tbt.p99),
+                secs(r.request_latency.p50),
+                secs(r.request_latency.p99),
+                pct(r.stall_fraction_200ms),
+                pct(r.stall_fraction_500ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "System",
+            "TTFT P50",
+            "TTFT P99",
+            "TBT P50",
+            "TBT P99",
+            "Latency P50",
+            "Latency P99",
+            "Stalls>200ms",
+            "Stalls>500ms",
+        ],
+        &rows,
+    );
+    println!();
+}

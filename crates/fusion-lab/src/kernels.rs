@@ -1,0 +1,206 @@
+//! The synthetic kernels of the §3.3 micro-benchmark (Figure 7).
+//!
+//! The paper studies fusion methods on two simple kernels: a *compute-bound*
+//! kernel that repeatedly multiplies array elements by a scalar, and a
+//! *memory-bound* kernel that repeatedly adds three arrays, with a barrier
+//! after every operation. Varying the compute kernel's iteration count sweeps
+//! the workload from memory-heavy to compute-heavy; at 100 compute iterations
+//! the two kernels take the same time when run serially, which is the
+//! balanced point in Figure 7.
+
+use gpu_sim::{CtaWork, Footprint, GpuConfig, KernelLaunch, OpClass};
+
+/// Number of array elements each CTA of the synthetic kernels processes.
+pub const ELEMENTS_PER_CTA: usize = 64 * 1024;
+
+/// Bytes per array element (fp32).
+pub const ELEMENT_BYTES: usize = 4;
+
+/// Device FLOPs charged per element per compute iteration. The constant folds
+/// in the CUDA-core vs. tensor-core throughput ratio and the unrolled
+/// multiply chain of the benchmark loop; it is calibrated so that 100 compute
+/// iterations take as long as the memory kernel, matching the balanced point
+/// of Figure 7.
+pub const COMPUTE_FLOPS_PER_ELEMENT_ITER: f64 = 392.0;
+
+/// Passes over the three input arrays performed by the memory-bound kernel.
+pub const MEMORY_KERNEL_PASSES: usize = 16;
+
+fn synthetic_footprint() -> Footprint {
+    // Large CTAs (512 threads, 80 KiB of shared staging buffers): two fit per
+    // SM, so a two-wave grid per kernel behaves like the paper's set-up where
+    // a single kernel can fill the GPU on its own.
+    Footprint::new(512, 80 * 1024)
+}
+
+/// The compute-bound synthetic kernel: every element is multiplied by a
+/// scalar `iterations` times; the array is read once and written once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeKernel {
+    /// Number of multiply iterations per element.
+    pub iterations: usize,
+    /// Number of CTAs in the grid.
+    pub ctas: usize,
+}
+
+impl ComputeKernel {
+    /// The Figure 7 configuration: a two-wave grid on `gpu`.
+    pub fn figure7(iterations: usize, gpu: &GpuConfig) -> Self {
+        ComputeKernel {
+            iterations,
+            ctas: 2 * gpu.num_sms,
+        }
+    }
+
+    /// A compute kernel with one CTA per SM of `gpu`.
+    pub fn one_wave(iterations: usize, gpu: &GpuConfig) -> Self {
+        ComputeKernel {
+            iterations,
+            ctas: gpu.num_sms,
+        }
+    }
+
+    /// Per-CTA resource footprint.
+    pub fn footprint(&self) -> Footprint {
+        synthetic_footprint()
+    }
+
+    /// The work of a single CTA.
+    pub fn cta(&self) -> CtaWork {
+        let flops = self.iterations as f64 * ELEMENTS_PER_CTA as f64 * COMPUTE_FLOPS_PER_ELEMENT_ITER;
+        // The array is streamed in once and written back once.
+        let bytes = (2 * ELEMENTS_PER_CTA * ELEMENT_BYTES) as f64;
+        CtaWork::single(OpClass::ComputeBound, flops, bytes)
+    }
+
+    /// The full CTA list.
+    pub fn ctas(&self) -> Vec<CtaWork> {
+        vec![self.cta(); self.ctas]
+    }
+
+    /// A ready-to-submit kernel launch.
+    pub fn launch(&self, name: &str) -> KernelLaunch {
+        KernelLaunch::from_ctas(name, self.footprint(), self.ctas())
+    }
+}
+
+/// The memory-bound synthetic kernel: three arrays are read and one written,
+/// [`MEMORY_KERNEL_PASSES`] times, with negligible arithmetic per element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryKernel {
+    /// Number of passes over the arrays.
+    pub passes: usize,
+    /// Number of CTAs in the grid.
+    pub ctas: usize,
+}
+
+impl MemoryKernel {
+    /// The Figure 7 configuration: a two-wave grid on `gpu` with the default
+    /// number of passes.
+    pub fn figure7(gpu: &GpuConfig) -> Self {
+        MemoryKernel {
+            passes: MEMORY_KERNEL_PASSES,
+            ctas: 2 * gpu.num_sms,
+        }
+    }
+
+    /// A memory kernel with one CTA per SM of `gpu`.
+    pub fn one_wave(passes: usize, gpu: &GpuConfig) -> Self {
+        MemoryKernel {
+            passes,
+            ctas: gpu.num_sms,
+        }
+    }
+
+    /// Per-CTA resource footprint.
+    pub fn footprint(&self) -> Footprint {
+        synthetic_footprint()
+    }
+
+    /// The work of a single CTA.
+    pub fn cta(&self) -> CtaWork {
+        let bytes = (4 * self.passes * ELEMENTS_PER_CTA * ELEMENT_BYTES) as f64;
+        let flops = (self.passes * ELEMENTS_PER_CTA) as f64 * 32.0;
+        CtaWork::single(OpClass::MemoryBound, flops, bytes)
+    }
+
+    /// The full CTA list.
+    pub fn ctas(&self) -> Vec<CtaWork> {
+        vec![self.cta(); self.ctas]
+    }
+
+    /// A ready-to-submit kernel launch.
+    pub fn launch(&self, name: &str) -> KernelLaunch {
+        KernelLaunch::from_ctas(name, self.footprint(), self.ctas())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Engine;
+
+    #[test]
+    fn compute_kernel_scales_with_iterations() {
+        let gpu = GpuConfig::a100_80gb();
+        let engine = Engine::new(gpu.clone());
+        let t20 = engine
+            .run_kernel(ComputeKernel::figure7(20, &gpu).launch("c20"))
+            .unwrap()
+            .makespan;
+        let t200 = engine
+            .run_kernel(ComputeKernel::figure7(200, &gpu).launch("c200"))
+            .unwrap()
+            .makespan;
+        assert!(t200 > 5.0 * t20, "t20 {t20} t200 {t200}");
+    }
+
+    #[test]
+    fn memory_kernel_is_memory_bound() {
+        let gpu = GpuConfig::a100_80gb();
+        let engine = Engine::new(gpu.clone());
+        let report = engine
+            .run_kernel(MemoryKernel::figure7(&gpu).launch("m"))
+            .unwrap();
+        assert!(report.memory_utilization() > 0.5);
+        assert!(report.compute_utilization() < 0.1);
+    }
+
+    #[test]
+    fn compute_kernel_is_compute_bound_at_high_iterations() {
+        let gpu = GpuConfig::a100_80gb();
+        let engine = Engine::new(gpu.clone());
+        let report = engine
+            .run_kernel(ComputeKernel::figure7(200, &gpu).launch("c"))
+            .unwrap();
+        assert!(report.compute_utilization() > 0.5);
+        assert!(report.memory_utilization() < 0.2);
+    }
+
+    /// The calibration point of Figure 7: at 100 compute iterations the two
+    /// kernels take roughly the same time in isolation.
+    #[test]
+    fn kernels_are_balanced_at_100_iterations() {
+        let gpu = GpuConfig::a100_80gb();
+        let engine = Engine::new(gpu.clone());
+        let tc = engine
+            .run_kernel(ComputeKernel::figure7(100, &gpu).launch("c"))
+            .unwrap()
+            .makespan;
+        let tm = engine
+            .run_kernel(MemoryKernel::figure7(&gpu).launch("m"))
+            .unwrap()
+            .makespan;
+        let ratio = tc / tm;
+        assert!((0.7..1.4).contains(&ratio), "compute {tc} vs memory {tm}");
+    }
+
+    #[test]
+    fn figure7_grids_are_two_waves() {
+        let gpu = GpuConfig::a100_80gb();
+        let c = ComputeKernel::figure7(10, &gpu);
+        assert_eq!(c.ctas, 216);
+        assert_eq!(gpu.occupancy(c.footprint().shared_mem, c.footprint().threads), 2);
+        assert_eq!(MemoryKernel::figure7(&gpu).ctas, 216);
+    }
+}

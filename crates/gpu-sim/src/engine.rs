@@ -1,0 +1,849 @@
+//! The discrete-event contention engine.
+//!
+//! The engine advances simulated time in variable-length intervals. During
+//! each interval the resource shares of every resident CTA are constant:
+//!
+//! * each SM's tensor-core throughput is divided equally among the resident
+//!   work units on that SM that still have compute work (capped by
+//!   [`EngineOptions::max_cta_compute_fraction`], modelling the fact that a
+//!   single CTA cannot fully saturate an SM's tensor pipes);
+//! * device HBM bandwidth is divided equally among all resident work units
+//!   that still have memory work (capped by
+//!   [`EngineOptions::max_cta_bandwidth_fraction`], modelling per-SM
+//!   load/store throughput limits).
+//!
+//! An interval ends when some unit drains one of its resource streams (which
+//! changes everyone's shares) or a CTA completes and frees SM resources so
+//! the hardware CTA scheduler can place queued CTAs. Wave quantization,
+//! stragglers and the benefit of SM-level co-location all emerge from these
+//! mechanics rather than being hard-coded.
+
+use crate::config::GpuConfig;
+use crate::error::SimError;
+use crate::kernel::KernelLaunch;
+use crate::metrics::{EnergyModel, ExecutionReport, KernelReport, OpClassReport};
+use crate::sm::SmState;
+use crate::stream::Stream;
+use crate::work::{CtaWork, Footprint, OpClass};
+use std::collections::BTreeMap;
+
+/// Work threshold below which remaining FLOPs/bytes are treated as drained.
+const WORK_EPS: f64 = 1e-6;
+/// Time threshold below which a tail delay is treated as elapsed.
+const TIME_EPS: f64 = 1e-15;
+
+/// Tunable fidelity parameters of the contention engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineOptions {
+    /// Maximum fraction of one SM's peak tensor throughput a single work unit
+    /// can consume. Models the issue-rate limit of one CTA.
+    pub max_cta_compute_fraction: f64,
+    /// Maximum fraction of device HBM bandwidth a single work unit can
+    /// consume. Models per-SM load/store and memory-level-parallelism limits.
+    pub max_cta_bandwidth_fraction: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            max_cta_compute_fraction: 0.9,
+            max_cta_bandwidth_fraction: 0.02,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UnitState {
+    rem_flops: f64,
+    rem_bytes: f64,
+    op: OpClass,
+    serial_fraction: f64,
+    busy_compute: f64,
+    busy_memory: f64,
+    /// Barrier-induced tail delay; `None` until both resource streams drain.
+    tail: Option<f64>,
+    done: bool,
+    compute_rate: f64,
+    mem_rate: f64,
+}
+
+impl UnitState {
+    fn new(unit: &crate::work::WorkUnit) -> Self {
+        let done = unit.flops <= WORK_EPS && unit.bytes <= WORK_EPS && unit.serial_fraction <= 0.0;
+        UnitState {
+            rem_flops: unit.flops,
+            rem_bytes: unit.bytes,
+            op: unit.op,
+            serial_fraction: unit.serial_fraction,
+            busy_compute: 0.0,
+            busy_memory: 0.0,
+            tail: if done { Some(0.0) } else { None },
+            done,
+            compute_rate: 0.0,
+            mem_rate: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ExecCta {
+    kernel_id: usize,
+    sm: usize,
+    footprint: Footprint,
+    units: Vec<UnitState>,
+    dominant_op: OpClass,
+}
+
+impl ExecCta {
+    fn is_complete(&self) -> bool {
+        self.units.iter().all(|u| u.done)
+    }
+}
+
+#[derive(Debug)]
+struct KernelState {
+    name: String,
+    footprint: Footprint,
+    cap: Option<usize>,
+    dispatched: usize,
+    completed: usize,
+    fully_dispatched: bool,
+    start: Option<f64>,
+    end: f64,
+    flops: f64,
+    bytes: f64,
+}
+
+/// The GPU simulator.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{CtaWork, Engine, Footprint, GpuConfig, KernelLaunch, OpClass};
+///
+/// let gpu = GpuConfig::a100_80gb();
+/// // A compute-heavy kernel: one wave of CTAs, 1 GFLOP each.
+/// let kernel = KernelLaunch::from_ctas(
+///     "compute",
+///     Footprint::new(128, 64 * 1024),
+///     vec![CtaWork::single(OpClass::ComputeBound, 1e9, 1e3); 216],
+/// );
+/// let report = Engine::new(gpu).run_kernel(kernel)?;
+/// assert!(report.compute_utilization() > 0.5);
+/// assert!(report.memory_utilization() < 0.05);
+/// # Ok::<(), gpu_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    gpu: GpuConfig,
+    opts: EngineOptions,
+}
+
+impl Engine {
+    /// Create an engine for the given device with default fidelity options.
+    pub fn new(gpu: GpuConfig) -> Self {
+        Engine {
+            gpu,
+            opts: EngineOptions::default(),
+        }
+    }
+
+    /// Create an engine with explicit [`EngineOptions`].
+    pub fn with_options(gpu: GpuConfig, opts: EngineOptions) -> Self {
+        Engine { gpu, opts }
+    }
+
+    /// The device this engine simulates.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The fidelity options in effect.
+    pub fn options(&self) -> EngineOptions {
+        self.opts
+    }
+
+    /// Convenience: run a single kernel on its own stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the kernel cannot be scheduled (see
+    /// [`Engine::run`]).
+    pub fn run_kernel(&self, kernel: KernelLaunch) -> Result<ExecutionReport, SimError> {
+        self.run(vec![Stream::with_kernel("stream0", kernel)])
+    }
+
+    /// Convenience: run kernels back-to-back on one stream (serial execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any kernel cannot be scheduled.
+    pub fn run_serial(&self, kernels: Vec<KernelLaunch>) -> Result<ExecutionReport, SimError> {
+        let mut s = Stream::new("serial");
+        for k in kernels {
+            s.push(k);
+        }
+        self.run(vec![s])
+    }
+
+    /// Convenience: run each kernel on its own stream (kernel-parallel
+    /// execution via CUDA streams).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any kernel cannot be scheduled.
+    pub fn run_concurrent(&self, kernels: Vec<KernelLaunch>) -> Result<ExecutionReport, SimError> {
+        let streams = kernels
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| Stream::with_kernel(&format!("stream{i}"), k))
+            .collect();
+        self.run(streams)
+    }
+
+    /// Simulate the execution of the given streams to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CtaTooLarge`] if a kernel's per-CTA footprint
+    /// exceeds one SM, or [`SimError::Stalled`] if a launch configuration
+    /// (e.g. a per-SM CTA cap of zero) prevents any progress.
+    pub fn run(&self, streams: Vec<Stream>) -> Result<ExecutionReport, SimError> {
+        let mut streams = streams;
+        let num_sms = self.gpu.num_sms;
+        let mut sms: Vec<SmState> = vec![SmState::default(); num_sms];
+        let mut kernels: Vec<KernelState> = Vec::new();
+        let mut head_kernel: Vec<Option<usize>> = vec![None; streams.len()];
+        let mut executing: Vec<ExecCta> = Vec::new();
+        let mut time = 0.0_f64;
+        let mut cursor = 0usize;
+
+        let energy_model = EnergyModel::new(&self.gpu);
+        let mut energy = 0.0_f64;
+        let mut total_flops = 0.0_f64;
+        let mut total_bytes = 0.0_f64;
+        let mut total_ctas = 0usize;
+        let mut op_classes: BTreeMap<OpClass, OpClassReport> = BTreeMap::new();
+
+        loop {
+            self.fill(
+                &mut streams,
+                &mut head_kernel,
+                &mut kernels,
+                &mut sms,
+                &mut executing,
+                &mut op_classes,
+                &mut total_ctas,
+                time,
+                &mut cursor,
+            )?;
+
+            // Kernels with zero CTAs (or whose CTAs were all instantly
+            // complete) finish without ever executing; pop them so the next
+            // kernel in their stream can start.
+            if Self::pop_finished(&mut streams, &mut head_kernel, &kernels) {
+                continue;
+            }
+
+            if executing.is_empty() {
+                if streams.iter().all(Stream::is_empty) {
+                    break;
+                }
+                // Work remains but nothing could be placed and nothing is
+                // running: the configuration can never make progress.
+                let name = streams
+                    .iter()
+                    .find_map(|s| s.head().map(|k| k.name.clone()))
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                return Err(SimError::Stalled { kernel: name });
+            }
+
+            // --- compute the per-unit resource rates for this interval ---
+            let sm_peak = self.gpu.sm_compute_flops();
+            let compute_cap = self.opts.max_cta_compute_fraction * sm_peak;
+            let mem_cap = self.opts.max_cta_bandwidth_fraction * self.gpu.hbm_bandwidth;
+
+            let mut sm_compute_demand = vec![0usize; num_sms];
+            let mut mem_demand = 0usize;
+            for cta in &executing {
+                for u in &cta.units {
+                    if u.done {
+                        continue;
+                    }
+                    if u.rem_flops > WORK_EPS {
+                        sm_compute_demand[cta.sm] += 1;
+                    }
+                    if u.rem_bytes > WORK_EPS {
+                        mem_demand += 1;
+                    }
+                }
+            }
+            for cta in &mut executing {
+                let compute_share = if sm_compute_demand[cta.sm] > 0 {
+                    (sm_peak / sm_compute_demand[cta.sm] as f64).min(compute_cap)
+                } else {
+                    0.0
+                };
+                let mem_share = if mem_demand > 0 {
+                    (self.gpu.hbm_bandwidth / mem_demand as f64).min(mem_cap)
+                } else {
+                    0.0
+                };
+                for u in &mut cta.units {
+                    u.compute_rate = if !u.done && u.rem_flops > WORK_EPS {
+                        compute_share
+                    } else {
+                        0.0
+                    };
+                    u.mem_rate = if !u.done && u.rem_bytes > WORK_EPS {
+                        mem_share
+                    } else {
+                        0.0
+                    };
+                }
+            }
+
+            // --- find the length of this interval ---
+            let mut dt = f64::INFINITY;
+            for cta in &executing {
+                for u in &cta.units {
+                    if u.done {
+                        continue;
+                    }
+                    if u.rem_flops > WORK_EPS && u.compute_rate > 0.0 {
+                        dt = dt.min(u.rem_flops / u.compute_rate);
+                    }
+                    if u.rem_bytes > WORK_EPS && u.mem_rate > 0.0 {
+                        dt = dt.min(u.rem_bytes / u.mem_rate);
+                    }
+                    if let Some(tail) = u.tail {
+                        if u.rem_flops <= WORK_EPS && u.rem_bytes <= WORK_EPS && tail > TIME_EPS {
+                            dt = dt.min(tail);
+                        }
+                    }
+                }
+            }
+            if !dt.is_finite() {
+                // Only instantly-complete CTAs remain; retire them below.
+                dt = 0.0;
+            }
+
+            // --- advance every unit by dt ---
+            let mut interval_flops = 0.0;
+            let mut interval_bytes = 0.0;
+            for cta in &mut executing {
+                for u in &mut cta.units {
+                    if u.done {
+                        continue;
+                    }
+                    let had_tail = u.tail.is_some();
+                    if u.rem_flops > WORK_EPS {
+                        let df = (u.compute_rate * dt).min(u.rem_flops);
+                        u.rem_flops -= df;
+                        u.busy_compute += dt;
+                        interval_flops += df;
+                        kernels[cta.kernel_id].flops += df;
+                        op_classes.entry(u.op).or_default().flops += df;
+                        if u.rem_flops <= WORK_EPS {
+                            u.rem_flops = 0.0;
+                        }
+                    }
+                    if u.rem_bytes > WORK_EPS {
+                        let db = (u.mem_rate * dt).min(u.rem_bytes);
+                        u.rem_bytes -= db;
+                        u.busy_memory += dt;
+                        interval_bytes += db;
+                        kernels[cta.kernel_id].bytes += db;
+                        op_classes.entry(u.op).or_default().bytes += db;
+                        if u.rem_bytes <= WORK_EPS {
+                            u.rem_bytes = 0.0;
+                        }
+                    }
+                    if u.rem_flops <= WORK_EPS && u.rem_bytes <= WORK_EPS {
+                        match u.tail {
+                            None => {
+                                // Both streams just drained: charge the
+                                // barrier-induced serial tail.
+                                u.tail = Some(
+                                    u.serial_fraction * u.busy_compute.min(u.busy_memory),
+                                );
+                            }
+                            Some(t) if had_tail => {
+                                u.tail = Some((t - dt).max(0.0));
+                            }
+                            Some(_) => {}
+                        }
+                        if u.tail.unwrap_or(0.0) <= TIME_EPS {
+                            u.done = true;
+                        }
+                    }
+                }
+            }
+            time += dt;
+            energy += energy_model.interval_energy(dt, interval_flops, interval_bytes);
+            total_flops += interval_flops;
+            total_bytes += interval_bytes;
+
+            // --- record per-class finish times and retire completed CTAs ---
+            let mut i = 0;
+            while i < executing.len() {
+                if executing[i].is_complete() {
+                    let cta = executing.swap_remove(i);
+                    sms[cta.sm].release(&cta.footprint, cta.kernel_id);
+                    let ks = &mut kernels[cta.kernel_id];
+                    ks.completed += 1;
+                    ks.end = time;
+                    let entry = op_classes.entry(cta.dominant_op).or_default();
+                    entry.finish_time = entry.finish_time.max(time);
+                } else {
+                    i += 1;
+                }
+            }
+
+            // --- pop finished kernels off their streams ---
+            Self::pop_finished(&mut streams, &mut head_kernel, &kernels);
+        }
+
+        let kernel_reports = kernels
+            .into_iter()
+            .map(|k| KernelReport {
+                name: k.name,
+                start: k.start.unwrap_or(0.0),
+                end: k.end,
+                ctas: k.dispatched,
+                flops: k.flops,
+                bytes: k.bytes,
+            })
+            .collect();
+
+        Ok(ExecutionReport {
+            makespan: time,
+            total_flops,
+            total_bytes,
+            energy_joules: energy,
+            kernels: kernel_reports,
+            op_classes,
+            peak_flops: self.gpu.tensor_flops,
+            peak_bandwidth: self.gpu.hbm_bandwidth,
+            total_ctas,
+        })
+    }
+
+    /// Pop every stream whose head kernel has fully dispatched and completed
+    /// all of its CTAs. Returns true if any kernel was popped.
+    fn pop_finished(
+        streams: &mut [Stream],
+        head_kernel: &mut [Option<usize>],
+        kernels: &[KernelState],
+    ) -> bool {
+        let mut popped = false;
+        for (si, stream) in streams.iter_mut().enumerate() {
+            if let Some(kid) = head_kernel[si] {
+                let ks = &kernels[kid];
+                if ks.fully_dispatched && ks.completed == ks.dispatched {
+                    stream.pop_head();
+                    head_kernel[si] = None;
+                    popped = true;
+                }
+            }
+        }
+        popped
+    }
+
+    /// Activate stream heads and place as many pending CTAs as fit, in
+    /// submission-priority order, breadth-first across SMs.
+    #[allow(clippy::too_many_arguments)]
+    fn fill(
+        &self,
+        streams: &mut [Stream],
+        head_kernel: &mut [Option<usize>],
+        kernels: &mut Vec<KernelState>,
+        sms: &mut [SmState],
+        executing: &mut Vec<ExecCta>,
+        op_classes: &mut BTreeMap<OpClass, OpClassReport>,
+        total_ctas: &mut usize,
+        time: f64,
+        cursor: &mut usize,
+    ) -> Result<(), SimError> {
+        let num_sms = self.gpu.num_sms;
+
+        // Activate the head kernel of every stream that does not have one.
+        for si in 0..streams.len() {
+            if head_kernel[si].is_some() {
+                continue;
+            }
+            if let Some(head) = streams[si].head() {
+                if self
+                    .gpu
+                    .occupancy(head.footprint.shared_mem, head.footprint.threads)
+                    == 0
+                {
+                    return Err(SimError::CtaTooLarge {
+                        kernel: head.name.clone(),
+                        shared_mem: head.footprint.shared_mem,
+                        threads: head.footprint.threads,
+                    });
+                }
+                if head.max_ctas_per_sm == Some(0) && head.remaining() > 0 {
+                    return Err(SimError::Stalled {
+                        kernel: head.name.clone(),
+                    });
+                }
+                kernels.push(KernelState {
+                    name: head.name.clone(),
+                    footprint: head.footprint,
+                    cap: head.max_ctas_per_sm,
+                    dispatched: 0,
+                    completed: 0,
+                    fully_dispatched: head.remaining() == 0,
+                    start: None,
+                    end: time,
+                    flops: 0.0,
+                    bytes: 0.0,
+                });
+                head_kernel[si] = Some(kernels.len() - 1);
+            }
+        }
+
+        // Placement: streams are visited in submission order and each head
+        // kernel places as many CTAs as currently fit — breadth-first across
+        // SMs, one per SM per pass — before the next stream gets a chance.
+        // This mirrors the hardware CTA scheduler's launch-order priority:
+        // a later kernel only receives SMs the earlier kernels left idle,
+        // which is why CUDA streams alone do not guarantee SM-level
+        // co-location (§3.1 of the paper).
+        for si in 0..streams.len() {
+            let Some(kid) = head_kernel[si] else { continue };
+            if kernels[kid].fully_dispatched {
+                continue;
+            }
+            let footprint = kernels[kid].footprint;
+            let cap = kernels[kid].cap;
+            let head = streams[si]
+                .head_mut()
+                .expect("active head kernel missing from stream");
+            loop {
+                let mut placed_any = false;
+                for off in 0..num_sms {
+                    if head.remaining() == 0 {
+                        break;
+                    }
+                    let sm_id = (*cursor + off) % num_sms;
+                    if sms[sm_id].can_fit(&self.gpu, &footprint, kid, cap) {
+                        let work: CtaWork = head.dispatcher.dispatch(sm_id);
+                        sms[sm_id].allocate(&footprint, kid);
+                        let dominant = work.dominant_op();
+                        op_classes.entry(dominant).or_default().ctas += 1;
+                        let units = work.units.iter().map(UnitState::new).collect();
+                        executing.push(ExecCta {
+                            kernel_id: kid,
+                            sm: sm_id,
+                            footprint,
+                            units,
+                            dominant_op: dominant,
+                        });
+                        let ks = &mut kernels[kid];
+                        ks.dispatched += 1;
+                        *total_ctas += 1;
+                        if ks.start.is_none() {
+                            ks.start = Some(time);
+                        }
+                        placed_any = true;
+                    }
+                }
+                *cursor = (*cursor + 1) % num_sms;
+                if head.remaining() == 0 {
+                    kernels[kid].fully_dispatched = true;
+                    break;
+                }
+                if !placed_any {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::WorkUnit;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100_80gb()
+    }
+
+    /// One wave of purely compute-bound CTAs should run at high compute
+    /// utilization and take roughly total_flops / peak.
+    #[test]
+    fn compute_bound_kernel_saturates_compute() {
+        let g = gpu();
+        let per_cta = 1e9;
+        let n = 216; // two CTAs per SM
+        let kernel = KernelLaunch::from_ctas(
+            "compute",
+            Footprint::new(128, 64 * 1024),
+            vec![CtaWork::single(OpClass::ComputeBound, per_cta, 1e3); n],
+        );
+        let report = Engine::new(g.clone()).run_kernel(kernel).unwrap();
+        let ideal = n as f64 * per_cta / g.tensor_flops;
+        assert!(report.makespan >= ideal);
+        assert!(report.makespan < ideal * 1.3, "makespan {} vs ideal {}", report.makespan, ideal);
+        assert!(report.compute_utilization() > 0.75);
+        assert!(report.memory_utilization() < 0.05);
+    }
+
+    /// A memory-bound kernel with plenty of CTAs should saturate bandwidth.
+    #[test]
+    fn memory_bound_kernel_saturates_bandwidth() {
+        let g = gpu();
+        let per_cta_bytes = 20e6;
+        let n = 216;
+        let kernel = KernelLaunch::from_ctas(
+            "memory",
+            Footprint::new(128, 64 * 1024),
+            vec![CtaWork::single(OpClass::MemoryBound, 1e3, per_cta_bytes); n],
+        );
+        let report = Engine::new(g.clone()).run_kernel(kernel).unwrap();
+        let ideal = n as f64 * per_cta_bytes / g.hbm_bandwidth;
+        assert!(report.makespan >= ideal);
+        assert!(report.makespan < ideal * 1.3);
+        assert!(report.memory_utilization() > 0.75);
+        assert!(report.compute_utilization() < 0.05);
+    }
+
+    /// Serial execution of a compute-bound and a memory-bound kernel takes
+    /// roughly the sum; running them fused with SM co-location approaches the
+    /// max. This is the core premise of the paper.
+    #[test]
+    fn colocated_fusion_beats_serial() {
+        let g = gpu();
+        let compute_ctas =
+            vec![CtaWork::single(OpClass::ComputeBound, 2e9, 1e3); 108];
+        let memory_ctas =
+            vec![CtaWork::single(OpClass::MemoryBound, 1e3, 40e6); 108];
+        let fp = Footprint::new(128, 64 * 1024);
+
+        let engine = Engine::new(g);
+        let serial = engine
+            .run_serial(vec![
+                KernelLaunch::from_ctas("c", fp, compute_ctas.clone()),
+                KernelLaunch::from_ctas("m", fp, memory_ctas.clone()),
+            ])
+            .unwrap();
+
+        // Fused: all compute CTAs followed by all memory CTAs in one kernel.
+        // Breadth-first placement then gives every SM one CTA of each kind,
+        // i.e. guaranteed SM-level co-location.
+        let mut fused = Vec::new();
+        fused.extend(compute_ctas.iter().cloned());
+        fused.extend(memory_ctas.iter().cloned());
+        let fused_report = engine
+            .run_kernel(KernelLaunch::from_ctas("fused", fp, fused))
+            .unwrap();
+
+        assert!(
+            fused_report.makespan < serial.makespan * 0.8,
+            "fused {} vs serial {}",
+            fused_report.makespan,
+            serial.makespan
+        );
+    }
+
+    /// Wave quantization: 217 CTAs at 2 CTAs/SM occupancy on 108 SMs needs a
+    /// third wave for the single leftover CTA, so it takes measurably longer
+    /// than 216 CTAs even though the extra work is negligible.
+    #[test]
+    fn wave_quantization_emerges() {
+        let g = gpu();
+        let fp = Footprint::new(128, 80 * 1024); // occupancy 2
+        let make = |n: usize| {
+            KernelLaunch::from_ctas(
+                "k",
+                fp,
+                vec![CtaWork::single(OpClass::ComputeBound, 1e9, 1e3); n],
+            )
+        };
+        let engine = Engine::new(g);
+        let t216 = engine.run_kernel(make(216)).unwrap().makespan;
+        let t217 = engine.run_kernel(make(217)).unwrap().makespan;
+        assert!(
+            t217 > t216 * 1.3,
+            "expected wave quantization penalty: {t216} vs {t217}"
+        );
+    }
+
+    /// Streams only overlap kernels when the first leaves SMs idle.
+    #[test]
+    fn streams_overlap_at_the_tail() {
+        let g = gpu();
+        let fp = Footprint::new(128, 80 * 1024);
+        let a = vec![CtaWork::single(OpClass::ComputeBound, 1e9, 1e3); 220];
+        let b = vec![CtaWork::single(OpClass::MemoryBound, 1e3, 30e6); 220];
+        let engine = Engine::new(g);
+        let serial = engine
+            .run_serial(vec![
+                KernelLaunch::from_ctas("a", fp, a.clone()),
+                KernelLaunch::from_ctas("b", fp, b.clone()),
+            ])
+            .unwrap()
+            .makespan;
+        let streams = engine
+            .run_concurrent(vec![
+                KernelLaunch::from_ctas("a", fp, a),
+                KernelLaunch::from_ctas("b", fp, b),
+            ])
+            .unwrap()
+            .makespan;
+        assert!(streams <= serial);
+        // But the overlap is limited: far from the ideal max().
+        assert!(streams > serial * 0.55);
+    }
+
+    /// A fused (multi-unit) CTA holds its resources until the slowest unit
+    /// finishes — the straggler problem of warp-parallel fusion.
+    #[test]
+    fn fused_cta_straggler_holds_resources() {
+        let g = gpu();
+        let fp = Footprint::new(256, 100 * 1024); // occupancy 1
+        // 108 fused CTAs: a fast memory unit + a slow compute unit.
+        let fused: Vec<CtaWork> = (0..108)
+            .map(|_| {
+                CtaWork::fused(vec![
+                    WorkUnit::new(OpClass::Prefill, 5e9, 1e3),
+                    WorkUnit::new(OpClass::Decode, 1e3, 1e6),
+                ])
+            })
+            .collect();
+        // Followed by another compute kernel that must wait for stragglers.
+        let tail = vec![CtaWork::single(OpClass::ComputeBound, 1e9, 1e3); 108];
+        let engine = Engine::new(g.clone());
+        let report = engine
+            .run_serial(vec![
+                KernelLaunch::from_ctas("fused", fp, fused),
+                KernelLaunch::from_ctas("tail", fp, tail),
+            ])
+            .unwrap();
+        // The fused kernel's duration is governed by the slow compute unit.
+        let fused_k = report.kernel("fused").unwrap();
+        let min_compute = 5e9 / (g.sm_compute_flops() * 0.9);
+        assert!(fused_k.duration() >= min_compute * 0.99);
+    }
+
+    #[test]
+    fn too_large_cta_is_an_error() {
+        let g = gpu();
+        let kernel = KernelLaunch::from_ctas(
+            "huge",
+            Footprint::new(128, 512 * 1024),
+            vec![CtaWork::single(OpClass::Other, 1.0, 1.0)],
+        );
+        let err = Engine::new(g).run_kernel(kernel).unwrap_err();
+        assert!(matches!(err, SimError::CtaTooLarge { .. }));
+    }
+
+    #[test]
+    fn zero_cap_is_a_stall_error() {
+        let g = gpu();
+        let kernel = KernelLaunch::from_ctas(
+            "capped",
+            Footprint::new(128, 1024),
+            vec![CtaWork::single(OpClass::Other, 1.0, 1.0)],
+        )
+        .limit_ctas_per_sm(0);
+        let err = Engine::new(g).run_kernel(kernel).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }));
+    }
+
+    #[test]
+    fn empty_submission_finishes_instantly() {
+        let g = gpu();
+        let report = Engine::new(g).run(vec![Stream::new("empty")]).unwrap();
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.total_ctas, 0);
+    }
+
+    #[test]
+    fn kernel_with_no_ctas_completes() {
+        let g = gpu();
+        let report = Engine::new(g)
+            .run_kernel(KernelLaunch::from_ctas("noop", Footprint::default(), vec![]))
+            .unwrap();
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.kernels.len(), 1);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let g = gpu();
+        let ctas = vec![CtaWork::single(OpClass::Prefill, 3e8, 4e5); 50];
+        let expected_flops: f64 = ctas.iter().map(CtaWork::total_flops).sum();
+        let expected_bytes: f64 = ctas.iter().map(CtaWork::total_bytes).sum();
+        let report = Engine::new(g)
+            .run_kernel(KernelLaunch::from_ctas("k", Footprint::default(), ctas))
+            .unwrap();
+        assert!((report.total_flops - expected_flops).abs() / expected_flops < 1e-6);
+        assert!((report.total_bytes - expected_bytes).abs() / expected_bytes < 1e-6);
+        assert_eq!(report.total_ctas, 50);
+    }
+
+    #[test]
+    fn per_kernel_cap_reduces_concurrency() {
+        let g = gpu();
+        let fp = Footprint::new(128, 16 * 1024); // occupancy 10
+        let ctas = vec![CtaWork::single(OpClass::ComputeBound, 1e9, 1e3); 216];
+        let engine = Engine::new(g);
+        let free = engine
+            .run_kernel(KernelLaunch::from_ctas("free", fp, ctas.clone()))
+            .unwrap()
+            .makespan;
+        let capped = engine
+            .run_kernel(KernelLaunch::from_ctas("capped", fp, ctas).limit_ctas_per_sm(1))
+            .unwrap()
+            .makespan;
+        // With a cap of 1 CTA/SM and a per-CTA compute cap below 100%, the
+        // kernel cannot use the full SM, so it is slower.
+        assert!(capped > free * 1.05);
+    }
+
+    #[test]
+    fn serial_fraction_adds_tail_latency() {
+        let g = gpu();
+        let fp = Footprint::new(128, 64 * 1024);
+        let pipelined = vec![CtaWork::single(OpClass::Other, 2e9, 20e6); 108];
+        let serialized: Vec<CtaWork> = (0..108)
+            .map(|_| CtaWork {
+                units: vec![WorkUnit::new(OpClass::Other, 2e9, 20e6).with_serial_fraction(1.0)],
+            })
+            .collect();
+        let engine = Engine::new(g);
+        let t_pipe = engine
+            .run_kernel(KernelLaunch::from_ctas("p", fp, pipelined))
+            .unwrap()
+            .makespan;
+        let t_serial = engine
+            .run_kernel(KernelLaunch::from_ctas("s", fp, serialized))
+            .unwrap()
+            .makespan;
+        assert!(t_serial > t_pipe * 1.1, "{t_serial} vs {t_pipe}");
+    }
+
+    #[test]
+    fn energy_increases_with_runtime() {
+        let g = gpu();
+        let fp = Footprint::default();
+        let small = vec![CtaWork::single(OpClass::ComputeBound, 1e8, 1e3); 108];
+        let large = vec![CtaWork::single(OpClass::ComputeBound, 1e10, 1e3); 108];
+        let engine = Engine::new(g);
+        let e_small = engine
+            .run_kernel(KernelLaunch::from_ctas("s", fp, small))
+            .unwrap()
+            .energy_joules;
+        let e_large = engine
+            .run_kernel(KernelLaunch::from_ctas("l", fp, large))
+            .unwrap()
+            .energy_joules;
+        assert!(e_large > e_small);
+    }
+}

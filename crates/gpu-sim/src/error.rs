@@ -1,0 +1,69 @@
+//! Error types for the simulator.
+
+/// Errors returned by [`crate::Engine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A kernel's per-CTA resource footprint exceeds what a single SM offers,
+    /// so not even one CTA can ever be scheduled.
+    CtaTooLarge {
+        /// Name of the offending kernel.
+        kernel: String,
+        /// Requested shared memory per CTA in bytes.
+        shared_mem: usize,
+        /// Requested threads per CTA.
+        threads: usize,
+    },
+    /// The engine found work left to dispatch but could make no progress
+    /// (this indicates an inconsistent launch configuration, e.g. a per-SM
+    /// CTA cap of zero).
+    Stalled {
+        /// Name of the kernel that could not be scheduled.
+        kernel: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CtaTooLarge {
+                kernel,
+                shared_mem,
+                threads,
+            } => write!(
+                f,
+                "kernel `{kernel}` requests {shared_mem} bytes of shared memory and {threads} threads per CTA, which exceeds a single SM's resources"
+            ),
+            SimError::Stalled { kernel } => write!(
+                f,
+                "kernel `{kernel}` has undispatched CTAs but the scheduler cannot place any (check per-SM CTA caps)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_kernel_name() {
+        let e = SimError::CtaTooLarge {
+            kernel: "huge".into(),
+            shared_mem: 1 << 20,
+            threads: 4096,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("huge"));
+        assert!(msg.contains("shared memory"));
+        let s = SimError::Stalled { kernel: "k".into() };
+        assert!(s.to_string().contains('k'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Kernel launches and CTA dispatchers.
+//!
+//! A [`KernelLaunch`] is what a host program submits to a [`crate::Stream`]:
+//! a uniform per-CTA resource [`Footprint`] plus a [`CtaDispatcher`] that
+//! hands out the actual work each CTA performs *at the moment the hardware
+//! scheduler places it on an SM*.
+//!
+//! Ordinary kernels ignore the SM they land on ([`ListDispatcher`]); the
+//! POD-Attention kernel implements *SM-aware CTA scheduling* (runtime
+//! operation binding, §4.1 of the paper) by inspecting the SM id and its own
+//! software counters inside [`CtaDispatcher::dispatch`].
+
+use crate::work::{CtaWork, Footprint};
+
+/// Decides, at dispatch time, what work the next CTA of a kernel performs.
+///
+/// Implementations are driven by the simulated hardware CTA scheduler: every
+/// time it places a CTA of this kernel onto an SM it calls
+/// [`dispatch`](CtaDispatcher::dispatch) with the SM index, mirroring how a
+/// real CTA can read the `%smid` special register after launch.
+pub trait CtaDispatcher {
+    /// Number of CTAs this kernel still has to launch.
+    fn remaining(&self) -> usize;
+
+    /// Produce the work for the next CTA, given the SM it was placed on.
+    ///
+    /// Called exactly `remaining()` times over the lifetime of the kernel.
+    /// Implementations may use `sm_id` and internal counters to perform
+    /// runtime operation binding.
+    fn dispatch(&mut self, sm_id: usize) -> CtaWork;
+}
+
+/// A dispatcher that hands out a fixed list of CTAs in order, ignoring which
+/// SM each CTA lands on. This models every ordinary CUDA kernel, where CTA
+/// `i` always performs the work statically associated with `blockIdx == i`.
+#[derive(Debug, Clone)]
+pub struct ListDispatcher {
+    ctas: std::collections::VecDeque<CtaWork>,
+}
+
+impl ListDispatcher {
+    /// Create a dispatcher over a pre-built CTA work list.
+    pub fn new(ctas: Vec<CtaWork>) -> Self {
+        ListDispatcher { ctas: ctas.into() }
+    }
+}
+
+impl CtaDispatcher for ListDispatcher {
+    fn remaining(&self) -> usize {
+        self.ctas.len()
+    }
+
+    fn dispatch(&mut self, _sm_id: usize) -> CtaWork {
+        self.ctas
+            .pop_front()
+            .expect("dispatch called on an exhausted ListDispatcher")
+    }
+}
+
+/// A single kernel launch: a grid of CTAs with a uniform resource footprint.
+pub struct KernelLaunch {
+    /// Name used in reports (e.g. `"fa2_prefill"`).
+    pub name: String,
+    /// Per-CTA resources reserved by the hardware scheduler.
+    pub footprint: Footprint,
+    /// Source of per-CTA work, consulted at placement time.
+    pub dispatcher: Box<dyn CtaDispatcher>,
+    /// Optional software cap on resident CTAs per SM (used by POD-Attention's
+    /// 2-vs-4 CTAs-per-SM configurations and by persistent-thread kernels).
+    /// `None` means only the hardware occupancy limits apply.
+    pub max_ctas_per_sm: Option<usize>,
+}
+
+impl KernelLaunch {
+    /// Launch a kernel over an explicit list of CTAs.
+    pub fn from_ctas(name: &str, footprint: Footprint, ctas: Vec<CtaWork>) -> Self {
+        KernelLaunch {
+            name: name.to_string(),
+            footprint,
+            dispatcher: Box::new(ListDispatcher::new(ctas)),
+            max_ctas_per_sm: None,
+        }
+    }
+
+    /// Launch a kernel with a custom dispatcher (e.g. POD-Attention's
+    /// SM-aware scheduler).
+    pub fn with_dispatcher(
+        name: &str,
+        footprint: Footprint,
+        dispatcher: Box<dyn CtaDispatcher>,
+    ) -> Self {
+        KernelLaunch {
+            name: name.to_string(),
+            footprint,
+            dispatcher,
+            max_ctas_per_sm: None,
+        }
+    }
+
+    /// Cap the number of CTAs of this kernel resident on one SM.
+    pub fn limit_ctas_per_sm(mut self, limit: usize) -> Self {
+        self.max_ctas_per_sm = Some(limit);
+        self
+    }
+
+    /// CTAs not yet dispatched.
+    pub fn remaining(&self) -> usize {
+        self.dispatcher.remaining()
+    }
+}
+
+impl std::fmt::Debug for KernelLaunch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelLaunch")
+            .field("name", &self.name)
+            .field("footprint", &self.footprint)
+            .field("remaining", &self.remaining())
+            .field("max_ctas_per_sm", &self.max_ctas_per_sm)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::OpClass;
+
+    #[test]
+    fn list_dispatcher_preserves_order() {
+        let ctas = vec![
+            CtaWork::single(OpClass::Prefill, 1.0, 0.0),
+            CtaWork::single(OpClass::Decode, 2.0, 0.0),
+        ];
+        let mut d = ListDispatcher::new(ctas);
+        assert_eq!(d.remaining(), 2);
+        assert_eq!(d.dispatch(5).total_flops(), 1.0);
+        assert_eq!(d.dispatch(7).total_flops(), 2.0);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn list_dispatcher_panics_when_exhausted() {
+        let mut d = ListDispatcher::new(vec![]);
+        let _ = d.dispatch(0);
+    }
+
+    #[test]
+    fn kernel_launch_reports_remaining() {
+        let k = KernelLaunch::from_ctas(
+            "k",
+            Footprint::new(128, 1024),
+            vec![CtaWork::single(OpClass::Other, 1.0, 1.0); 7],
+        );
+        assert_eq!(k.remaining(), 7);
+        assert_eq!(k.name, "k");
+        assert!(k.max_ctas_per_sm.is_none());
+    }
+
+    #[test]
+    fn limit_ctas_per_sm_is_recorded() {
+        let k = KernelLaunch::from_ctas("k", Footprint::new(128, 1024), vec![])
+            .limit_ctas_per_sm(2);
+        assert_eq!(k.max_ctas_per_sm, Some(2));
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let k = KernelLaunch::from_ctas("dbg", Footprint::default(), vec![]);
+        let s = format!("{k:?}");
+        assert!(s.contains("dbg"));
+    }
+}

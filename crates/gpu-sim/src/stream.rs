@@ -1,0 +1,120 @@
+//! CUDA-stream model.
+//!
+//! Kernels submitted to the same [`Stream`] execute in submission order;
+//! kernels in different streams may execute concurrently if the hardware CTA
+//! scheduler finds free SM resources — but, exactly as the paper observes
+//! (§3.1, "Streams alone guarantees neither concurrency nor SM-level
+//! co-location"), nothing forces their CTAs to share SMs.
+
+use crate::kernel::KernelLaunch;
+
+/// An in-order queue of kernel launches.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{CtaWork, Footprint, KernelLaunch, OpClass, Stream};
+///
+/// let mut stream = Stream::new("prefill");
+/// stream.push(KernelLaunch::from_ctas(
+///     "fa2_prefill",
+///     Footprint::new(128, 64 * 1024),
+///     vec![CtaWork::single(OpClass::Prefill, 1e9, 1e6); 216],
+/// ));
+/// assert_eq!(stream.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Stream {
+    /// Name used in reports.
+    pub name: String,
+    kernels: std::collections::VecDeque<KernelLaunch>,
+}
+
+impl Stream {
+    /// Create an empty stream.
+    pub fn new(name: &str) -> Self {
+        Stream {
+            name: name.to_string(),
+            kernels: Default::default(),
+        }
+    }
+
+    /// Create a stream containing a single kernel launch.
+    pub fn with_kernel(name: &str, kernel: KernelLaunch) -> Self {
+        let mut s = Stream::new(name);
+        s.push(kernel);
+        s
+    }
+
+    /// Append a kernel launch to the stream.
+    pub fn push(&mut self, kernel: KernelLaunch) {
+        self.kernels.push_back(kernel);
+    }
+
+    /// Number of kernels not yet started or still executing in this stream.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True if no kernels remain.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// The kernel currently at the head of the stream, if any.
+    pub fn head(&self) -> Option<&KernelLaunch> {
+        self.kernels.front()
+    }
+
+    /// Mutable access to the head kernel.
+    pub(crate) fn head_mut(&mut self) -> Option<&mut KernelLaunch> {
+        self.kernels.front_mut()
+    }
+
+    /// Remove the head kernel (called by the engine when it has dispatched all
+    /// of its CTAs).
+    pub(crate) fn pop_head(&mut self) -> Option<KernelLaunch> {
+        self.kernels.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{CtaWork, Footprint, OpClass};
+
+    fn kernel(n: usize) -> KernelLaunch {
+        KernelLaunch::from_ctas(
+            "k",
+            Footprint::new(128, 1024),
+            vec![CtaWork::single(OpClass::Other, 1.0, 1.0); n],
+        )
+    }
+
+    #[test]
+    fn push_and_pop_preserve_fifo_order() {
+        let mut s = Stream::new("s");
+        s.push(kernel(1));
+        s.push(kernel(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop_head().unwrap().remaining(), 1);
+        assert_eq!(s.pop_head().unwrap().remaining(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn head_peeks_without_removing() {
+        let mut s = Stream::with_kernel("s", kernel(3));
+        assert_eq!(s.head().unwrap().remaining(), 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.head_mut().is_some());
+    }
+
+    #[test]
+    fn empty_stream_has_no_head() {
+        let mut s = Stream::new("empty");
+        assert!(s.head().is_none());
+        assert!(s.pop_head().is_none());
+        assert!(s.is_empty());
+    }
+}

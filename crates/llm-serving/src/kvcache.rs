@@ -1,0 +1,136 @@
+//! Paged KV-cache capacity management.
+//!
+//! The serving engine needs to know how many requests can be resident at once
+//! given the GPU memory left after model weights. Allocation is tracked in
+//! fixed-size blocks of tokens (as in vLLM's PagedAttention), and a request
+//! is only admitted when its full prompt plus its expected output fits —
+//! which is the conservative admission policy Sarathi-Serve uses to avoid
+//! preemptions.
+
+/// Tokens per KV-cache block.
+pub const BLOCK_TOKENS: usize = 16;
+
+/// Tracks KV-cache block usage on one GPU (replicated across the
+/// tensor-parallel group, so one GPU's capacity is the binding constraint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvCacheManager {
+    capacity_blocks: usize,
+    used_blocks: usize,
+}
+
+impl KvCacheManager {
+    /// A manager with capacity for `capacity_tokens` tokens.
+    pub fn new(capacity_tokens: usize) -> Self {
+        KvCacheManager {
+            capacity_blocks: capacity_tokens / BLOCK_TOKENS,
+            used_blocks: 0,
+        }
+    }
+
+    /// Total capacity in tokens.
+    pub fn capacity_tokens(&self) -> usize {
+        self.capacity_blocks * BLOCK_TOKENS
+    }
+
+    /// Tokens currently reserved.
+    pub fn used_tokens(&self) -> usize {
+        self.used_blocks * BLOCK_TOKENS
+    }
+
+    /// Tokens still available.
+    pub fn free_tokens(&self) -> usize {
+        (self.capacity_blocks - self.used_blocks) * BLOCK_TOKENS
+    }
+
+    /// Number of blocks needed for `tokens` tokens.
+    pub fn blocks_for(tokens: usize) -> usize {
+        tokens.div_ceil(BLOCK_TOKENS)
+    }
+
+    /// Whether a reservation of `tokens` tokens would fit right now.
+    pub fn can_reserve(&self, tokens: usize) -> bool {
+        self.used_blocks + Self::blocks_for(tokens) <= self.capacity_blocks
+    }
+
+    /// Reserve `tokens` tokens. Returns `false` (and reserves nothing) if the
+    /// cache does not have room.
+    pub fn reserve(&mut self, tokens: usize) -> bool {
+        let blocks = Self::blocks_for(tokens);
+        if self.used_blocks + blocks > self.capacity_blocks {
+            return false;
+        }
+        self.used_blocks += blocks;
+        true
+    }
+
+    /// Release a reservation of `tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more tokens are released than are currently reserved, which
+    /// would indicate an accounting bug in the engine.
+    pub fn release(&mut self, tokens: usize) {
+        let blocks = Self::blocks_for(tokens);
+        assert!(
+            blocks <= self.used_blocks,
+            "releasing {blocks} blocks but only {} are in use",
+            self.used_blocks
+        );
+        self.used_blocks -= blocks;
+    }
+
+    /// Fraction of the cache currently in use.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_blocks == 0 {
+            return 0.0;
+        }
+        self.used_blocks as f64 / self.capacity_blocks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut kv = KvCacheManager::new(1024);
+        assert_eq!(kv.capacity_tokens(), 1024);
+        assert!(kv.reserve(100));
+        assert_eq!(kv.used_tokens(), 112); // rounded up to 7 blocks
+        kv.release(100);
+        assert_eq!(kv.used_tokens(), 0);
+    }
+
+    #[test]
+    fn admission_fails_when_full() {
+        let mut kv = KvCacheManager::new(160);
+        assert!(kv.reserve(128));
+        assert!(!kv.can_reserve(64));
+        assert!(!kv.reserve(64));
+        assert!(kv.reserve(32));
+        assert_eq!(kv.free_tokens(), 0);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let mut kv = KvCacheManager::new(320);
+        assert_eq!(kv.utilization(), 0.0);
+        kv.reserve(160);
+        assert!((kv.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut kv = KvCacheManager::new(320);
+        kv.release(32);
+    }
+
+    #[test]
+    fn blocks_round_up() {
+        assert_eq!(KvCacheManager::blocks_for(1), 1);
+        assert_eq!(KvCacheManager::blocks_for(16), 1);
+        assert_eq!(KvCacheManager::blocks_for(17), 2);
+    }
+}

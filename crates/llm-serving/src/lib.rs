@@ -1,0 +1,58 @@
+//! # llm-serving: an iteration-level LLM serving simulator
+//!
+//! The end-to-end evaluation of POD-Attention replaces the attention backend
+//! inside Sarathi-Serve (which is built on vLLM) and measures offline
+//! throughput and online latency. This crate reproduces that serving stack as
+//! an iteration-level simulator:
+//!
+//! * [`ModelConfig`] — Yi-6B, Llama-2-7B and Llama-3-8B as deployed in the
+//!   paper (Table 4), including tensor parallelism and KV-cache capacity.
+//! * [`SchedulerKind`] — the original vLLM prefill-prioritizing scheduler and
+//!   Sarathi-Serve's chunked-prefill stall-free scheduler.
+//! * [`IterationCostModel`] — a roofline cost model for the linear operators
+//!   plus the attention estimator from [`attn_kernels`], switchable between
+//!   FA_Serial (the baselines) and POD (the paper's system).
+//! * [`ServingEngine`] — admits requests against a paged KV cache
+//!   ([`KvCacheManager`]), forms hybrid batches, prices every iteration and
+//!   tracks TTFT, TBT, request latency, stalls and throughput
+//!   ([`ServingReport`]).
+//! * [`Workload`] — synthetic traces matched to the paper's internal and
+//!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
+//!   sweeps.
+//!
+//! # Example: Sarathi vs. Sarathi+POD on a small offline batch
+//!
+//! ```
+//! use gpu_sim::GpuConfig;
+//! use llm_serving::{offline_long_context, ModelConfig, ServingConfig, ServingEngine};
+//!
+//! let model = ModelConfig::llama3_8b();
+//! let gpu = GpuConfig::a100_80gb();
+//! let requests = offline_long_context(8, 16 * 1024, 128);
+//!
+//! let sarathi = ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), 1024))
+//!     .run(requests.clone());
+//! let pod = ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, 1024)).run(requests);
+//! assert!(pod.makespan <= sarathi.makespan);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod kvcache;
+mod linear;
+mod metrics;
+mod model;
+mod request;
+mod scheduler;
+mod workload;
+
+pub use engine::{ServingConfig, ServingEngine};
+pub use kvcache::{KvCacheManager, BLOCK_TOKENS};
+pub use linear::{IterationBreakdown, IterationCostModel};
+pub use metrics::{percentile, ServingReport, SummaryStats};
+pub use model::{ModelConfig, ParamCounts};
+pub use request::{Phase, Request, RequestSpec};
+pub use scheduler::{plan_batch, BatchPlan, SchedulerKind};
+pub use workload::{offline_long_context, pd_ratio_workload, Workload};

@@ -1,0 +1,170 @@
+//! Serving metrics: TTFT, TBT, request latency, stalls and throughput.
+
+use crate::request::Request;
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Compute summary statistics of `samples` (order not required).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return SummaryStats::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        SummaryStats {
+            count: sorted.len(),
+            mean,
+            p50: percentile(&sorted, 0.50),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Percentile of an already-sorted slice using nearest-rank interpolation.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// End-to-end results of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Name of the configuration (scheduler + backend).
+    pub system: String,
+    /// Total simulated time from the first arrival to the last completion.
+    pub makespan: f64,
+    /// Number of requests completed.
+    pub completed: usize,
+    /// Number of scheduler iterations executed.
+    pub iterations: usize,
+    /// Iterations that contained both a prefill chunk and at least one decode.
+    pub hybrid_iterations: usize,
+    /// Time-to-first-token statistics (seconds).
+    pub ttft: SummaryStats,
+    /// Time-between-tokens statistics (seconds).
+    pub tbt: SummaryStats,
+    /// End-to-end request latency statistics (seconds).
+    pub request_latency: SummaryStats,
+    /// Fraction of requests with at least one decode gap above 200 ms.
+    pub stall_fraction_200ms: f64,
+    /// Fraction of requests with at least one decode gap above 500 ms.
+    pub stall_fraction_500ms: f64,
+}
+
+impl ServingReport {
+    /// Build a report from finished (and possibly unfinished) requests.
+    pub fn from_requests(
+        system: &str,
+        requests: &[Request],
+        makespan: f64,
+        iterations: usize,
+        hybrid_iterations: usize,
+    ) -> Self {
+        let finished: Vec<&Request> = requests.iter().filter(|r| r.finish_time.is_some()).collect();
+        let ttfts: Vec<f64> = finished.iter().filter_map(|r| r.ttft()).collect();
+        let latencies: Vec<f64> = finished.iter().filter_map(|r| r.latency()).collect();
+        let tbts: Vec<f64> = finished.iter().flat_map(|r| r.tbts()).collect();
+        let with_decode = finished.iter().filter(|r| !r.tbts().is_empty()).count().max(1);
+        let stalls_200 = finished.iter().filter(|r| r.has_stall(0.2)).count();
+        let stalls_500 = finished.iter().filter(|r| r.has_stall(0.5)).count();
+        ServingReport {
+            system: system.to_string(),
+            makespan,
+            completed: finished.len(),
+            iterations,
+            hybrid_iterations,
+            ttft: SummaryStats::from_samples(&ttfts),
+            tbt: SummaryStats::from_samples(&tbts),
+            request_latency: SummaryStats::from_samples(&latencies),
+            stall_fraction_200ms: stalls_200 as f64 / with_decode as f64,
+            stall_fraction_500ms: stalls_500 as f64 / with_decode as f64,
+        }
+    }
+
+    /// Offline-throughput metric the paper reports in Figure 12: completed
+    /// requests per minute.
+    pub fn requests_per_minute(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.makespan / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestSpec;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&sorted, 0.5) - 50.5).abs() < 1e-9);
+        assert!((percentile(&sorted, 0.99) - 99.01).abs() < 0.5);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_stats_basic() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(SummaryStats::from_samples(&[]).count, 0);
+    }
+
+    #[test]
+    fn report_counts_stalls_and_throughput() {
+        let mut ok = Request::new(0, RequestSpec::new(0.0, 10, 3));
+        ok.record_prefill(10, 0.5);
+        ok.record_decode_token(0.55);
+        ok.record_decode_token(0.60);
+        let mut stalled = Request::new(1, RequestSpec::new(0.0, 10, 2));
+        stalled.record_prefill(10, 0.5);
+        stalled.record_decode_token(1.5);
+        let report = ServingReport::from_requests("test", &[ok, stalled], 60.0, 10, 5);
+        assert_eq!(report.completed, 2);
+        assert!((report.stall_fraction_200ms - 0.5).abs() < 1e-12);
+        assert!((report.stall_fraction_500ms - 0.5).abs() < 1e-12);
+        assert!((report.requests_per_minute() - 2.0).abs() < 1e-12);
+        assert_eq!(report.iterations, 10);
+    }
+
+    #[test]
+    fn unfinished_requests_are_excluded() {
+        let unfinished = Request::new(0, RequestSpec::new(0.0, 10, 5));
+        let report = ServingReport::from_requests("test", &[unfinished], 1.0, 1, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.ttft.count, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Batch-formation policies: the original vLLM scheduler (prefill
+//! prioritizing) and Sarathi-Serve (chunked prefills with stall-free hybrid
+//! batching), as compared in §5 of the paper.
+
+use crate::kvcache::KvCacheManager;
+use crate::request::{Phase, Request};
+use std::collections::VecDeque;
+
+/// Which batch-formation policy the serving engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The original vLLM scheduler: whenever a request is waiting and fits in
+    /// the KV cache, run its *entire* prompt as a prefill-only iteration,
+    /// pausing ongoing decodes (low TTFT, generation stalls).
+    Vllm,
+    /// Sarathi-Serve: every iteration carries at most `chunk_size` tokens —
+    /// all ongoing decodes plus one prefill chunk of whatever budget remains
+    /// (stall-free, slightly higher TTFT).
+    Sarathi {
+        /// Token budget per iteration (the prefill chunk size).
+        chunk_size: usize,
+    },
+}
+
+impl SchedulerKind {
+    /// Human-readable name.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerKind::Vllm => "vLLM".to_string(),
+            SchedulerKind::Sarathi { chunk_size } => format!("Sarathi(chunk={chunk_size})"),
+        }
+    }
+}
+
+/// The batch one iteration will execute: at most one prefill chunk plus any
+/// number of decodes (the hybrid-batching common case from §2.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// `(request index, chunk length)` of the prefill chunk, if any.
+    pub prefill: Option<(usize, usize)>,
+    /// Request indices that decode one token this iteration.
+    pub decodes: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.prefill.is_none() && self.decodes.is_empty()
+    }
+
+    /// True if the plan contains both a prefill chunk and at least one decode.
+    pub fn is_hybrid(&self) -> bool {
+        self.prefill.is_some() && !self.decodes.is_empty()
+    }
+}
+
+/// Form the next iteration's batch.
+///
+/// `waiting` holds indices of requests whose prompt is not yet fully
+/// processed (front = oldest / partially prefilled); `running` holds indices
+/// of requests in their decode phase. The scheduler may reserve KV-cache
+/// space for a newly admitted request (a request is admitted only when its
+/// full prompt plus expected output fits, mirroring Sarathi-Serve's
+/// no-preemption admission policy).
+pub fn plan_batch(
+    kind: SchedulerKind,
+    requests: &mut [Request],
+    waiting: &VecDeque<usize>,
+    running: &[usize],
+    kv: &mut KvCacheManager,
+    reserved: &mut [bool],
+    max_batch_size: usize,
+) -> BatchPlan {
+    match kind {
+        SchedulerKind::Vllm => plan_vllm(requests, waiting, running, kv, reserved),
+        SchedulerKind::Sarathi { chunk_size } => plan_sarathi(
+            chunk_size,
+            requests,
+            waiting,
+            running,
+            kv,
+            reserved,
+            max_batch_size,
+        ),
+    }
+}
+
+fn try_admit(req: &Request, kv: &mut KvCacheManager, reserved: &mut [bool]) -> bool {
+    if reserved[req.id] {
+        return true;
+    }
+    if kv.reserve(req.spec.total_tokens()) {
+        reserved[req.id] = true;
+        true
+    } else {
+        false
+    }
+}
+
+fn plan_vllm(
+    requests: &mut [Request],
+    waiting: &VecDeque<usize>,
+    running: &[usize],
+    kv: &mut KvCacheManager,
+    reserved: &mut [bool],
+) -> BatchPlan {
+    // Prefill-prioritizing: if the oldest waiting request fits, run its whole
+    // prompt now, pausing decodes.
+    if let Some(&front) = waiting.front() {
+        if try_admit(&requests[front], kv, reserved) {
+            let chunk = requests[front].remaining_prompt();
+            return BatchPlan {
+                prefill: Some((front, chunk)),
+                decodes: Vec::new(),
+            };
+        }
+    }
+    BatchPlan {
+        prefill: None,
+        decodes: running.to_vec(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_sarathi(
+    chunk_size: usize,
+    requests: &mut [Request],
+    waiting: &VecDeque<usize>,
+    running: &[usize],
+    kv: &mut KvCacheManager,
+    reserved: &mut [bool],
+    max_batch_size: usize,
+) -> BatchPlan {
+    let decodes: Vec<usize> = running.iter().copied().take(max_batch_size).collect();
+    let budget = chunk_size.saturating_sub(decodes.len());
+    let mut prefill = None;
+    if budget > 0 && decodes.len() < max_batch_size {
+        if let Some(&front) = waiting.front() {
+            if try_admit(&requests[front], kv, reserved) {
+                debug_assert_ne!(requests[front].phase(), Phase::Finished);
+                let chunk = requests[front].remaining_prompt().min(budget);
+                if chunk > 0 {
+                    prefill = Some((front, chunk));
+                }
+            }
+        }
+    }
+    BatchPlan { prefill, decodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestSpec;
+
+    fn setup(n: usize, prompt: usize, output: usize) -> (Vec<Request>, Vec<bool>) {
+        let requests: Vec<Request> = (0..n)
+            .map(|i| Request::new(i, RequestSpec::new(0.0, prompt, output)))
+            .collect();
+        let reserved = vec![false; n];
+        (requests, reserved)
+    }
+
+    #[test]
+    fn vllm_prioritizes_prefills_and_pauses_decodes() {
+        let (mut requests, mut reserved) = setup(3, 1000, 100);
+        let mut kv = KvCacheManager::new(100_000);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let running = vec![1, 2];
+        let plan = plan_batch(
+            SchedulerKind::Vllm,
+            &mut requests,
+            &waiting,
+            &running,
+            &mut kv,
+            &mut reserved,
+            256,
+        );
+        // The whole prompt is scheduled and the decodes are paused.
+        assert_eq!(plan.prefill, Some((0, 1000)));
+        assert!(plan.decodes.is_empty());
+        assert!(reserved[0]);
+    }
+
+    #[test]
+    fn vllm_falls_back_to_decodes_when_kv_is_full() {
+        let (mut requests, mut reserved) = setup(2, 10_000, 100);
+        let mut kv = KvCacheManager::new(1_000);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let running = vec![1];
+        let plan = plan_batch(
+            SchedulerKind::Vllm,
+            &mut requests,
+            &waiting,
+            &running,
+            &mut kv,
+            &mut reserved,
+            256,
+        );
+        assert!(plan.prefill.is_none());
+        assert_eq!(plan.decodes, vec![1]);
+    }
+
+    #[test]
+    fn sarathi_builds_hybrid_batches_within_the_token_budget() {
+        let (mut requests, mut reserved) = setup(5, 4096, 100);
+        let mut kv = KvCacheManager::new(1_000_000);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let running = vec![1, 2, 3, 4];
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 512 },
+            &mut requests,
+            &waiting,
+            &running,
+            &mut kv,
+            &mut reserved,
+            256,
+        );
+        assert!(plan.is_hybrid());
+        // 4 decode tokens leave 508 tokens of budget for the chunk.
+        assert_eq!(plan.prefill, Some((0, 508)));
+        assert_eq!(plan.decodes.len(), 4);
+    }
+
+    #[test]
+    fn sarathi_never_exceeds_the_chunk_with_the_final_piece() {
+        let (mut requests, mut reserved) = setup(1, 300, 10);
+        requests[0].record_prefill(200, 1.0);
+        reserved[0] = true;
+        let mut kv = KvCacheManager::new(10_000);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 512 },
+            &mut requests,
+            &waiting,
+            &[],
+            &mut kv,
+            &mut reserved,
+            256,
+        );
+        // Only the remaining 100 prompt tokens are scheduled.
+        assert_eq!(plan.prefill, Some((0, 100)));
+    }
+
+    #[test]
+    fn sarathi_skips_prefill_when_decodes_consume_the_budget() {
+        let (mut requests, mut reserved) = setup(70, 1000, 100);
+        let mut kv = KvCacheManager::new(1_000_000);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let running: Vec<usize> = (1..65).collect();
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 64 },
+            &mut requests,
+            &waiting,
+            &running,
+            &mut kv,
+            &mut reserved,
+            256,
+        );
+        assert!(plan.prefill.is_none());
+        assert_eq!(plan.decodes.len(), 64);
+    }
+
+    #[test]
+    fn empty_state_gives_empty_plan() {
+        let (mut requests, mut reserved) = setup(1, 10, 10);
+        let mut kv = KvCacheManager::new(1000);
+        let plan = plan_batch(
+            SchedulerKind::Vllm,
+            &mut requests,
+            &VecDeque::new(),
+            &[],
+            &mut kv,
+            &mut reserved,
+            256,
+        );
+        assert!(plan.is_empty());
+        assert!(!plan.is_hybrid());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(SchedulerKind::Vllm.label(), "vLLM");
+        assert!(SchedulerKind::Sarathi { chunk_size: 512 }
+            .label()
+            .contains("512"));
+    }
+}

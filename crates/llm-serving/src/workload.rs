@@ -1,0 +1,211 @@
+//! Workload generators for the paper's offline and online experiments.
+//!
+//! The paper's two online traces (an internal enterprise workload and one
+//! derived from arXiv-Summarization) are not available, so we generate
+//! synthetic traces matched to their published statistics: mean context
+//! length (10.5K / 9.5K tokens), prefill-to-decode token ratio ranges
+//! (0–40 / 0–50) and mean decode length (331 / 470 tokens), with Poisson
+//! arrivals at a configurable queries-per-second rate.
+
+use crate::request::RequestSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Named workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Mean total context length (prompt + output tokens).
+    pub mean_context: f64,
+    /// Minimum / maximum total context length.
+    pub context_range: (usize, usize),
+    /// Mean number of decode (output) tokens.
+    pub mean_decode: f64,
+    /// Minimum decode tokens.
+    pub min_decode: usize,
+}
+
+impl Workload {
+    /// The internal enterprise workload of §5: mean context 10.5K tokens,
+    /// mean 331 decode tokens, P:D ratios up to ~40.
+    pub fn internal() -> Self {
+        Workload {
+            name: "internal".to_string(),
+            mean_context: 10_500.0,
+            context_range: (4 * 1024, 32 * 1024),
+            mean_decode: 331.0,
+            min_decode: 32,
+        }
+    }
+
+    /// The arXiv-Summarization-based workload of §5: mean context 9.5K
+    /// tokens, mean 470 decode tokens (42 % more decodes than the internal
+    /// workload), P:D ratios up to ~50.
+    pub fn arxiv() -> Self {
+        Workload {
+            name: "arxiv".to_string(),
+            mean_context: 9_500.0,
+            context_range: (4 * 1024, 32 * 1024),
+            mean_decode: 470.0,
+            min_decode: 48,
+        }
+    }
+
+    /// Generate `count` requests with Poisson arrivals at `qps` queries per
+    /// second, deterministically from `seed`.
+    pub fn generate(&self, count: usize, qps: f64, seed: u64) -> Vec<RequestSpec> {
+        assert!(qps > 0.0, "queries-per-second must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrival = 0.0_f64;
+        let mut requests = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Exponential inter-arrival times give a Poisson process.
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            arrival += -u.ln() / qps;
+            requests.push(self.sample_request(arrival, &mut rng));
+        }
+        requests
+    }
+
+    /// Generate `count` requests that all arrive at time zero (offline
+    /// serving).
+    pub fn generate_offline(&self, count: usize, seed: u64) -> Vec<RequestSpec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.sample_request(0.0, &mut rng)).collect()
+    }
+
+    fn sample_request(&self, arrival: f64, rng: &mut StdRng) -> RequestSpec {
+        // Context length: log-normal-ish around the mean, clamped to the
+        // published range.
+        let (lo, hi) = self.context_range;
+        let spread = 0.45;
+        let z: f64 = standard_normal(rng);
+        let context = (self.mean_context * (spread * z).exp())
+            .clamp(lo as f64, hi as f64)
+            .round() as usize;
+        // Decode length: exponential around the mean, at least min_decode,
+        // and at most the context itself (P:D >= ~1).
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let decode = ((-u.ln() * self.mean_decode) as usize)
+            .max(self.min_decode)
+            .min(context / 2);
+        let prompt = context.saturating_sub(decode).max(1);
+        RequestSpec::new(arrival, prompt, decode)
+    }
+}
+
+/// Offline workload used by Figure 12: `count` identical long-context
+/// requests (16K prompt tokens, model-specific output length), all arriving
+/// at time zero.
+pub fn offline_long_context(count: usize, prompt_tokens: usize, output_tokens: usize) -> Vec<RequestSpec> {
+    (0..count)
+        .map(|_| RequestSpec::new(0.0, prompt_tokens, output_tokens))
+        .collect()
+}
+
+/// The Figure 15 workload: `count` requests of ~16.5K total tokens each with
+/// a fixed prefill-to-decode token ratio.
+pub fn pd_ratio_workload(count: usize, total_tokens: usize, pd_ratio: f64) -> Vec<RequestSpec> {
+    assert!(pd_ratio > 0.0, "P:D ratio must be positive");
+    let decode = ((total_tokens as f64) / (1.0 + pd_ratio)).round().max(1.0) as usize;
+    let prompt = total_tokens.saturating_sub(decode).max(1);
+    (0..count)
+        .map(|_| RequestSpec::new(0.0, prompt, decode))
+        .collect()
+}
+
+/// Sample a standard normal variate using the Box-Muller transform.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_workloads_match_published_statistics() {
+        for (w, mean_ctx, mean_dec) in [
+            (Workload::internal(), 10_500.0, 331.0),
+            (Workload::arxiv(), 9_500.0, 470.0),
+        ] {
+            let reqs = w.generate(2000, 1.0, 42);
+            let avg_ctx: f64 = reqs.iter().map(|r| r.total_tokens() as f64).sum::<f64>()
+                / reqs.len() as f64;
+            let avg_dec: f64 =
+                reqs.iter().map(|r| r.output_tokens as f64).sum::<f64>() / reqs.len() as f64;
+            assert!(
+                (avg_ctx - mean_ctx).abs() / mean_ctx < 0.25,
+                "{}: mean context {avg_ctx} vs target {mean_ctx}",
+                w.name
+            );
+            assert!(
+                (avg_dec - mean_dec).abs() / mean_dec < 0.35,
+                "{}: mean decode {avg_dec} vs target {mean_dec}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn arxiv_has_more_decode_tokens_than_internal() {
+        let internal = Workload::internal().generate(1000, 1.0, 7);
+        let arxiv = Workload::arxiv().generate(1000, 1.0, 7);
+        let mean = |rs: &[RequestSpec]| {
+            rs.iter().map(|r| r.output_tokens as f64).sum::<f64>() / rs.len() as f64
+        };
+        assert!(mean(&arxiv) > 1.2 * mean(&internal));
+    }
+
+    #[test]
+    fn poisson_arrivals_have_the_right_rate() {
+        let reqs = Workload::internal().generate(4000, 2.0, 3);
+        let duration = reqs.last().unwrap().arrival;
+        let rate = reqs.len() as f64 / duration;
+        assert!((rate - 2.0).abs() < 0.2, "observed rate {rate}");
+        // Arrivals are sorted by construction.
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Workload::internal().generate(50, 1.0, 9);
+        let b = Workload::internal().generate(50, 1.0, 9);
+        let c = Workload::internal().generate(50, 1.0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn offline_workload_is_uniform() {
+        let reqs = offline_long_context(10, 16 * 1024, 1024);
+        assert_eq!(reqs.len(), 10);
+        assert!(reqs.iter().all(|r| r.arrival == 0.0));
+        assert!(reqs.iter().all(|r| r.prompt_tokens == 16 * 1024));
+    }
+
+    #[test]
+    fn pd_ratio_workload_hits_the_ratio() {
+        for ratio in [8.0, 16.0, 24.0] {
+            let reqs = pd_ratio_workload(5, 16_500, ratio);
+            let r = &reqs[0];
+            assert!(
+                (r.pd_ratio() - ratio).abs() / ratio < 0.05,
+                "requested {ratio}, got {}",
+                r.pd_ratio()
+            );
+            assert!((r.total_tokens() as i64 - 16_500).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn context_lengths_stay_in_range() {
+        let reqs = Workload::internal().generate(500, 1.0, 11);
+        assert!(reqs
+            .iter()
+            .all(|r| r.total_tokens() >= 4 * 1024 && r.total_tokens() <= 32 * 1024 + 1));
+    }
+}

@@ -1,0 +1,490 @@
+//! The fused POD-Attention kernel: building and executing it.
+
+use crate::config::{CtasPerSm, PodOptions};
+use crate::oracle::oracle_time;
+use crate::scheduler::SmAwareScheduler;
+use attn_kernels::{
+    AttentionConfig, DecodeKernel, HybridBatch, PrefillKernel, KERNEL_LAUNCH_OVERHEAD,
+};
+use gpu_sim::{
+    CtaWork, Engine, ExecutionReport, Footprint, GpuConfig, KernelLaunch, SimError, WorkUnit,
+};
+
+/// POD-Attention: computes the prefill and decode attention of a hybrid batch
+/// in a single fused kernel whose CTAs bind to an operation at runtime, after
+/// the hardware scheduler has placed them on an SM.
+///
+/// # Examples
+///
+/// ```
+/// use attn_kernels::{AttentionConfig, HybridBatch};
+/// use gpu_sim::GpuConfig;
+/// use pod_attention::PodAttention;
+///
+/// let pod = PodAttention::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
+/// let batch = HybridBatch::uniform(1024, 8 * 1024, 64, 8 * 1024);
+/// let speedup = pod.speedup_over_serial(&batch)?;
+/// assert!(speedup >= 1.0);
+/// # Ok::<(), gpu_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PodAttention {
+    cfg: AttentionConfig,
+    gpu: GpuConfig,
+    options: PodOptions,
+}
+
+/// Everything known about one fused launch before it executes: CTA counts,
+/// the resolved CTAs-per-SM mode and the interleave ratio. Useful for tests,
+/// reports and the sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchPlan {
+    /// Prefill CTAs in the fused grid.
+    pub prefill_ctas: usize,
+    /// Decode CTA *slots* in the fused grid (each slot packs
+    /// [`CtasPerSm::virtual_decode_factor`] virtual decode CTAs).
+    pub decode_slots: usize,
+    /// Virtual decode CTAs (before packing into slots).
+    pub virtual_decode_ctas: usize,
+    /// Resolved CTAs-per-SM mode.
+    pub ctas_per_sm: CtasPerSm,
+    /// Interleave ratio used by the SM-aware scheduler.
+    pub ratio: (usize, usize),
+}
+
+impl PodAttention {
+    /// Create a POD-Attention instance with the paper's recommended options.
+    pub fn new(cfg: AttentionConfig, gpu: GpuConfig) -> Self {
+        PodAttention {
+            cfg,
+            gpu,
+            options: PodOptions::recommended(),
+        }
+    }
+
+    /// Create a POD-Attention instance with explicit options.
+    pub fn with_options(cfg: AttentionConfig, gpu: GpuConfig, options: PodOptions) -> Self {
+        PodAttention { cfg, gpu, options }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> PodOptions {
+        self.options
+    }
+
+    /// The attention configuration.
+    pub fn config(&self) -> &AttentionConfig {
+        &self.cfg
+    }
+
+    /// The device configuration.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The prefill split policy actually used for `batch`.
+    ///
+    /// Limiting the chunked-prefill KV splits to two waves (§4.2.4) exists to
+    /// protect co-running decodes from the extra Q/partial-output traffic.
+    /// When the batch has (almost) no decode memory work to protect, the
+    /// limit only removes useful prefill parallelism, so POD falls back to
+    /// the vanilla split heuristic — part of picking "the most suitable
+    /// configuration at runtime".
+    fn effective_split_policy(&self, batch: &HybridBatch) -> attn_kernels::SplitPolicy {
+        use attn_kernels::SplitPolicy;
+        if self.options.prefill_splits != SplitPolicy::LimitedToTwoWaves {
+            return self.options.prefill_splits;
+        }
+        let Some(chunk) = &batch.prefill else {
+            return SplitPolicy::Vanilla;
+        };
+        let prefill_compute = PrefillKernel::flash_attention()
+            .total_flops(chunk, &self.cfg, &self.gpu)
+            / self.gpu.tensor_flops;
+        let decode_memory = self
+            .options
+            .decode_kernel()
+            .total_bytes(&batch.decodes, &self.cfg, &self.gpu)
+            / self.gpu.hbm_bandwidth;
+        if decode_memory < 0.2 * prefill_compute {
+            SplitPolicy::Vanilla
+        } else {
+            SplitPolicy::LimitedToTwoWaves
+        }
+    }
+
+    /// The prefill kernel model used for `batch` under the resolved
+    /// CTAs-per-SM mode.
+    fn prefill_kernel_for(&self, batch: &HybridBatch, mode: CtasPerSm) -> PrefillKernel {
+        self.options
+            .prefill_kernel(mode)
+            .with_split_policy(self.effective_split_policy(batch))
+    }
+
+    /// Compute the launch plan (CTA counts, resolved mode, ratio) for a batch.
+    pub fn plan(&self, batch: &HybridBatch) -> LaunchPlan {
+        // Resolve the CTAs-per-SM mode from the balance of the batch, using
+        // the 2-CTA tile as the reference for counting prefill CTAs.
+        let probe_prefill = self
+            .prefill_kernel_for(batch, CtasPerSm::Two)
+            .map_ctas(batch, &self.cfg, &self.gpu);
+        let decode_kernel = self.options.decode_kernel();
+        let virtual_decode = batch
+            .decodes
+            .iter()
+            .map(|_| 1usize)
+            .sum::<usize>()
+            .max(0)
+            * self.cfg.kv_heads_per_gpu();
+        let mode = self
+            .options
+            .resolve_ctas_per_sm(probe_prefill, virtual_decode);
+
+        let prefill_ctas = if mode == CtasPerSm::Two {
+            probe_prefill
+        } else {
+            self.prefill_kernel_for(batch, mode)
+                .map_ctas(batch, &self.cfg, &self.gpu)
+        };
+        let virtual_decode_ctas = decode_kernel_units(&decode_kernel, batch, &self.cfg, &self.gpu);
+        let decode_slots = virtual_decode_ctas.div_ceil(mode.virtual_decode_factor().max(1));
+        let ratio = self.options.policy.ratios(prefill_ctas, decode_slots);
+        LaunchPlan {
+            prefill_ctas,
+            decode_slots,
+            virtual_decode_ctas,
+            ctas_per_sm: mode,
+            ratio,
+        }
+    }
+
+    /// Build the fused kernel launch for a hybrid batch.
+    ///
+    /// For degenerate batches (prefill-only or decode-only) the launch simply
+    /// contains the corresponding specialized kernel's CTAs — fusing is a
+    /// no-op but the API stays uniform.
+    pub fn build_launch(&self, batch: &HybridBatch) -> KernelLaunch {
+        let plan = self.plan(batch);
+        let mode = plan.ctas_per_sm;
+        let prefill_kernel = self.prefill_kernel_for(batch, mode);
+        let decode_kernel = self.options.decode_kernel();
+
+        let prefill_ctas: Vec<CtaWork> = match &batch.prefill {
+            Some(chunk) => prefill_kernel
+                .build_units(chunk, &self.cfg, &self.gpu)
+                .into_iter()
+                .map(|u| CtaWork { units: vec![u] })
+                .collect(),
+            None => Vec::new(),
+        };
+        let decode_units: Vec<WorkUnit> =
+            decode_kernel.build_units(&batch.decodes, &self.cfg, &self.gpu);
+        let decode_ctas: Vec<CtaWork> = decode_units
+            .chunks(mode.virtual_decode_factor().max(1))
+            .map(|group| CtaWork::fused(group.to_vec()))
+            .collect();
+
+        let footprint = Footprint::new(128, self.options.fused_shared_mem(mode, &self.cfg));
+        let scheduler = SmAwareScheduler::new(
+            prefill_ctas,
+            decode_ctas,
+            self.gpu.num_sms,
+            plan.ratio.0,
+            plan.ratio.1,
+        );
+        KernelLaunch::with_dispatcher("pod_attention", footprint, Box::new(scheduler))
+            .limit_ctas_per_sm(mode.limit())
+    }
+
+    /// Execute the fused kernel on the simulated GPU and return the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the launch cannot be scheduled (which would
+    /// indicate an invalid tile/occupancy configuration).
+    pub fn execute(&self, batch: &HybridBatch) -> Result<ExecutionReport, SimError> {
+        Engine::new(self.gpu.clone()).run_kernel(self.build_launch(batch))
+    }
+
+    /// Execute the FlashAttention serial baseline (prefill kernel followed by
+    /// decode kernel) for the same batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if either kernel cannot be scheduled.
+    pub fn serial_baseline(&self, batch: &HybridBatch) -> Result<ExecutionReport, SimError> {
+        let engine = Engine::new(self.gpu.clone());
+        let mut kernels = Vec::new();
+        if let Some(chunk) = &batch.prefill {
+            kernels.push(PrefillKernel::flash_attention().launch(
+                "fa2_prefill",
+                chunk,
+                &self.cfg,
+                &self.gpu,
+            ));
+        }
+        if !batch.decodes.is_empty() {
+            kernels.push(DecodeKernel::flash_attention().launch(
+                "fa_decode",
+                &batch.decodes,
+                &self.cfg,
+                &self.gpu,
+            ));
+        }
+        engine.run_serial(kernels)
+    }
+
+    /// Attention runtime of the fused kernel (seconds), including the launch
+    /// overhead of the single fused kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the launch cannot be scheduled.
+    pub fn attention_time(&self, batch: &HybridBatch) -> Result<f64, SimError> {
+        Ok(self.execute(batch)?.makespan + KERNEL_LAUNCH_OVERHEAD)
+    }
+
+    /// Serial-baseline attention runtime (seconds), including one launch
+    /// overhead per kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if either kernel cannot be scheduled.
+    pub fn serial_time(&self, batch: &HybridBatch) -> Result<f64, SimError> {
+        let kernels = batch.has_prefill() as usize + batch.has_decode() as usize;
+        Ok(self.serial_baseline(batch)?.makespan + kernels as f64 * KERNEL_LAUNCH_OVERHEAD)
+    }
+
+    /// Speedup of POD-Attention over the FlashAttention serial baseline
+    /// (`serial_time / pod_time`; 1.0 means no gain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if either execution cannot be scheduled.
+    pub fn speedup_over_serial(&self, batch: &HybridBatch) -> Result<f64, SimError> {
+        let serial = self.serial_time(batch)?;
+        let pod = self.attention_time(batch)?;
+        if pod <= 0.0 {
+            return Ok(1.0);
+        }
+        Ok(serial / pod)
+    }
+
+    /// Perfect-overlap lower bound on this batch's attention time (seconds).
+    pub fn oracle_time(&self, batch: &HybridBatch) -> f64 {
+        oracle_time(batch, &self.cfg, &self.gpu)
+    }
+}
+
+/// Count the virtual decode CTAs a decode kernel produces for a batch without
+/// materializing the work units twice.
+fn decode_kernel_units(
+    kernel: &DecodeKernel,
+    batch: &HybridBatch,
+    cfg: &AttentionConfig,
+    gpu: &GpuConfig,
+) -> usize {
+    if batch.decodes.is_empty() {
+        return 0;
+    }
+    let max_ctx = batch
+        .decodes
+        .iter()
+        .map(|d| d.context_len)
+        .max()
+        .unwrap_or(1);
+    let splits = kernel.num_splits(batch.decodes.len(), max_ctx, cfg, gpu);
+    batch.decodes.len() * cfg.kv_heads_per_gpu() * splits
+}
+
+/// Extension used by [`PodAttention::plan`] to count prefill CTAs without
+/// building the work units.
+trait PrefillCtaCount {
+    fn map_ctas(&self, batch: &HybridBatch, cfg: &AttentionConfig, gpu: &GpuConfig) -> usize;
+}
+
+impl PrefillCtaCount for PrefillKernel {
+    fn map_ctas(&self, batch: &HybridBatch, cfg: &AttentionConfig, gpu: &GpuConfig) -> usize {
+        match &batch.prefill {
+            Some(chunk) => self.base_ctas(chunk, cfg) * self.num_splits(chunk, cfg, gpu),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SchedulingPolicy;
+    use attn_kernels::SplitPolicy;
+
+    fn pod() -> PodAttention {
+        PodAttention::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb())
+    }
+
+    #[test]
+    fn pod_beats_serial_on_table1_configs() {
+        let pod = pod();
+        for (name, batch) in [
+            ("C0", HybridBatch::config_c0()),
+            ("C1", HybridBatch::config_c1()),
+            ("C2", HybridBatch::config_c2()),
+        ] {
+            let speedup = pod.speedup_over_serial(&batch).unwrap();
+            assert!(
+                speedup > 1.1,
+                "{name}: expected a clear win, got speedup {speedup:.3}"
+            );
+            assert!(speedup < 2.5, "{name}: speedup {speedup:.3} is implausibly large");
+        }
+    }
+
+    #[test]
+    fn pod_never_loses_to_serial() {
+        let pod = pod();
+        let batches = [
+            HybridBatch::uniform(512, 4096, 16, 4096),
+            HybridBatch::uniform(2048, 16 * 1024, 8, 2048),
+            HybridBatch::uniform(1024, 20 * 1024, 200, 16 * 1024),
+            HybridBatch::uniform(256, 1024, 4, 1024),
+        ];
+        for (i, batch) in batches.iter().enumerate() {
+            let speedup = pod.speedup_over_serial(batch).unwrap();
+            assert!(
+                speedup > 0.97,
+                "batch {i}: POD slower than serial (speedup {speedup:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn pod_utilizes_both_resources_on_balanced_batches() {
+        let pod = pod();
+        let report = pod.execute(&HybridBatch::config_c1()).unwrap();
+        assert!(
+            report.compute_utilization() > 0.4,
+            "compute util {}",
+            report.compute_utilization()
+        );
+        assert!(
+            report.memory_utilization() > 0.4,
+            "memory util {}",
+            report.memory_utilization()
+        );
+    }
+
+    #[test]
+    fn pod_time_is_bounded_below_by_the_oracle() {
+        let pod = pod();
+        for batch in [
+            HybridBatch::config_c0(),
+            HybridBatch::uniform(1024, 8 * 1024, 64, 8 * 1024),
+        ] {
+            let t = pod.attention_time(&batch).unwrap();
+            let oracle = pod.oracle_time(&batch);
+            assert!(t >= oracle * 0.98, "pod {t} below oracle {oracle}");
+        }
+    }
+
+    #[test]
+    fn plan_reports_consistent_counts() {
+        let pod = pod();
+        let batch = HybridBatch::uniform(1024, 8 * 1024, 64, 8 * 1024);
+        let plan = pod.plan(&batch);
+        assert!(plan.prefill_ctas > 0);
+        assert!(plan.decode_slots > 0);
+        assert_eq!(
+            plan.decode_slots,
+            plan.virtual_decode_ctas
+                .div_ceil(plan.ctas_per_sm.virtual_decode_factor())
+        );
+        assert!(plan.ratio.0 > 0 && plan.ratio.1 > 0);
+    }
+
+    #[test]
+    fn degenerate_batches_execute() {
+        let pod = pod();
+        let prefill_only = HybridBatch::prefill_only(2048, 2048);
+        let decode_only = HybridBatch::decode_only(32, 4096);
+        assert!(pod.execute(&prefill_only).unwrap().makespan > 0.0);
+        assert!(pod.execute(&decode_only).unwrap().makespan > 0.0);
+        // Degenerate batches gain nothing but must not lose much either
+        // (only the second launch overhead is saved).
+        let s = pod.speedup_over_serial(&prefill_only).unwrap();
+        assert!(s > 0.9 && s < 1.3, "speedup {s}");
+    }
+
+    #[test]
+    fn empty_batch_executes_instantly() {
+        let pod = pod();
+        let report = pod.execute(&HybridBatch::new()).unwrap();
+        assert_eq!(report.total_ctas, 0);
+    }
+
+    #[test]
+    fn fixed_cta_modes_are_honored() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        let batch = HybridBatch::uniform(1024, 8 * 1024, 64, 8 * 1024);
+        for (mode, limit) in [(CtasPerSm::Two, 2), (CtasPerSm::Four, 4)] {
+            let pod = PodAttention::with_options(
+                cfg,
+                gpu.clone(),
+                PodOptions::recommended().with_ctas_per_sm(mode),
+            );
+            let plan = pod.plan(&batch);
+            assert_eq!(plan.ctas_per_sm, mode);
+            let launch = pod.build_launch(&batch);
+            assert_eq!(launch.max_ctas_per_sm, Some(limit));
+        }
+    }
+
+    #[test]
+    fn policies_produce_similar_but_not_identical_times() {
+        let cfg = AttentionConfig::yi_6b();
+        let gpu = GpuConfig::a100_80gb();
+        let batch = HybridBatch::uniform(2048, 8 * 1024, 128, 8 * 1024);
+        let fifty = PodAttention::with_options(
+            cfg,
+            gpu.clone(),
+            PodOptions::recommended().with_policy(SchedulingPolicy::FiftyFifty),
+        )
+        .attention_time(&batch)
+        .unwrap();
+        let prop = PodAttention::with_options(
+            cfg,
+            gpu.clone(),
+            PodOptions::recommended().with_policy(SchedulingPolicy::Proportional),
+        )
+        .attention_time(&batch)
+        .unwrap();
+        let ratio = fifty / prop;
+        assert!((0.7..1.4).contains(&ratio), "50:50 {fifty} vs proportional {prop}");
+    }
+
+    #[test]
+    fn limited_splits_beat_vanilla_splits_for_small_chunks() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        // Last chunk of a 16K prompt with 64 decodes (the Table 8 setup).
+        let batch = HybridBatch::uniform(512, 16 * 1024, 64, 16 * 1024);
+        let limited = PodAttention::with_options(
+            cfg,
+            gpu.clone(),
+            PodOptions::recommended().with_prefill_splits(SplitPolicy::LimitedToTwoWaves),
+        )
+        .attention_time(&batch)
+        .unwrap();
+        let vanilla = PodAttention::with_options(
+            cfg,
+            gpu.clone(),
+            PodOptions::recommended().with_prefill_splits(SplitPolicy::Vanilla),
+        )
+        .attention_time(&batch)
+        .unwrap();
+        assert!(
+            limited <= vanilla * 1.02,
+            "limited splits {limited} should not be slower than vanilla {vanilla}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! SM-local scheduling policies for runtime operation binding (§4.1, §5.4.2).
+
+/// How consecutive CTAs landing on the same SM are bound to prefill or decode
+/// work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingPolicy {
+    /// Alternate strictly between prefill and decode on each SM, regardless
+    /// of how many CTAs each operation needs in total.
+    FiftyFifty,
+    /// Bind CTAs in proportion to the total number of prefill and decode CTAs
+    /// in the fused launch (e.g. with 50 prefill and 100 decode CTAs, each SM
+    /// runs one prefill CTA followed by two decode CTAs, repeating).
+    Proportional,
+}
+
+impl SchedulingPolicy {
+    /// Reduce the raw CTA counts to the small interleaving ratio
+    /// `(prefill_ratio, decode_ratio)` used by the ticket test in Figure 9.
+    ///
+    /// The 50:50 policy always returns `(1, 1)`. The proportional policy
+    /// reduces by the greatest common divisor and then approximates very
+    /// lopsided ratios with a `1 : n` (or `n : 1`) pattern so the interleave
+    /// period stays short and both operations appear on every SM early.
+    pub fn ratios(self, prefill_ctas: usize, decode_ctas: usize) -> (usize, usize) {
+        match self {
+            SchedulingPolicy::FiftyFifty => (1, 1),
+            SchedulingPolicy::Proportional => {
+                if prefill_ctas == 0 || decode_ctas == 0 {
+                    return (prefill_ctas.min(1), decode_ctas.min(1));
+                }
+                let g = gcd(prefill_ctas, decode_ctas);
+                let (mut p, mut d) = (prefill_ctas / g, decode_ctas / g);
+                const MAX_PERIOD: usize = 12;
+                if p + d > MAX_PERIOD {
+                    if p <= d {
+                        d = ((d as f64 / p as f64).round() as usize).max(1);
+                        p = 1;
+                    } else {
+                        p = ((p as f64 / d as f64).round() as usize).max(1);
+                        d = 1;
+                    }
+                }
+                (p, d)
+            }
+        }
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::FiftyFifty => "50:50",
+            SchedulingPolicy::Proportional => "proportional",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_fifty_is_always_one_to_one() {
+        assert_eq!(SchedulingPolicy::FiftyFifty.ratios(7, 300), (1, 1));
+        assert_eq!(SchedulingPolicy::FiftyFifty.ratios(1000, 3), (1, 1));
+    }
+
+    #[test]
+    fn proportional_reduces_by_gcd() {
+        assert_eq!(SchedulingPolicy::Proportional.ratios(50, 100), (1, 2));
+        assert_eq!(SchedulingPolicy::Proportional.ratios(128, 64), (2, 1));
+        assert_eq!(SchedulingPolicy::Proportional.ratios(3, 9), (1, 3));
+    }
+
+    #[test]
+    fn proportional_caps_the_interleave_period() {
+        let (p, d) = SchedulingPolicy::Proportional.ratios(128, 881);
+        assert!(p + d <= 12, "period {p}+{d} too long");
+        assert!(d >= 6 && p == 1, "expected roughly 1:7, got {p}:{d}");
+    }
+
+    #[test]
+    fn proportional_handles_missing_operations() {
+        assert_eq!(SchedulingPolicy::Proportional.ratios(0, 10), (0, 1));
+        assert_eq!(SchedulingPolicy::Proportional.ratios(10, 0), (1, 0));
+        assert_eq!(SchedulingPolicy::Proportional.ratios(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulingPolicy::FiftyFifty.to_string(), "50:50");
+        assert_eq!(SchedulingPolicy::Proportional.to_string(), "proportional");
+    }
+
+    #[test]
+    fn gcd_works() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(5, 0), 5);
+    }
+}

@@ -1,0 +1,44 @@
+//! The §3 case study in miniature: why streams, CTA-parallel, warp-parallel
+//! and intra-thread fusion all fall short of SM-aware CTA scheduling when a
+//! compute-bound and a memory-bound kernel are run together.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example fusion_microbench
+//! ```
+
+use fusion_lab::{ComputeKernel, FusionExecutor, FusionStrategy, MemoryKernel, Operation};
+use gpu_sim::{GpuConfig, SimError};
+
+fn main() -> Result<(), SimError> {
+    let gpu = GpuConfig::a100_80gb();
+    let exec = FusionExecutor::new(gpu.clone());
+
+    // The balanced point of Figure 7: at 100 compute iterations the two
+    // kernels take the same time when run back to back.
+    let compute = ComputeKernel::figure7(100, &gpu);
+    let memory = MemoryKernel::figure7(&gpu);
+    let a = Operation::new("scalar-multiply loop", compute.footprint(), compute.ctas());
+    let b = Operation::new("three-array add", memory.footprint(), memory.ctas());
+
+    let serial = exec.runtime(&a, &b, FusionStrategy::Serial)?;
+    println!("{:<22} {:>10} {:>12}", "method", "time (ms)", "vs serial");
+    for strategy in FusionStrategy::all() {
+        let t = exec.runtime(&a, &b, strategy)?;
+        println!(
+            "{:<22} {:>10.2} {:>11.0}%",
+            strategy.label(),
+            t * 1e3,
+            (serial / t - 1.0) * 100.0
+        );
+    }
+    let oracle = exec.oracle(&a, &b);
+    println!("{:<22} {:>10.2} {:>11.0}%", "perfect overlap", oracle * 1e3, (serial / oracle - 1.0) * 100.0);
+    println!();
+    println!(
+        "Only SM-aware CTA scheduling guarantees that every SM holds one CTA of each kind, so\n\
+         the compute-bound and memory-bound halves overlap almost perfectly — the mechanism\n\
+         POD-Attention applies to prefill and decode attention."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Interactive-assistant serving under live load: time-to-first-token,
+//! time-between-tokens and generation stalls for an online trace, with and
+//! without POD-Attention.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example interactive_assistant
+//! ```
+
+use gpu_sim::GpuConfig;
+use llm_serving::{ModelConfig, ServingConfig, ServingEngine, Workload};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    // A synthetic enterprise-assistant trace (long documents pasted into the
+    // prompt, short-to-medium answers), arriving at 1 query/second.
+    let requests = Workload::internal().generate(96, 1.0, 2024);
+
+    println!(
+        "Serving {} requests (mean context ~10.5K tokens) at 1 QPS on {}",
+        requests.len(),
+        model.name
+    );
+    println!();
+
+    let systems = [
+        ServingConfig::vllm(model.clone(), gpu.clone()),
+        ServingConfig::sarathi(model.clone(), gpu.clone(), 1536),
+        ServingConfig::sarathi_pod(model.clone(), gpu.clone(), 1536),
+    ];
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "system", "TTFT P50", "TTFT P99", "TBT P99", "lat P99", "stalls >500ms"
+    );
+    for config in systems {
+        let report = ServingEngine::new(config).run(requests.clone());
+        println!(
+            "{:<28} {:>9.2}s {:>9.2}s {:>9.3}s {:>9.1}s {:>13.1}%",
+            report.system,
+            report.ttft.p50,
+            report.ttft.p99,
+            report.tbt.p99,
+            report.request_latency.p99,
+            report.stall_fraction_500ms * 100.0
+        );
+    }
+    println!();
+    println!(
+        "vLLM answers fastest at first but freezes ongoing generations whenever a new prompt\n\
+         arrives; Sarathi fixes the freezes; POD-Attention recovers most of the first-token and\n\
+         end-to-end latency Sarathi gave up (Tables 5-7 of the paper)."
+    );
+}

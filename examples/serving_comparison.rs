@@ -1,0 +1,55 @@
+//! Offline document-summarization serving: throughput of the three systems
+//! the paper compares (vLLM's original scheduler, Sarathi-Serve, and
+//! Sarathi-Serve with POD-Attention) on a batch of long documents.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serving_comparison
+//! ```
+
+use gpu_sim::GpuConfig;
+use llm_serving::{offline_long_context, ModelConfig, ServingConfig, ServingEngine};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    // 48 documents of 16K tokens each, 512-token summaries.
+    let requests = offline_long_context(48, 16 * 1024, 512);
+    let chunk = 1024;
+
+    println!(
+        "Summarizing {} documents of 16K tokens with {} ({} layers, TP-{})",
+        requests.len(),
+        model.name,
+        model.num_layers(),
+        model.tensor_parallel()
+    );
+    println!();
+
+    let systems = [
+        ServingConfig::vllm(model.clone(), gpu.clone()),
+        ServingConfig::sarathi(model.clone(), gpu.clone(), chunk),
+        ServingConfig::sarathi_pod(model.clone(), gpu.clone(), chunk),
+    ];
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>14}",
+        "system", "makespan (s)", "req/min", "P99 TBT (s)", "stalls >200ms"
+    );
+    for config in systems {
+        let report = ServingEngine::new(config).run(requests.clone());
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>12.3} {:>13.1}%",
+            report.system,
+            report.makespan,
+            report.requests_per_minute(),
+            report.tbt.p99,
+            report.stall_fraction_200ms * 100.0
+        );
+    }
+    println!();
+    println!(
+        "Sarathi+POD finishes the batch fastest while keeping decode latency stall-free —\n\
+         the end-to-end effect of overlapping prefill and decode attention (Figure 12)."
+    );
+}

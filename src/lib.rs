@@ -1,0 +1,24 @@
+//! # pod-repro: reproduction of POD-Attention (ASPLOS 2025)
+//!
+//! This meta-crate re-exports the public API of every crate in the workspace
+//! so that examples and downstream users can depend on a single package.
+//!
+//! * [`gpu_sim`] — the simulated GPU substrate (SMs, CTAs, streams, roofline
+//!   contention engine).
+//! * [`attn_kernels`] — work-models of FlashAttention / FlashInfer prefill and
+//!   decode kernels and hybrid-batch descriptors.
+//! * [`pod_attention`] — the paper's contribution: fused prefill+decode
+//!   attention with SM-aware CTA scheduling.
+//! * [`fusion_lab`] — the concurrent-execution case study of §3 (streams,
+//!   CTA-parallel, warp-parallel/HFuse, intra-thread, SM-aware fusion).
+//! * [`llm_serving`] — an iteration-level LLM serving simulator with vLLM and
+//!   Sarathi-Serve schedulers used for the end-to-end evaluation.
+//!
+//! See the repository README for a guided tour and `EXPERIMENTS.md` for the
+//! paper-vs-reproduction comparison of every table and figure.
+
+pub use attn_kernels;
+pub use fusion_lab;
+pub use gpu_sim;
+pub use llm_serving;
+pub use pod_attention;

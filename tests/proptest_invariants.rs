@@ -1,0 +1,191 @@
+//! Property-based tests of the core invariants, across randomly generated
+//! hybrid batches, workloads and scheduler states.
+
+use attn_kernels::{
+    AttentionConfig, AttentionEstimator, AttentionStrategy, DecodeKernel, HybridBatch,
+    PrefillChunk, PrefillKernel,
+};
+use gpu_sim::{CtaWork, Engine, Footprint, GpuConfig, KernelLaunch, OpClass};
+use llm_serving::{KvCacheManager, SummaryStats};
+use pod_attention::{PodAttention, SchedulingPolicy, SmAwareScheduler};
+use proptest::prelude::*;
+use gpu_sim::CtaDispatcher;
+
+fn arb_config() -> impl Strategy<Value = AttentionConfig> {
+    prop_oneof![
+        Just(AttentionConfig::yi_6b()),
+        Just(AttentionConfig::llama2_7b()),
+        Just(AttentionConfig::llama3_8b()),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = HybridBatch> {
+    (
+        1usize..=2048,       // chunk length
+        0usize..=16 * 1024,  // prior context
+        0usize..=96,         // decode batch size
+        64usize..=16 * 1024, // decode context
+    )
+        .prop_map(|(chunk, prior, decode_bs, decode_ctx)| HybridBatch {
+            prefill: Some(PrefillChunk::new(chunk, prior)),
+            decodes: vec![attn_kernels::DecodeRequest::new(decode_ctx); decode_bs],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine conserves work: the report's total FLOPs/bytes equal the
+    /// sum over the CTAs that were submitted.
+    #[test]
+    fn engine_conserves_work(
+        n_ctas in 1usize..300,
+        flops in 1.0e6f64..5.0e9,
+        bytes in 1.0e3f64..5.0e7,
+    ) {
+        let gpu = GpuConfig::a100_80gb();
+        let ctas = vec![CtaWork::single(OpClass::Other, flops, bytes); n_ctas];
+        let report = Engine::new(gpu)
+            .run_kernel(KernelLaunch::from_ctas("k", Footprint::new(128, 48 * 1024), ctas))
+            .expect("kernel runs");
+        let expected_flops = flops * n_ctas as f64;
+        let expected_bytes = bytes * n_ctas as f64;
+        prop_assert!((report.total_flops - expected_flops).abs() / expected_flops < 1e-6);
+        prop_assert!((report.total_bytes - expected_bytes).abs() / expected_bytes < 1e-6);
+        prop_assert!(report.makespan > 0.0);
+        // Utilizations are physical fractions.
+        prop_assert!(report.compute_utilization() <= 1.0 + 1e-9);
+        prop_assert!(report.memory_utilization() <= 1.0 + 1e-9);
+    }
+
+    /// The kernel work-models scale monotonically: more context or more
+    /// decodes never means less work.
+    #[test]
+    fn kernel_work_is_monotonic(cfg in arb_config(), context in 256usize..8192, extra in 1usize..4096) {
+        let gpu = GpuConfig::a100_80gb();
+        let prefill = PrefillKernel::flash_attention();
+        let small = prefill.total_flops(&PrefillChunk::new(256, context), &cfg, &gpu);
+        let large = prefill.total_flops(&PrefillChunk::new(256, context + extra), &cfg, &gpu);
+        prop_assert!(large >= small);
+
+        let decode = DecodeKernel::flash_attention();
+        let few = vec![attn_kernels::DecodeRequest::new(context); 8];
+        let many = vec![attn_kernels::DecodeRequest::new(context); 16];
+        prop_assert!(
+            decode.total_bytes(&many, &cfg, &gpu) > decode.total_bytes(&few, &cfg, &gpu)
+        );
+    }
+
+    /// POD-Attention (almost) never loses to serial execution and never beats
+    /// the perfect-overlap oracle (§5.1), for arbitrary hybrid batches.
+    ///
+    /// The bound is 0.75 rather than 1.0: in corner cases where the chunked
+    /// prefill itself is memory-bound (Llama-2-7B's MHA at long context, whose
+    /// per-GPU KV working set spills L2), there is no compute/memory
+    /// complementarity to exploit and the simulated fused kernel can trail
+    /// serial execution by up to ~15-20 %. This deviation from the paper's
+    /// "never under-performs" claim is documented in EXPERIMENTS.md; on the
+    /// paper's own sweep (Figure 11 harness) the worst case is ~-3 %.
+    #[test]
+    fn pod_bounded_by_serial_and_oracle(cfg in arb_config(), batch in arb_batch()) {
+        let gpu = GpuConfig::a100_80gb();
+        let pod = PodAttention::new(cfg, gpu);
+        let speedup = pod.speedup_over_serial(&batch).expect("POD runs");
+        prop_assert!(speedup >= 0.75, "POD slower than serial: {speedup}");
+        let t = pod.attention_time(&batch).expect("POD runs");
+        let oracle = pod.oracle_time(&batch);
+        prop_assert!(t >= oracle * 0.98, "POD {t} beat the oracle {oracle}");
+    }
+
+    /// The closed-form estimator keeps the same invariant, and FA_Serial is
+    /// always at least as slow as POD.
+    #[test]
+    fn estimator_orderings_hold(cfg in arb_config(), batch in arb_batch()) {
+        let est = AttentionEstimator::new(cfg, GpuConfig::a100_80gb());
+        let serial = est.estimate(&batch, AttentionStrategy::FaSerial);
+        let pod = est.estimate(&batch, AttentionStrategy::Pod);
+        let streams = est.estimate(&batch, AttentionStrategy::FaStreams);
+        prop_assert!(pod.total_time <= serial.total_time + 1e-12);
+        prop_assert!(streams.total_time <= serial.total_time + 1e-12);
+        prop_assert!(pod.total_time > 0.0);
+        prop_assert!(serial.flops >= 0.0 && serial.bytes >= 0.0);
+    }
+
+    /// The SM-aware scheduler dispatches every CTA exactly once, never
+    /// invents work, and co-locates both operations on every SM that receives
+    /// enough CTAs — regardless of the (arbitrary) SM placement sequence.
+    #[test]
+    fn sm_aware_scheduler_dispatches_everything(
+        prefill in 0usize..200,
+        decode in 0usize..200,
+        policy_is_prop in any::<bool>(),
+        placement_seed in any::<u64>(),
+    ) {
+        prop_assume!(prefill + decode > 0);
+        let policy = if policy_is_prop {
+            SchedulingPolicy::Proportional
+        } else {
+            SchedulingPolicy::FiftyFifty
+        };
+        let (pr, dr) = policy.ratios(prefill, decode);
+        let num_sms = 16;
+        let mut sched = SmAwareScheduler::new(
+            vec![CtaWork::single(OpClass::Prefill, 1.0, 1.0); prefill],
+            vec![CtaWork::single(OpClass::Decode, 1.0, 1.0); decode],
+            num_sms,
+            pr,
+            dr,
+        );
+        let mut seen_prefill = 0usize;
+        let mut seen_decode = 0usize;
+        let mut state = placement_seed;
+        for _ in 0..(prefill + decode) {
+            // Cheap deterministic pseudo-random SM choice.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let sm = (state >> 33) as usize % num_sms;
+            match sched.dispatch(sm).dominant_op() {
+                OpClass::Prefill => seen_prefill += 1,
+                OpClass::Decode => seen_decode += 1,
+                _ => prop_assert!(false, "unexpected op class"),
+            }
+        }
+        prop_assert_eq!(seen_prefill, prefill);
+        prop_assert_eq!(seen_decode, decode);
+        prop_assert_eq!(sched.remaining(), 0);
+    }
+
+    /// The KV-cache manager never over-commits and reserve/release round
+    /// trips restore the free space exactly.
+    #[test]
+    fn kv_cache_never_overcommits(ops in prop::collection::vec((1usize..4096, any::<bool>()), 1..64)) {
+        let capacity = 64 * 1024;
+        let mut kv = KvCacheManager::new(capacity);
+        let mut live: Vec<usize> = Vec::new();
+        for (tokens, release_first) in ops {
+            if release_first && !live.is_empty() {
+                let t = live.pop().expect("non-empty");
+                kv.release(t);
+            }
+            if kv.reserve(tokens) {
+                live.push(tokens);
+            }
+            prop_assert!(kv.used_tokens() <= kv.capacity_tokens());
+        }
+        for t in live.drain(..) {
+            kv.release(t);
+        }
+        prop_assert_eq!(kv.used_tokens(), 0);
+    }
+
+    /// Percentile summaries are ordered and bounded by the sample range.
+    #[test]
+    fn summary_stats_are_ordered(samples in prop::collection::vec(0.0f64..1e4, 1..200)) {
+        let s = SummaryStats::from_samples(&samples);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(s.p50 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.max <= samples.iter().cloned().fold(0.0, f64::max) + 1e-9);
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, samples.len());
+    }
+}
