@@ -8,13 +8,44 @@
 //! roofline reasoning the engine applies. The kernel-level figures use the
 //! full simulation; the estimator is validated against it in tests.
 
-use crate::batch::HybridBatch;
+use crate::batch::{DecodeRequest, HybridBatch, PrefillChunk};
 use crate::batched::BatchedPrefillKernel;
 use crate::config::AttentionConfig;
 use crate::cost::KERNEL_LAUNCH_OVERHEAD;
 use crate::decode::DecodeKernel;
 use crate::prefill::{PrefillKernel, SplitPolicy};
 use gpu_sim::{EngineOptions, GpuConfig};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Quantize a token (or CTA) count to ~1.5% relative resolution: 64 steps per
+/// power of two, exact below 64. Used to form memoization keys for batch
+/// shapes whose cost is smooth in the quantized quantity.
+pub fn quantize_tokens(x: usize) -> usize {
+    if x == 0 {
+        return 0;
+    }
+    let g = (x.next_power_of_two() / 64).max(1);
+    ((x + g / 2) / g) * g
+}
+
+/// Bound on memo entries per side before the table is cleared (a trivially
+/// correct eviction policy; real sweeps stay far below this).
+const MEMO_MAX_ENTRIES: usize = 1 << 16;
+
+/// `(compute time, memory time, flops, bytes)` of one side of a hybrid batch.
+type SideCost = (f64, f64, f64, f64);
+
+/// Memoized side costs. The prefill key `(chunk_len, prior_len, flashinfer,
+/// limited_splits)` is exact — the side cost is a pure function of it. The
+/// decode key keeps the request count exact (it determines the CTA grid and
+/// therefore wave boundaries) and quantizes the total and maximum context to
+/// ~1.5% resolution, pricing one canonical batch per equivalence class.
+#[derive(Debug, Clone, Default)]
+struct SideMemo {
+    prefill: HashMap<(usize, usize, bool, bool), SideCost>,
+    decode: HashMap<(usize, usize, usize, bool, bool), SideCost>,
+}
 
 /// How the attention of a hybrid batch is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,16 +131,35 @@ pub struct AttentionEstimator {
     cfg: AttentionConfig,
     gpu: GpuConfig,
     opts: EngineOptions,
+    /// Side-cost memo tables; `None` means exact (unmemoized) pricing.
+    memo: Option<RefCell<SideMemo>>,
 }
 
 impl AttentionEstimator {
-    /// Create an estimator for a model/device pair.
+    /// Create an estimator for a model/device pair with side-cost
+    /// memoization enabled (the default; see [`AttentionEstimator::exact`]).
     pub fn new(cfg: AttentionConfig, gpu: GpuConfig) -> Self {
         AttentionEstimator {
             cfg,
             gpu,
             opts: EngineOptions::default(),
+            memo: Some(RefCell::new(SideMemo::default())),
         }
+    }
+
+    /// Create an estimator that prices every batch exactly, without the
+    /// ~1.5%-resolution decode-side quantization. Used to validate the
+    /// memoized fast path and by the `POD_PRICE_CACHE=0` escape hatch.
+    pub fn exact(cfg: AttentionConfig, gpu: GpuConfig) -> Self {
+        AttentionEstimator {
+            memo: None,
+            ..AttentionEstimator::new(cfg, gpu)
+        }
+    }
+
+    /// Whether side-cost memoization is enabled.
+    pub fn is_memoized(&self) -> bool {
+        self.memo.is_some()
     }
 
     /// The attention configuration this estimator uses.
@@ -134,11 +184,41 @@ impl AttentionEstimator {
         }
     }
 
-    /// Roofline time of the prefill chunk alone: (compute, memory, flops, bytes).
-    fn prefill_side(&self, batch: &HybridBatch, flashinfer: bool, limited_splits: bool) -> (f64, f64, f64, f64) {
+    /// Roofline time of the prefill chunk alone: (compute, memory, flops,
+    /// bytes). Memoized by exact chunk shape when memoization is on — serving
+    /// sweeps price the same `(chunk_len, prior)` pair once per run instead
+    /// of once per co-scheduled decode-set variation.
+    fn prefill_side(
+        &self,
+        batch: &HybridBatch,
+        flashinfer: bool,
+        limited_splits: bool,
+    ) -> SideCost {
         let Some(chunk) = &batch.prefill else {
             return (0.0, 0.0, 0.0, 0.0);
         };
+        if let Some(memo) = &self.memo {
+            let key = (chunk.chunk_len, chunk.prior_len, flashinfer, limited_splits);
+            if let Some(&cost) = memo.borrow().prefill.get(&key) {
+                return cost;
+            }
+            let cost = self.prefill_side_raw(chunk, flashinfer, limited_splits);
+            let mut memo = memo.borrow_mut();
+            if memo.prefill.len() >= MEMO_MAX_ENTRIES {
+                memo.prefill.clear();
+            }
+            memo.prefill.insert(key, cost);
+            return cost;
+        }
+        self.prefill_side_raw(chunk, flashinfer, limited_splits)
+    }
+
+    fn prefill_side_raw(
+        &self,
+        chunk: &PrefillChunk,
+        flashinfer: bool,
+        limited_splits: bool,
+    ) -> SideCost {
         let mut kernel = if flashinfer {
             PrefillKernel::flashinfer()
         } else {
@@ -147,33 +227,99 @@ impl AttentionEstimator {
         if limited_splits {
             kernel = kernel.with_split_policy(SplitPolicy::LimitedToTwoWaves);
         }
-        let flops: f64 = kernel.total_flops(chunk, &self.cfg, &self.gpu);
-        let bytes: f64 = kernel.total_bytes(chunk, &self.cfg, &self.gpu);
+        // O(query tiles) aggregate: flops, bytes and the CTA count without
+        // materializing the per-CTA unit list.
+        let (flops, bytes, ctas) = kernel.aggregate_work(chunk, &self.cfg, &self.gpu);
         let fp = kernel.footprint(&self.cfg);
         let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
-        let ctas = kernel.base_ctas(chunk, &self.cfg) * kernel.num_splits(chunk, &self.cfg, &self.gpu);
         let tc = flops / self.effective_compute(ctas) * self.quantization_factor(ctas, wave);
         let tm = bytes / self.effective_bandwidth(ctas);
         (tc, tm, flops, bytes)
     }
 
-    /// Roofline time of the decode batch alone: (compute, memory, flops, bytes).
-    fn decode_side(&self, batch: &HybridBatch, flashinfer: bool, pod_tile: bool) -> (f64, f64, f64, f64) {
+    /// Roofline time of the decode batch alone: (compute, memory, flops,
+    /// bytes). Memoized by the `(count, quantized total context, quantized
+    /// max context)` aggregate when memoization is on; each equivalence
+    /// class is priced once, as a canonical decode set with the same
+    /// aggregates. The count is kept *exact*: the CTA grid is
+    /// `count × kv_heads × splits` and [`quantization_factor`] is a step
+    /// function in whole waves, so rounding the count can flip a
+    /// wave-quantization boundary and mis-price the batch by the cost of a
+    /// partial wave (~10%) rather than the ~1.5% resolution of the token
+    /// buckets.
+    ///
+    /// [`quantization_factor`]: AttentionEstimator::quantization_factor
+    fn decode_side(&self, batch: &HybridBatch, flashinfer: bool, pod_tile: bool) -> SideCost {
         if batch.decodes.is_empty() {
             return (0.0, 0.0, 0.0, 0.0);
         }
-        let kernel = if pod_tile {
-            DecodeKernel::pod()
-        } else if flashinfer {
-            DecodeKernel::flashinfer()
-        } else {
-            DecodeKernel::flash_attention()
-        };
-        let flops = kernel.total_flops(&batch.decodes, &self.cfg, &self.gpu);
-        let bytes = kernel.total_bytes(&batch.decodes, &self.cfg, &self.gpu);
-        let max_ctx = batch.decodes.iter().map(|d| d.context_len).max().unwrap_or(1);
-        let splits = kernel.num_splits(batch.decodes.len(), max_ctx, &self.cfg, &self.gpu);
-        let ctas = batch.decodes.len() * self.cfg.kv_heads_per_gpu() * splits;
+        if let Some(memo) = &self.memo {
+            let count = batch.decodes.len();
+            let (mut total, mut max_ctx) = (0usize, 0usize);
+            for d in &batch.decodes {
+                total += d.context_len;
+                max_ctx = max_ctx.max(d.context_len);
+            }
+            let key = (
+                count,
+                quantize_tokens(total),
+                quantize_tokens(max_ctx),
+                flashinfer,
+                pod_tile,
+            );
+            if let Some(&cost) = memo.borrow().decode.get(&key) {
+                return cost;
+            }
+            let cost = self.decode_side_aggregate(key.0, key.1, key.2, flashinfer, pod_tile);
+            let mut memo = memo.borrow_mut();
+            if memo.decode.len() >= MEMO_MAX_ENTRIES {
+                memo.decode.clear();
+            }
+            memo.decode.insert(key, cost);
+            return cost;
+        }
+        self.decode_side_raw(&batch.decodes, flashinfer, pod_tile)
+    }
+
+    /// Price a decode batch from its `(count, total, max)` aggregate alone —
+    /// O(1) instead of O(count): the miss path of the decode-side memo.
+    fn decode_side_aggregate(
+        &self,
+        count: usize,
+        total_context: usize,
+        max_context: usize,
+        flashinfer: bool,
+        pod_tile: bool,
+    ) -> SideCost {
+        if count == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let kernel = decode_kernel(flashinfer, pod_tile);
+        let (flops, bytes, ctas) =
+            kernel.aggregate_work(count, total_context, max_context, &self.cfg, &self.gpu);
+        let fp = kernel.footprint(&self.cfg);
+        let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
+        let tc = flops / self.effective_compute(ctas);
+        let tm = bytes / self.effective_bandwidth(ctas) * self.quantization_factor(ctas, wave);
+        (tc, tm, flops, bytes)
+    }
+
+    fn decode_side_raw(
+        &self,
+        decodes: &[DecodeRequest],
+        flashinfer: bool,
+        pod_tile: bool,
+    ) -> SideCost {
+        if decodes.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let kernel = decode_kernel(flashinfer, pod_tile);
+        // As on the prefill side: one grid build serves flops, bytes and the
+        // CTA count.
+        let units = kernel.build_units(decodes, &self.cfg, &self.gpu);
+        let flops: f64 = units.iter().map(|u| u.flops).sum();
+        let bytes: f64 = units.iter().map(|u| u.bytes).sum();
+        let ctas = units.len();
         let fp = kernel.footprint(&self.cfg);
         let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
         let tc = flops / self.effective_compute(ctas);
@@ -300,7 +446,9 @@ impl AttentionEstimator {
         let floor = pc.max(pm).max(dc.max(dm)) + KERNEL_LAUNCH_OVERHEAD;
         let saved = (serial.total_time - ideal).max(0.0) * overlap_efficiency;
         // POD never does worse than serial execution (§5.1).
-        let total = (serial.total_time - saved).max(floor).min(serial.total_time);
+        let total = (serial.total_time - saved)
+            .max(floor)
+            .min(serial.total_time);
         AnalyticCost {
             prefill_time: serial.prefill_time,
             decode_time: serial.decode_time,
@@ -316,6 +464,41 @@ fn overhead_if(present: bool) -> f64 {
         KERNEL_LAUNCH_OVERHEAD
     } else {
         0.0
+    }
+}
+
+/// The canonical decode set of a `(count, total context, max context)`
+/// aggregate: one request carries the maximum context, the rest share the
+/// remainder evenly. This is the single definition of the equivalence class
+/// shared by [`DecodeKernel::aggregate_work`] (which prices it in closed
+/// form) and the serving layer's batch-price cache (which materializes it);
+/// for uniform batches it reproduces the original batch exactly.
+pub fn canonical_decodes(
+    count: usize,
+    total_context: usize,
+    max_context: usize,
+) -> Vec<DecodeRequest> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let max_context = max_context.clamp(1, total_context.max(1));
+    let mut decodes = Vec::with_capacity(count);
+    decodes.push(DecodeRequest::new(max_context));
+    if count > 1 {
+        let rest = (total_context.saturating_sub(max_context) / (count - 1)).max(1);
+        decodes.extend(std::iter::repeat_n(DecodeRequest::new(rest), count - 1));
+    }
+    decodes
+}
+
+/// The decode-kernel variant a strategy's flags select.
+fn decode_kernel(flashinfer: bool, pod_tile: bool) -> DecodeKernel {
+    if pod_tile {
+        DecodeKernel::pod()
+    } else if flashinfer {
+        DecodeKernel::flashinfer()
+    } else {
+        DecodeKernel::flash_attention()
     }
 }
 
@@ -347,7 +530,7 @@ mod tests {
             );
             // Paper: up to 59 % faster, i.e. serial/pod <= ~1.8 and always >= 1.
             let speedup = serial.total_time / pod.total_time;
-            assert!(speedup >= 1.0 && speedup < 2.2, "speedup {speedup}");
+            assert!((1.0..2.2).contains(&speedup), "speedup {speedup}");
         }
     }
 
@@ -360,7 +543,10 @@ mod tests {
         };
         let balanced = speedup(&HybridBatch::config_c1());
         let decode_heavy = speedup(&HybridBatch::config_c0());
-        assert!(balanced > decode_heavy, "balanced {balanced} vs decode-heavy {decode_heavy}");
+        assert!(
+            balanced > decode_heavy,
+            "balanced {balanced} vs decode-heavy {decode_heavy}"
+        );
     }
 
     #[test]
@@ -380,7 +566,9 @@ mod tests {
         let est = estimator();
         let batch = HybridBatch::config_c1();
         let serial = est.estimate(&batch, AttentionStrategy::FaSerial).total_time;
-        let streams = est.estimate(&batch, AttentionStrategy::FaStreams).total_time;
+        let streams = est
+            .estimate(&batch, AttentionStrategy::FaStreams)
+            .total_time;
         let pod = est.estimate(&batch, AttentionStrategy::Pod).total_time;
         assert!(streams <= serial);
         assert!(pod <= streams);
@@ -417,14 +605,9 @@ mod tests {
             HybridBatch::uniform(2048, 2048, 32, 4 * 1024),
         ] {
             let analytic = est.estimate(&batch, AttentionStrategy::FaSerial).total_time;
-            let prefill = PrefillKernel::flash_attention().launch(
-                "p",
-                &batch.prefill.unwrap(),
-                &cfg,
-                &gpu,
-            );
-            let decode =
-                DecodeKernel::flash_attention().launch("d", &batch.decodes, &cfg, &gpu);
+            let prefill =
+                PrefillKernel::flash_attention().launch("p", &batch.prefill.unwrap(), &cfg, &gpu);
+            let decode = DecodeKernel::flash_attention().launch("d", &batch.decodes, &cfg, &gpu);
             let sim = engine.run_serial(vec![prefill, decode]).unwrap().makespan;
             let ratio = analytic / sim;
             assert!(
@@ -432,6 +615,87 @@ mod tests {
                 "analytic {analytic} vs simulated {sim} (ratio {ratio})"
             );
         }
+    }
+
+    /// The memoized fast path agrees with exact pricing within the decode
+    /// quantization resolution, for every strategy, including heterogeneous
+    /// decode contexts.
+    #[test]
+    fn memoized_estimates_track_exact_estimates() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        let memoized = AttentionEstimator::new(cfg, gpu.clone());
+        let exact = AttentionEstimator::exact(cfg, gpu);
+        assert!(memoized.is_memoized());
+        assert!(!exact.is_memoized());
+        let mut heterogeneous = HybridBatch::uniform(1024, 9 * 1024, 0, 0);
+        for i in 0..70 {
+            heterogeneous.push_decode(4 * 1024 + 137 * i);
+        }
+        for batch in [
+            HybridBatch::config_c0(),
+            HybridBatch::config_c1(),
+            HybridBatch::uniform(512, 5000, 33, 7777),
+            heterogeneous,
+            // Wave-quantization boundary: 217 decodes x 4 KV heads = 868
+            // CTAs, one CTA into a partial wave. Rounding the count to 216
+            // (exactly 4 waves) used to mis-price this batch by ~11%; the
+            // memo key keeps the count exact precisely for this case.
+            HybridBatch::uniform(512, 4096, 217, 2085),
+            HybridBatch::uniform(512, 4096, 216, 2085),
+        ] {
+            for strategy in AttentionStrategy::all() {
+                let fast = memoized.estimate(&batch, strategy).total_time;
+                let slow = exact.estimate(&batch, strategy).total_time;
+                let rel = (fast - slow).abs() / slow.max(1e-12);
+                assert!(
+                    rel < 0.03,
+                    "{strategy}: memoized {fast} vs exact {slow} ({:.2}% off)",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+
+    /// Uniform power-of-two batches quantize exactly, so the memoized path is
+    /// bit-identical on the paper's Table 1 configurations.
+    #[test]
+    fn memoization_is_exact_on_uniform_batches() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        let memoized = AttentionEstimator::new(cfg, gpu.clone());
+        let exact = AttentionEstimator::exact(cfg, gpu);
+        let batch = HybridBatch::config_c0();
+        for strategy in [AttentionStrategy::FaSerial, AttentionStrategy::Pod] {
+            let fast = memoized.estimate(&batch, strategy);
+            let slow = exact.estimate(&batch, strategy);
+            // Identical up to float associativity (the aggregate path
+            // multiplies per-unit work by counts instead of summing a grid).
+            let rel = (fast.total_time - slow.total_time).abs() / slow.total_time;
+            assert!(
+                rel < 1e-12,
+                "total {} vs {}",
+                fast.total_time,
+                slow.total_time
+            );
+            let rel_f = (fast.flops - slow.flops).abs() / slow.flops;
+            assert!(rel_f < 1e-12, "flops {} vs {}", fast.flops, slow.flops);
+        }
+    }
+
+    #[test]
+    fn quantize_tokens_resolution() {
+        assert_eq!(quantize_tokens(0), 0);
+        for x in [
+            1usize, 17, 63, 64, 100, 1000, 4096, 12_345, 300_000, 1_500_000,
+        ] {
+            let q = quantize_tokens(x);
+            let rel = (q as f64 - x as f64).abs() / x as f64;
+            assert!(rel <= 1.0 / 64.0 + 1e-9, "quantize({x}) = {q}");
+        }
+        // Exact below 64 and on powers of two.
+        assert_eq!(quantize_tokens(63), 63);
+        assert_eq!(quantize_tokens(4096), 4096);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use crate::batch::HybridBatch;
 use crate::config::AttentionConfig;
-use crate::cost::{attention_flops_per_head, hbm_bytes_with_l2, kv_bytes_per_head, q_bytes_per_head};
+use crate::cost::{
+    attention_flops_per_head, hbm_bytes_with_l2, kv_bytes_per_head, q_bytes_per_head,
+};
 use crate::prefill::{PrefillKernel, SplitPolicy};
 use crate::tiles::TileShape;
 use gpu_sim::{CtaWork, Footprint, GpuConfig, KernelLaunch, OpClass, WorkUnit};

@@ -112,11 +112,20 @@ mod tests {
     #[test]
     fn paper_models_match_table4() {
         let yi = AttentionConfig::yi_6b();
-        assert_eq!((yi.num_q_heads, yi.num_kv_heads, yi.tensor_parallel), (32, 4, 1));
+        assert_eq!(
+            (yi.num_q_heads, yi.num_kv_heads, yi.tensor_parallel),
+            (32, 4, 1)
+        );
         let l2 = AttentionConfig::llama2_7b();
-        assert_eq!((l2.num_q_heads, l2.num_kv_heads, l2.tensor_parallel), (32, 32, 2));
+        assert_eq!(
+            (l2.num_q_heads, l2.num_kv_heads, l2.tensor_parallel),
+            (32, 32, 2)
+        );
         let l3 = AttentionConfig::llama3_8b();
-        assert_eq!((l3.num_q_heads, l3.num_kv_heads, l3.tensor_parallel), (32, 8, 2));
+        assert_eq!(
+            (l3.num_q_heads, l3.num_kv_heads, l3.tensor_parallel),
+            (32, 8, 2)
+        );
     }
 
     #[test]

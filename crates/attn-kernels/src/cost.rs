@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn flops_are_4qkd() {
-        assert_eq!(attention_flops_per_head(2.0, 3.0, 128), 4.0 * 2.0 * 3.0 * 128.0);
+        assert_eq!(
+            attention_flops_per_head(2.0, 3.0, 128),
+            4.0 * 2.0 * 3.0 * 128.0
+        );
     }
 
     #[test]

@@ -143,48 +143,103 @@ impl DecodeKernel {
             return Vec::new();
         }
         let kv_heads = cfg.kv_heads_per_gpu();
-        let group = cfg.group_size();
-        let d = cfg.head_dim;
         let max_context = decodes.iter().map(|r| r.context_len).max().unwrap_or(0);
         let splits = self.num_splits(decodes.len(), max_context, cfg, gpu);
-        // Query rows actually run through the tensor cores per CTA.
-        let padded_q = match self.padding {
-            QueryPadding::GroupGranularity => group.div_ceil(16).max(1) * 16,
-            QueryPadding::FullTile => self.tile.q.max(group),
-        } as f64;
 
         let mut units = Vec::with_capacity(decodes.len() * kv_heads * splits);
         for req in decodes {
-            let kv_per_split = (req.context_len as f64 / splits as f64).max(1.0);
+            let (flops, bytes) = self.unit_work(req.context_len, splits, cfg);
             for _h in 0..kv_heads {
                 for _s in 0..splits {
-                    let flops = attention_flops_per_head(padded_q, kv_per_split, d);
-                    let mut bytes = kv_bytes_per_head(kv_per_split, cfg)
-                        + q_bytes_per_head(group as f64, cfg);
-                    if splits > 1 {
-                        // Partial output written in fp32 and re-read by the
-                        // reduction pass.
-                        bytes += 2.0 * group as f64 * (d * 4) as f64;
-                    }
-                    units.push(WorkUnit::new(
-                        OpClass::Decode,
-                        flops,
-                        bytes / self.bandwidth_efficiency,
-                    ));
+                    units.push(WorkUnit::new(OpClass::Decode, flops, bytes));
                 }
             }
         }
         units
     }
 
+    /// Tensor FLOPs and HBM bytes of *one* CTA serving one request at
+    /// `context_len` under `splits` KV splits. Every CTA of the request's
+    /// `(KV heads) × (splits)` sub-grid performs the same work, which is what
+    /// lets [`DecodeKernel::aggregate_work`] price a batch in O(1) per
+    /// distinct context length.
+    fn unit_work(&self, context_len: usize, splits: usize, cfg: &AttentionConfig) -> (f64, f64) {
+        let group = cfg.group_size();
+        let d = cfg.head_dim;
+        // Query rows actually run through the tensor cores per CTA.
+        let padded_q = match self.padding {
+            QueryPadding::GroupGranularity => group.div_ceil(16).max(1) * 16,
+            QueryPadding::FullTile => self.tile.q.max(group),
+        } as f64;
+        let kv_per_split = (context_len as f64 / splits as f64).max(1.0);
+        let flops = attention_flops_per_head(padded_q, kv_per_split, d);
+        let mut bytes = kv_bytes_per_head(kv_per_split, cfg) + q_bytes_per_head(group as f64, cfg);
+        if splits > 1 {
+            // Partial output written in fp32 and re-read by the reduction
+            // pass.
+            bytes += 2.0 * group as f64 * (d * 4) as f64;
+        }
+        (flops, bytes / self.bandwidth_efficiency)
+    }
+
+    /// Aggregate `(flops, bytes, ctas)` of a batch described only by its
+    /// `(count, total context, max context)` summary: one request at
+    /// `max_context`, the remaining `count - 1` sharing the rest evenly.
+    ///
+    /// Agrees with summing [`DecodeKernel::build_units`] over the same
+    /// canonical batch, without materializing the grid — the attention
+    /// estimator's memoized fast path calls this on cache misses.
+    pub fn aggregate_work(
+        &self,
+        count: usize,
+        total_context: usize,
+        max_context: usize,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> (f64, f64, usize) {
+        if count == 0 {
+            return (0.0, 0.0, 0);
+        }
+        let kv_heads = cfg.kv_heads_per_gpu();
+        let max_context = max_context.clamp(1, total_context.max(1));
+        let splits = self.num_splits(count, max_context, cfg, gpu);
+        let units_per_req = (kv_heads * splits) as f64;
+        let (f_max, b_max) = self.unit_work(max_context, splits, cfg);
+        let mut flops = f_max * units_per_req;
+        let mut bytes = b_max * units_per_req;
+        if count > 1 {
+            let rest = (total_context.saturating_sub(max_context) / (count - 1)).max(1);
+            let (f_rest, b_rest) = self.unit_work(rest, splits, cfg);
+            flops += f_rest * units_per_req * (count - 1) as f64;
+            bytes += b_rest * units_per_req * (count - 1) as f64;
+        }
+        (flops, bytes, count * kv_heads * splits)
+    }
+
     /// Total FLOPs (including padding) across the batch.
-    pub fn total_flops(&self, decodes: &[DecodeRequest], cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
-        self.build_units(decodes, cfg, gpu).iter().map(|u| u.flops).sum()
+    pub fn total_flops(
+        &self,
+        decodes: &[DecodeRequest],
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> f64 {
+        self.build_units(decodes, cfg, gpu)
+            .iter()
+            .map(|u| u.flops)
+            .sum()
     }
 
     /// Total HBM bytes across the batch.
-    pub fn total_bytes(&self, decodes: &[DecodeRequest], cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
-        self.build_units(decodes, cfg, gpu).iter().map(|u| u.bytes).sum()
+    pub fn total_bytes(
+        &self,
+        decodes: &[DecodeRequest],
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> f64 {
+        self.build_units(decodes, cfg, gpu)
+            .iter()
+            .map(|u| u.bytes)
+            .sum()
     }
 
     /// Build a ready-to-submit [`KernelLaunch`] for a decode batch.
@@ -234,13 +289,47 @@ mod tests {
         assert_eq!(k.num_splits(54, 16 * 1024, &cfg(), &gpu()), 1);
     }
 
+    /// The O(1) aggregate path must agree with summing the materialized grid
+    /// over the same canonical batch.
+    #[test]
+    fn aggregate_work_matches_build_units() {
+        for kernel in [DecodeKernel::flash_attention(), DecodeKernel::pod()] {
+            for (count, max_ctx, rest_ctx) in [
+                (54usize, 16 * 1024usize, 16 * 1024usize),
+                (8, 8192, 1000),
+                (1, 777, 0),
+            ] {
+                let mut decodes = vec![DecodeRequest::new(max_ctx)];
+                decodes.extend(vec![DecodeRequest::new(rest_ctx.max(1)); count - 1]);
+                let total: usize = decodes.iter().map(|d| d.context_len).sum();
+                let units = kernel.build_units(&decodes, &cfg(), &gpu());
+                let flops: f64 = units.iter().map(|u| u.flops).sum();
+                let bytes: f64 = units.iter().map(|u| u.bytes).sum();
+                let (af, ab, actas) = kernel.aggregate_work(count, total, max_ctx, &cfg(), &gpu());
+                assert_eq!(actas, units.len());
+                assert!(
+                    (af - flops).abs() / flops.max(1.0) < 1e-9,
+                    "{af} vs {flops}"
+                );
+                assert!(
+                    (ab - bytes).abs() / bytes.max(1.0) < 1e-9,
+                    "{ab} vs {bytes}"
+                );
+            }
+        }
+        assert_eq!(
+            DecodeKernel::flash_attention().aggregate_work(0, 0, 0, &cfg(), &gpu()),
+            (0.0, 0.0, 0)
+        );
+    }
+
     #[test]
     fn small_batches_get_kv_splits() {
         let k = DecodeKernel::flash_attention();
         // 8 requests * 4 KV heads = 32 CTAs < 108 SMs: FlashDecoding splits.
         let splits = k.num_splits(8, 8192, &cfg(), &gpu());
         assert!(splits > 1);
-        let units = k.build_units(&vec![DecodeRequest::new(8192); 8], &cfg(), &gpu());
+        let units = k.build_units(&[DecodeRequest::new(8192); 8], &cfg(), &gpu());
         assert_eq!(units.len(), 8 * 4 * splits);
     }
 

@@ -46,7 +46,9 @@ mod decode;
 mod prefill;
 mod tiles;
 
-pub use analytic::{AnalyticCost, AttentionEstimator, AttentionStrategy};
+pub use analytic::{
+    canonical_decodes, quantize_tokens, AnalyticCost, AttentionEstimator, AttentionStrategy,
+};
 pub use batch::{DecodeRequest, HybridBatch, PrefillChunk};
 pub use batched::BatchedPrefillKernel;
 pub use config::AttentionConfig;

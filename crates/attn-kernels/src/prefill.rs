@@ -4,7 +4,9 @@
 
 use crate::batch::PrefillChunk;
 use crate::config::AttentionConfig;
-use crate::cost::{attention_flops_per_head, hbm_bytes_with_l2, kv_bytes_per_head, q_bytes_per_head};
+use crate::cost::{
+    attention_flops_per_head, hbm_bytes_with_l2, kv_bytes_per_head, q_bytes_per_head,
+};
 use crate::tiles::TileShape;
 use gpu_sim::{CtaWork, Footprint, GpuConfig, KernelLaunch, OpClass, WorkUnit};
 
@@ -23,6 +25,19 @@ pub enum SplitPolicy {
     LimitedToTwoWaves,
     /// An explicit number of splits.
     Fixed(usize),
+}
+
+/// Shared per-chunk geometry: the causal KV span of each query tile and the
+/// kernel-wide HBM traffic, computed once for both the unit builder and the
+/// O(query tiles) aggregate path.
+#[derive(Debug, Clone)]
+struct PrefillGrid {
+    tile_kv: Vec<f64>,
+    total_tile_kv: f64,
+    total_bytes: f64,
+    splits: usize,
+    padded_q: f64,
+    eff: f64,
 }
 
 /// Configuration of a prefill attention kernel.
@@ -82,14 +97,17 @@ impl PrefillKernel {
     /// *chunked* prefills — chunks appended to an existing KV cache — which is
     /// when the query grid alone is too small to fill the GPU. A full prompt
     /// processed from scratch uses the regular unsplit kernel.
-    pub fn num_splits(&self, chunk: &PrefillChunk, cfg: &AttentionConfig, gpu: &GpuConfig) -> usize {
+    pub fn num_splits(
+        &self,
+        chunk: &PrefillChunk,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> usize {
         let base = self.base_ctas(chunk, cfg);
         let fp = self.footprint(cfg);
         let wave = gpu.wave_size(fp.shared_mem, fp.threads).max(1);
         let max_by_kv = self.tile.kv_tiles(chunk.context_len()).max(1);
-        if chunk.prior_len == 0
-            && !matches!(self.split_policy, SplitPolicy::Fixed(_))
-        {
+        if chunk.prior_len == 0 && !matches!(self.split_policy, SplitPolicy::Fixed(_)) {
             return 1;
         }
         let splits = match self.split_policy {
@@ -132,8 +150,66 @@ impl PrefillKernel {
         cfg: &AttentionConfig,
         gpu: &GpuConfig,
     ) -> Vec<WorkUnit> {
-        if chunk.chunk_len == 0 {
+        let Some(grid) = self.grid(chunk, cfg, gpu) else {
             return Vec::new();
+        };
+        let q_heads = cfg.q_heads_per_gpu();
+        let d = cfg.head_dim;
+        let splits = grid.splits;
+        let mut units = Vec::with_capacity(q_heads * grid.tile_kv.len() * splits);
+        for _head in 0..q_heads {
+            for kv in &grid.tile_kv {
+                let flops_tile = attention_flops_per_head(grid.padded_q, *kv, d) / grid.eff;
+                // This tile's share of the kernel's HBM traffic.
+                let bytes_tile = grid.total_bytes * (*kv / (grid.total_tile_kv * q_heads as f64));
+                for _s in 0..splits {
+                    units.push(WorkUnit::new(
+                        OpClass::Prefill,
+                        flops_tile / splits as f64,
+                        bytes_tile / splits as f64,
+                    ));
+                }
+            }
+        }
+        units
+    }
+
+    /// Aggregate `(flops, bytes, ctas)` of the kernel for one chunk, without
+    /// materializing the per-CTA unit list — O(query tiles) instead of
+    /// O(CTAs). Agrees with summing [`PrefillKernel::build_units`]; the
+    /// attention estimator's hot path uses this.
+    pub fn aggregate_work(
+        &self,
+        chunk: &PrefillChunk,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> (f64, f64, usize) {
+        let Some(grid) = self.grid(chunk, cfg, gpu) else {
+            return (0.0, 0.0, 0);
+        };
+        let q_heads = cfg.q_heads_per_gpu();
+        let d = cfg.head_dim;
+        let flops: f64 = grid
+            .tile_kv
+            .iter()
+            .map(|kv| attention_flops_per_head(grid.padded_q, *kv, d) / grid.eff)
+            .sum::<f64>()
+            * q_heads as f64;
+        let ctas = q_heads * grid.tile_kv.len() * grid.splits;
+        (flops, grid.total_bytes, ctas)
+    }
+
+    /// The per-tile geometry and whole-kernel HBM traffic shared by
+    /// [`PrefillKernel::build_units`] and [`PrefillKernel::aggregate_work`].
+    /// `None` for an empty chunk.
+    fn grid(
+        &self,
+        chunk: &PrefillChunk,
+        cfg: &AttentionConfig,
+        gpu: &GpuConfig,
+    ) -> Option<PrefillGrid> {
+        if chunk.chunk_len == 0 {
+            return None;
         }
         let q_heads = cfg.q_heads_per_gpu();
         let kv_heads = cfg.kv_heads_per_gpu();
@@ -141,7 +217,6 @@ impl PrefillKernel {
         let d = cfg.head_dim;
         let splits = self.num_splits(chunk, cfg, gpu);
         let q_tiles = self.tile.q_tiles(chunk.chunk_len);
-        let eff = self.tile.tensor_efficiency();
 
         // Causal KV length visible to each query tile.
         let tile_kv: Vec<f64> = (0..q_tiles)
@@ -159,7 +234,8 @@ impl PrefillKernel {
             .map(|kv| kv_bytes_per_head(*kv, cfg) * kv_heads as f64 * group as f64)
             .sum();
         let hbm_kv = hbm_bytes_with_l2(logical_kv, unique_kv, gpu.l2_cache_bytes as f64);
-        let q_bytes = q_bytes_per_head(chunk.chunk_len as f64, cfg) * q_heads as f64 * splits as f64;
+        let q_bytes =
+            q_bytes_per_head(chunk.chunk_len as f64, cfg) * q_heads as f64 * splits as f64;
         let o_final = q_bytes_per_head(chunk.chunk_len as f64, cfg) * q_heads as f64;
         // Partial (fp32) outputs written by every split and re-read by the
         // reduction pass.
@@ -170,35 +246,24 @@ impl PrefillKernel {
         };
         let total_bytes = (hbm_kv + q_bytes + o_final + o_partial) / self.bandwidth_efficiency;
 
-        let n_ctas = q_heads * q_tiles * splits;
-        let padded_q = self.tile.q as f64;
-        let mut units = Vec::with_capacity(n_ctas);
-        for _head in 0..q_heads {
-            for (t, kv) in tile_kv.iter().enumerate() {
-                let _ = t;
-                let flops_tile = attention_flops_per_head(padded_q, *kv, d) / eff;
-                // This tile's share of the kernel's HBM traffic.
-                let bytes_tile = total_bytes * (*kv / (total_tile_kv * q_heads as f64));
-                for _s in 0..splits {
-                    units.push(WorkUnit::new(
-                        OpClass::Prefill,
-                        flops_tile / splits as f64,
-                        bytes_tile / splits as f64,
-                    ));
-                }
-            }
-        }
-        units
+        Some(PrefillGrid {
+            tile_kv,
+            total_tile_kv,
+            total_bytes,
+            splits,
+            padded_q: self.tile.q as f64,
+            eff: self.tile.tensor_efficiency(),
+        })
     }
 
     /// Total tensor FLOPs (including tile padding) the kernel performs.
     pub fn total_flops(&self, chunk: &PrefillChunk, cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
-        self.build_units(chunk, cfg, gpu).iter().map(|u| u.flops).sum()
+        self.aggregate_work(chunk, cfg, gpu).0
     }
 
     /// Total HBM bytes the kernel moves.
     pub fn total_bytes(&self, chunk: &PrefillChunk, cfg: &AttentionConfig, gpu: &GpuConfig) -> f64 {
-        self.build_units(chunk, cfg, gpu).iter().map(|u| u.bytes).sum()
+        self.aggregate_work(chunk, cfg, gpu).1
     }
 
     /// Build a ready-to-submit [`KernelLaunch`] for one prefill chunk.
@@ -285,13 +350,17 @@ mod tests {
         let flops_1 = one.total_flops(&chunk, &cfg(), &gpu());
         let flops_8 = eight.total_flops(&chunk, &cfg(), &gpu());
         assert!((flops_1 - flops_8).abs() / flops_1 < 1e-9);
-        assert!(eight.total_bytes(&chunk, &cfg(), &gpu()) > one.total_bytes(&chunk, &cfg(), &gpu()));
+        assert!(
+            eight.total_bytes(&chunk, &cfg(), &gpu()) > one.total_bytes(&chunk, &cfg(), &gpu())
+        );
     }
 
     #[test]
     fn empty_chunk_builds_no_work() {
         let k = PrefillKernel::flash_attention();
-        assert!(k.build_units(&PrefillChunk::new(0, 0), &cfg(), &gpu()).is_empty());
+        assert!(k
+            .build_units(&PrefillChunk::new(0, 0), &cfg(), &gpu())
+            .is_empty());
     }
 
     /// The headline motivation (Figure 1): prefill attention is

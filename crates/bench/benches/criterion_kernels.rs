@@ -1,55 +1,215 @@
-//! Criterion micro-benchmarks of the reproduction's own hot paths: the
-//! CTA-level contention engine, the POD-Attention launch builder and the
-//! closed-form attention estimator used by the serving simulator.
+//! Micro-benchmarks of the reproduction's own hot paths: the CTA-level
+//! contention engine, the POD-Attention launch builder, the closed-form
+//! attention estimator and the serving loop's batch pricing — the paths the
+//! whole evaluation's wall-clock hangs on.
+//!
+//! Besides printing a human-readable summary, this harness writes
+//! `BENCH_engine.json` at the repository root with the headline numbers
+//! (engine intervals/second, batches priced/second, price-cache hit rate,
+//! and the cached-vs-uncached speedup of a quick-mode Figure 12 sweep) so
+//! future changes have a perf trajectory to compare against.
+//!
+//! Run with `cargo bench -p pod-bench --bench criterion_kernels`.
 
 use attn_kernels::{AttentionConfig, AttentionEstimator, AttentionStrategy, HybridBatch};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gpu_sim::GpuConfig;
-use llm_serving::{ModelConfig, ServingConfig, ServingEngine, RequestSpec};
+use llm_serving::{offline_long_context, ModelConfig, ServingConfig, ServingEngine, ServingReport};
 use pod_attention::PodAttention;
+use pod_bench::microbench::{bench, repo_root_path, BenchResult, Json};
+use pod_bench::{heading, par_map};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_pod_kernel_simulation(c: &mut Criterion) {
-    let pod = PodAttention::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
-    let batch = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
-    c.bench_function("pod_attention/simulate_c0_like_batch", |b| {
-        b.iter(|| pod.execute(black_box(&batch)).expect("POD executes"))
-    });
+/// Timed budget per subject. The numbers feed a trend file, not a paper, so
+/// a few hundred milliseconds per subject is plenty.
+const BUDGET: Duration = Duration::from_millis(300);
+
+fn fig12_quick_setups() -> Vec<(ModelConfig, usize, usize, usize)> {
+    vec![
+        (ModelConfig::yi_6b(), 512, 2048, 96),
+        (ModelConfig::llama2_7b(), 1024, 256, 128),
+        (ModelConfig::llama3_8b(), 1024, 1024, 96),
+    ]
 }
 
-fn bench_serial_kernel_simulation(c: &mut Criterion) {
-    let pod = PodAttention::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
-    let batch = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
-    c.bench_function("fa_serial/simulate_c0_like_batch", |b| {
-        b.iter(|| pod.serial_baseline(black_box(&batch)).expect("serial executes"))
-    });
+/// Run the quick-mode Figure 12 sweep (3 models x 3 systems, serialized) and
+/// return the wall-clock seconds plus every report.
+fn run_fig12_quick(price_cache: bool) -> (f64, Vec<ServingReport>) {
+    let gpu = GpuConfig::a100_80gb();
+    let start = Instant::now();
+    let mut reports = Vec::new();
+    for (model, chunk, output_tokens, num_requests) in fig12_quick_setups() {
+        let requests = offline_long_context(num_requests, 16 * 1024, output_tokens);
+        for mut config in [
+            ServingConfig::vllm(model.clone(), gpu.clone()),
+            ServingConfig::sarathi(model.clone(), gpu.clone(), chunk),
+            ServingConfig::sarathi_pod(model.clone(), gpu.clone(), chunk),
+        ] {
+            config.price_cache = price_cache;
+            reports.push(ServingEngine::new(config).run(requests.clone()));
+        }
+    }
+    (start.elapsed().as_secs_f64(), reports)
 }
 
-fn bench_analytic_estimator(c: &mut Criterion) {
-    let est = AttentionEstimator::new(AttentionConfig::llama3_8b(), GpuConfig::a100_80gb());
-    let batch = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
-    c.bench_function("estimator/pod_hybrid_batch", |b| {
-        b.iter(|| est.estimate(black_box(&batch), AttentionStrategy::Pod))
-    });
-}
+fn main() {
+    let cfg = AttentionConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let c0_like = HybridBatch::uniform(1024, 12 * 1024, 128, 12 * 1024);
 
-fn bench_serving_iterations(c: &mut Criterion) {
-    let config = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024);
-    c.bench_function("serving/8_requests_end_to_end", |b| {
-        b.iter_batched(
-            || ServingEngine::new(config.clone()),
-            |engine| engine.run(vec![RequestSpec::new(0.0, 4096, 32); 8]),
-            BatchSize::SmallInput,
-        )
-    });
-}
+    heading(
+        "Engine & pricing micro-benchmarks",
+        "Hot paths of the reproduction itself; results also written to BENCH_engine.json.",
+    );
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pod_kernel_simulation,
-              bench_serial_kernel_simulation,
-              bench_analytic_estimator,
-              bench_serving_iterations
-);
-criterion_main!(benches);
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // --- contention-engine throughput ---
+    let pod = PodAttention::new(cfg, gpu.clone());
+    let pod_intervals = pod.execute(&c0_like).expect("POD executes").intervals;
+    let r_pod = bench("engine/pod_simulate_c0_like_batch", BUDGET, 10, || {
+        pod.execute(black_box(&c0_like)).expect("POD executes")
+    });
+    let intervals_per_sec = pod_intervals as f64 * r_pod.iters_per_sec();
+    results.push(r_pod);
+    results.push(bench(
+        "engine/fa_serial_simulate_c0_like_batch",
+        BUDGET,
+        10,
+        || {
+            pod.serial_baseline(black_box(&c0_like))
+                .expect("serial executes")
+        },
+    ));
+
+    // --- closed-form estimator (memoized and exact) ---
+    let est_memo = AttentionEstimator::new(cfg, gpu.clone());
+    let est_exact = AttentionEstimator::exact(cfg, gpu.clone());
+    results.push(bench(
+        "estimator/pod_hybrid_batch_memoized",
+        BUDGET,
+        100,
+        || est_memo.estimate(black_box(&c0_like), AttentionStrategy::Pod),
+    ));
+    results.push(bench(
+        "estimator/pod_hybrid_batch_exact",
+        BUDGET,
+        100,
+        || est_exact.estimate(black_box(&c0_like), AttentionStrategy::Pod),
+    ));
+
+    // --- batch pricing through the serving cost model ---
+    let mut cached_cfg = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), gpu.clone(), 1024);
+    cached_cfg.price_cache = true;
+    let mut exact_cfg = cached_cfg.clone();
+    exact_cfg.price_cache = false;
+    let cached_engine = ServingEngine::new(cached_cfg);
+    let exact_engine = ServingEngine::new(exact_cfg);
+    let r_price_memo = bench("pricing/price_batch_memoized", BUDGET, 1000, || {
+        cached_engine.price_batch(black_box(&c0_like))
+    });
+    let r_price_exact = bench("pricing/price_batch_exact", BUDGET, 1000, || {
+        exact_engine.price_batch(black_box(&c0_like))
+    });
+    let priced_per_sec_memo = r_price_memo.iters_per_sec();
+    let priced_per_sec_exact = r_price_exact.iters_per_sec();
+    results.push(r_price_memo);
+    results.push(r_price_exact);
+
+    // --- end-to-end serving, small and fixed-size ---
+    results.push(bench("serving/8_requests_end_to_end", BUDGET, 5, || {
+        ServingEngine::new(ServingConfig::sarathi_pod(
+            ModelConfig::llama3_8b(),
+            gpu.clone(),
+            1024,
+        ))
+        .run(vec![llm_serving::RequestSpec::new(0.0, 4096, 32); 8])
+    }));
+
+    for r in &results {
+        println!("{}", r.summary());
+    }
+
+    // --- the acceptance headline: quick-mode Figure 12, cached vs naive ---
+    println!("\nQuick-mode Figure 12 sweep (3 models x 3 systems, single-threaded):");
+    let (uncached_secs, exact_reports) = run_fig12_quick(false);
+    let (cached_secs, cached_reports) = run_fig12_quick(true);
+    let speedup = uncached_secs / cached_secs.max(1e-12);
+    let hits: usize = cached_reports.iter().map(|r| r.price_cache_hits).sum();
+    let misses: usize = cached_reports.iter().map(|r| r.price_cache_misses).sum();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let iterations: usize = cached_reports.iter().map(|r| r.iterations).sum();
+    let batches_priced_per_sec = iterations as f64 / cached_secs.max(1e-12);
+    let max_rel_diff = cached_reports
+        .iter()
+        .zip(&exact_reports)
+        .map(|(a, b)| (a.makespan - b.makespan).abs() / b.makespan.max(1e-12))
+        .fold(0.0_f64, f64::max);
+    println!("  cache off (naive): {uncached_secs:.3} s");
+    println!("  cache on:          {cached_secs:.3} s  ({speedup:.1}x speedup)");
+    println!(
+        "  price-cache hit rate: {:.1}%  ({hits} hits / {misses} misses)",
+        hit_rate * 100.0
+    );
+    println!(
+        "  max cached-vs-exact makespan deviation: {:.3}%",
+        max_rel_diff * 100.0
+    );
+    assert!(
+        max_rel_diff < 0.02,
+        "cached and uncached serving makespans must agree within 2%"
+    );
+
+    // Demonstrate the parallel sweep helper on the same jobs (what the
+    // figure harnesses use), for the summary line only.
+    let par_start = Instant::now();
+    let _ = par_map(vec![true, true, true], |cache| run_fig12_quick(cache).0);
+    let par_secs = par_start.elapsed().as_secs_f64() / 3.0;
+    println!("  cached sweep amortized under par_map x3: {par_secs:.3} s");
+
+    // --- trend file ---
+    let json = Json::obj(vec![
+        (
+            "engine",
+            Json::obj(vec![
+                ("intervals_per_sec", Json::Num(intervals_per_sec)),
+                ("pod_c0_intervals", Json::Num(pod_intervals as f64)),
+                ("pod_c0_sim_secs", Json::Num(results[0].secs_per_iter())),
+                (
+                    "fa_serial_c0_sim_secs",
+                    Json::Num(results[1].secs_per_iter()),
+                ),
+            ]),
+        ),
+        (
+            "pricing",
+            Json::obj(vec![
+                (
+                    "batches_priced_per_sec_memoized",
+                    Json::Num(priced_per_sec_memo),
+                ),
+                (
+                    "batches_priced_per_sec_exact",
+                    Json::Num(priced_per_sec_exact),
+                ),
+            ]),
+        ),
+        (
+            "fig12_quick",
+            Json::obj(vec![
+                ("uncached_secs", Json::Num(uncached_secs)),
+                ("cached_secs", Json::Num(cached_secs)),
+                ("speedup", Json::Num(speedup)),
+                (
+                    "serving_iterations_per_sec_cached",
+                    Json::Num(batches_priced_per_sec),
+                ),
+                ("price_cache_hit_rate", Json::Num(hit_rate)),
+                ("max_makespan_rel_diff", Json::Num(max_rel_diff)),
+            ]),
+        ),
+    ]);
+    let path = repo_root_path("BENCH_engine.json");
+    std::fs::write(&path, json.to_string_pretty()).expect("write BENCH_engine.json");
+    println!("\nwrote {}", path.display());
+}

@@ -24,20 +24,25 @@ fn main() {
     ];
 
     for (title, decode_bs) in [
-        ("Figure 6 (left): w/o wave quantization (decode batch 54)", 54usize),
-        ("Figure 6 (right): w/ wave quantization (decode batch 55)", 55usize),
+        (
+            "Figure 6 (left): w/o wave quantization (decode batch 54)",
+            54usize,
+        ),
+        (
+            "Figure 6 (right): w/ wave quantization (decode batch 55)",
+            55usize,
+        ),
     ] {
-        heading(title, "Per-layer attention runtime (ms) per chunk id, Yi-6B.");
+        heading(
+            title,
+            "Per-layer attention runtime (ms) per chunk id, Yi-6B.",
+        );
         let mut rows = Vec::new();
         for chunk_id in 0..chunks {
             // Print a subset of chunk ids to keep the table readable; the
             // sweep itself covers all 32.
-            let batch = HybridBatch::uniform(
-                chunk,
-                (chunk_id + 1) * chunk,
-                decode_bs,
-                decode_context,
-            );
+            let batch =
+                HybridBatch::uniform(chunk, (chunk_id + 1) * chunk, decode_bs, decode_context);
             let times: Vec<f64> = strategies
                 .iter()
                 .map(|&s| runner.time(&batch, s).expect("strategy runs"))
@@ -52,7 +57,14 @@ fn main() {
             }
         }
         print_table(
-            &["Chunk", "FA_Serial", "FA_Streams", "FA_HFuse", "POD", "POD vs serial"],
+            &[
+                "Chunk",
+                "FA_Serial",
+                "FA_Streams",
+                "FA_HFuse",
+                "POD",
+                "POD vs serial",
+            ],
             &rows,
         );
     }

@@ -21,10 +21,19 @@ fn main() {
     let context = 4 * 1024usize;
 
     for (title, metric) in [
-        ("Figure 10a: compute utilization vs decode tile size", 0usize),
-        ("Figure 10b: HBM bandwidth utilization vs decode tile size", 1usize),
+        (
+            "Figure 10a: compute utilization vs decode tile size",
+            0usize,
+        ),
+        (
+            "Figure 10b: HBM bandwidth utilization vs decode tile size",
+            1usize,
+        ),
     ] {
-        heading(title, "Decode kernel padding queries to the full tile, context 4K.");
+        heading(
+            title,
+            "Decode kernel padding queries to the full tile, context 4K.",
+        );
         let mut rows = Vec::new();
         for tile in tiles {
             let mut row = vec![format!("({}, {})", tile.q, tile.kv)];

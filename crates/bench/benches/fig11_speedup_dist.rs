@@ -7,7 +7,7 @@
 use attn_kernels::{AttentionConfig, AttentionStrategy, HybridBatch};
 use fusion_lab::HybridAttentionRunner;
 use gpu_sim::GpuConfig;
-use pod_bench::{heading, print_table, scaled, Distribution};
+use pod_bench::{heading, par_map, print_table, scaled, Distribution};
 
 fn sweep_batches(step: usize) -> Vec<(AttentionConfig, HybridBatch)> {
     let models = [
@@ -21,7 +21,10 @@ fn sweep_batches(step: usize) -> Vec<(AttentionConfig, HybridBatch)> {
             let context = context_kib * 1024;
             for chunk in [512usize, 1024, 2048] {
                 for decode_bs in [16usize, 48, 96, 160, 224] {
-                    batches.push((cfg, HybridBatch::uniform(chunk, context, decode_bs, context)));
+                    batches.push((
+                        cfg,
+                        HybridBatch::uniform(chunk, context, decode_bs, context),
+                    ));
                 }
             }
         }
@@ -38,7 +41,10 @@ fn main() {
 
     heading(
         "Figure 11: distribution of attention speedup over FA_Serial",
-        &format!("Sweep of {} hybrid batches across Yi-6B, Llama-2-7B, Llama-3-8B.", batches.len()),
+        &format!(
+            "Sweep of {} hybrid batches across Yi-6B, Llama-2-7B, Llama-3-8B.",
+            batches.len()
+        ),
     );
 
     let strategies = [
@@ -48,35 +54,55 @@ fn main() {
         AttentionStrategy::FaHFuse,
         AttentionStrategy::Pod,
     ];
-    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-    let mut runners: Vec<(AttentionConfig, HybridAttentionRunner)> = Vec::new();
-    let mut included = 0usize;
-
-    for (cfg, batch) in &batches {
-        let runner = match runners.iter().find(|(c, _)| c == cfg) {
-            Some((_, r)) => r.clone(),
-            None => {
-                let r = HybridAttentionRunner::new(*cfg, gpu.clone());
-                runners.push((*cfg, r.clone()));
-                r
-            }
-        };
+    // One job per hybrid batch: each runs the serial baseline (for the 20%
+    // inclusion filter) plus all five strategies through the CTA-level
+    // simulator. The per-model runners are shared read-only across workers.
+    let runners: Vec<(AttentionConfig, HybridAttentionRunner)> = [
+        AttentionConfig::yi_6b(),
+        AttentionConfig::llama2_7b(),
+        AttentionConfig::llama3_8b(),
+    ]
+    .into_iter()
+    .map(|cfg| (cfg, HybridAttentionRunner::new(cfg, gpu.clone())))
+    .collect();
+    let per_batch: Vec<Option<[f64; 5]>> = par_map(batches, |(cfg, batch)| {
+        let runner = &runners
+            .iter()
+            .find(|(c, _)| *c == cfg)
+            .expect("runner for every model")
+            .1;
         // Keep only batches where both operations matter (>= 20% of serial).
         let serial = runner
-            .execute(batch, AttentionStrategy::FaSerial)
+            .execute(&batch, AttentionStrategy::FaSerial)
             .expect("serial runs");
-        let prefill_t = serial.kernel("fa2_prefill").map(|k| k.duration()).unwrap_or(0.0);
-        let decode_t = serial.kernel("fa_decode").map(|k| k.duration()).unwrap_or(0.0);
+        let prefill_t = serial
+            .kernel("fa2_prefill")
+            .map(|k| k.duration())
+            .unwrap_or(0.0);
+        let decode_t = serial
+            .kernel("fa_decode")
+            .map(|k| k.duration())
+            .unwrap_or(0.0);
         let total = prefill_t + decode_t;
         if total <= 0.0 || prefill_t / total < 0.2 || decode_t / total < 0.2 {
-            continue;
+            return None;
         }
-        included += 1;
+        let mut speedups = [0.0_f64; 5];
         for (i, &s) in strategies.iter().enumerate() {
             let speedup = runner
-                .speedup_over_fa_serial(batch, s)
+                .speedup_over_fa_serial(&batch, s)
                 .expect("strategy runs");
-            samples[i].push((speedup - 1.0) * 100.0);
+            speedups[i] = (speedup - 1.0) * 100.0;
+        }
+        Some(speedups)
+    });
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    let mut included = 0usize;
+    for speedups in per_batch.into_iter().flatten() {
+        included += 1;
+        for (i, s) in speedups.into_iter().enumerate() {
+            samples[i].push(s);
         }
     }
 

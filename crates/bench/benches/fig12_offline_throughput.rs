@@ -4,7 +4,7 @@
 
 use gpu_sim::GpuConfig;
 use llm_serving::{offline_long_context, ModelConfig, ServingConfig, ServingEngine};
-use pod_bench::{heading, print_table, scaled};
+use pod_bench::{heading, par_map, print_table, scaled};
 
 fn main() {
     let gpu = GpuConfig::a100_80gb();
@@ -22,30 +22,35 @@ fn main() {
         "16K-token prompts; chunk 512 for Yi-6B, 1K for Llama-2-7B and Llama-3-8B.",
     );
 
+    // One job per (model, system): all nine serving simulations run in
+    // parallel and the rows are reassembled in model order afterwards.
+    let jobs: Vec<(usize, usize)> = (0..setups.len())
+        .flat_map(|m| (0..3).map(move |s| (m, s)))
+        .collect();
+    let rpm = par_map(jobs, |(m, s)| {
+        let (model, chunk, output_tokens, num_requests) = &setups[m];
+        let requests = offline_long_context(*num_requests, 16 * 1024, *output_tokens);
+        let config = match s {
+            0 => ServingConfig::vllm(model.clone(), gpu.clone()),
+            1 => ServingConfig::sarathi(model.clone(), gpu.clone(), *chunk),
+            _ => ServingConfig::sarathi_pod(model.clone(), gpu.clone(), *chunk),
+        };
+        ServingEngine::new(config)
+            .run(requests)
+            .requests_per_minute()
+    });
+
     let mut rows = Vec::new();
-    for (model, chunk, output_tokens, num_requests) in setups {
-        let requests = offline_long_context(num_requests, 16 * 1024, output_tokens);
-        let vllm = ServingEngine::new(ServingConfig::vllm(model.clone(), gpu.clone()))
-            .run(requests.clone());
-        let sarathi =
-            ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), chunk))
-                .run(requests.clone());
-        let pod = ServingEngine::new(ServingConfig::sarathi_pod(model.clone(), gpu.clone(), chunk))
-            .run(requests);
+    for (m, (model, _, _, num_requests)) in setups.iter().enumerate() {
+        let (vllm, sarathi, pod) = (rpm[3 * m], rpm[3 * m + 1], rpm[3 * m + 2]);
         rows.push(vec![
             model.name.clone(),
             format!("{num_requests}"),
-            format!("{:.1}", vllm.requests_per_minute()),
-            format!("{:.1}", sarathi.requests_per_minute()),
-            format!("{:.1}", pod.requests_per_minute()),
-            format!(
-                "+{:.0}%",
-                (pod.requests_per_minute() / sarathi.requests_per_minute() - 1.0) * 100.0
-            ),
-            format!(
-                "+{:.0}%",
-                (pod.requests_per_minute() / vllm.requests_per_minute() - 1.0) * 100.0
-            ),
+            format!("{vllm:.1}"),
+            format!("{sarathi:.1}"),
+            format!("{pod:.1}"),
+            format!("+{:.0}%", (pod / sarathi - 1.0) * 100.0),
+            format!("+{:.0}%", (pod / vllm - 1.0) * 100.0),
         ]);
     }
     print_table(

@@ -5,7 +5,7 @@
 use attn_kernels::{AttentionConfig, HybridBatch};
 use gpu_sim::GpuConfig;
 use pod_attention::{PodAttention, PodOptions, SchedulingPolicy};
-use pod_bench::{heading, ms, print_table};
+use pod_bench::{heading, ms, par_map, print_table};
 
 fn main() {
     let gpu = GpuConfig::a100_80gb();
@@ -22,8 +22,13 @@ fn main() {
         "8K context, 2K prefill chunk.",
     );
 
-    let mut rows = Vec::new();
-    for (name, cfg) in models {
+    // One job per (model, batch size): both policies simulate in the job so
+    // each row's comparison shares a worker, and the sweep fans out.
+    let jobs: Vec<(&str, AttentionConfig, usize)> = models
+        .iter()
+        .flat_map(|(name, cfg)| batch_sizes.iter().map(move |&bs| (*name, *cfg, bs)))
+        .collect();
+    let rows = par_map(jobs, |(name, cfg, bs)| {
         let fifty = PodAttention::with_options(
             cfg,
             gpu.clone(),
@@ -34,21 +39,27 @@ fn main() {
             gpu.clone(),
             PodOptions::recommended().with_policy(SchedulingPolicy::Proportional),
         );
-        for &bs in &batch_sizes {
-            let batch = HybridBatch::uniform(chunk, context, bs, context);
-            let t50 = fifty.attention_time(&batch).expect("50:50 runs");
-            let tp = proportional.attention_time(&batch).expect("proportional runs");
-            rows.push(vec![
-                name.to_string(),
-                format!("{bs}"),
-                ms(t50),
-                ms(tp),
-                format!("{:+.1}%", (t50 / tp - 1.0) * 100.0),
-            ]);
-        }
-    }
+        let batch = HybridBatch::uniform(chunk, context, bs, context);
+        let t50 = fifty.attention_time(&batch).expect("50:50 runs");
+        let tp = proportional
+            .attention_time(&batch)
+            .expect("proportional runs");
+        vec![
+            name.to_string(),
+            format!("{bs}"),
+            ms(t50),
+            ms(tp),
+            format!("{:+.1}%", (t50 / tp - 1.0) * 100.0),
+        ]
+    });
     print_table(
-        &["Model", "Batch size", "50:50", "Proportional", "Proportional gain"],
+        &[
+            "Model",
+            "Batch size",
+            "50:50",
+            "Proportional",
+            "Proportional gain",
+        ],
         &rows,
     );
 

@@ -4,7 +4,7 @@
 
 use gpu_sim::GpuConfig;
 use llm_serving::{pd_ratio_workload, ModelConfig, ServingConfig, ServingEngine};
-use pod_bench::{heading, print_table, scaled};
+use pod_bench::{heading, par_map, print_table, scaled};
 
 fn main() {
     let gpu = GpuConfig::a100_80gb();
@@ -18,13 +18,19 @@ fn main() {
         &format!("Llama-3-8B TP-2, {num_requests} requests of ~16.5K tokens each."),
     );
 
-    let mut rows = Vec::new();
-    for pd in (8..=24).step_by(2) {
+    // One job per P:D ratio, both systems inside the job; the nine ratios
+    // sweep in parallel.
+    let ratios: Vec<usize> = (8..=24).step_by(2).collect();
+    let rows = par_map(ratios, |pd| {
         let requests = pd_ratio_workload(num_requests, total_tokens, pd as f64);
         let sarathi = ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), chunk))
             .run(requests.clone());
-        let pod = ServingEngine::new(ServingConfig::sarathi_pod(model.clone(), gpu.clone(), chunk))
-            .run(requests);
+        let pod = ServingEngine::new(ServingConfig::sarathi_pod(
+            model.clone(),
+            gpu.clone(),
+            chunk,
+        ))
+        .run(requests);
         let regime = if pd <= 10 {
             "decode bound"
         } else if pd >= 20 {
@@ -32,7 +38,7 @@ fn main() {
         } else {
             "balanced"
         };
-        rows.push(vec![
+        vec![
             format!("{pd}"),
             regime.to_string(),
             format!("{:.1}", sarathi.requests_per_minute()),
@@ -41,11 +47,21 @@ fn main() {
                 "+{:.1}%",
                 (pod.requests_per_minute() / sarathi.requests_per_minute() - 1.0) * 100.0
             ),
-            format!("{:.0}%", 100.0 * pod.hybrid_iterations as f64 / pod.iterations.max(1) as f64),
-        ]);
-    }
+            format!(
+                "{:.0}%",
+                100.0 * pod.hybrid_iterations as f64 / pod.iterations.max(1) as f64
+            ),
+        ]
+    });
     print_table(
-        &["P:D", "Regime", "Sarathi", "Sarathi+POD", "Gain", "Hybrid iters"],
+        &[
+            "P:D",
+            "Regime",
+            "Sarathi",
+            "Sarathi+POD",
+            "Gain",
+            "Hybrid iters",
+        ],
         &rows,
     );
 

@@ -23,9 +23,12 @@ fn main() {
         ServingEngine::new(ServingConfig::vllm(model.clone(), gpu.clone())).run(requests.clone()),
     )];
     for chunk in [1024usize, 1536, 2048] {
-        let report =
-            ServingEngine::new(ServingConfig::sarathi_pod(model.clone(), gpu.clone(), chunk))
-                .run(requests.clone());
+        let report = ServingEngine::new(ServingConfig::sarathi_pod(
+            model.clone(),
+            gpu.clone(),
+            chunk,
+        ))
+        .run(requests.clone());
         systems.push((format!("Sarathi+POD (chunk {chunk})"), report));
     }
 
@@ -42,7 +45,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["System", "TTFT P50 (s)", "TTFT P99 (s)", "TBT P50 (s)", "TBT P99 (s)"],
+        &[
+            "System",
+            "TTFT P50 (s)",
+            "TTFT P99 (s)",
+            "TBT P50 (s)",
+            "TBT P99 (s)",
+        ],
         &rows,
     );
 

@@ -40,8 +40,12 @@ fn main() {
         let fa = runner
             .time(&batch, AttentionStrategy::FaSerial)
             .expect("FA serial runs");
-        let t_vanilla = vanilla.attention_time(&batch).expect("vanilla-split POD runs");
-        let t_limited = limited.attention_time(&batch).expect("limited-split POD runs");
+        let t_vanilla = vanilla
+            .attention_time(&batch)
+            .expect("vanilla-split POD runs");
+        let t_limited = limited
+            .attention_time(&batch)
+            .expect("limited-split POD runs");
         rows.push(vec![
             format!("{chunk_id}"),
             ms(fa),
@@ -50,7 +54,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["Chunk Id", "FA_Serial", "POD (vanilla split)", "POD (limited split)"],
+        &[
+            "Chunk Id",
+            "FA_Serial",
+            "POD (vanilla split)",
+            "POD (limited split)",
+        ],
         &rows,
     );
 

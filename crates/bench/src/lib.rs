@@ -16,12 +16,18 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod online;
+pub mod par;
+
+pub use par::par_map;
 
 /// Whether the full (paper-scale) evaluation was requested via the
 /// `POD_FULL_EVAL` environment variable.
 pub fn full_eval() -> bool {
-    std::env::var("POD_FULL_EVAL").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("POD_FULL_EVAL")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// Pick `quick` or `full` depending on [`full_eval`].
@@ -63,7 +69,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -1,0 +1,208 @@
+//! A minimal timing harness for the repo's own hot paths, plus a tiny JSON
+//! writer for machine-readable results (`BENCH_engine.json`).
+//!
+//! The build environment has no access to crates.io, so this stands in for
+//! `criterion`: warm up, then run timed batches until both a minimum
+//! duration and a minimum iteration count are reached, and report the mean
+//! per-iteration time. It deliberately avoids criterion's statistical
+//! machinery — the consumers are regression *trend* files committed by the
+//! bench harness, not microsecond-exact claims.
+
+use std::time::{Duration, Instant};
+
+/// Result of timing one benchmark subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Subject name, e.g. `"engine/pod_c0"`.
+    pub name: String,
+    /// Iterations executed during the timed phase.
+    pub iters: u64,
+    /// Total wall-clock time of the timed phase.
+    pub elapsed: Duration,
+}
+
+impl BenchResult {
+    /// Mean seconds per iteration.
+    pub fn secs_per_iter(&self) -> f64 {
+        self.elapsed.as_secs_f64() / self.iters.max(1) as f64
+    }
+
+    /// Mean iterations per second.
+    pub fn iters_per_sec(&self) -> f64 {
+        let s = self.secs_per_iter();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        1.0 / s
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        let per_iter = self.secs_per_iter();
+        let (scaled, unit) = if per_iter >= 1.0 {
+            (per_iter, "s")
+        } else if per_iter >= 1e-3 {
+            (per_iter * 1e3, "ms")
+        } else if per_iter >= 1e-6 {
+            (per_iter * 1e6, "us")
+        } else {
+            (per_iter * 1e9, "ns")
+        };
+        format!(
+            "{:<44} {:>10.2} {}/iter  ({} iters)",
+            self.name, scaled, unit, self.iters
+        )
+    }
+}
+
+/// Time `f`, discarding a warmup phase, until the timed phase has run for at
+/// least `min_time` and `min_iters` iterations. The closure's return value is
+/// passed through [`std::hint::black_box`] so the work is not optimized away.
+pub fn bench<R, F: FnMut() -> R>(
+    name: &str,
+    min_time: Duration,
+    min_iters: u64,
+    mut f: F,
+) -> BenchResult {
+    // Warmup: at least one iteration and ~20% of the timed budget.
+    let warm_budget = min_time / 5;
+    let warm_start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        if warm_start.elapsed() >= warm_budget {
+            break;
+        }
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        if iters >= min_iters && start.elapsed() >= min_time {
+            break;
+        }
+    }
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// A JSON value for the bench trend files. Only what the harnesses need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object values.
+    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Resolve a path relative to the repository root (two levels above this
+/// crate's manifest), falling back to the current directory.
+pub fn repo_root_path(file_name: &str) -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../..").join(file_name),
+        Err(_) => std::path::PathBuf::from(file_name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_the_minimum() {
+        let mut count = 0u64;
+        let r = bench("t", Duration::from_millis(5), 10, || {
+            count += 1;
+            count
+        });
+        assert!(r.iters >= 10);
+        assert!(count > r.iters, "warmup iterations must also run");
+        assert!(r.secs_per_iter() > 0.0);
+        assert!(r.iters_per_sec() > 0.0);
+        assert!(r.summary().contains("t"));
+    }
+
+    #[test]
+    fn json_serializes_nested_objects() {
+        let j = Json::obj(vec![
+            ("a", Json::Num(1.5)),
+            ("b", Json::Str("x\"y".to_string())),
+            ("c", Json::obj(vec![("d", Json::Num(f64::NAN))])),
+        ]);
+        let s = j.to_string_pretty();
+        assert!(s.contains("\"a\": 1.5"));
+        assert!(s.contains("\\\""));
+        assert!(s.contains("\"d\": null"));
+        assert!(s.trim_start().starts_with('{'));
+    }
+}

@@ -18,8 +18,12 @@ pub fn run_three_systems(
     let requests = workload.generate(num_requests, qps, seed);
     let vllm =
         ServingEngine::new(ServingConfig::vllm(model.clone(), gpu.clone())).run(requests.clone());
-    let sarathi = ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), chunk_size))
-        .run(requests.clone());
+    let sarathi = ServingEngine::new(ServingConfig::sarathi(
+        model.clone(),
+        gpu.clone(),
+        chunk_size,
+    ))
+    .run(requests.clone());
     let pod = ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, chunk_size)).run(requests);
     [vllm, sarathi, pod]
 }

@@ -1,0 +1,102 @@
+//! A minimal work-stealing parallel map over OS threads.
+//!
+//! The figure sweeps run many independent simulator configurations; this
+//! module fans them out across `std::thread::scope` workers. The build
+//! environment has no access to crates.io, so this is the std-only stand-in
+//! for `rayon::par_iter` — same contract (order-preserving results, panics
+//! propagate), sized for coarse-grained jobs like "simulate one serving
+//! configuration".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to [`available_parallelism`] worker threads,
+/// returning the results in input order.
+///
+/// Jobs are pulled from a shared index, so stragglers do not serialize the
+/// sweep. Panics in `f` propagate once all workers have stopped.
+///
+/// [`available_parallelism`]: std::thread::available_parallelism
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = max_workers().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let r = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job produced a result")
+        })
+        .collect()
+}
+
+/// Worker count: `POD_BENCH_THREADS` if set, else the machine's available
+/// parallelism. `POD_BENCH_THREADS=1` serializes the sweeps (useful when
+/// comparing against the pre-parallel baseline).
+fn max_workers() -> usize {
+    if let Ok(v) = std::env::var("POD_BENCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(items, |x| x * 2);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        assert_eq!(par_map(Vec::<usize>::new(), |x| x), Vec::<usize>::new());
+        assert_eq!(par_map(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn jobs_can_capture_shared_state() {
+        let base = 10usize;
+        let out = par_map(vec![1, 2, 3], |x| x + base);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+}

@@ -8,9 +8,7 @@ use attn_kernels::{
     AttentionConfig, AttentionStrategy, BatchedPrefillKernel, DecodeKernel, HybridBatch,
     PrefillKernel, KERNEL_LAUNCH_OVERHEAD,
 };
-use gpu_sim::{
-    CtaWork, Engine, ExecutionReport, GpuConfig, KernelLaunch, SimError, WorkUnit,
-};
+use gpu_sim::{CtaWork, Engine, ExecutionReport, GpuConfig, KernelLaunch, SimError, WorkUnit};
 use pod_attention::PodAttention;
 
 /// Runs hybrid-batch attention under a chosen [`AttentionStrategy`] on the
@@ -78,9 +76,15 @@ impl HybridAttentionRunner {
             AttentionStrategy::FaSerial => self.engine.run_serial(self.fa_launches(batch)),
             AttentionStrategy::FaStreams => self.engine.run_concurrent(self.fa_launches(batch)),
             AttentionStrategy::FiSerial => self.engine.run_serial(self.fi_launches(batch)),
-            AttentionStrategy::FiBatched => self.engine.run_kernel(
-                BatchedPrefillKernel::flashinfer().launch("fi_batched", batch, &self.cfg, &self.gpu),
-            ),
+            AttentionStrategy::FiBatched => {
+                self.engine
+                    .run_kernel(BatchedPrefillKernel::flashinfer().launch(
+                        "fi_batched",
+                        batch,
+                        &self.cfg,
+                        &self.gpu,
+                    ))
+            }
             AttentionStrategy::FaHFuse => self.engine.run_kernel(self.hfuse_launch(batch)),
             AttentionStrategy::Pod => self.pod.execute(batch),
         }

@@ -67,7 +67,8 @@ impl ComputeKernel {
 
     /// The work of a single CTA.
     pub fn cta(&self) -> CtaWork {
-        let flops = self.iterations as f64 * ELEMENTS_PER_CTA as f64 * COMPUTE_FLOPS_PER_ELEMENT_ITER;
+        let flops =
+            self.iterations as f64 * ELEMENTS_PER_CTA as f64 * COMPUTE_FLOPS_PER_ELEMENT_ITER;
         // The array is streamed in once and written back once.
         let bytes = (2 * ELEMENTS_PER_CTA * ELEMENT_BYTES) as f64;
         CtaWork::single(OpClass::ComputeBound, flops, bytes)
@@ -200,7 +201,10 @@ mod tests {
         let gpu = GpuConfig::a100_80gb();
         let c = ComputeKernel::figure7(10, &gpu);
         assert_eq!(c.ctas, 216);
-        assert_eq!(gpu.occupancy(c.footprint().shared_mem, c.footprint().threads), 2);
+        assert_eq!(
+            gpu.occupancy(c.footprint().shared_mem, c.footprint().threads),
+            2
+        );
         assert_eq!(MemoryKernel::figure7(&gpu).ctas, 216);
     }
 }

@@ -260,8 +260,7 @@ fn fuse_intra_thread(a: &Operation, b: &Operation) -> KernelLaunch {
         }
         fused.push(CtaWork {
             units: vec![
-                WorkUnit::new(op, flops, bytes)
-                    .with_serial_fraction(INTRA_THREAD_SERIAL_FRACTION),
+                WorkUnit::new(op, flops, bytes).with_serial_fraction(INTRA_THREAD_SERIAL_FRACTION)
             ],
         });
     }
@@ -291,9 +290,18 @@ mod tests {
         let serial = exec.runtime(&a, &b, FusionStrategy::Serial).unwrap();
         let sm_aware = exec.runtime(&a, &b, FusionStrategy::SmAwareCta).unwrap();
         let oracle = exec.oracle(&a, &b);
-        assert!(sm_aware < serial * 0.8, "sm-aware {sm_aware} vs serial {serial}");
-        assert!(sm_aware >= oracle * 0.95, "sm-aware {sm_aware} below oracle {oracle}");
-        assert!(sm_aware < oracle * 1.6, "sm-aware {sm_aware} far from oracle {oracle}");
+        assert!(
+            sm_aware < serial * 0.8,
+            "sm-aware {sm_aware} vs serial {serial}"
+        );
+        assert!(
+            sm_aware >= oracle * 0.95,
+            "sm-aware {sm_aware} below oracle {oracle}"
+        );
+        assert!(
+            sm_aware < oracle * 1.6,
+            "sm-aware {sm_aware} far from oracle {oracle}"
+        );
     }
 
     #[test]

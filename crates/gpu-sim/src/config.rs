@@ -112,16 +112,14 @@ impl GpuConfig {
     /// Occupancy is the minimum over the shared-memory, thread and CTA-count
     /// limits; a CTA that does not fit at all yields zero.
     pub fn occupancy(&self, shared_mem: usize, threads: usize) -> usize {
-        let by_smem = if shared_mem == 0 {
-            self.max_ctas_per_sm
-        } else {
-            self.shared_mem_per_sm / shared_mem
-        };
-        let by_threads = if threads == 0 {
-            self.max_ctas_per_sm
-        } else {
-            self.max_threads_per_sm / threads
-        };
+        let by_smem = self
+            .shared_mem_per_sm
+            .checked_div(shared_mem)
+            .unwrap_or(self.max_ctas_per_sm);
+        let by_threads = self
+            .max_threads_per_sm
+            .checked_div(threads)
+            .unwrap_or(self.max_ctas_per_sm);
         by_smem.min(by_threads).min(self.max_ctas_per_sm)
     }
 
@@ -230,8 +228,14 @@ impl GpuConfigBuilder {
     /// zero compute throughput).
     pub fn build(self) -> GpuConfig {
         assert!(self.cfg.num_sms > 0, "GPU must have at least one SM");
-        assert!(self.cfg.tensor_flops > 0.0, "tensor throughput must be positive");
-        assert!(self.cfg.hbm_bandwidth > 0.0, "HBM bandwidth must be positive");
+        assert!(
+            self.cfg.tensor_flops > 0.0,
+            "tensor throughput must be positive"
+        );
+        assert!(
+            self.cfg.hbm_bandwidth > 0.0,
+            "HBM bandwidth must be positive"
+        );
         self.cfg
     }
 }

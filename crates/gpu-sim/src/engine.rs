@@ -17,6 +17,22 @@
 //! the hardware CTA scheduler can place queued CTAs. Wave quantization,
 //! stragglers and the benefit of SM-level co-location all emerge from these
 //! mechanics rather than being hard-coded.
+//!
+//! # The incremental active-set design
+//!
+//! Because every memory-hungry unit receives the *same* global bandwidth
+//! share and every compute-hungry unit on one SM receives the *same* share of
+//! that SM's tensor throughput, the drain order within a resource pool never
+//! changes while the pool's membership is fixed. The engine exploits this:
+//! each pool keeps a running "work drained per member" accumulator, and every
+//! active stream is entered into a min-heap keyed by
+//! `accumulator-at-entry + remaining-work`. The stream with the smallest key
+//! is always the next to drain, so finding the end of an interval is a peek
+//! into one global memory heap, one heap per SM with compute demand, and a
+//! heap of pending barrier tails — instead of the full rescan of every
+//! resident unit that a naive implementation performs four times per
+//! interval. Per-unit work is attributed to kernels and op-classes once, at
+//! drain time, which is exact because shares are piecewise constant.
 
 use crate::config::GpuConfig;
 use crate::error::SimError;
@@ -25,12 +41,19 @@ use crate::metrics::{EnergyModel, ExecutionReport, KernelReport, OpClassReport};
 use crate::sm::SmState;
 use crate::stream::Stream;
 use crate::work::{CtaWork, Footprint, OpClass};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 /// Work threshold below which remaining FLOPs/bytes are treated as drained.
 const WORK_EPS: f64 = 1e-6;
 /// Time threshold below which a tail delay is treated as elapsed.
 const TIME_EPS: f64 = 1e-15;
+/// Relative slack added to [`WORK_EPS`] when comparing against the running
+/// drained-work accumulators, absorbing the rounding error the accumulators
+/// pick up over many intervals. At the largest per-unit work the kernels
+/// produce (~1e11) this is a tenth of a byte / FLOP — physically negligible.
+const ACC_REL_EPS: f64 = 1e-12;
 
 /// Tunable fidelity parameters of the contention engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,57 +75,311 @@ impl Default for EngineOptions {
     }
 }
 
-#[derive(Debug, Clone)]
-struct UnitState {
-    rem_flops: f64,
-    rem_bytes: f64,
-    op: OpClass,
-    serial_fraction: f64,
-    busy_compute: f64,
-    busy_memory: f64,
-    /// Barrier-induced tail delay; `None` until both resource streams drain.
-    tail: Option<f64>,
-    done: bool,
-    compute_rate: f64,
-    mem_rate: f64,
+/// Min-heap key: an `(f64, unit-id)` pair with a total order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64, usize);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
-impl UnitState {
-    fn new(unit: &crate::work::WorkUnit) -> Self {
-        let done = unit.flops <= WORK_EPS && unit.bytes <= WORK_EPS && unit.serial_fraction <= 0.0;
-        UnitState {
-            rem_flops: unit.flops,
-            rem_bytes: unit.bytes,
-            op: unit.op,
-            serial_fraction: unit.serial_fraction,
-            busy_compute: 0.0,
-            busy_memory: 0.0,
-            tail: if done { Some(0.0) } else { None },
-            done,
-            compute_rate: 0.0,
-            mem_rate: 0.0,
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// One work unit resident on the device.
+#[derive(Debug, Clone)]
+struct UnitRec {
+    cta: usize,
+    op: OpClass,
+    flops: f64,
+    bytes: f64,
+    serial_fraction: f64,
+    start: f64,
+    busy_compute: f64,
+    busy_memory: f64,
+    compute_pending: bool,
+    mem_pending: bool,
+    tail_scheduled: bool,
+    done: bool,
+}
+
+/// One CTA resident on (or retired from) the device.
+#[derive(Debug, Clone)]
+struct CtaRec {
+    kernel_id: usize,
+    sm: usize,
+    footprint: Footprint,
+    dominant_op: OpClass,
+    live_units: usize,
+    retired: bool,
+}
+
+/// Incrementally-maintained state of everything currently executing: unit and
+/// CTA slabs, per-pool drained-work accumulators and the drain-event heaps.
+#[derive(Debug)]
+struct ActiveSet {
+    units: Vec<UnitRec>,
+    ctas: Vec<CtaRec>,
+    /// Bytes drained per memory-active unit since the start of the run.
+    mem_drained: f64,
+    /// FLOPs drained per compute-active unit on each SM.
+    sm_flops_drained: Vec<f64>,
+    /// Pending compute drains per SM; `compute_heaps[sm].len()` *is* that
+    /// SM's compute demand.
+    compute_heaps: Vec<BinaryHeap<Reverse<Key>>>,
+    /// Pending memory drains; `mem_heap.len()` is the device memory demand.
+    mem_heap: BinaryHeap<Reverse<Key>>,
+    /// Pending barrier-tail expiries, keyed by absolute time.
+    tail_heap: BinaryHeap<Reverse<Key>>,
+    /// CTAs whose last unit finished, awaiting resource release.
+    retire_queue: Vec<usize>,
+    /// Dispatched but not yet retired CTAs.
+    live_ctas: usize,
+}
+
+impl ActiveSet {
+    fn new(num_sms: usize) -> Self {
+        ActiveSet {
+            units: Vec::new(),
+            ctas: Vec::new(),
+            mem_drained: 0.0,
+            sm_flops_drained: vec![0.0; num_sms],
+            compute_heaps: (0..num_sms).map(|_| BinaryHeap::new()).collect(),
+            mem_heap: BinaryHeap::new(),
+            tail_heap: BinaryHeap::new(),
+            retire_queue: Vec::new(),
+            live_ctas: 0,
+        }
+    }
+
+    /// Enter a freshly-dispatched CTA into the active set.
+    fn add_cta(
+        &mut self,
+        work: &CtaWork,
+        kernel_id: usize,
+        sm: usize,
+        footprint: Footprint,
+        dominant_op: OpClass,
+        now: f64,
+    ) {
+        let cta_id = self.ctas.len();
+        self.ctas.push(CtaRec {
+            kernel_id,
+            sm,
+            footprint,
+            dominant_op,
+            live_units: work.units.len(),
+            retired: false,
+        });
+        self.live_ctas += 1;
+        for u in &work.units {
+            let uid = self.units.len();
+            let mut rec = UnitRec {
+                cta: cta_id,
+                op: u.op,
+                flops: u.flops,
+                bytes: u.bytes,
+                serial_fraction: u.serial_fraction,
+                start: now,
+                busy_compute: 0.0,
+                busy_memory: 0.0,
+                compute_pending: false,
+                mem_pending: false,
+                tail_scheduled: false,
+                done: false,
+            };
+            if u.flops > WORK_EPS {
+                rec.compute_pending = true;
+                self.compute_heaps[sm].push(Reverse(Key(self.sm_flops_drained[sm] + u.flops, uid)));
+            }
+            if u.bytes > WORK_EPS {
+                rec.mem_pending = true;
+                self.mem_heap
+                    .push(Reverse(Key(self.mem_drained + u.bytes, uid)));
+            }
+            self.units.push(rec);
+            self.maybe_finish_unit(uid, now);
+        }
+    }
+
+    /// If both resource streams of `uid` have drained, charge the
+    /// barrier-induced serial tail; once it elapses the unit is done.
+    fn maybe_finish_unit(&mut self, uid: usize, now: f64) {
+        let u = &mut self.units[uid];
+        if u.done || u.compute_pending || u.mem_pending || u.tail_scheduled {
+            return;
+        }
+        let tail = u.serial_fraction * u.busy_compute.min(u.busy_memory);
+        if tail <= TIME_EPS {
+            u.done = true;
+            let cta = u.cta;
+            let c = &mut self.ctas[cta];
+            c.live_units -= 1;
+            if c.live_units == 0 {
+                self.retire_queue.push(cta);
+            }
+        } else {
+            u.tail_scheduled = true;
+            self.tail_heap.push(Reverse(Key(now + tail, uid)));
+        }
+    }
+
+    /// Time until the next drain/expiry event given the current shares, or
+    /// `0.0` if nothing is pending (only instantly-complete CTAs remain).
+    fn next_event_dt(&self, now: f64, shares: &Shares) -> f64 {
+        let mut dt = f64::INFINITY;
+        if let Some(&Reverse(Key(tok, _))) = self.mem_heap.peek() {
+            let share = shares.mem_share(self.mem_heap.len());
+            dt = dt.min((tok - self.mem_drained).max(0.0) / share);
+        }
+        for (sm, heap) in self.compute_heaps.iter().enumerate() {
+            if let Some(&Reverse(Key(tok, _))) = heap.peek() {
+                let share = shares.compute_share(heap.len());
+                dt = dt.min((tok - self.sm_flops_drained[sm]).max(0.0) / share);
+            }
+        }
+        if let Some(&Reverse(Key(t, _))) = self.tail_heap.peek() {
+            dt = dt.min((t - now).max(0.0));
+        }
+        if dt.is_finite() {
+            dt
+        } else {
+            0.0
+        }
+    }
+
+    /// Advance all drained-work accumulators by `dt` and return the
+    /// `(flops, bytes)` moved during the interval.
+    fn advance(&mut self, dt: f64, shares: &Shares) -> (f64, f64) {
+        let mut flops = 0.0;
+        let mut bytes = 0.0;
+        let m = self.mem_heap.len();
+        if m > 0 {
+            let share = shares.mem_share(m);
+            self.mem_drained += share * dt;
+            bytes = m as f64 * share * dt;
+        }
+        for (sm, heap) in self.compute_heaps.iter().enumerate() {
+            let d = heap.len();
+            if d > 0 {
+                let share = shares.compute_share(d);
+                self.sm_flops_drained[sm] += share * dt;
+                flops += d as f64 * share * dt;
+            }
+        }
+        (flops, bytes)
+    }
+
+    /// Pop every stream/tail that drained by `now`, attributing the finished
+    /// work to its kernel and op-class.
+    fn process_events(
+        &mut self,
+        now: f64,
+        kernels: &mut [KernelState],
+        op_classes: &mut BTreeMap<OpClass, OpClassReport>,
+    ) {
+        let mem_eps = WORK_EPS + self.mem_drained.abs() * ACC_REL_EPS;
+        while let Some(&Reverse(Key(tok, uid))) = self.mem_heap.peek() {
+            if tok - self.mem_drained > mem_eps {
+                break;
+            }
+            self.mem_heap.pop();
+            let u = &mut self.units[uid];
+            u.mem_pending = false;
+            u.busy_memory = now - u.start;
+            kernels[self.ctas[u.cta].kernel_id].bytes += u.bytes;
+            op_classes.entry(u.op).or_default().bytes += u.bytes;
+            self.maybe_finish_unit(uid, now);
+        }
+        for sm in 0..self.compute_heaps.len() {
+            let eps = WORK_EPS + self.sm_flops_drained[sm].abs() * ACC_REL_EPS;
+            while let Some(&Reverse(Key(tok, uid))) = self.compute_heaps[sm].peek() {
+                if tok - self.sm_flops_drained[sm] > eps {
+                    break;
+                }
+                self.compute_heaps[sm].pop();
+                let u = &mut self.units[uid];
+                u.compute_pending = false;
+                u.busy_compute = now - u.start;
+                kernels[self.ctas[u.cta].kernel_id].flops += u.flops;
+                op_classes.entry(u.op).or_default().flops += u.flops;
+                self.maybe_finish_unit(uid, now);
+            }
+        }
+        while let Some(&Reverse(Key(t, uid))) = self.tail_heap.peek() {
+            if t - now > TIME_EPS {
+                break;
+            }
+            self.tail_heap.pop();
+            let u = &mut self.units[uid];
+            u.tail_scheduled = false;
+            debug_assert!(!u.compute_pending && !u.mem_pending);
+            u.done = true;
+            let cta = u.cta;
+            let c = &mut self.ctas[cta];
+            c.live_units -= 1;
+            if c.live_units == 0 {
+                self.retire_queue.push(cta);
+            }
+        }
+    }
+
+    /// Release the resources of every CTA whose last unit finished.
+    fn retire_complete(
+        &mut self,
+        now: f64,
+        sms: &mut [SmState],
+        kernels: &mut [KernelState],
+        op_classes: &mut BTreeMap<OpClass, OpClassReport>,
+    ) {
+        while let Some(cid) = self.retire_queue.pop() {
+            let c = &mut self.ctas[cid];
+            if c.retired {
+                continue;
+            }
+            c.retired = true;
+            sms[c.sm].release(&c.footprint, c.kernel_id);
+            let ks = &mut kernels[c.kernel_id];
+            ks.completed += 1;
+            ks.end = now;
+            let entry = op_classes.entry(c.dominant_op).or_default();
+            entry.finish_time = entry.finish_time.max(now);
+            self.live_ctas -= 1;
         }
     }
 }
 
-#[derive(Debug)]
-struct ExecCta {
-    kernel_id: usize,
-    sm: usize,
-    footprint: Footprint,
-    units: Vec<UnitState>,
-    dominant_op: OpClass,
+/// Resource shares in effect for one interval, derived from the device peaks
+/// and the per-unit caps.
+#[derive(Debug, Clone, Copy)]
+struct Shares {
+    sm_peak: f64,
+    compute_cap: f64,
+    hbm: f64,
+    mem_cap: f64,
 }
 
-impl ExecCta {
-    fn is_complete(&self) -> bool {
-        self.units.iter().all(|u| u.done)
+impl Shares {
+    fn compute_share(&self, demand: usize) -> f64 {
+        (self.sm_peak / demand as f64).min(self.compute_cap)
+    }
+
+    fn mem_share(&self, demand: usize) -> f64 {
+        (self.hbm / demand as f64).min(self.mem_cap)
     }
 }
 
 #[derive(Debug)]
 struct KernelState {
-    name: String,
+    /// Interned kernel id; cloned cheaply wherever the engine needs the name.
+    name: Arc<str>,
     footprint: Footprint,
     cap: Option<usize>,
     dispatched: usize,
@@ -214,7 +491,6 @@ impl Engine {
         let mut sms: Vec<SmState> = vec![SmState::default(); num_sms];
         let mut kernels: Vec<KernelState> = Vec::new();
         let mut head_kernel: Vec<Option<usize>> = vec![None; streams.len()];
-        let mut executing: Vec<ExecCta> = Vec::new();
         let mut time = 0.0_f64;
         let mut cursor = 0usize;
 
@@ -223,7 +499,16 @@ impl Engine {
         let mut total_flops = 0.0_f64;
         let mut total_bytes = 0.0_f64;
         let mut total_ctas = 0usize;
+        let mut intervals = 0usize;
         let mut op_classes: BTreeMap<OpClass, OpClassReport> = BTreeMap::new();
+
+        let shares = Shares {
+            sm_peak: self.gpu.sm_compute_flops(),
+            compute_cap: self.opts.max_cta_compute_fraction * self.gpu.sm_compute_flops(),
+            hbm: self.gpu.hbm_bandwidth,
+            mem_cap: self.opts.max_cta_bandwidth_fraction * self.gpu.hbm_bandwidth,
+        };
+        let mut active = ActiveSet::new(num_sms);
 
         loop {
             self.fill(
@@ -231,7 +516,7 @@ impl Engine {
                 &mut head_kernel,
                 &mut kernels,
                 &mut sms,
-                &mut executing,
+                &mut active,
                 &mut op_classes,
                 &mut total_ctas,
                 time,
@@ -245,7 +530,7 @@ impl Engine {
                 continue;
             }
 
-            if executing.is_empty() {
+            if active.live_ctas == 0 {
                 if streams.iter().all(Stream::is_empty) {
                     break;
                 }
@@ -258,147 +543,18 @@ impl Engine {
                 return Err(SimError::Stalled { kernel: name });
             }
 
-            // --- compute the per-unit resource rates for this interval ---
-            let sm_peak = self.gpu.sm_compute_flops();
-            let compute_cap = self.opts.max_cta_compute_fraction * sm_peak;
-            let mem_cap = self.opts.max_cta_bandwidth_fraction * self.gpu.hbm_bandwidth;
-
-            let mut sm_compute_demand = vec![0usize; num_sms];
-            let mut mem_demand = 0usize;
-            for cta in &executing {
-                for u in &cta.units {
-                    if u.done {
-                        continue;
-                    }
-                    if u.rem_flops > WORK_EPS {
-                        sm_compute_demand[cta.sm] += 1;
-                    }
-                    if u.rem_bytes > WORK_EPS {
-                        mem_demand += 1;
-                    }
-                }
-            }
-            for cta in &mut executing {
-                let compute_share = if sm_compute_demand[cta.sm] > 0 {
-                    (sm_peak / sm_compute_demand[cta.sm] as f64).min(compute_cap)
-                } else {
-                    0.0
-                };
-                let mem_share = if mem_demand > 0 {
-                    (self.gpu.hbm_bandwidth / mem_demand as f64).min(mem_cap)
-                } else {
-                    0.0
-                };
-                for u in &mut cta.units {
-                    u.compute_rate = if !u.done && u.rem_flops > WORK_EPS {
-                        compute_share
-                    } else {
-                        0.0
-                    };
-                    u.mem_rate = if !u.done && u.rem_bytes > WORK_EPS {
-                        mem_share
-                    } else {
-                        0.0
-                    };
-                }
-            }
-
-            // --- find the length of this interval ---
-            let mut dt = f64::INFINITY;
-            for cta in &executing {
-                for u in &cta.units {
-                    if u.done {
-                        continue;
-                    }
-                    if u.rem_flops > WORK_EPS && u.compute_rate > 0.0 {
-                        dt = dt.min(u.rem_flops / u.compute_rate);
-                    }
-                    if u.rem_bytes > WORK_EPS && u.mem_rate > 0.0 {
-                        dt = dt.min(u.rem_bytes / u.mem_rate);
-                    }
-                    if let Some(tail) = u.tail {
-                        if u.rem_flops <= WORK_EPS && u.rem_bytes <= WORK_EPS && tail > TIME_EPS {
-                            dt = dt.min(tail);
-                        }
-                    }
-                }
-            }
-            if !dt.is_finite() {
-                // Only instantly-complete CTAs remain; retire them below.
-                dt = 0.0;
-            }
-
-            // --- advance every unit by dt ---
-            let mut interval_flops = 0.0;
-            let mut interval_bytes = 0.0;
-            for cta in &mut executing {
-                for u in &mut cta.units {
-                    if u.done {
-                        continue;
-                    }
-                    let had_tail = u.tail.is_some();
-                    if u.rem_flops > WORK_EPS {
-                        let df = (u.compute_rate * dt).min(u.rem_flops);
-                        u.rem_flops -= df;
-                        u.busy_compute += dt;
-                        interval_flops += df;
-                        kernels[cta.kernel_id].flops += df;
-                        op_classes.entry(u.op).or_default().flops += df;
-                        if u.rem_flops <= WORK_EPS {
-                            u.rem_flops = 0.0;
-                        }
-                    }
-                    if u.rem_bytes > WORK_EPS {
-                        let db = (u.mem_rate * dt).min(u.rem_bytes);
-                        u.rem_bytes -= db;
-                        u.busy_memory += dt;
-                        interval_bytes += db;
-                        kernels[cta.kernel_id].bytes += db;
-                        op_classes.entry(u.op).or_default().bytes += db;
-                        if u.rem_bytes <= WORK_EPS {
-                            u.rem_bytes = 0.0;
-                        }
-                    }
-                    if u.rem_flops <= WORK_EPS && u.rem_bytes <= WORK_EPS {
-                        match u.tail {
-                            None => {
-                                // Both streams just drained: charge the
-                                // barrier-induced serial tail.
-                                u.tail = Some(
-                                    u.serial_fraction * u.busy_compute.min(u.busy_memory),
-                                );
-                            }
-                            Some(t) if had_tail => {
-                                u.tail = Some((t - dt).max(0.0));
-                            }
-                            Some(_) => {}
-                        }
-                        if u.tail.unwrap_or(0.0) <= TIME_EPS {
-                            u.done = true;
-                        }
-                    }
-                }
-            }
+            // --- advance to the next drain/expiry event ---
+            let dt = active.next_event_dt(time, &shares);
+            let (interval_flops, interval_bytes) = active.advance(dt, &shares);
             time += dt;
+            intervals += 1;
             energy += energy_model.interval_energy(dt, interval_flops, interval_bytes);
             total_flops += interval_flops;
             total_bytes += interval_bytes;
 
-            // --- record per-class finish times and retire completed CTAs ---
-            let mut i = 0;
-            while i < executing.len() {
-                if executing[i].is_complete() {
-                    let cta = executing.swap_remove(i);
-                    sms[cta.sm].release(&cta.footprint, cta.kernel_id);
-                    let ks = &mut kernels[cta.kernel_id];
-                    ks.completed += 1;
-                    ks.end = time;
-                    let entry = op_classes.entry(cta.dominant_op).or_default();
-                    entry.finish_time = entry.finish_time.max(time);
-                } else {
-                    i += 1;
-                }
-            }
+            // --- settle drained streams, expired tails, completed CTAs ---
+            active.process_events(time, &mut kernels, &mut op_classes);
+            active.retire_complete(time, &mut sms, &mut kernels, &mut op_classes);
 
             // --- pop finished kernels off their streams ---
             Self::pop_finished(&mut streams, &mut head_kernel, &kernels);
@@ -407,7 +563,7 @@ impl Engine {
         let kernel_reports = kernels
             .into_iter()
             .map(|k| KernelReport {
-                name: k.name,
+                name: k.name.as_ref().to_owned(),
                 start: k.start.unwrap_or(0.0),
                 end: k.end,
                 ctas: k.dispatched,
@@ -426,6 +582,7 @@ impl Engine {
             peak_flops: self.gpu.tensor_flops,
             peak_bandwidth: self.gpu.hbm_bandwidth,
             total_ctas,
+            intervals,
         })
     }
 
@@ -459,7 +616,7 @@ impl Engine {
         head_kernel: &mut [Option<usize>],
         kernels: &mut Vec<KernelState>,
         sms: &mut [SmState],
-        executing: &mut Vec<ExecCta>,
+        active: &mut ActiveSet,
         op_classes: &mut BTreeMap<OpClass, OpClassReport>,
         total_ctas: &mut usize,
         time: f64,
@@ -490,7 +647,7 @@ impl Engine {
                     });
                 }
                 kernels.push(KernelState {
-                    name: head.name.clone(),
+                    name: Arc::from(head.name.as_str()),
                     footprint: head.footprint,
                     cap: head.max_ctas_per_sm,
                     dispatched: 0,
@@ -534,14 +691,7 @@ impl Engine {
                         sms[sm_id].allocate(&footprint, kid);
                         let dominant = work.dominant_op();
                         op_classes.entry(dominant).or_default().ctas += 1;
-                        let units = work.units.iter().map(UnitState::new).collect();
-                        executing.push(ExecCta {
-                            kernel_id: kid,
-                            sm: sm_id,
-                            footprint,
-                            units,
-                            dominant_op: dominant,
-                        });
+                        active.add_cta(&work, kid, sm_id, footprint, dominant, time);
                         let ks = &mut kernels[kid];
                         ks.dispatched += 1;
                         *total_ctas += 1;
@@ -589,7 +739,12 @@ mod tests {
         let report = Engine::new(g.clone()).run_kernel(kernel).unwrap();
         let ideal = n as f64 * per_cta / g.tensor_flops;
         assert!(report.makespan >= ideal);
-        assert!(report.makespan < ideal * 1.3, "makespan {} vs ideal {}", report.makespan, ideal);
+        assert!(
+            report.makespan < ideal * 1.3,
+            "makespan {} vs ideal {}",
+            report.makespan,
+            ideal
+        );
         assert!(report.compute_utilization() > 0.75);
         assert!(report.memory_utilization() < 0.05);
     }
@@ -619,10 +774,8 @@ mod tests {
     #[test]
     fn colocated_fusion_beats_serial() {
         let g = gpu();
-        let compute_ctas =
-            vec![CtaWork::single(OpClass::ComputeBound, 2e9, 1e3); 108];
-        let memory_ctas =
-            vec![CtaWork::single(OpClass::MemoryBound, 1e3, 40e6); 108];
+        let compute_ctas = vec![CtaWork::single(OpClass::ComputeBound, 2e9, 1e3); 108];
+        let memory_ctas = vec![CtaWork::single(OpClass::MemoryBound, 1e3, 40e6); 108];
         let fp = Footprint::new(128, 64 * 1024);
 
         let engine = Engine::new(g);
@@ -707,7 +860,7 @@ mod tests {
     fn fused_cta_straggler_holds_resources() {
         let g = gpu();
         let fp = Footprint::new(256, 100 * 1024); // occupancy 1
-        // 108 fused CTAs: a fast memory unit + a slow compute unit.
+                                                  // 108 fused CTAs: a fast memory unit + a slow compute unit.
         let fused: Vec<CtaWork> = (0..108)
             .map(|_| {
                 CtaWork::fused(vec![
@@ -762,13 +915,18 @@ mod tests {
         let report = Engine::new(g).run(vec![Stream::new("empty")]).unwrap();
         assert_eq!(report.makespan, 0.0);
         assert_eq!(report.total_ctas, 0);
+        assert_eq!(report.intervals, 0);
     }
 
     #[test]
     fn kernel_with_no_ctas_completes() {
         let g = gpu();
         let report = Engine::new(g)
-            .run_kernel(KernelLaunch::from_ctas("noop", Footprint::default(), vec![]))
+            .run_kernel(KernelLaunch::from_ctas(
+                "noop",
+                Footprint::default(),
+                vec![],
+            ))
             .unwrap();
         assert_eq!(report.makespan, 0.0);
         assert_eq!(report.kernels.len(), 1);
@@ -786,6 +944,29 @@ mod tests {
         assert!((report.total_flops - expected_flops).abs() / expected_flops < 1e-6);
         assert!((report.total_bytes - expected_bytes).abs() / expected_bytes < 1e-6);
         assert_eq!(report.total_ctas, 50);
+    }
+
+    /// Per-kernel and per-op-class attributions also conserve work.
+    #[test]
+    fn attribution_is_conserved_per_kernel_and_class() {
+        let g = gpu();
+        let prefill = vec![CtaWork::single(OpClass::Prefill, 3e8, 4e5); 40];
+        let decode = vec![CtaWork::single(OpClass::Decode, 1e5, 2e6); 60];
+        let fp = Footprint::default();
+        let report = Engine::new(g)
+            .run_serial(vec![
+                KernelLaunch::from_ctas("p", fp, prefill),
+                KernelLaunch::from_ctas("d", fp, decode),
+            ])
+            .unwrap();
+        let p = report.kernel("p").unwrap();
+        let d = report.kernel("d").unwrap();
+        assert!((p.flops - 40.0 * 3e8).abs() / (40.0 * 3e8) < 1e-9);
+        assert!((d.bytes - 60.0 * 2e6).abs() / (60.0 * 2e6) < 1e-9);
+        let pc = report.op_class(OpClass::Prefill).unwrap();
+        assert!((pc.bytes - 40.0 * 4e5).abs() / (40.0 * 4e5) < 1e-9);
+        assert_eq!(pc.ctas, 40);
+        assert!(report.intervals > 0);
     }
 
     #[test]

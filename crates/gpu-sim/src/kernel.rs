@@ -159,8 +159,8 @@ mod tests {
 
     #[test]
     fn limit_ctas_per_sm_is_recorded() {
-        let k = KernelLaunch::from_ctas("k", Footprint::new(128, 1024), vec![])
-            .limit_ctas_per_sm(2);
+        let k =
+            KernelLaunch::from_ctas("k", Footprint::new(128, 1024), vec![]).limit_ctas_per_sm(2);
         assert_eq!(k.max_ctas_per_sm, Some(2));
     }
 

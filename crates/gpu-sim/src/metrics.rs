@@ -79,6 +79,10 @@ pub struct ExecutionReport {
     pub peak_bandwidth: f64,
     /// Total CTAs executed.
     pub total_ctas: usize,
+    /// Number of variable-length simulation intervals the contention engine
+    /// advanced through. The engine micro-benchmarks divide this by the
+    /// wall-clock simulation time to report intervals/second.
+    pub intervals: usize,
 }
 
 impl ExecutionReport {
@@ -180,6 +184,7 @@ mod tests {
             peak_flops: 312e12,
             peak_bandwidth: 2.039e12,
             total_ctas: 10,
+            intervals: 3,
         }
     }
 

@@ -79,8 +79,14 @@ impl WorkUnit {
     ///
     /// Panics if `flops` or `bytes` is negative or not finite.
     pub fn new(op: OpClass, flops: f64, bytes: f64) -> Self {
-        assert!(flops.is_finite() && flops >= 0.0, "flops must be non-negative");
-        assert!(bytes.is_finite() && bytes >= 0.0, "bytes must be non-negative");
+        assert!(
+            flops.is_finite() && flops >= 0.0,
+            "flops must be non-negative"
+        );
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "bytes must be non-negative"
+        );
         WorkUnit {
             flops,
             bytes,
@@ -164,7 +170,10 @@ impl CtaWork {
     ///
     /// Panics if `units` is empty.
     pub fn fused(units: Vec<WorkUnit>) -> Self {
-        assert!(!units.is_empty(), "a CTA must contain at least one work unit");
+        assert!(
+            !units.is_empty(),
+            "a CTA must contain at least one work unit"
+        );
         CtaWork { units }
     }
 

@@ -9,9 +9,86 @@ use crate::metrics::ServingReport;
 use crate::model::ModelConfig;
 use crate::request::{Phase, Request, RequestSpec};
 use crate::scheduler::{plan_batch, BatchPlan, SchedulerKind};
-use attn_kernels::{AttentionStrategy, HybridBatch, PrefillChunk};
+use attn_kernels::{canonical_decodes, AttentionStrategy, HybridBatch, PrefillChunk};
 use gpu_sim::GpuConfig;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+/// Upper bound on resident price-cache entries; reaching it clears the cache
+/// (a trivially correct eviction policy — in practice serving sweeps produce
+/// a few hundred distinct signatures, far below this).
+const PRICE_CACHE_MAX_ENTRIES: usize = 1 << 16;
+
+/// Whether the batch-price cache is enabled by default. The `POD_PRICE_CACHE`
+/// environment variable is the escape hatch: set it to `0` to price every
+/// iteration exactly (e.g. when validating the quantization error).
+fn price_cache_default() -> bool {
+    std::env::var("POD_PRICE_CACHE")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+use attn_kernels::quantize_tokens;
+
+/// Quantized signature of a hybrid batch, the key of the price cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BatchSignature {
+    /// Prefill chunk length (0 when the batch has no prefill).
+    chunk_len: usize,
+    /// Quantized prior context of the prefill chunk.
+    prior_bucket: usize,
+    /// Number of decode requests.
+    decode_count: usize,
+    /// Quantized total decode context (the dominant decode cost term).
+    decode_total_bucket: usize,
+    /// Quantized maximum decode context (drives decode-kernel splits).
+    decode_max_bucket: usize,
+}
+
+impl BatchSignature {
+    /// Compute the signature of the batch a plan describes without
+    /// materializing the batch itself.
+    fn of_plan(plan: &BatchPlan, requests: &[Request]) -> Self {
+        let (chunk_len, prior_bucket) = match plan.prefill {
+            Some((rid, chunk)) => (chunk, quantize_tokens(requests[rid].prefilled)),
+            None => (0, 0),
+        };
+        let mut total_ctx = 0usize;
+        let mut max_ctx = 0usize;
+        for &rid in &plan.decodes {
+            let ctx = requests[rid].context_len().max(1);
+            total_ctx += ctx;
+            max_ctx = max_ctx.max(ctx);
+        }
+        BatchSignature {
+            chunk_len,
+            prior_bucket,
+            decode_count: plan.decodes.len(),
+            decode_total_bucket: quantize_tokens(total_ctx),
+            decode_max_bucket: quantize_tokens(max_ctx),
+        }
+    }
+
+    /// The canonical batch this signature represents: the batch every member
+    /// of the equivalence class is priced as. The decode set comes from
+    /// [`canonical_decodes`] — the same equivalence-class definition the
+    /// estimator's decode-side memo prices in closed form — so both cache
+    /// layers agree on what a signature means.
+    fn canonical_batch(&self) -> HybridBatch {
+        let prefill = if self.chunk_len > 0 {
+            Some(PrefillChunk::new(self.chunk_len, self.prior_bucket))
+        } else {
+            None
+        };
+        HybridBatch {
+            prefill,
+            decodes: canonical_decodes(
+                self.decode_count,
+                self.decode_total_bucket,
+                self.decode_max_bucket,
+            ),
+        }
+    }
+}
 
 /// Full configuration of a serving system under test.
 #[derive(Debug, Clone)]
@@ -29,6 +106,10 @@ pub struct ServingConfig {
     /// Override for the KV-cache capacity in tokens (defaults to what fits in
     /// HBM after weights).
     pub kv_capacity_tokens: Option<usize>,
+    /// Whether the engine memoizes iteration prices by quantized batch
+    /// signature. Defaults to on; set the `POD_PRICE_CACHE=0` environment
+    /// variable (or this field) to price every iteration exactly.
+    pub price_cache: bool,
 }
 
 impl ServingConfig {
@@ -42,6 +123,7 @@ impl ServingConfig {
             attention: AttentionStrategy::FaSerial,
             max_batch_size: 256,
             kv_capacity_tokens: None,
+            price_cache: price_cache_default(),
         }
     }
 
@@ -54,6 +136,7 @@ impl ServingConfig {
             attention: AttentionStrategy::FaSerial,
             max_batch_size: 256,
             kv_capacity_tokens: None,
+            price_cache: price_cache_default(),
         }
     }
 
@@ -99,7 +182,13 @@ pub struct ServingEngine {
 impl ServingEngine {
     /// Create an engine from a configuration.
     pub fn new(config: ServingConfig) -> Self {
-        let cost = IterationCostModel::new(config.model.clone(), config.gpu.clone());
+        // `price_cache` gates both memoization layers: the engine's
+        // batch-signature cache and the estimator's side-cost memo.
+        let cost = if config.price_cache {
+            IterationCostModel::new(config.model.clone(), config.gpu.clone())
+        } else {
+            IterationCostModel::exact(config.model.clone(), config.gpu.clone())
+        };
         ServingEngine { config, cost }
     }
 
@@ -149,6 +238,10 @@ impl ServingEngine {
         let mut iterations = 0usize;
         let mut hybrid_iterations = 0usize;
 
+        let mut price_cache: HashMap<BatchSignature, f64> = HashMap::new();
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+
         loop {
             // Admit arrivals that have happened by now.
             while next_arrival < order.len() && specs[order[next_arrival]].arrival <= clock {
@@ -184,9 +277,31 @@ impl ServingEngine {
                 );
             }
 
-            // Price the iteration.
-            let batch = self.to_hybrid_batch(&plan, &requests);
-            let dt = self.cost.iteration_time(&batch, self.config.attention);
+            // Price the iteration. With the cache on, only novel (quantized)
+            // batch shapes reach the cost model; repeats are a map lookup.
+            let dt = if self.config.price_cache {
+                let sig = BatchSignature::of_plan(&plan, &requests);
+                match price_cache.get(&sig) {
+                    Some(&cached) => {
+                        cache_hits += 1;
+                        cached
+                    }
+                    None => {
+                        cache_misses += 1;
+                        let priced = self
+                            .cost
+                            .iteration_time(&sig.canonical_batch(), self.config.attention);
+                        if price_cache.len() >= PRICE_CACHE_MAX_ENTRIES {
+                            price_cache.clear();
+                        }
+                        price_cache.insert(sig, priced);
+                        priced
+                    }
+                }
+            } else {
+                let batch = self.to_hybrid_batch(&plan, &requests);
+                self.cost.iteration_time(&batch, self.config.attention)
+            };
             clock += dt;
             iterations += 1;
             if plan.is_hybrid() {
@@ -205,13 +320,15 @@ impl ServingEngine {
             );
         }
 
-        let report = ServingReport::from_requests(
+        let mut report = ServingReport::from_requests(
             &self.config.system_label(),
             &requests,
             clock,
             iterations,
             hybrid_iterations,
         );
+        report.price_cache_hits = cache_hits;
+        report.price_cache_misses = cache_misses;
         (report, requests)
     }
 
@@ -406,6 +523,90 @@ mod tests {
         // The second request cannot start before it arrives.
         assert!(requests[1].first_token_time.unwrap() > 100.0);
         assert!(requests[0].finish_time.unwrap() < 100.0);
+    }
+
+    #[test]
+    fn price_cache_hits_dominate_on_offline_workloads() {
+        let mut config = ServingConfig::sarathi_pod(llama3(), gpu(), 1024);
+        config.price_cache = true;
+        let report = ServingEngine::new(config).run(offline_long_context(16, 2 * 1024, 512));
+        assert_eq!(report.completed, 16);
+        assert_eq!(
+            report.price_cache_hits + report.price_cache_misses,
+            report.iterations
+        );
+        assert!(
+            report.price_cache_hit_rate() > 0.8,
+            "hit rate {:.3} ({} hits / {} misses)",
+            report.price_cache_hit_rate(),
+            report.price_cache_hits,
+            report.price_cache_misses
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_serving_agree_within_quantization_tolerance() {
+        let workloads = [
+            offline_long_context(12, 8 * 1024, 96),
+            Workload::internal().generate(24, 0.8, 5),
+        ];
+        for requests in workloads {
+            for make in [
+                ServingConfig::sarathi as fn(ModelConfig, GpuConfig, usize) -> ServingConfig,
+                ServingConfig::sarathi_pod,
+            ] {
+                let mut cached = make(llama3(), gpu(), 1024);
+                cached.price_cache = true;
+                let mut exact = cached.clone();
+                exact.price_cache = false;
+                let a = ServingEngine::new(cached).run(requests.clone());
+                let b = ServingEngine::new(exact).run(requests.clone());
+                assert_eq!(a.completed, b.completed);
+                assert_eq!(b.price_cache_hits + b.price_cache_misses, 0);
+                let rel = (a.makespan - b.makespan).abs() / b.makespan;
+                assert!(
+                    rel < 0.02,
+                    "{}: cached makespan {} vs exact {} ({:.2}% off)",
+                    a.system,
+                    a.makespan,
+                    b.makespan,
+                    rel * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_collapse_equivalent_plans_only() {
+        let specs = [RequestSpec::new(0.0, 4096, 64); 4];
+        let mut requests: Vec<Request> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Request::new(i, *s))
+            .collect();
+        requests[1].record_prefill(4096, 0.0);
+        requests[2].record_prefill(4096, 0.0);
+        let plan_a = BatchPlan {
+            prefill: Some((0, 512)),
+            decodes: vec![1, 2],
+        };
+        let plan_b = BatchPlan {
+            prefill: Some((0, 512)),
+            decodes: vec![2, 1],
+        };
+        let plan_c = BatchPlan {
+            prefill: Some((0, 256)),
+            decodes: vec![1, 2],
+        };
+        let sig_a = BatchSignature::of_plan(&plan_a, &requests);
+        let sig_b = BatchSignature::of_plan(&plan_b, &requests);
+        let sig_c = BatchSignature::of_plan(&plan_c, &requests);
+        assert_eq!(sig_a, sig_b, "decode order must not matter");
+        assert_ne!(sig_a, sig_c, "chunk length must matter");
+        // The canonical batch reproduces the aggregates.
+        let batch = sig_a.canonical_batch();
+        assert_eq!(batch.decode_batch_size(), 2);
+        assert_eq!(batch.prefill.unwrap().chunk_len, 512);
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod linear;
 mod metrics;
 mod model;
 mod request;
+mod rng;
 mod scheduler;
 mod workload;
 
@@ -54,5 +55,6 @@ pub use linear::{IterationBreakdown, IterationCostModel};
 pub use metrics::{percentile, ServingReport, SummaryStats};
 pub use model::{ModelConfig, ParamCounts};
 pub use request::{Phase, Request, RequestSpec};
+pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, BatchPlan, SchedulerKind};
 pub use workload::{offline_long_context, pd_ratio_workload, Workload};

@@ -73,9 +73,21 @@ pub struct IterationCostModel {
 }
 
 impl IterationCostModel {
-    /// Create a cost model for a model/device pair.
+    /// Create a cost model for a model/device pair. Attention costs use the
+    /// memoized estimator fast path (see [`IterationCostModel::exact`]).
     pub fn new(model: ModelConfig, gpu: GpuConfig) -> Self {
         let estimator = AttentionEstimator::new(model.attention, gpu.clone());
+        IterationCostModel {
+            model,
+            gpu,
+            estimator,
+        }
+    }
+
+    /// Create a cost model that prices attention exactly, bypassing the
+    /// estimator's side-cost memoization (the `POD_PRICE_CACHE=0` path).
+    pub fn exact(model: ModelConfig, gpu: GpuConfig) -> Self {
+        let estimator = AttentionEstimator::exact(model.attention, gpu.clone());
         IterationCostModel {
             model,
             gpu,
@@ -96,7 +108,9 @@ impl IterationCostModel {
         }
         let flops = 2.0 * tokens as f64 * params as f64;
         let weight_bytes = params as f64 * self.model.attention.dtype_bytes as f64;
-        let act_bytes = 2.0 * tokens as f64 * self.model.hidden_size as f64
+        let act_bytes = 2.0
+            * tokens as f64
+            * self.model.hidden_size as f64
             * self.model.attention.dtype_bytes as f64;
         let tc = flops / (self.gpu.tensor_flops * GEMM_COMPUTE_EFFICIENCY);
         let tm = (weight_bytes + act_bytes) / (self.gpu.hbm_bandwidth * GEMM_BANDWIDTH_EFFICIENCY);
@@ -118,7 +132,11 @@ impl IterationCostModel {
 
     /// Per-iteration breakdown of a hybrid batch, with attention computed by
     /// `strategy`. Costs cover all layers of the model plus sampling.
-    pub fn breakdown(&self, batch: &HybridBatch, strategy: AttentionStrategy) -> IterationBreakdown {
+    pub fn breakdown(
+        &self,
+        batch: &HybridBatch,
+        strategy: AttentionStrategy,
+    ) -> IterationBreakdown {
         let tokens = batch.total_query_tokens();
         if tokens == 0 {
             return IterationBreakdown::default();
@@ -127,20 +145,19 @@ impl IterationCostModel {
         let params = self.model.layer_params_per_gpu();
 
         let attn = self.estimator.estimate(batch, strategy);
-        let (prefill_attention, decode_attention) = if strategy == AttentionStrategy::Pod
-            || strategy == AttentionStrategy::FiBatched
-        {
-            // Fused execution: attribute the fused time proportionally to the
-            // two operations' standalone costs so the breakdown still sums to
-            // the iteration total.
-            let serial_total = (attn.prefill_time + attn.decode_time).max(1e-12);
-            (
-                attn.total_time * attn.prefill_time / serial_total,
-                attn.total_time * attn.decode_time / serial_total,
-            )
-        } else {
-            (attn.prefill_time, attn.decode_time)
-        };
+        let (prefill_attention, decode_attention) =
+            if strategy == AttentionStrategy::Pod || strategy == AttentionStrategy::FiBatched {
+                // Fused execution: attribute the fused time proportionally to the
+                // two operations' standalone costs so the breakdown still sums to
+                // the iteration total.
+                let serial_total = (attn.prefill_time + attn.decode_time).max(1e-12);
+                (
+                    attn.total_time * attn.prefill_time / serial_total,
+                    attn.total_time * attn.decode_time / serial_total,
+                )
+            } else {
+                (attn.prefill_time, attn.decode_time)
+            };
 
         let pre_projection = self.gemm_time(tokens, params.qkv_proj) * layers;
         let post_projection = self.gemm_time(tokens, params.out_proj) * layers;
@@ -219,7 +236,10 @@ mod tests {
     #[test]
     fn empty_batch_costs_nothing() {
         let m = model();
-        assert_eq!(m.iteration_time(&HybridBatch::new(), AttentionStrategy::FaSerial), 0.0);
+        assert_eq!(
+            m.iteration_time(&HybridBatch::new(), AttentionStrategy::FaSerial),
+            0.0
+        );
     }
 
     #[test]
@@ -242,7 +262,10 @@ mod tests {
         assert!(t_decode < t_hybrid);
         // A decode-only iteration of a 7B-class model takes on the order of
         // tens of milliseconds, not seconds.
-        assert!(t_decode > 1e-3 && t_decode < 0.2, "decode iteration {t_decode}");
+        assert!(
+            t_decode > 1e-3 && t_decode < 0.2,
+            "decode iteration {t_decode}"
+        );
     }
 
     #[test]

@@ -19,20 +19,49 @@ pub struct SummaryStats {
 
 impl SummaryStats {
     /// Compute summary statistics of `samples` (order not required).
+    ///
+    /// Percentiles are computed with O(n) selection rather than a full sort —
+    /// serving sweeps summarize hundreds of thousands of token-gap samples
+    /// per run, and this pass is on the bench hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN (a NaN would otherwise propagate silently
+    /// into reports and trend files; NaN sums to a NaN mean, so one O(1)
+    /// check at the aggregate covers every sample).
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return SummaryStats::default();
         }
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let mut scratch: Vec<f64> = samples.to_vec();
+        let mean = scratch.iter().sum::<f64>() / scratch.len() as f64;
+        assert!(!mean.is_nan(), "latency samples must not be NaN");
+        let max = scratch.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         SummaryStats {
-            count: sorted.len(),
+            count: scratch.len(),
             mean,
-            p50: percentile(&sorted, 0.50),
-            p99: percentile(&sorted, 0.99),
-            max: *sorted.last().expect("non-empty"),
+            p50: percentile_select(&mut scratch, 0.50),
+            p99: percentile_select(&mut scratch, 0.99),
+            max,
         }
+    }
+}
+
+/// Percentile of an unsorted slice using nearest-rank interpolation,
+/// via `select_nth_unstable` (O(n), reorders `samples`).
+fn percentile_select(samples: &mut [f64], q: f64) -> f64 {
+    debug_assert!(!samples.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (samples.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let (_, &mut lo_v, right) = samples.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
+    if lo == hi {
+        lo_v
+    } else {
+        let hi_v = right.iter().copied().fold(f64::INFINITY, f64::min);
+        let frac = pos - lo as f64;
+        lo_v * (1.0 - frac) + hi_v * frac
     }
 }
 
@@ -76,6 +105,10 @@ pub struct ServingReport {
     pub stall_fraction_200ms: f64,
     /// Fraction of requests with at least one decode gap above 500 ms.
     pub stall_fraction_500ms: f64,
+    /// Iterations priced from the batch-price cache.
+    pub price_cache_hits: usize,
+    /// Iterations that had to run the full cost model (novel batch shapes).
+    pub price_cache_misses: usize,
 }
 
 impl ServingReport {
@@ -87,13 +120,40 @@ impl ServingReport {
         iterations: usize,
         hybrid_iterations: usize,
     ) -> Self {
-        let finished: Vec<&Request> = requests.iter().filter(|r| r.finish_time.is_some()).collect();
-        let ttfts: Vec<f64> = finished.iter().filter_map(|r| r.ttft()).collect();
-        let latencies: Vec<f64> = finished.iter().filter_map(|r| r.latency()).collect();
-        let tbts: Vec<f64> = finished.iter().flat_map(|r| r.tbts()).collect();
-        let with_decode = finished.iter().filter(|r| !r.tbts().is_empty()).count().max(1);
-        let stalls_200 = finished.iter().filter(|r| r.has_stall(0.2)).count();
-        let stalls_500 = finished.iter().filter(|r| r.has_stall(0.5)).count();
+        let finished: Vec<&Request> = requests
+            .iter()
+            .filter(|r| r.finish_time.is_some())
+            .collect();
+        let mut ttfts: Vec<f64> = Vec::with_capacity(finished.len());
+        let mut latencies: Vec<f64> = Vec::with_capacity(finished.len());
+        let total_tokens: usize = finished.iter().map(|r| r.token_times.len()).sum();
+        let mut tbts: Vec<f64> = Vec::with_capacity(total_tokens);
+        let mut with_decode = 0usize;
+        let mut stalls_200 = 0usize;
+        let mut stalls_500 = 0usize;
+        // Single pass: collect every request's token gaps once and track the
+        // per-request maximum gap, instead of rebuilding the gap vector for
+        // each derived statistic.
+        for r in &finished {
+            ttfts.extend(r.ttft());
+            latencies.extend(r.latency());
+            let mut max_gap = f64::NEG_INFINITY;
+            for w in r.token_times.windows(2) {
+                let gap = w[1] - w[0];
+                max_gap = max_gap.max(gap);
+                tbts.push(gap);
+            }
+            if max_gap > f64::NEG_INFINITY {
+                with_decode += 1;
+                if max_gap > 0.2 {
+                    stalls_200 += 1;
+                }
+                if max_gap > 0.5 {
+                    stalls_500 += 1;
+                }
+            }
+        }
+        let with_decode = with_decode.max(1);
         ServingReport {
             system: system.to_string(),
             makespan,
@@ -105,7 +165,19 @@ impl ServingReport {
             request_latency: SummaryStats::from_samples(&latencies),
             stall_fraction_200ms: stalls_200 as f64 / with_decode as f64,
             stall_fraction_500ms: stalls_500 as f64 / with_decode as f64,
+            price_cache_hits: 0,
+            price_cache_misses: 0,
         }
+    }
+
+    /// Fraction of iterations priced from the cache, in `[0, 1]` (0 when the
+    /// cache was disabled or the run had no iterations).
+    pub fn price_cache_hit_rate(&self) -> f64 {
+        let total = self.price_cache_hits + self.price_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.price_cache_hits as f64 / total as f64
     }
 
     /// Offline-throughput metric the paper reports in Figure 12: completed

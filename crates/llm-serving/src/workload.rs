@@ -8,8 +8,7 @@
 //! arrivals at a configurable queries-per-second rate.
 
 use crate::request::RequestSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Named workload generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,12 +55,12 @@ impl Workload {
     /// second, deterministically from `seed`.
     pub fn generate(&self, count: usize, qps: f64, seed: u64) -> Vec<RequestSpec> {
         assert!(qps > 0.0, "queries-per-second must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut arrival = 0.0_f64;
         let mut requests = Vec::with_capacity(count);
         for _ in 0..count {
             // Exponential inter-arrival times give a Poisson process.
-            let u: f64 = rng.random::<f64>().max(1e-12);
+            let u: f64 = rng.next_f64().max(1e-12);
             arrival += -u.ln() / qps;
             requests.push(self.sample_request(arrival, &mut rng));
         }
@@ -71,11 +70,13 @@ impl Workload {
     /// Generate `count` requests that all arrive at time zero (offline
     /// serving).
     pub fn generate_offline(&self, count: usize, seed: u64) -> Vec<RequestSpec> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..count).map(|_| self.sample_request(0.0, &mut rng)).collect()
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        (0..count)
+            .map(|_| self.sample_request(0.0, &mut rng))
+            .collect()
     }
 
-    fn sample_request(&self, arrival: f64, rng: &mut StdRng) -> RequestSpec {
+    fn sample_request(&self, arrival: f64, rng: &mut SplitMix64) -> RequestSpec {
         // Context length: log-normal-ish around the mean, clamped to the
         // published range.
         let (lo, hi) = self.context_range;
@@ -86,7 +87,7 @@ impl Workload {
             .round() as usize;
         // Decode length: exponential around the mean, at least min_decode,
         // and at most the context itself (P:D >= ~1).
-        let u: f64 = rng.random::<f64>().max(1e-12);
+        let u: f64 = rng.next_f64().max(1e-12);
         let decode = ((-u.ln() * self.mean_decode) as usize)
             .max(self.min_decode)
             .min(context / 2);
@@ -98,7 +99,11 @@ impl Workload {
 /// Offline workload used by Figure 12: `count` identical long-context
 /// requests (16K prompt tokens, model-specific output length), all arriving
 /// at time zero.
-pub fn offline_long_context(count: usize, prompt_tokens: usize, output_tokens: usize) -> Vec<RequestSpec> {
+pub fn offline_long_context(
+    count: usize,
+    prompt_tokens: usize,
+    output_tokens: usize,
+) -> Vec<RequestSpec> {
     (0..count)
         .map(|_| RequestSpec::new(0.0, prompt_tokens, output_tokens))
         .collect()
@@ -116,9 +121,9 @@ pub fn pd_ratio_workload(count: usize, total_tokens: usize, pd_ratio: f64) -> Ve
 }
 
 /// Sample a standard normal variate using the Box-Muller transform.
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random::<f64>();
+fn standard_normal(rng: &mut SplitMix64) -> f64 {
+    let u1: f64 = rng.next_f64().max(1e-12);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -133,8 +138,8 @@ mod tests {
             (Workload::arxiv(), 9_500.0, 470.0),
         ] {
             let reqs = w.generate(2000, 1.0, 42);
-            let avg_ctx: f64 = reqs.iter().map(|r| r.total_tokens() as f64).sum::<f64>()
-                / reqs.len() as f64;
+            let avg_ctx: f64 =
+                reqs.iter().map(|r| r.total_tokens() as f64).sum::<f64>() / reqs.len() as f64;
             let avg_dec: f64 =
                 reqs.iter().map(|r| r.output_tokens as f64).sum::<f64>() / reqs.len() as f64;
             assert!(

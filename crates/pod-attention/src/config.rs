@@ -114,11 +114,7 @@ impl PodOptions {
     /// The balance test compares the chunk's compute demand against the
     /// decode batch's memory demand, which is how the paper characterizes the
     /// crossover in Figure 13.
-    pub fn resolve_ctas_per_sm(
-        &self,
-        prefill_ctas: usize,
-        decode_ctas: usize,
-    ) -> CtasPerSm {
+    pub fn resolve_ctas_per_sm(&self, prefill_ctas: usize, decode_ctas: usize) -> CtasPerSm {
         match self.ctas_per_sm {
             CtasPerSm::Two => CtasPerSm::Two,
             CtasPerSm::Four => CtasPerSm::Four,

@@ -101,11 +101,11 @@ impl PodAttention {
         let prefill_compute = PrefillKernel::flash_attention()
             .total_flops(chunk, &self.cfg, &self.gpu)
             / self.gpu.tensor_flops;
-        let decode_memory = self
-            .options
-            .decode_kernel()
-            .total_bytes(&batch.decodes, &self.cfg, &self.gpu)
-            / self.gpu.hbm_bandwidth;
+        let decode_memory =
+            self.options
+                .decode_kernel()
+                .total_bytes(&batch.decodes, &self.cfg, &self.gpu)
+                / self.gpu.hbm_bandwidth;
         if decode_memory < 0.2 * prefill_compute {
             SplitPolicy::Vanilla
         } else {
@@ -129,13 +129,7 @@ impl PodAttention {
             .prefill_kernel_for(batch, CtasPerSm::Two)
             .map_ctas(batch, &self.cfg, &self.gpu);
         let decode_kernel = self.options.decode_kernel();
-        let virtual_decode = batch
-            .decodes
-            .iter()
-            .map(|_| 1usize)
-            .sum::<usize>()
-            .max(0)
-            * self.cfg.kv_heads_per_gpu();
+        let virtual_decode = batch.decodes.len() * self.cfg.kv_heads_per_gpu();
         let mode = self
             .options
             .resolve_ctas_per_sm(probe_prefill, virtual_decode);
@@ -335,7 +329,10 @@ mod tests {
                 speedup > 1.1,
                 "{name}: expected a clear win, got speedup {speedup:.3}"
             );
-            assert!(speedup < 2.5, "{name}: speedup {speedup:.3} is implausibly large");
+            assert!(
+                speedup < 2.5,
+                "{name}: speedup {speedup:.3} is implausibly large"
+            );
         }
     }
 
@@ -459,7 +456,10 @@ mod tests {
         .attention_time(&batch)
         .unwrap();
         let ratio = fifty / prop;
-        assert!((0.7..1.4).contains(&ratio), "50:50 {fifty} vs proportional {prop}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "50:50 {fifty} vs proportional {prop}"
+        );
     }
 
     #[test]

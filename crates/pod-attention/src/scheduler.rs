@@ -41,9 +41,17 @@ pub struct SmAwareScheduler {
     /// Interleaving ratio from the scheduling policy.
     prefill_ratio: usize,
     decode_ratio: usize,
-    /// Record of the operation bound on each dispatch, per SM (useful for
-    /// tests and for analysing co-location).
-    bindings: Vec<Vec<BoundOp>>,
+    /// Per-SM `(prefill, decode)` counts of *executed* operations. Always
+    /// maintained — O(num_sms) memory regardless of grid size.
+    bound_counts: Vec<(usize, usize)>,
+    /// Count of dispatches where the ticket-selected operation was exhausted
+    /// and the slot fell through to the other operation.
+    fallthroughs: usize,
+    /// Full per-SM op log, kept only when [`with_binding_log`] enabled it.
+    /// Unbounded in the grid size, so it is off on the hot path.
+    ///
+    /// [`with_binding_log`]: SmAwareScheduler::with_binding_log
+    binding_log: Option<Vec<Vec<BoundOp>>>,
 }
 
 impl SmAwareScheduler {
@@ -75,13 +83,36 @@ impl SmAwareScheduler {
             sm_counters: vec![0; num_sms],
             prefill_ratio,
             decode_ratio,
-            bindings: vec![Vec::new(); num_sms],
+            bound_counts: vec![(0, 0); num_sms],
+            fallthroughs: 0,
+            binding_log: None,
         }
     }
 
-    /// Operations bound on each SM so far, in dispatch order.
+    /// Enable the full per-SM op log (used by tests and co-location
+    /// analyses). The log grows with the grid, so it is opt-in; the cheap
+    /// [`bound_counts`](SmAwareScheduler::bound_counts) are always available.
+    pub fn with_binding_log(mut self) -> Self {
+        self.binding_log = Some(vec![Vec::new(); self.sm_counters.len()]);
+        self
+    }
+
+    /// Operations bound on each SM so far, in dispatch order. Empty unless
+    /// the scheduler was built with
+    /// [`with_binding_log`](SmAwareScheduler::with_binding_log).
     pub fn bindings(&self) -> &[Vec<BoundOp>] {
-        &self.bindings
+        self.binding_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Per-SM `(prefill, decode)` counts of executed operations.
+    pub fn bound_counts(&self) -> &[(usize, usize)] {
+        &self.bound_counts
+    }
+
+    /// Dispatches whose ticket-selected operation was exhausted, so the slot
+    /// fell through to the other operation (lines 10–18 of Figure 9).
+    pub fn fallthroughs(&self) -> usize {
+        self.fallthroughs
     }
 
     /// Number of prefill CTAs not yet dispatched.
@@ -138,19 +169,33 @@ impl CtaDispatcher for SmAwareScheduler {
         // Lines 2–6 of Figure 9: read %smid, take a ticket.
         let ticket = self.sm_counters[sm];
         self.sm_counters[sm] += 1;
-        let mut op = self.op_for_ticket(ticket);
-        // Lines 10–18: if the chosen operation is exhausted, switch.
-        match op {
-            BoundOp::Prefill if self.prefill_work.is_empty() => op = BoundOp::Decode,
-            BoundOp::Decode if self.decode_work.is_empty() => op = BoundOp::Prefill,
-            _ => {}
-        }
-        self.bindings[sm].push(op);
-        let work = match op {
-            BoundOp::Prefill => self.prefill_work.pop_front(),
-            BoundOp::Decode => self.decode_work.pop_front(),
+        let chosen = self.op_for_ticket(ticket);
+        // Lines 10–18: if the chosen operation is exhausted, switch. All
+        // bookkeeping below records the *executed* operation, so counts, log
+        // and the returned work always agree.
+        let op = match chosen {
+            BoundOp::Prefill if self.prefill_work.is_empty() => BoundOp::Decode,
+            BoundOp::Decode if self.decode_work.is_empty() => BoundOp::Prefill,
+            other => other,
         };
-        work.expect("dispatch called with no remaining work")
+        if op != chosen {
+            self.fallthroughs += 1;
+        }
+        let work = match op {
+            BoundOp::Prefill => {
+                self.bound_counts[sm].0 += 1;
+                self.prefill_work.pop_front()
+            }
+            BoundOp::Decode => {
+                self.bound_counts[sm].1 += 1;
+                self.decode_work.pop_front()
+            }
+        };
+        let work = work.expect("dispatch called with no remaining work");
+        if let Some(log) = &mut self.binding_log {
+            log[sm].push(op);
+        }
+        work
     }
 }
 
@@ -169,33 +214,44 @@ mod tests {
 
     #[test]
     fn fifty_fifty_alternates_per_sm() {
-        let mut s = SmAwareScheduler::new(
-            vec![prefill_cta(); 4],
-            vec![decode_cta(); 4],
-            2,
-            1,
-            1,
-        );
+        let mut s = SmAwareScheduler::new(vec![prefill_cta(); 4], vec![decode_cta(); 4], 2, 1, 1)
+            .with_binding_log();
         // Four CTAs land on SM 0, four on SM 1.
-        let ops: Vec<BoundOp> = (0..8).map(|i| {
-            let w = s.dispatch(i % 2);
-            if w.dominant_op() == OpClass::Prefill { BoundOp::Prefill } else { BoundOp::Decode }
-        }).collect();
+        let ops: Vec<BoundOp> = (0..8)
+            .map(|i| {
+                let w = s.dispatch(i % 2);
+                if w.dominant_op() == OpClass::Prefill {
+                    BoundOp::Prefill
+                } else {
+                    BoundOp::Decode
+                }
+            })
+            .collect();
         // Each SM alternates prefill, decode, prefill, decode.
-        assert_eq!(s.bindings()[0], vec![BoundOp::Prefill, BoundOp::Decode, BoundOp::Prefill, BoundOp::Decode]);
-        assert_eq!(s.bindings()[1], vec![BoundOp::Prefill, BoundOp::Decode, BoundOp::Prefill, BoundOp::Decode]);
+        assert_eq!(
+            s.bindings()[0],
+            vec![
+                BoundOp::Prefill,
+                BoundOp::Decode,
+                BoundOp::Prefill,
+                BoundOp::Decode
+            ]
+        );
+        assert_eq!(
+            s.bindings()[1],
+            vec![
+                BoundOp::Prefill,
+                BoundOp::Decode,
+                BoundOp::Prefill,
+                BoundOp::Decode
+            ]
+        );
         assert_eq!(ops.iter().filter(|o| **o == BoundOp::Prefill).count(), 4);
     }
 
     #[test]
     fn proportional_ratio_is_respected() {
-        let mut s = SmAwareScheduler::new(
-            vec![prefill_cta(); 2],
-            vec![decode_cta(); 6],
-            1,
-            1,
-            3,
-        );
+        let mut s = SmAwareScheduler::new(vec![prefill_cta(); 2], vec![decode_cta(); 6], 1, 1, 3);
         let seq: Vec<BoundOp> = (0..8)
             .map(|_| {
                 let w = s.dispatch(0);
@@ -248,7 +304,8 @@ mod tests {
             num_sms,
             1,
             1,
-        );
+        )
+        .with_binding_log();
         // Round-robin placement across SMs, 4 CTAs each.
         for i in 0..32 {
             let _ = s.dispatch(i % num_sms);
@@ -279,9 +336,28 @@ mod tests {
 
     #[test]
     fn out_of_range_sm_ids_wrap() {
-        let mut s = SmAwareScheduler::new(vec![prefill_cta(); 2], vec![decode_cta(); 2], 2, 1, 1);
+        let mut s = SmAwareScheduler::new(vec![prefill_cta(); 2], vec![decode_cta(); 2], 2, 1, 1)
+            .with_binding_log();
         // SM id 5 wraps to SM 1.
         let _ = s.dispatch(5);
         assert_eq!(s.bindings()[1].len(), 1);
+        assert_eq!(s.bound_counts()[1].0 + s.bound_counts()[1].1, 1);
+    }
+
+    /// Without the opt-in log the scheduler keeps only O(num_sms) counts, and
+    /// the counts always reflect the operation that actually executed — also
+    /// across fall-throughs.
+    #[test]
+    fn counts_track_executed_ops_across_fallthroughs() {
+        let mut s = SmAwareScheduler::new(vec![prefill_cta(); 2], vec![decode_cta(); 6], 1, 1, 1);
+        for _ in 0..8 {
+            let _ = s.dispatch(0);
+        }
+        assert!(s.bindings().is_empty(), "log must be off by default");
+        assert_eq!(s.bound_counts()[0], (2, 6));
+        // 50:50 tickets would have selected prefill 4 times, but only 2
+        // prefill CTAs exist: two dispatches fell through to decode.
+        assert_eq!(s.fallthroughs(), 2);
+        assert_eq!(s.remaining(), 0);
     }
 }

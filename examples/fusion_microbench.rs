@@ -33,7 +33,12 @@ fn main() -> Result<(), SimError> {
         );
     }
     let oracle = exec.oracle(&a, &b);
-    println!("{:<22} {:>10.2} {:>11.0}%", "perfect overlap", oracle * 1e3, (serial / oracle - 1.0) * 100.0);
+    println!(
+        "{:<22} {:>10.2} {:>11.0}%",
+        "perfect overlap",
+        oracle * 1e3,
+        (serial / oracle - 1.0) * 100.0
+    );
     println!();
     println!(
         "Only SM-aware CTA scheduling guarantees that every SM holds one CTA of each kind, so\n\

@@ -21,7 +21,10 @@ fn main() -> Result<(), SimError> {
 
     println!("Llama-3-8B (TP-2), chunk {chunk}, {decode_batch} concurrent decode streams");
     println!();
-    println!("{:>10} {:>14} {:>14} {:>14} {:>10}", "context", "FA serial (ms)", "FA streams (ms)", "POD (ms)", "speedup");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>10}",
+        "context", "FA serial (ms)", "FA streams (ms)", "POD (ms)", "speedup"
+    );
     for context_kib in [2usize, 4, 8, 12, 16, 24, 32] {
         let context = context_kib * 1024;
         let batch = HybridBatch::uniform(chunk.min(context), context, decode_batch, context);

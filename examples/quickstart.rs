@@ -24,16 +24,27 @@ fn main() -> Result<(), SimError> {
 
     let pod = PodAttention::new(cfg, gpu);
     let plan = pod.plan(&batch);
-    println!("fused launch: {} prefill CTAs + {} decode slots ({}), ratio {}:{}",
-        plan.prefill_ctas, plan.decode_slots, plan.ctas_per_sm, plan.ratio.0, plan.ratio.1);
+    println!(
+        "fused launch: {} prefill CTAs + {} decode slots ({}), ratio {}:{}",
+        plan.prefill_ctas, plan.decode_slots, plan.ctas_per_sm, plan.ratio.0, plan.ratio.1
+    );
 
     let fused = pod.execute(&batch)?;
     let serial = pod.serial_baseline(&batch)?;
 
     println!();
-    println!("serial FlashAttention kernels : {:.3} ms", serial.makespan * 1e3);
-    println!("POD-Attention (fused)         : {:.3} ms", fused.makespan * 1e3);
-    println!("speedup                       : {:.2}x", pod.speedup_over_serial(&batch)?);
+    println!(
+        "serial FlashAttention kernels : {:.3} ms",
+        serial.makespan * 1e3
+    );
+    println!(
+        "POD-Attention (fused)         : {:.3} ms",
+        fused.makespan * 1e3
+    );
+    println!(
+        "speedup                       : {:.2}x",
+        pod.speedup_over_serial(&batch)?
+    );
     println!();
     println!(
         "utilization   serial: {:>4.0}% compute / {:>4.0}% memory",

@@ -31,9 +31,15 @@ fn pod_speedup_distribution_matches_paper_shape() {
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = speedups.iter().cloned().fold(0.0_f64, f64::max);
-    assert!(min >= 0.97, "POD should never lose to serial (min speedup {min:.3})");
+    assert!(
+        min >= 0.97,
+        "POD should never lose to serial (min speedup {min:.3})"
+    );
     assert!(mean > 1.15, "mean speedup {mean:.3} should be a clear win");
-    assert!(max < 2.5, "max speedup {max:.3} should stay physically plausible");
+    assert!(
+        max < 2.5,
+        "max speedup {max:.3} should stay physically plausible"
+    );
 }
 
 /// Figure 11's ordering: POD is the best strategy, HFuse is the strongest
@@ -90,8 +96,8 @@ fn offline_serving_ordering() {
     let model = ModelConfig::llama3_8b();
     let gpu = GpuConfig::a100_80gb();
     let requests = offline_long_context(24, 16 * 1024, 512);
-    let vllm = ServingEngine::new(ServingConfig::vllm(model.clone(), gpu.clone()))
-        .run(requests.clone());
+    let vllm =
+        ServingEngine::new(ServingConfig::vllm(model.clone(), gpu.clone())).run(requests.clone());
     let sarathi = ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), 1024))
         .run(requests.clone());
     let pod = ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, 1024)).run(requests);
@@ -110,8 +116,7 @@ fn online_serving_latency_ordering() {
     let requests = Workload::arxiv().generate(64, 0.8, 99);
     let sarathi = ServingEngine::new(ServingConfig::sarathi(model.clone(), gpu.clone(), 1024))
         .run(requests.clone());
-    let pod =
-        ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, 1024)).run(requests);
+    let pod = ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, 1024)).run(requests);
     assert_eq!(pod.completed, 64);
     assert!(pod.ttft.p50 <= sarathi.ttft.p50 * 1.01);
     assert!(pod.request_latency.p99 <= sarathi.request_latency.p99 * 1.01);
