@@ -486,7 +486,7 @@ pub fn canonical_decodes(
     decodes.push(DecodeRequest::new(max_context));
     if count > 1 {
         let rest = (total_context.saturating_sub(max_context) / (count - 1)).max(1);
-        decodes.extend(std::iter::repeat_n(DecodeRequest::new(rest), count - 1));
+        decodes.extend(vec![DecodeRequest::new(rest); count - 1]);
     }
     decodes
 }

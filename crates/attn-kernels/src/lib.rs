@@ -56,6 +56,6 @@ pub use cost::{
     attention_flops_per_head, hbm_bytes_with_l2, kv_bytes_per_head, q_bytes_per_head,
     KERNEL_LAUNCH_OVERHEAD,
 };
-pub use decode::DecodeKernel;
+pub use decode::{DecodeKernel, QueryPadding};
 pub use prefill::{PrefillKernel, SplitPolicy};
 pub use tiles::{TileShape, MIN_Q_TILE};

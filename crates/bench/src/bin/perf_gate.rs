@@ -1,0 +1,183 @@
+//! CI perf-regression gate: compare a freshly generated `BENCH_engine.json`
+//! against the committed baseline and fail (exit 1) when a gated metric
+//! regressed by more than the allowed fraction.
+//!
+//! ```text
+//! cargo run -p pod-bench --bin perf_gate -- <baseline.json> <fresh.json> [--max-drop 0.30]
+//! ```
+//!
+//! The gated metrics are the two headline throughputs of the PR 1
+//! optimization work: the contention engine's `engine.intervals_per_sec` and
+//! the serving loop's `pricing.batches_priced_per_sec_memoized`. Benchmarks
+//! on shared CI runners are noisy, so the default threshold is a deliberately
+//! loose 30% — the gate catches "someone accidentally serialized the hot
+//! loop", not single-digit drift (the uploaded trend artifact is for that).
+
+use llm_serving::JsonValue;
+use std::process::ExitCode;
+
+/// Dotted paths into the trend file that the gate enforces, with the
+/// direction "bigger is better".
+const GATED_METRICS: &[&str] = &[
+    "engine.intervals_per_sec",
+    "pricing.batches_priced_per_sec_memoized",
+];
+
+/// Default maximum allowed fractional drop (0.30 = 30%).
+const DEFAULT_MAX_DROP: f64 = 0.30;
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn metric(doc: &JsonValue, path: &str, file: &str) -> Result<f64, String> {
+    let v = doc
+        .get_path(path)
+        .ok_or_else(|| format!("{file} has no '{path}'"))?
+        .as_f64()
+        .ok_or_else(|| format!("{file}: '{path}' is not a number"))?;
+    if !(v.is_finite() && v > 0.0) {
+        return Err(format!("{file}: '{path}' = {v} is not a positive number"));
+    }
+    Ok(v)
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut max_drop = DEFAULT_MAX_DROP;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-drop" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--max-drop needs a value".to_string())?;
+            max_drop = v
+                .parse::<f64>()
+                .map_err(|e| format!("invalid --max-drop {v}: {e}"))?;
+            if !(0.0..1.0).contains(&max_drop) {
+                return Err(format!("--max-drop must be in [0, 1), got {max_drop}"));
+            }
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return Err("usage: perf_gate <baseline.json> <fresh.json> [--max-drop 0.30]".to_string());
+    };
+
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+
+    let mut ok = true;
+    println!(
+        "perf gate: fresh {fresh_path} vs baseline {baseline_path} (max drop {:.0}%)",
+        max_drop * 100.0
+    );
+    for path in GATED_METRICS {
+        let base = metric(&baseline, path, baseline_path)?;
+        let now = metric(&fresh, path, fresh_path)?;
+        let ratio = now / base;
+        let verdict = if ratio >= 1.0 - max_drop {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSED"
+        };
+        println!(
+            "  {path:<44} baseline {base:>14.1}  fresh {now:>14.1}  ({:+.1}%)  {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => {
+            println!("perf gate passed");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("perf gate FAILED: a gated metric dropped beyond the threshold");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("perf gate error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trend(intervals: f64, priced: f64) -> String {
+        JsonValue::obj(vec![
+            (
+                "engine",
+                JsonValue::obj(vec![("intervals_per_sec", JsonValue::Num(intervals))]),
+            ),
+            (
+                "pricing",
+                JsonValue::obj(vec![(
+                    "batches_priced_per_sec_memoized",
+                    JsonValue::Num(priced),
+                )]),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    fn write_tmp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).expect("write temp trend file");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn passes_when_fresh_is_within_threshold() {
+        let base = write_tmp("perf_gate_base_ok.json", &trend(1000.0, 500.0));
+        let fresh = write_tmp("perf_gate_fresh_ok.json", &trend(800.0, 450.0));
+        assert_eq!(run(&[base, fresh]), Ok(true));
+    }
+
+    #[test]
+    fn fails_when_a_metric_drops_too_far() {
+        let base = write_tmp("perf_gate_base_bad.json", &trend(1000.0, 500.0));
+        let fresh = write_tmp("perf_gate_fresh_bad.json", &trend(600.0, 500.0));
+        assert_eq!(run(&[base, fresh]), Ok(false));
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let base = write_tmp("perf_gate_base_thr.json", &trend(1000.0, 500.0));
+        let fresh = write_tmp("perf_gate_fresh_thr.json", &trend(850.0, 500.0));
+        assert_eq!(
+            run(&[
+                base.clone(),
+                fresh.clone(),
+                "--max-drop".to_string(),
+                "0.10".to_string()
+            ]),
+            Ok(false)
+        );
+        assert_eq!(
+            run(&[base, fresh, "--max-drop".to_string(), "0.20".to_string()]),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn missing_metrics_and_files_are_errors() {
+        let empty = write_tmp("perf_gate_empty.json", "{}\n");
+        let good = write_tmp("perf_gate_good.json", &trend(1.0, 1.0));
+        assert!(run(&[empty, good.clone()]).is_err());
+        assert!(run(&["/nonexistent/x.json".to_string(), good]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,5 +1,5 @@
-//! A minimal timing harness for the repo's own hot paths, plus a tiny JSON
-//! writer for machine-readable results (`BENCH_engine.json`).
+//! A minimal timing harness for the repo's own hot paths, plus the shared
+//! JSON value type for machine-readable results (`BENCH_engine.json`).
 //!
 //! The build environment has no access to crates.io, so this stands in for
 //! `criterion`: warm up, then run timed batches until both a minimum
@@ -89,81 +89,10 @@ pub fn bench<R, F: FnMut() -> R>(
     }
 }
 
-/// A JSON value for the bench trend files. Only what the harnesses need.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// A finite number (non-finite values serialize as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for object values.
-    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            entries
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serialize with two-space indentation.
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Num(x) => {
-                if x.is_finite() {
-                    out.push_str(&format!("{x}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Obj(entries) => {
-                if entries.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in entries.iter().enumerate() {
-                    out.push_str(&"  ".repeat(indent + 1));
-                    out.push('"');
-                    out.push_str(k);
-                    out.push_str("\": ");
-                    v.write(out, indent + 1);
-                    if i + 1 < entries.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-}
+/// The JSON value type the trend files are written (and parsed back) with.
+/// This is the serving crate's [`llm_serving::JsonValue`] — one wire format
+/// shared by serving reports, bench trend files and the CI perf gate.
+pub use llm_serving::JsonValue as Json;
 
 /// Resolve a path relative to the repository root (two levels above this
 /// crate's manifest), falling back to the current directory.
@@ -193,7 +122,7 @@ mod tests {
     }
 
     #[test]
-    fn json_serializes_nested_objects() {
+    fn json_alias_serializes_like_the_serving_writer() {
         let j = Json::obj(vec![
             ("a", Json::Num(1.5)),
             ("b", Json::Str("x\"y".to_string())),
@@ -203,6 +132,14 @@ mod tests {
         assert!(s.contains("\"a\": 1.5"));
         assert!(s.contains("\\\""));
         assert!(s.contains("\"d\": null"));
-        assert!(s.trim_start().starts_with('{'));
+        // The alias is the serving crate's parser-backed type, so the trend
+        // files the benches write are parseable by the perf gate. The NaN
+        // comes back as the null it was written as.
+        let expected = Json::obj(vec![
+            ("a", Json::Num(1.5)),
+            ("b", Json::Str("x\"y".to_string())),
+            ("c", Json::obj(vec![("d", Json::Null)])),
+        ]);
+        assert_eq!(Json::parse(&s).expect("round trip"), expected);
     }
 }

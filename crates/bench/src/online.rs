@@ -1,8 +1,12 @@
-//! Shared harness for the online-inference latency tables (Tables 5–7).
+//! Shared harness for the online-inference latency tables (Tables 5–7) and
+//! the cluster-scaling sweeps (Figure 16).
 
 use crate::{pct, print_table, secs};
 use gpu_sim::GpuConfig;
-use llm_serving::{ModelConfig, ServingConfig, ServingEngine, ServingReport, Workload};
+use llm_serving::{
+    Cluster, ClusterConfig, ClusterReport, ModelConfig, RequestSpec, RouterPolicy, ServingConfig,
+    ServingEngine, ServingReport, Workload,
+};
 
 /// Run the three systems (vLLM, Sarathi, Sarathi+POD) on `workload` at one
 /// load level and return their reports in that order.
@@ -26,6 +30,56 @@ pub fn run_three_systems(
     .run(requests.clone());
     let pod = ServingEngine::new(ServingConfig::sarathi_pod(model, gpu, chunk_size)).run(requests);
     [vllm, sarathi, pod]
+}
+
+/// Run one fleet configuration over a shared trace and return its report —
+/// the unit of work the Figure 16 sweep fans out through `par_map`.
+pub fn run_cluster(
+    base: ServingConfig,
+    replicas: usize,
+    router: RouterPolicy,
+    trace: &[RequestSpec],
+) -> ClusterReport {
+    Cluster::new(ClusterConfig::new(base, replicas, router)).run(trace.to_vec())
+}
+
+/// One row of a Figure 16-style cluster table: fleet shape, latency
+/// percentiles, throughput and replica imbalance.
+pub fn cluster_row(r: &ClusterReport) -> Vec<String> {
+    vec![
+        format!("{}", r.num_replicas()),
+        r.router.clone(),
+        r.aggregate.system.clone(),
+        secs(r.aggregate.makespan),
+        secs(r.aggregate.request_latency.mean),
+        secs(r.aggregate.request_latency.p99),
+        secs(r.aggregate.ttft.p50),
+        secs(r.aggregate.ttft.p99),
+        format!("{:.1}", r.requests_per_minute()),
+        pct(r.aggregate.stall_fraction_200ms),
+        format!("{:.2}", r.busy_imbalance),
+    ]
+}
+
+/// Print a table of cluster reports (rows from [`cluster_row`]).
+pub fn print_cluster_table(reports: &[&ClusterReport]) {
+    let rows: Vec<Vec<String>> = reports.iter().map(|r| cluster_row(r)).collect();
+    print_table(
+        &[
+            "Replicas",
+            "Router",
+            "System",
+            "Makespan",
+            "Lat mean",
+            "Lat P99",
+            "TTFT P50",
+            "TTFT P99",
+            "Req/min",
+            "Stalls>200ms",
+            "Imbalance",
+        ],
+        &rows,
+    );
 }
 
 /// Print one QPS block of a Table 5/6-style latency comparison.

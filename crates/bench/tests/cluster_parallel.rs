@@ -1,0 +1,58 @@
+//! Cluster sweeps fanned out through `par_map` must be bitwise independent
+//! of worker-thread count: each fleet simulation is deterministic and shares
+//! nothing mutable, so the only way parallelism could change results is a
+//! bug (shared state, order dependence) — which this test would catch.
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    ClusterReport, ModelConfig, RateSchedule, RouterPolicy, ServingConfig, Workload,
+};
+use pod_bench::online::run_cluster;
+use pod_bench::par_map;
+
+fn sweep_jobs() -> Vec<(usize, RouterPolicy)> {
+    [1usize, 2, 3]
+        .into_iter()
+        .flat_map(|replicas| {
+            [
+                RouterPolicy::RoundRobin,
+                RouterPolicy::LeastOutstandingTokens,
+                RouterPolicy::decode_aware(),
+            ]
+            .into_iter()
+            .map(move |router| (replicas, router))
+        })
+        .collect()
+}
+
+#[test]
+fn cluster_sweep_results_are_independent_of_thread_count() {
+    let base = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024);
+    let schedule = RateSchedule::bursty(0.5, 5.0, 30.0, 10.0);
+    let trace = Workload::internal().generate_trace(30, &schedule, 99);
+
+    // Serial reference: plain iterator, no worker threads at all.
+    let serial: Vec<ClusterReport> = sweep_jobs()
+        .into_iter()
+        .map(|(replicas, router)| run_cluster(base.clone(), replicas, router, &trace))
+        .collect();
+
+    // The same sweep through the work-stealing pool, twice (job-claim order
+    // differs run to run; results must not).
+    for round in 0..2 {
+        let parallel = par_map(sweep_jobs(), |(replicas, router)| {
+            run_cluster(base.clone(), replicas, router, &trace)
+        });
+        assert_eq!(parallel.len(), serial.len());
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_eq!(p, s, "round {round}, job {i}: parallel result diverged");
+            // Bitwise, not just PartialEq-equal: the JSON rendering encodes
+            // every f64 digit the writer prints.
+            assert_eq!(
+                p.to_json().to_string_pretty(),
+                s.to_json().to_string_pretty(),
+                "round {round}, job {i}: serialized results diverged"
+            );
+        }
+    }
+}

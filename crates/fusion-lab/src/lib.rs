@@ -42,5 +42,7 @@ mod kernels;
 mod strategies;
 
 pub use hybrid::{compare_strategies, HybridAttentionRunner, StrategyTiming};
-pub use kernels::{ComputeKernel, MemoryKernel, ELEMENTS_PER_CTA, ELEMENT_BYTES};
+pub use kernels::{
+    ComputeKernel, MemoryKernel, ELEMENTS_PER_CTA, ELEMENT_BYTES, MEMORY_KERNEL_PASSES,
+};
 pub use strategies::{fuse_operations_warp_parallel, FusionExecutor, FusionStrategy, Operation};

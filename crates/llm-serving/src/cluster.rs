@@ -1,0 +1,496 @@
+//! Multi-replica serving: N step-able engines on a shared virtual clock
+//! behind a pluggable router.
+//!
+//! The paper evaluates POD-Attention on a single GPU, but its wins (and
+//! failure modes) at fleet scale depend on how load is spread: a router that
+//! lands a long prefill on a replica deep in decode work recreates exactly
+//! the prefill-decode interference the fused kernel is built to hide. This
+//! module models that regime: requests arrive on one global timeline, a
+//! [`RouterPolicy`] assigns each to a replica at arrival time using live
+//! replica state, and every replica runs its own scheduler, KV-cache
+//! admission and queueing via [`ServingEngine::step`]. Results aggregate
+//! into a [`ClusterReport`] with fleet-level latency percentiles and a
+//! replica-imbalance measure.
+
+use crate::engine::ServingEngine;
+use crate::json::JsonValue;
+use crate::metrics::ServingReport;
+use crate::request::{Request, RequestSpec};
+use crate::ServingConfig;
+
+/// Prompt length (tokens) above which the decode-aware router treats a
+/// request as a "long prefill" and steers it away from decode-heavy
+/// replicas.
+pub const LONG_PREFILL_TOKENS: usize = 8 * 1024;
+
+/// How arriving requests are assigned to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Cycle through replicas in order, ignoring load. The baseline every
+    /// load-aware policy must beat.
+    RoundRobin,
+    /// Send each request to the replica with the fewest outstanding work
+    /// tokens (remaining prompt + remaining output across its unfinished
+    /// requests).
+    LeastOutstandingTokens,
+    /// Prefill/decode-aware: long prefills (prompt ≥ `long_prefill_tokens`)
+    /// go to the replica whose prefill backlog is smallest — that backlog is
+    /// what a chunked-prefill scheduler drains one chunk per iteration, so it
+    /// is the head-of-line delay a new prompt actually queues behind — with
+    /// running decodes as the tiebreak, steering heavy prompts away from
+    /// replicas where they would interleave with (and slow) the most
+    /// generation streams. Short requests follow least-outstanding load with
+    /// the prefill backlog as tiebreak, keeping decode-bound work off
+    /// prefill-clogged replicas.
+    DecodeAware {
+        /// Prompt length threshold in tokens for the long-prefill rule.
+        long_prefill_tokens: usize,
+    },
+}
+
+impl RouterPolicy {
+    /// The decode-aware policy with the default [`LONG_PREFILL_TOKENS`]
+    /// threshold.
+    pub fn decode_aware() -> Self {
+        RouterPolicy::DecodeAware {
+            long_prefill_tokens: LONG_PREFILL_TOKENS,
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin".to_string(),
+            RouterPolicy::LeastOutstandingTokens => "least-outstanding".to_string(),
+            RouterPolicy::DecodeAware {
+                long_prefill_tokens,
+            } => format!("decode-aware(long>={long_prefill_tokens})"),
+        }
+    }
+}
+
+/// Configuration of a replica fleet.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-replica serving configuration (every replica is identical — one
+    /// tensor-parallel shard's worth of model and GPU).
+    pub base: ServingConfig,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Routing policy.
+    pub router: RouterPolicy,
+}
+
+impl ClusterConfig {
+    /// A fleet of `replicas` identical replicas behind `router`.
+    pub fn new(base: ServingConfig, replicas: usize, router: RouterPolicy) -> Self {
+        ClusterConfig {
+            base,
+            replicas,
+            router,
+        }
+    }
+}
+
+/// A fleet of step-able serving engines on a shared virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::GpuConfig;
+/// use llm_serving::{
+///     Cluster, ClusterConfig, ModelConfig, RouterPolicy, ServingConfig, Workload,
+/// };
+///
+/// let base = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024);
+/// let mut cluster = Cluster::new(ClusterConfig::new(base, 2, RouterPolicy::decode_aware()));
+/// let report = cluster.run(Workload::internal().generate(16, 1.5, 7));
+/// assert_eq!(report.aggregate.completed, 16);
+/// assert_eq!(report.assigned_per_replica.iter().sum::<usize>(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    replicas: Vec<ServingEngine>,
+    router: RouterPolicy,
+    rr_next: usize,
+    assigned: Vec<usize>,
+}
+
+impl Cluster {
+    /// Build a fleet from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.replicas > 0, "a cluster needs at least one replica");
+        let replicas = (0..config.replicas)
+            .map(|_| ServingEngine::new(config.base.clone()))
+            .collect();
+        Cluster {
+            replicas,
+            router: config.router,
+            rr_next: 0,
+            assigned: vec![0; config.replicas],
+        }
+    }
+
+    /// The replica engines (inspectable mid-run or after).
+    pub fn replicas(&self) -> &[ServingEngine] {
+        &self.replicas
+    }
+
+    /// Pick the replica for `spec` given current replica state, without
+    /// submitting it. This **advances router state** (the round-robin
+    /// cursor): call it once per request, exactly as [`Cluster::run`] does,
+    /// not as a side-effect-free preview.
+    pub fn route(&mut self, spec: &RequestSpec) -> usize {
+        match self.router {
+            RouterPolicy::RoundRobin => {
+                let idx = self.rr_next % self.replicas.len();
+                self.rr_next = (self.rr_next + 1) % self.replicas.len();
+                idx
+            }
+            RouterPolicy::LeastOutstandingTokens => {
+                argmin_by_key(&self.replicas, |r| (r.outstanding_tokens(), 0usize))
+            }
+            RouterPolicy::DecodeAware {
+                long_prefill_tokens,
+            } => {
+                if spec.prompt_tokens >= long_prefill_tokens {
+                    // A heavy prompt queues behind the existing prefill
+                    // backlog; among equally clear queues it lands where it
+                    // disturbs the fewest generation streams.
+                    argmin_by_key(&self.replicas, |r| {
+                        (r.queued_prefill_tokens(), r.running_decodes())
+                    })
+                } else {
+                    argmin_by_key(&self.replicas, |r| {
+                        (r.outstanding_tokens(), r.queued_prefill_tokens())
+                    })
+                }
+            }
+        }
+    }
+
+    /// Serve `specs` to completion: route every request at its arrival time
+    /// (advancing all replicas to that instant first, so routing sees live
+    /// state), then drain the fleet.
+    ///
+    /// Each call starts from a fresh fleet — replica engines, router cursor
+    /// and assignment counts are reset first — so repeated `run`s on one
+    /// `Cluster` are independent, mirroring [`ServingEngine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single request can never fit in a replica's KV cache.
+    pub fn run(&mut self, specs: Vec<RequestSpec>) -> ClusterReport {
+        for replica in &mut self.replicas {
+            *replica = ServingEngine::new(replica.config().clone());
+        }
+        self.rr_next = 0;
+        self.assigned = vec![0; self.replicas.len()];
+
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by(|&a, &b| {
+            specs[a]
+                .arrival
+                .partial_cmp(&specs[b].arrival)
+                .expect("arrival times must not be NaN")
+        });
+        for &i in &order {
+            let spec = specs[i];
+            for replica in &mut self.replicas {
+                replica.advance_to(spec.arrival);
+            }
+            let target = self.route(&spec);
+            self.replicas[target].submit(spec);
+            self.assigned[target] += 1;
+        }
+        for replica in &mut self.replicas {
+            replica.run_until_drained();
+        }
+        self.report()
+    }
+
+    /// Aggregate what the fleet has served so far into a [`ClusterReport`].
+    pub fn report(&self) -> ClusterReport {
+        let per_replica: Vec<ServingReport> = self.replicas.iter().map(|r| r.report()).collect();
+        let all_requests: Vec<Request> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.requests().iter().cloned())
+            .collect();
+        let makespan = per_replica.iter().map(|r| r.makespan).fold(0.0, f64::max);
+        let mut aggregate = ServingReport::from_requests(
+            &self.replicas[0].config().system_label(),
+            &all_requests,
+            makespan,
+            per_replica.iter().map(|r| r.iterations).sum(),
+            per_replica.iter().map(|r| r.hybrid_iterations).sum(),
+        );
+        aggregate.price_cache_hits = per_replica.iter().map(|r| r.price_cache_hits).sum();
+        aggregate.price_cache_misses = per_replica.iter().map(|r| r.price_cache_misses).sum();
+        aggregate.busy_time = per_replica.iter().map(|r| r.busy_time).sum();
+
+        let max_busy = per_replica.iter().map(|r| r.busy_time).fold(0.0, f64::max);
+        let mean_busy = aggregate.busy_time / per_replica.len() as f64;
+        let busy_imbalance = if mean_busy > 0.0 {
+            max_busy / mean_busy
+        } else {
+            1.0
+        };
+
+        ClusterReport {
+            router: self.router.label(),
+            busy_imbalance,
+            assigned_per_replica: self.assigned.clone(),
+            per_replica,
+            aggregate,
+        }
+    }
+}
+
+/// Index of the replica minimizing `key` (first wins ties, so routing is
+/// deterministic).
+fn argmin_by_key<K: Ord>(replicas: &[ServingEngine], key: impl Fn(&ServingEngine) -> K) -> usize {
+    replicas
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| key(r))
+        .map(|(i, _)| i)
+        .expect("cluster has at least one replica")
+}
+
+/// Fleet-level results of one cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Router policy label.
+    pub router: String,
+    /// Fleet-wide metrics: latency percentiles over every request served by
+    /// any replica, makespan = the last replica to finish, iteration and
+    /// busy-time totals summed across replicas.
+    pub aggregate: ServingReport,
+    /// Each replica's own report, in replica order.
+    pub per_replica: Vec<ServingReport>,
+    /// Requests assigned to each replica, in replica order.
+    pub assigned_per_replica: Vec<usize>,
+    /// Max-over-mean replica busy time: 1.0 is a perfectly balanced fleet,
+    /// N means one replica did all the work of N.
+    pub busy_imbalance: f64,
+}
+
+impl ClusterReport {
+    /// Number of replicas in the fleet.
+    pub fn num_replicas(&self) -> usize {
+        self.per_replica.len()
+    }
+
+    /// Fleet throughput in completed requests per minute of makespan.
+    pub fn requests_per_minute(&self) -> f64 {
+        self.aggregate.requests_per_minute()
+    }
+
+    /// Serialize the full cluster report (aggregate + per-replica) as JSON,
+    /// in the same format family as [`ServingReport::to_json`].
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("router", JsonValue::str(&self.router)),
+            ("replicas", JsonValue::Num(self.num_replicas() as f64)),
+            ("busy_imbalance", JsonValue::Num(self.busy_imbalance)),
+            (
+                "assigned_per_replica",
+                JsonValue::Arr(
+                    self.assigned_per_replica
+                        .iter()
+                        .map(|&n| JsonValue::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+            ("aggregate", self.aggregate.to_json()),
+            (
+                "per_replica",
+                JsonValue::Arr(self.per_replica.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{RateSchedule, Workload};
+    use crate::{ModelConfig, ServingConfig};
+    use gpu_sim::GpuConfig;
+
+    fn base() -> ServingConfig {
+        ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024)
+    }
+
+    #[test]
+    fn single_replica_cluster_matches_the_plain_engine_exactly() {
+        let specs = Workload::internal().generate(24, 1.2, 31);
+        for router in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastOutstandingTokens,
+            RouterPolicy::decode_aware(),
+        ] {
+            let plain = ServingEngine::new(base()).run(specs.clone());
+            let report = Cluster::new(ClusterConfig::new(base(), 1, router)).run(specs.clone());
+            assert_eq!(
+                report.per_replica[0],
+                plain,
+                "router {} must not change single-replica results",
+                router.label()
+            );
+            assert_eq!(report.aggregate.makespan, plain.makespan);
+            assert_eq!(report.aggregate.completed, plain.completed);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let specs = Workload::internal().generate(24, 1.0, 5);
+        let report =
+            Cluster::new(ClusterConfig::new(base(), 4, RouterPolicy::RoundRobin)).run(specs);
+        assert_eq!(report.assigned_per_replica, vec![6, 6, 6, 6]);
+        assert_eq!(report.aggregate.completed, 24);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_the_idle_replica() {
+        let mut cluster = Cluster::new(ClusterConfig::new(
+            base(),
+            2,
+            RouterPolicy::LeastOutstandingTokens,
+        ));
+        // Load replica 0 by hand, then route: the idle replica must win.
+        cluster.replicas[0].submit(RequestSpec::new(0.0, 16 * 1024, 256));
+        let spec = RequestSpec::new(0.0, 2048, 64);
+        assert_eq!(cluster.route(&spec), 1);
+    }
+
+    #[test]
+    fn decode_aware_routes_long_prefills_away_from_decode_heavy_replicas() {
+        let mut cluster = Cluster::new(ClusterConfig::new(base(), 3, RouterPolicy::decode_aware()));
+        // Replica 0: deep into decode — small prompts, long generations,
+        // advanced past their prefills. No prefill backlog, many decodes.
+        cluster.replicas[0].submit(RequestSpec::new(0.0, 512, 2048));
+        cluster.replicas[0].submit(RequestSpec::new(0.0, 512, 2048));
+        cluster.replicas[0].advance_to(5.0);
+        assert!(cluster.replicas[0].running_decodes() > 0);
+        assert_eq!(cluster.replicas[0].queued_prefill_tokens(), 0);
+        // Replica 1: a heavy prompt queued (not yet stepped) — large prefill
+        // backlog, no decodes.
+        cluster.replicas[1].submit(RequestSpec::new(0.0, 16 * 1024, 64));
+        assert_eq!(cluster.replicas[1].queued_prefill_tokens(), 16 * 1024);
+        // Replica 2: idle.
+        // A long prefill avoids both the backlogged replica 1 and the
+        // decode-heavy replica 0.
+        assert_eq!(cluster.route(&RequestSpec::new(5.0, 12 * 1024, 64)), 2);
+        // With the idle replica removed from contention (say it just took
+        // that prompt), a long prefill prefers the clear-queue decode-heavy
+        // replica over queueing behind 16K tokens of prompt.
+        cluster.replicas[2].submit(RequestSpec::new(5.0, 12 * 1024, 64));
+        assert_eq!(cluster.route(&RequestSpec::new(5.0, 10 * 1024, 64)), 0);
+    }
+
+    #[test]
+    fn decode_aware_spreads_simultaneous_long_prefills() {
+        // A flash crowd of identical long prefills arriving at the same
+        // instant must fan out across the fleet, not dogpile one replica:
+        // routing sees each prior assignment as backlog even though no
+        // engine step has run in between.
+        let specs = vec![RequestSpec::new(0.0, 16 * 1024, 64); 4];
+        let report =
+            Cluster::new(ClusterConfig::new(base(), 4, RouterPolicy::decode_aware())).run(specs);
+        assert_eq!(report.assigned_per_replica, vec![1, 1, 1, 1]);
+        assert_eq!(report.aggregate.completed, 4);
+    }
+
+    #[test]
+    fn repeated_runs_on_one_cluster_are_independent() {
+        let specs = Workload::internal().generate(12, 1.0, 19);
+        let mut cluster = Cluster::new(ClusterConfig::new(base(), 2, RouterPolicy::RoundRobin));
+        let first = cluster.run(specs.clone());
+        let second = cluster.run(specs);
+        assert_eq!(first, second, "run() must reset fleet state between calls");
+        assert_eq!(second.aggregate.completed, 12);
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let schedule = RateSchedule::bursty(0.5, 6.0, 40.0, 10.0);
+        let specs = Workload::internal().generate_trace(48, &schedule, 77);
+        let a = Cluster::new(ClusterConfig::new(base(), 3, RouterPolicy::decode_aware()))
+            .run(specs.clone());
+        let b =
+            Cluster::new(ClusterConfig::new(base(), 3, RouterPolicy::decode_aware())).run(specs);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn more_replicas_cut_latency_under_load() {
+        let specs = Workload::internal().generate(40, 2.5, 11);
+        let one = Cluster::new(ClusterConfig::new(
+            base(),
+            1,
+            RouterPolicy::LeastOutstandingTokens,
+        ))
+        .run(specs.clone());
+        let four = Cluster::new(ClusterConfig::new(
+            base(),
+            4,
+            RouterPolicy::LeastOutstandingTokens,
+        ))
+        .run(specs);
+        assert_eq!(one.aggregate.completed, 40);
+        assert_eq!(four.aggregate.completed, 40);
+        assert!(
+            four.aggregate.request_latency.p50 < one.aggregate.request_latency.p50,
+            "4 replicas {} vs 1 replica {}",
+            four.aggregate.request_latency.p50,
+            one.aggregate.request_latency.p50
+        );
+        assert!(four.aggregate.makespan <= one.aggregate.makespan);
+    }
+
+    #[test]
+    fn report_aggregates_and_serializes() {
+        let specs = Workload::arxiv().generate(16, 1.5, 3);
+        let report =
+            Cluster::new(ClusterConfig::new(base(), 2, RouterPolicy::RoundRobin)).run(specs);
+        assert_eq!(report.num_replicas(), 2);
+        assert_eq!(
+            report.aggregate.iterations,
+            report
+                .per_replica
+                .iter()
+                .map(|r| r.iterations)
+                .sum::<usize>()
+        );
+        assert!(report.busy_imbalance >= 1.0);
+        assert!(report.requests_per_minute() > 0.0);
+        let parsed = JsonValue::parse(&report.to_json().to_string_pretty()).expect("JSON parses");
+        assert_eq!(
+            parsed.get_path("replicas").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get_path("aggregate.completed")
+                .and_then(JsonValue::as_f64),
+            Some(16.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = Cluster::new(ClusterConfig::new(base(), 0, RouterPolicy::RoundRobin));
+    }
+}

@@ -2,6 +2,14 @@
 //! scheduler, prices every iteration with the cost model, and tracks latency
 //! metrics. This is the substrate for the end-to-end results of §5.2–§5.4
 //! (Figures 12 and 15, Tables 5–7).
+//!
+//! The engine is **step-able**: [`ServingEngine::submit`] enqueues requests
+//! and [`ServingEngine::step`] advances the simulation by exactly one
+//! scheduler iteration, returning an [`IterationOutcome`]. The closed-world
+//! [`ServingEngine::run`] is a thin loop over `step` and reproduces the
+//! pre-stepping reports bit-for-bit; the multi-replica layer in
+//! [`crate::Cluster`] interleaves many engines on a shared virtual clock
+//! through the same `step` entry point.
 
 use crate::kvcache::KvCacheManager;
 use crate::linear::IterationCostModel;
@@ -159,7 +167,97 @@ impl ServingConfig {
     }
 }
 
-/// The serving simulator.
+/// What one call to [`ServingEngine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IterationOutcome {
+    /// One scheduler iteration executed.
+    Ran(IterationStats),
+    /// Nothing is runnable right now, but a submitted request arrives at the
+    /// given simulated time; call `step` again at (or after) that time.
+    IdleUntil(f64),
+    /// Every submitted request has finished.
+    Drained,
+    /// Requests are queued but the front one can never be admitted: it needs
+    /// more KV-cache capacity than the GPU offers. A configuration error
+    /// rather than a load condition.
+    Blocked {
+        /// KV-cache tokens the stuck request needs.
+        needed_tokens: usize,
+        /// Total KV-cache capacity of the replica.
+        capacity_tokens: usize,
+    },
+}
+
+/// Per-iteration accounting returned by [`ServingEngine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterationStats {
+    /// Simulated time at which the iteration started.
+    pub started_at: f64,
+    /// Simulated time at which the iteration completed (the engine clock).
+    pub completed_at: f64,
+    /// Modeled execution time of the iteration in seconds.
+    pub duration: f64,
+    /// Whether the batch carried both a prefill chunk and decodes.
+    pub hybrid: bool,
+    /// Prefill tokens processed this iteration.
+    pub prefill_tokens: usize,
+    /// Decode tokens generated this iteration.
+    pub decode_tokens: usize,
+    /// Requests that reached their final token this iteration.
+    pub newly_finished: usize,
+}
+
+/// Mutable simulation state of one replica: queues, KV cache, clock and the
+/// price cache. Kept separate from the engine's immutable configuration so
+/// `step` can borrow the cost model and the state independently.
+#[derive(Debug, Clone)]
+struct EngineState {
+    requests: Vec<Request>,
+    /// Request ids sorted by arrival time, not yet visible to the scheduler.
+    arrivals: VecDeque<usize>,
+    waiting: VecDeque<usize>,
+    running: Vec<usize>,
+    reserved: Vec<bool>,
+    kv: KvCacheManager,
+    clock: f64,
+    iterations: usize,
+    hybrid_iterations: usize,
+    busy_time: f64,
+    price_cache: HashMap<BatchSignature, f64>,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+impl EngineState {
+    fn new(kv_capacity: usize) -> Self {
+        EngineState {
+            requests: Vec::new(),
+            arrivals: VecDeque::new(),
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            reserved: Vec::new(),
+            kv: KvCacheManager::new(kv_capacity),
+            clock: 0.0,
+            iterations: 0,
+            hybrid_iterations: 0,
+            busy_time: 0.0,
+            price_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
+/// The serving simulator for one replica.
+///
+/// Two ways to drive it:
+///
+/// * **Closed world** — [`ServingEngine::run`] serves a whole workload to
+///   completion and returns the aggregated [`ServingReport`].
+/// * **Stepping** — [`ServingEngine::submit`] requests (in arrival order) and
+///   [`ServingEngine::step`] one iteration at a time; `run` is itself a loop
+///   over `step`, so the two produce identical reports. Stepping is what the
+///   multi-replica [`crate::Cluster`] layer builds on.
 ///
 /// # Examples
 ///
@@ -173,14 +271,38 @@ impl ServingConfig {
 /// let report = engine.run(requests);
 /// assert_eq!(report.completed, 4);
 /// ```
+///
+/// Stepping the same workload by hand:
+///
+/// ```
+/// use gpu_sim::GpuConfig;
+/// use llm_serving::{IterationOutcome, ModelConfig, RequestSpec, ServingConfig, ServingEngine};
+///
+/// let config = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024);
+/// let mut engine = ServingEngine::new(config);
+/// for spec in vec![RequestSpec::new(0.0, 4096, 64); 4] {
+///     engine.submit(spec);
+/// }
+/// loop {
+///     match engine.step(engine.clock()) {
+///         IterationOutcome::Ran(_) => {}
+///         IterationOutcome::IdleUntil(t) => { engine.step(t); }
+///         IterationOutcome::Drained => break,
+///         IterationOutcome::Blocked { .. } => panic!("undersized KV cache"),
+///     }
+/// }
+/// assert_eq!(engine.report().completed, 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServingEngine {
     config: ServingConfig,
     cost: IterationCostModel,
+    kv_capacity: usize,
+    state: EngineState,
 }
 
 impl ServingEngine {
-    /// Create an engine from a configuration.
+    /// Create an engine from a configuration, with an empty request queue.
     pub fn new(config: ServingConfig) -> Self {
         // `price_cache` gates both memoization layers: the engine's
         // batch-signature cache and the estimator's side-cost memo.
@@ -189,12 +311,282 @@ impl ServingEngine {
         } else {
             IterationCostModel::exact(config.model.clone(), config.gpu.clone())
         };
-        ServingEngine { config, cost }
+        let kv_capacity = config
+            .kv_capacity_tokens
+            .unwrap_or_else(|| config.model.kv_cache_capacity_tokens(&config.gpu));
+        ServingEngine {
+            config,
+            cost,
+            kv_capacity,
+            state: EngineState::new(kv_capacity),
+        }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &ServingConfig {
         &self.config
+    }
+
+    /// Total KV-cache capacity of this replica in tokens.
+    pub fn kv_capacity_tokens(&self) -> usize {
+        self.kv_capacity
+    }
+
+    /// Current simulated time: the completion time of the last iteration this
+    /// engine executed (0 before the first).
+    pub fn clock(&self) -> f64 {
+        self.state.clock
+    }
+
+    /// Total modeled execution time across all iterations so far. The
+    /// difference between [`clock`](Self::clock) and this is time the replica
+    /// sat idle waiting for arrivals.
+    pub fn busy_time(&self) -> f64 {
+        self.state.busy_time
+    }
+
+    /// Submit one request for serving and return its id within this engine.
+    /// Requests may be submitted at any point between steps; arrival times
+    /// are honored (a request is invisible to the scheduler until the clock
+    /// reaches its arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN arrival time (it would never compare as due and the
+    /// engine could never drain).
+    pub fn submit(&mut self, spec: RequestSpec) -> usize {
+        assert!(!spec.arrival.is_nan(), "arrival times must not be NaN");
+        let id = self.state.requests.len();
+        self.state.requests.push(Request::new(id, spec));
+        self.state.reserved.push(false);
+        // Keep the pending-arrival queue sorted; insertion after equal
+        // arrivals preserves submission order for ties, matching the stable
+        // sort the closed-world `run` historically used.
+        let at = self
+            .state
+            .arrivals
+            .partition_point(|&r| self.state.requests[r].spec.arrival <= spec.arrival);
+        self.state.arrivals.insert(at, id);
+        id
+    }
+
+    /// Requests submitted so far (finished or not), in submission order.
+    pub fn requests(&self) -> &[Request] {
+        &self.state.requests
+    }
+
+    /// Whether every submitted request has finished.
+    pub fn is_drained(&self) -> bool {
+        self.state.arrivals.is_empty()
+            && self.state.waiting.is_empty()
+            && self.state.running.is_empty()
+    }
+
+    /// Requests currently in their decode phase.
+    pub fn running_decodes(&self) -> usize {
+        self.state.running.len()
+    }
+
+    /// Prompt tokens still to be prefilled across every request this replica
+    /// owns — the queued-or-admitted ones *and* submitted ones whose arrival
+    /// the clock has not reached yet (a router assigns work the instant it
+    /// arrives, so committed-but-unadmitted prompts are backlog too;
+    /// excluding them would let simultaneous long prefills all dogpile onto
+    /// the same replica).
+    pub fn queued_prefill_tokens(&self) -> usize {
+        let st = &self.state;
+        st.arrivals
+            .iter()
+            .chain(st.waiting.iter())
+            .map(|&r| st.requests[r].remaining_prompt())
+            .sum()
+    }
+
+    /// Total tokens of work (prompt + output) still to be processed across
+    /// every unfinished request this replica owns, including ones that have
+    /// not arrived yet. The load signal the least-outstanding router uses.
+    pub fn outstanding_tokens(&self) -> usize {
+        let st = &self.state;
+        st.arrivals
+            .iter()
+            .chain(st.waiting.iter())
+            .chain(st.running.iter())
+            .map(|&r| st.requests[r].remaining_tokens())
+            .sum()
+    }
+
+    /// Fraction of the KV cache currently reserved.
+    pub fn kv_utilization(&self) -> f64 {
+        self.state.kv.utilization()
+    }
+
+    /// Advance the simulation by exactly one scheduler iteration.
+    ///
+    /// `now` is the caller's clock; the engine clock first catches up to it
+    /// (`clock = max(clock, now)`) — even when nothing turns out to be
+    /// runnable, since idle time is real time — making newly due arrivals
+    /// visible. The engine then forms one batch, prices it, advances its
+    /// clock by the iteration time and applies the effects. When nothing is
+    /// runnable the outcome says why ([`IterationOutcome::IdleUntil`] /
+    /// [`IterationOutcome::Drained`] / [`IterationOutcome::Blocked`]) and no
+    /// further time passes.
+    pub fn step(&mut self, now: f64) -> IterationOutcome {
+        let st = &mut self.state;
+        st.clock = st.clock.max(now);
+
+        // Admit arrivals that have happened by now.
+        while let Some(&id) = st.arrivals.front() {
+            if st.requests[id].spec.arrival <= st.clock {
+                st.waiting.push_back(id);
+                st.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        let plan = plan_batch(
+            self.config.scheduler,
+            &mut st.requests,
+            &st.waiting,
+            &st.running,
+            &mut st.kv,
+            &mut st.reserved,
+            self.config.max_batch_size,
+        );
+
+        if plan.is_empty() {
+            if let Some(&id) = st.arrivals.front() {
+                return IterationOutcome::IdleUntil(st.requests[id].spec.arrival);
+            }
+            if st.waiting.is_empty() && st.running.is_empty() {
+                return IterationOutcome::Drained;
+            }
+            return IterationOutcome::Blocked {
+                needed_tokens: st
+                    .waiting
+                    .front()
+                    .map(|&r| st.requests[r].spec.total_tokens())
+                    .unwrap_or(0),
+                capacity_tokens: self.kv_capacity,
+            };
+        }
+
+        // Price the iteration. With the cache on, only novel (quantized)
+        // batch shapes reach the cost model; repeats are a map lookup.
+        let dt = if self.config.price_cache {
+            let sig = BatchSignature::of_plan(&plan, &st.requests);
+            match st.price_cache.get(&sig) {
+                Some(&cached) => {
+                    st.cache_hits += 1;
+                    cached
+                }
+                None => {
+                    st.cache_misses += 1;
+                    let priced = self
+                        .cost
+                        .iteration_time(&sig.canonical_batch(), self.config.attention);
+                    if st.price_cache.len() >= PRICE_CACHE_MAX_ENTRIES {
+                        st.price_cache.clear();
+                    }
+                    st.price_cache.insert(sig, priced);
+                    priced
+                }
+            }
+        } else {
+            let batch = to_hybrid_batch(&plan, &st.requests);
+            self.cost.iteration_time(&batch, self.config.attention)
+        };
+        let started_at = st.clock;
+        st.clock += dt;
+        st.iterations += 1;
+        st.busy_time += dt;
+        if plan.is_hybrid() {
+            st.hybrid_iterations += 1;
+        }
+
+        // Apply the iteration's effects.
+        let newly_finished = apply_plan(
+            &plan,
+            st.clock,
+            &mut st.requests,
+            &mut st.waiting,
+            &mut st.running,
+            &mut st.kv,
+            &mut st.reserved,
+        );
+
+        // Token accounting via the plan's own budget arithmetic, so the
+        // stats and the Sarathi chunk accounting can never drift apart.
+        let decode_tokens = plan.decodes.len();
+        IterationOutcome::Ran(IterationStats {
+            started_at,
+            completed_at: st.clock,
+            duration: dt,
+            hybrid: plan.is_hybrid(),
+            prefill_tokens: plan.scheduled_tokens() - decode_tokens,
+            decode_tokens,
+            newly_finished,
+        })
+    }
+
+    /// Step until this engine can make no progress before simulated time `t`:
+    /// it runs every iteration that *starts* before `t` (an iteration started
+    /// just before `t` may complete after it, exactly as a real replica would
+    /// still be mid-iteration when a new request arrives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queued request can never fit in the KV cache.
+    pub fn advance_to(&mut self, t: f64) {
+        let mut now = self.state.clock;
+        while now < t {
+            match self.step(now) {
+                IterationOutcome::Ran(stats) => now = stats.completed_at,
+                IterationOutcome::IdleUntil(u) if u < t => now = u,
+                IterationOutcome::IdleUntil(_) | IterationOutcome::Drained => break,
+                IterationOutcome::Blocked {
+                    needed_tokens,
+                    capacity_tokens,
+                } => panic_blocked(needed_tokens, capacity_tokens),
+            }
+        }
+    }
+
+    /// Step until every submitted request has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queued request can never fit in the KV cache.
+    pub fn run_until_drained(&mut self) {
+        let mut now = self.state.clock;
+        loop {
+            match self.step(now) {
+                IterationOutcome::Ran(stats) => now = stats.completed_at,
+                IterationOutcome::IdleUntil(t) => now = t,
+                IterationOutcome::Drained => break,
+                IterationOutcome::Blocked {
+                    needed_tokens,
+                    capacity_tokens,
+                } => panic_blocked(needed_tokens, capacity_tokens),
+            }
+        }
+    }
+
+    /// Snapshot the aggregated report for everything served so far. Valid
+    /// mid-run (unfinished requests are excluded from the latency stats).
+    pub fn report(&self) -> ServingReport {
+        let st = &self.state;
+        let mut report = ServingReport::from_requests(
+            &self.config.system_label(),
+            &st.requests,
+            st.clock,
+            st.iterations,
+            st.hybrid_iterations,
+        );
+        report.price_cache_hits = st.cache_hits;
+        report.price_cache_misses = st.cache_misses;
+        report.busy_time = st.busy_time;
+        report
     }
 
     /// Serve `specs` to completion and return the aggregated report.
@@ -203,133 +595,27 @@ impl ServingEngine {
     }
 
     /// Serve `specs` to completion and return both the report and the
-    /// per-request records (for custom analyses).
+    /// per-request records (for custom analyses). Runs on a fresh copy of the
+    /// engine state, so `run` can be called repeatedly (and on an engine that
+    /// is also being stepped) without interference.
     ///
     /// # Panics
     ///
     /// Panics if a single request can never fit in the KV cache (a
     /// configuration error rather than a load condition).
     pub fn run_detailed(&self, specs: Vec<RequestSpec>) -> (ServingReport, Vec<Request>) {
-        let kv_capacity = self
-            .config
-            .kv_capacity_tokens
-            .unwrap_or_else(|| self.config.model.kv_cache_capacity_tokens(&self.config.gpu));
-        let mut kv = KvCacheManager::new(kv_capacity);
-        let mut requests: Vec<Request> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Request::new(i, *s))
-            .collect();
-        let mut reserved = vec![false; requests.len()];
-
-        // Arrival order.
-        let mut order: Vec<usize> = (0..requests.len()).collect();
-        order.sort_by(|&a, &b| {
-            specs[a]
-                .arrival
-                .partial_cmp(&specs[b].arrival)
-                .expect("arrival times must not be NaN")
-        });
-        let mut next_arrival = 0usize;
-
-        let mut waiting: VecDeque<usize> = VecDeque::new();
-        let mut running: Vec<usize> = Vec::new();
-        let mut clock = 0.0_f64;
-        let mut iterations = 0usize;
-        let mut hybrid_iterations = 0usize;
-
-        let mut price_cache: HashMap<BatchSignature, f64> = HashMap::new();
-        let mut cache_hits = 0usize;
-        let mut cache_misses = 0usize;
-
-        loop {
-            // Admit arrivals that have happened by now.
-            while next_arrival < order.len() && specs[order[next_arrival]].arrival <= clock {
-                waiting.push_back(order[next_arrival]);
-                next_arrival += 1;
-            }
-
-            let plan = plan_batch(
-                self.config.scheduler,
-                &mut requests,
-                &waiting,
-                &running,
-                &mut kv,
-                &mut reserved,
-                self.config.max_batch_size,
-            );
-
-            if plan.is_empty() {
-                if next_arrival < order.len() {
-                    // Idle until the next arrival.
-                    clock = clock.max(specs[order[next_arrival]].arrival);
-                    continue;
-                }
-                if waiting.is_empty() && running.is_empty() {
-                    break;
-                }
-                panic!(
-                    "serving deadlock: a request needs more KV-cache capacity ({} tokens) than the GPU offers ({kv_capacity} tokens)",
-                    waiting
-                        .front()
-                        .map(|&r| requests[r].spec.total_tokens())
-                        .unwrap_or(0)
-                );
-            }
-
-            // Price the iteration. With the cache on, only novel (quantized)
-            // batch shapes reach the cost model; repeats are a map lookup.
-            let dt = if self.config.price_cache {
-                let sig = BatchSignature::of_plan(&plan, &requests);
-                match price_cache.get(&sig) {
-                    Some(&cached) => {
-                        cache_hits += 1;
-                        cached
-                    }
-                    None => {
-                        cache_misses += 1;
-                        let priced = self
-                            .cost
-                            .iteration_time(&sig.canonical_batch(), self.config.attention);
-                        if price_cache.len() >= PRICE_CACHE_MAX_ENTRIES {
-                            price_cache.clear();
-                        }
-                        price_cache.insert(sig, priced);
-                        priced
-                    }
-                }
-            } else {
-                let batch = self.to_hybrid_batch(&plan, &requests);
-                self.cost.iteration_time(&batch, self.config.attention)
-            };
-            clock += dt;
-            iterations += 1;
-            if plan.is_hybrid() {
-                hybrid_iterations += 1;
-            }
-
-            // Apply the iteration's effects.
-            self.apply_plan(
-                &plan,
-                clock,
-                &mut requests,
-                &mut waiting,
-                &mut running,
-                &mut kv,
-                &mut reserved,
-            );
+        let mut engine = ServingEngine {
+            config: self.config.clone(),
+            cost: self.cost.clone(),
+            kv_capacity: self.kv_capacity,
+            state: EngineState::new(self.kv_capacity),
+        };
+        for spec in specs {
+            engine.submit(spec);
         }
-
-        let mut report = ServingReport::from_requests(
-            &self.config.system_label(),
-            &requests,
-            clock,
-            iterations,
-            hybrid_iterations,
-        );
-        report.price_cache_hits = cache_hits;
-        report.price_cache_misses = cache_misses;
-        (report, requests)
+        engine.run_until_drained();
+        let report = engine.report();
+        (report, engine.state.requests)
     }
 
     /// Per-iteration breakdown for a given plan state (used by the Figure 4
@@ -337,66 +623,72 @@ impl ServingEngine {
     pub fn price_batch(&self, batch: &HybridBatch) -> f64 {
         self.cost.iteration_time(batch, self.config.attention)
     }
+}
 
-    fn to_hybrid_batch(&self, plan: &BatchPlan, requests: &[Request]) -> HybridBatch {
-        let prefill = plan.prefill.map(|(rid, chunk)| {
-            let req = &requests[rid];
-            PrefillChunk::new(chunk, req.prefilled)
-        });
-        let decodes = plan
-            .decodes
-            .iter()
-            .map(|&rid| attn_kernels::DecodeRequest::new(requests[rid].context_len().max(1)))
-            .collect();
-        HybridBatch { prefill, decodes }
-    }
+/// The historical deadlock panic, shared by `run_until_drained` and
+/// `advance_to` so the message stays identical to the closed-world engine's.
+fn panic_blocked(needed_tokens: usize, capacity_tokens: usize) -> ! {
+    panic!(
+        "serving deadlock: a request needs more KV-cache capacity ({needed_tokens} tokens) than the GPU offers ({capacity_tokens} tokens)"
+    );
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn apply_plan(
-        &self,
-        plan: &BatchPlan,
-        clock: f64,
-        requests: &mut [Request],
-        waiting: &mut VecDeque<usize>,
-        running: &mut Vec<usize>,
-        kv: &mut KvCacheManager,
-        reserved: &mut [bool],
-    ) {
-        if let Some((rid, chunk)) = plan.prefill {
-            requests[rid].record_prefill(chunk, clock);
-            match requests[rid].phase() {
-                Phase::Decoding => {
-                    // Prompt finished: first token produced, move to running.
-                    waiting.retain(|&r| r != rid);
-                    running.push(rid);
-                }
-                Phase::Finished => {
-                    waiting.retain(|&r| r != rid);
-                    self.release(rid, requests, kv, reserved);
-                }
-                _ => {}
+fn to_hybrid_batch(plan: &BatchPlan, requests: &[Request]) -> HybridBatch {
+    let prefill = plan.prefill.map(|(rid, chunk)| {
+        let req = &requests[rid];
+        PrefillChunk::new(chunk, req.prefilled)
+    });
+    let decodes = plan
+        .decodes
+        .iter()
+        .map(|&rid| attn_kernels::DecodeRequest::new(requests[rid].context_len().max(1)))
+        .collect();
+    HybridBatch { prefill, decodes }
+}
+
+/// Apply one iteration's effects to the queues and KV cache, returning how
+/// many requests finished.
+fn apply_plan(
+    plan: &BatchPlan,
+    clock: f64,
+    requests: &mut [Request],
+    waiting: &mut VecDeque<usize>,
+    running: &mut Vec<usize>,
+    kv: &mut KvCacheManager,
+    reserved: &mut [bool],
+) -> usize {
+    let mut finished = 0usize;
+    if let Some((rid, chunk)) = plan.prefill {
+        requests[rid].record_prefill(chunk, clock);
+        match requests[rid].phase() {
+            Phase::Decoding => {
+                // Prompt finished: first token produced, move to running.
+                waiting.retain(|&r| r != rid);
+                running.push(rid);
             }
-        }
-        for &rid in &plan.decodes {
-            requests[rid].record_decode_token(clock);
-            if requests[rid].phase() == Phase::Finished {
-                running.retain(|&r| r != rid);
-                self.release(rid, requests, kv, reserved);
+            Phase::Finished => {
+                waiting.retain(|&r| r != rid);
+                release(rid, requests, kv, reserved);
+                finished += 1;
             }
+            _ => {}
         }
     }
-
-    fn release(
-        &self,
-        rid: usize,
-        requests: &[Request],
-        kv: &mut KvCacheManager,
-        reserved: &mut [bool],
-    ) {
-        if reserved[rid] {
-            kv.release(requests[rid].spec.total_tokens());
-            reserved[rid] = false;
+    for &rid in &plan.decodes {
+        requests[rid].record_decode_token(clock);
+        if requests[rid].phase() == Phase::Finished {
+            running.retain(|&r| r != rid);
+            release(rid, requests, kv, reserved);
+            finished += 1;
         }
+    }
+    finished
+}
+
+fn release(rid: usize, requests: &[Request], kv: &mut KvCacheManager, reserved: &mut [bool]) {
+    if reserved[rid] {
+        kv.release(requests[rid].spec.total_tokens());
+        reserved[rid] = false;
     }
 }
 
@@ -607,6 +899,16 @@ mod tests {
         let batch = sig_a.canonical_batch();
         assert_eq!(batch.decode_batch_size(), 2);
         assert_eq!(batch.prefill.unwrap().chunk_len, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival times must not be NaN")]
+    fn nan_arrivals_are_rejected_at_submission() {
+        // The pre-stepping engine panicked on NaN arrivals in its sort; the
+        // step-able engine must too (a NaN arrival never compares as due, so
+        // it would otherwise spin forever un-drainable).
+        let _ = ServingEngine::new(ServingConfig::sarathi(llama3(), gpu(), 1024))
+            .run(vec![RequestSpec::new(f64::NAN, 128, 8)]);
     }
 
     #[test]

@@ -133,4 +133,63 @@ mod tests {
         assert_eq!(KvCacheManager::blocks_for(16), 1);
         assert_eq!(KvCacheManager::blocks_for(17), 2);
     }
+
+    /// Property: over arbitrary admit/free cycles, block accounting never
+    /// leaks — used + free always equals capacity, a failed reserve changes
+    /// nothing, and once every successful reservation is released the cache
+    /// is exactly empty again.
+    #[test]
+    fn random_admit_free_cycles_never_leak_blocks() {
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(0xB10C5);
+        for case in 0..50 {
+            let capacity_tokens = (1 + rng.next_usize(64)) * BLOCK_TOKENS;
+            let mut kv = KvCacheManager::new(capacity_tokens);
+            let mut live: Vec<usize> = Vec::new();
+            for step in 0..200 {
+                let admit = live.is_empty() || rng.next_usize(2) == 0;
+                if admit {
+                    let tokens = 1 + rng.next_usize(capacity_tokens + 32);
+                    let before_used = kv.used_tokens();
+                    let fits = kv.can_reserve(tokens);
+                    let reserved = kv.reserve(tokens);
+                    assert_eq!(
+                        fits, reserved,
+                        "case {case} step {step}: can_reserve and reserve disagree"
+                    );
+                    if reserved {
+                        live.push(tokens);
+                    } else {
+                        assert_eq!(
+                            kv.used_tokens(),
+                            before_used,
+                            "case {case} step {step}: failed reserve must not change usage"
+                        );
+                    }
+                } else {
+                    let tokens = live.swap_remove(rng.next_usize(live.len()));
+                    kv.release(tokens);
+                }
+                let expected_used: usize = live
+                    .iter()
+                    .map(|&t| KvCacheManager::blocks_for(t) * BLOCK_TOKENS)
+                    .sum();
+                assert_eq!(
+                    kv.used_tokens(),
+                    expected_used,
+                    "case {case} step {step}: usage must equal the live reservations"
+                );
+                assert_eq!(
+                    kv.used_tokens() + kv.free_tokens(),
+                    kv.capacity_tokens(),
+                    "case {case} step {step}: used + free must equal capacity"
+                );
+                assert!(kv.utilization() <= 1.0);
+            }
+            for tokens in live.drain(..) {
+                kv.release(tokens);
+            }
+            assert_eq!(kv.used_tokens(), 0, "case {case}: blocks leaked");
+            assert_eq!(kv.utilization(), 0.0);
+        }
+    }
 }

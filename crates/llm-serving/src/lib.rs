@@ -12,13 +12,23 @@
 //! * [`IterationCostModel`] — a roofline cost model for the linear operators
 //!   plus the attention estimator from [`attn_kernels`], switchable between
 //!   FA_Serial (the baselines) and POD (the paper's system).
-//! * [`ServingEngine`] — admits requests against a paged KV cache
-//!   ([`KvCacheManager`]), forms hybrid batches, prices every iteration and
-//!   tracks TTFT, TBT, request latency, stalls and throughput
-//!   ([`ServingReport`]).
+//! * [`ServingEngine`] — a **step-able** replica simulator: admits requests
+//!   against a paged KV cache ([`KvCacheManager`]), forms hybrid batches,
+//!   prices every iteration and tracks TTFT, TBT, request latency, stalls and
+//!   throughput ([`ServingReport`]). Drive it to completion with
+//!   [`ServingEngine::run`], or one iteration at a time with
+//!   [`ServingEngine::submit`] / [`ServingEngine::step`] (returning
+//!   [`IterationOutcome`]) — `run` is itself a loop over `step`.
+//! * [`Cluster`] — N replica engines on a shared virtual clock behind a
+//!   pluggable [`RouterPolicy`] (round-robin, least-outstanding-tokens, or
+//!   prefill/decode-aware), with fleet-level percentiles and replica
+//!   imbalance in [`ClusterReport`].
 //! * [`Workload`] — synthetic traces matched to the paper's internal and
 //!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
-//!   sweeps.
+//!   sweeps and time-varying (bursty / diurnal) arrival schedules
+//!   ([`RateSchedule`]).
+//! * [`JsonValue`] — the dependency-free JSON writer/parser every report and
+//!   bench trend file serializes through.
 //!
 //! # Example: Sarathi vs. Sarathi+POD on a small offline batch
 //!
@@ -39,7 +49,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cluster;
 mod engine;
+mod json;
 mod kvcache;
 mod linear;
 mod metrics;
@@ -49,7 +61,9 @@ mod rng;
 mod scheduler;
 mod workload;
 
-pub use engine::{ServingConfig, ServingEngine};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, RouterPolicy, LONG_PREFILL_TOKENS};
+pub use engine::{IterationOutcome, IterationStats, ServingConfig, ServingEngine};
+pub use json::{JsonParseError, JsonValue};
 pub use kvcache::{KvCacheManager, BLOCK_TOKENS};
 pub use linear::{IterationBreakdown, IterationCostModel};
 pub use metrics::{percentile, ServingReport, SummaryStats};
@@ -57,4 +71,4 @@ pub use model::{ModelConfig, ParamCounts};
 pub use request::{Phase, Request, RequestSpec};
 pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, BatchPlan, SchedulerKind};
-pub use workload::{offline_long_context, pd_ratio_workload, Workload};
+pub use workload::{offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, Workload};

@@ -1,5 +1,6 @@
 //! Serving metrics: TTFT, TBT, request latency, stalls and throughput.
 
+use crate::json::JsonValue;
 use crate::request::Request;
 
 /// Summary statistics over a set of latency samples.
@@ -44,6 +45,17 @@ impl SummaryStats {
             p99: percentile_select(&mut scratch, 0.99),
             max,
         }
+    }
+
+    /// Serialize as a JSON object (`count`, `mean`, `p50`, `p99`, `max`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("count", JsonValue::Num(self.count as f64)),
+            ("mean", JsonValue::Num(self.mean)),
+            ("p50", JsonValue::Num(self.p50)),
+            ("p99", JsonValue::Num(self.p99)),
+            ("max", JsonValue::Num(self.max)),
+        ])
     }
 }
 
@@ -109,6 +121,10 @@ pub struct ServingReport {
     pub price_cache_hits: usize,
     /// Iterations that had to run the full cost model (novel batch shapes).
     pub price_cache_misses: usize,
+    /// Total modeled execution time across all iterations (seconds). The gap
+    /// between `makespan` and this is time the replica sat idle waiting for
+    /// arrivals; the cluster layer uses it to measure replica imbalance.
+    pub busy_time: f64,
 }
 
 impl ServingReport {
@@ -167,7 +183,47 @@ impl ServingReport {
             stall_fraction_500ms: stalls_500 as f64 / with_decode as f64,
             price_cache_hits: 0,
             price_cache_misses: 0,
+            busy_time: 0.0,
         }
+    }
+
+    /// Serialize the full report as a JSON object — the one format the bench
+    /// trend files and the CI perf gate consume.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("system", JsonValue::str(&self.system)),
+            ("makespan", JsonValue::Num(self.makespan)),
+            ("busy_time", JsonValue::Num(self.busy_time)),
+            ("completed", JsonValue::Num(self.completed as f64)),
+            ("iterations", JsonValue::Num(self.iterations as f64)),
+            (
+                "hybrid_iterations",
+                JsonValue::Num(self.hybrid_iterations as f64),
+            ),
+            (
+                "requests_per_minute",
+                JsonValue::Num(self.requests_per_minute()),
+            ),
+            ("ttft", self.ttft.to_json()),
+            ("tbt", self.tbt.to_json()),
+            ("request_latency", self.request_latency.to_json()),
+            (
+                "stall_fraction_200ms",
+                JsonValue::Num(self.stall_fraction_200ms),
+            ),
+            (
+                "stall_fraction_500ms",
+                JsonValue::Num(self.stall_fraction_500ms),
+            ),
+            (
+                "price_cache_hits",
+                JsonValue::Num(self.price_cache_hits as f64),
+            ),
+            (
+                "price_cache_misses",
+                JsonValue::Num(self.price_cache_misses as f64),
+            ),
+        ])
     }
 
     /// Fraction of iterations priced from the cache, in `[0, 1]` (0 when the
@@ -230,6 +286,33 @@ mod tests {
         assert!((report.stall_fraction_500ms - 0.5).abs() < 1e-12);
         assert!((report.requests_per_minute() - 2.0).abs() < 1e-12);
         assert_eq!(report.iterations, 10);
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let mut ok = Request::new(0, RequestSpec::new(0.0, 10, 2));
+        ok.record_prefill(10, 0.5);
+        ok.record_decode_token(0.6);
+        let mut report = ServingReport::from_requests("Sarathi(chunk=1024)+POD", &[ok], 30.0, 7, 3);
+        report.busy_time = 12.5;
+        let text = report.to_json().to_string_pretty();
+        let parsed = JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            parsed.get_path("makespan").and_then(JsonValue::as_f64),
+            Some(30.0)
+        );
+        assert_eq!(
+            parsed.get_path("busy_time").and_then(JsonValue::as_f64),
+            Some(12.5)
+        );
+        assert_eq!(
+            parsed.get_path("ttft.count").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.get("system"),
+            Some(&JsonValue::str("Sarathi(chunk=1024)+POD"))
+        );
     }
 
     #[test]

@@ -52,6 +52,12 @@ impl BatchPlan {
     pub fn is_hybrid(&self) -> bool {
         self.prefill.is_some() && !self.decodes.is_empty()
     }
+
+    /// Total tokens the plan processes this iteration: the prefill chunk
+    /// plus one token per decode (the Sarathi token-budget accounting).
+    pub fn scheduled_tokens(&self) -> usize {
+        self.prefill.map(|(_, chunk)| chunk).unwrap_or(0) + self.decodes.len()
+    }
 }
 
 /// Form the next iteration's batch.
@@ -220,6 +226,8 @@ mod tests {
         // 4 decode tokens leave 508 tokens of budget for the chunk.
         assert_eq!(plan.prefill, Some((0, 508)));
         assert_eq!(plan.decodes.len(), 4);
+        // The hybrid batch fills the whole 512-token budget.
+        assert_eq!(plan.scheduled_tokens(), 512);
     }
 
     #[test]

@@ -76,6 +76,49 @@ impl Workload {
             .collect()
     }
 
+    /// Generate `count` requests whose arrivals follow a **time-varying**
+    /// Poisson process with the piecewise-constant rate of `schedule`
+    /// (repeating cyclically), deterministically from `seed`. With a
+    /// single-segment schedule this reproduces [`Workload::generate`]
+    /// exactly.
+    ///
+    /// This is the trace generator for the cluster experiments: bursty and
+    /// diurnal load is exactly the regime where routing policy and
+    /// prefill-decode overlap interact.
+    pub fn generate_trace(
+        &self,
+        count: usize,
+        schedule: &RateSchedule,
+        seed: u64,
+    ) -> Vec<RequestSpec> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut t = 0.0_f64;
+        let mut requests = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Draw a unit-rate exponential "area" and integrate the rate
+            // function until it is consumed — the standard exact method for
+            // piecewise-constant non-homogeneous Poisson processes.
+            let u: f64 = rng.next_f64().max(1e-12);
+            let mut area = -u.ln();
+            loop {
+                let (rate, to_boundary) = schedule.rate_and_boundary(t);
+                if rate <= 0.0 {
+                    t += to_boundary;
+                    continue;
+                }
+                let segment_area = rate * to_boundary;
+                if area <= segment_area {
+                    t += area / rate;
+                    break;
+                }
+                area -= segment_area;
+                t += to_boundary;
+            }
+            requests.push(self.sample_request(t, &mut rng));
+        }
+        requests
+    }
+
     fn sample_request(&self, arrival: f64, rng: &mut SplitMix64) -> RequestSpec {
         // Context length: log-normal-ish around the mean, clamped to the
         // published range.
@@ -93,6 +136,123 @@ impl Workload {
             .min(context / 2);
         let prompt = context.saturating_sub(decode).max(1);
         RequestSpec::new(arrival, prompt, decode)
+    }
+}
+
+/// One segment of a piecewise-constant arrival-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSegment {
+    /// How long this segment lasts, in seconds.
+    pub duration: f64,
+    /// Arrival rate during the segment, in queries per second (may be zero).
+    pub qps: f64,
+}
+
+/// A piecewise-constant arrival-rate schedule that repeats cyclically —
+/// the rate function of a non-homogeneous Poisson arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSchedule {
+    segments: Vec<RateSegment>,
+    cycle: f64,
+}
+
+impl RateSchedule {
+    /// A schedule from explicit segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segment is given, a duration is not positive and finite,
+    /// a rate is negative, or every rate is zero (arrivals would never occur).
+    pub fn new(segments: Vec<RateSegment>) -> Self {
+        assert!(
+            !segments.is_empty(),
+            "a schedule needs at least one segment"
+        );
+        for s in &segments {
+            assert!(
+                s.duration > 0.0 && s.duration.is_finite(),
+                "segment durations must be positive and finite"
+            );
+            assert!(s.qps >= 0.0, "segment rates must not be negative");
+        }
+        assert!(
+            segments.iter().any(|s| s.qps > 0.0),
+            "at least one segment must have a positive rate"
+        );
+        let cycle = segments.iter().map(|s| s.duration).sum();
+        RateSchedule { segments, cycle }
+    }
+
+    /// A constant-rate schedule: [`Workload::generate_trace`] with this
+    /// schedule reproduces [`Workload::generate`] exactly.
+    pub fn constant(qps: f64) -> Self {
+        assert!(qps > 0.0, "queries-per-second must be positive");
+        RateSchedule::new(vec![RateSegment { duration: 1.0, qps }])
+    }
+
+    /// A bursty schedule: `calm_secs` at `base_qps`, then `burst_secs` at
+    /// `burst_qps`, repeating. The shape of flash-crowd traffic against a
+    /// fleet.
+    pub fn bursty(base_qps: f64, burst_qps: f64, calm_secs: f64, burst_secs: f64) -> Self {
+        RateSchedule::new(vec![
+            RateSegment {
+                duration: calm_secs,
+                qps: base_qps,
+            },
+            RateSegment {
+                duration: burst_secs,
+                qps: burst_qps,
+            },
+        ])
+    }
+
+    /// A diurnal schedule: a sinusoid between `trough_qps` and `peak_qps`
+    /// over `period_secs`, discretized into `steps` piecewise-constant
+    /// segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` (the sinusoid would degenerate to a constant).
+    pub fn diurnal(trough_qps: f64, peak_qps: f64, period_secs: f64, steps: usize) -> Self {
+        assert!(steps >= 2, "a diurnal schedule needs at least two steps");
+        let segments = (0..steps)
+            .map(|i| {
+                let phase = 2.0 * std::f64::consts::PI * (i as f64 + 0.5) / steps as f64;
+                RateSegment {
+                    duration: period_secs / steps as f64,
+                    qps: trough_qps + (peak_qps - trough_qps) * 0.5 * (1.0 - phase.cos()),
+                }
+            })
+            .collect();
+        RateSchedule::new(segments)
+    }
+
+    /// Duration of one full cycle in seconds.
+    pub fn cycle_secs(&self) -> f64 {
+        self.cycle
+    }
+
+    /// Arrival rate at time `t` (cyclic).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.rate_and_boundary(t).0
+    }
+
+    /// The rate at `t` and the time remaining until the next segment
+    /// boundary.
+    fn rate_and_boundary(&self, t: f64) -> (f64, f64) {
+        let mut pos = t % self.cycle;
+        if pos < 0.0 {
+            pos += self.cycle;
+        }
+        for s in &self.segments {
+            if pos < s.duration {
+                return (s.qps, s.duration - pos);
+            }
+            pos -= s.duration;
+        }
+        // Floating-point edge: `pos` landed exactly on the cycle boundary.
+        let first = &self.segments[0];
+        (first.qps, first.duration)
     }
 }
 
@@ -204,6 +364,71 @@ mod tests {
             );
             assert!((r.total_tokens() as i64 - 16_500).abs() <= 1);
         }
+    }
+
+    #[test]
+    fn constant_schedule_reproduces_the_homogeneous_generator() {
+        let w = Workload::internal();
+        let plain = w.generate(200, 1.5, 21);
+        let traced = w.generate_trace(200, &RateSchedule::constant(1.5), 21);
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn bursty_schedule_concentrates_arrivals_in_bursts() {
+        let schedule = RateSchedule::bursty(0.2, 8.0, 50.0, 10.0);
+        let reqs = Workload::internal().generate_trace(600, &schedule, 4);
+        // Arrivals are nondecreasing.
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Most arrivals land inside the 10-second burst windows even though
+        // they cover only 1/6 of each cycle.
+        let in_burst = reqs.iter().filter(|r| (r.arrival % 60.0) >= 50.0).count() as f64;
+        let frac = in_burst / reqs.len() as f64;
+        assert!(
+            frac > 0.75,
+            "expected most arrivals inside bursts, got {frac:.2}"
+        );
+        // The empirical rate inside bursts is far above the base rate.
+        assert!(schedule.rate_at(55.0) > schedule.rate_at(5.0) * 10.0);
+        assert_eq!(schedule.cycle_secs(), 60.0);
+    }
+
+    #[test]
+    fn zero_rate_segments_produce_no_arrivals() {
+        let schedule = RateSchedule::new(vec![
+            RateSegment {
+                duration: 30.0,
+                qps: 0.0,
+            },
+            RateSegment {
+                duration: 30.0,
+                qps: 2.0,
+            },
+        ]);
+        let reqs = Workload::internal().generate_trace(300, &schedule, 9);
+        assert!(reqs.iter().all(|r| (r.arrival % 60.0) >= 30.0));
+    }
+
+    #[test]
+    fn diurnal_schedule_peaks_mid_cycle() {
+        let schedule = RateSchedule::diurnal(0.5, 4.0, 3600.0, 24);
+        // Trough at the cycle edges, peak half-way through.
+        assert!(schedule.rate_at(10.0) < 1.0);
+        assert!(schedule.rate_at(1800.0) > 3.5);
+        let reqs = Workload::arxiv().generate_trace(500, &schedule, 13);
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Deterministic per seed.
+        assert_eq!(reqs, Workload::arxiv().generate_trace(500, &schedule, 13));
+        assert_ne!(reqs, Workload::arxiv().generate_trace(500, &schedule, 14));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn all_zero_schedule_is_rejected() {
+        let _ = RateSchedule::new(vec![RateSegment {
+            duration: 1.0,
+            qps: 0.0,
+        }]);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * [`fusion_lab`] — the concurrent-execution case study of §3 (streams,
 //!   CTA-parallel, warp-parallel/HFuse, intra-thread, SM-aware fusion).
 //! * [`llm_serving`] — an iteration-level LLM serving simulator with vLLM and
-//!   Sarathi-Serve schedulers used for the end-to-end evaluation.
+//!   Sarathi-Serve schedulers used for the end-to-end evaluation. The engine
+//!   is step-able ([`llm_serving::ServingEngine::step`]), and the
+//!   [`llm_serving::Cluster`] layer runs N replicas on a shared virtual
+//!   clock behind a pluggable router for fleet-scale experiments.
 //!
 //! See the repository README for a guided tour and `EXPERIMENTS.md` for the
 //! paper-vs-reproduction comparison of every table and figure.
@@ -22,3 +25,11 @@ pub use fusion_lab;
 pub use gpu_sim;
 pub use llm_serving;
 pub use pod_attention;
+
+// The cluster-scale serving surface, re-exported at the top level: these are
+// the types fleet experiments compose, and downstream users should not need
+// to know which workspace crate owns them.
+pub use llm_serving::{
+    Cluster, ClusterConfig, ClusterReport, IterationOutcome, RateSchedule, RouterPolicy,
+    ServingConfig, ServingEngine,
+};

@@ -1,0 +1,246 @@
+//! Regression and determinism tests for the step-able engine and the cluster
+//! layer.
+//!
+//! The golden bit patterns below were captured from the pre-stepping,
+//! closed-world `ServingEngine::run` (the monolithic loop that predated
+//! `step`). `run` is now implemented on top of `step`, and these tests pin
+//! it to the old behavior **bit-for-bit** — not within a tolerance.
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    offline_long_context, Cluster, ClusterConfig, IterationOutcome, ModelConfig, RateSchedule,
+    RouterPolicy, ServingConfig, ServingEngine, ServingReport, Workload,
+};
+
+fn llama3() -> ModelConfig {
+    ModelConfig::llama3_8b()
+}
+
+fn gpu() -> GpuConfig {
+    GpuConfig::a100_80gb()
+}
+
+/// Golden field values as `f64::to_bits` patterns plus exact counters.
+struct Golden {
+    makespan: u64,
+    completed: usize,
+    iterations: usize,
+    hybrid: usize,
+    ttft_p50: u64,
+    ttft_p99: u64,
+    tbt_p50: u64,
+    tbt_max: u64,
+    lat_p50: u64,
+    stall200: u64,
+    hits: usize,
+    misses: usize,
+}
+
+fn assert_matches_golden(tag: &str, r: &ServingReport, g: &Golden) {
+    assert_eq!(r.makespan.to_bits(), g.makespan, "{tag}: makespan");
+    assert_eq!(r.completed, g.completed, "{tag}: completed");
+    assert_eq!(r.iterations, g.iterations, "{tag}: iterations");
+    assert_eq!(r.hybrid_iterations, g.hybrid, "{tag}: hybrid iterations");
+    assert_eq!(r.ttft.p50.to_bits(), g.ttft_p50, "{tag}: TTFT p50");
+    assert_eq!(r.ttft.p99.to_bits(), g.ttft_p99, "{tag}: TTFT p99");
+    assert_eq!(r.tbt.p50.to_bits(), g.tbt_p50, "{tag}: TBT p50");
+    assert_eq!(r.tbt.max.to_bits(), g.tbt_max, "{tag}: TBT max");
+    assert_eq!(
+        r.request_latency.p50.to_bits(),
+        g.lat_p50,
+        "{tag}: latency p50"
+    );
+    assert_eq!(
+        r.stall_fraction_200ms.to_bits(),
+        g.stall200,
+        "{tag}: stall fraction"
+    );
+    assert_eq!(r.price_cache_hits, g.hits, "{tag}: cache hits");
+    assert_eq!(r.price_cache_misses, g.misses, "{tag}: cache misses");
+}
+
+/// `run()` (now a loop over `step`) reproduces the pre-refactor closed-world
+/// engine bit-for-bit on an online Sarathi+POD workload.
+#[test]
+fn run_reproduces_pre_stepping_reports_bit_for_bit() {
+    let online = Workload::internal().generate(40, 0.8, 17);
+    let offline = offline_long_context(16, 8 * 1024, 128);
+
+    let pod =
+        ServingEngine::new(ServingConfig::sarathi_pod(llama3(), gpu(), 1024)).run(online.clone());
+    assert_matches_golden(
+        "sarathi_pod_online",
+        &pod,
+        &Golden {
+            makespan: 4634273427453257495,
+            completed: 40,
+            iterations: 5907,
+            hybrid: 417,
+            ttft_p50: 4602988723638504496,
+            ttft_p99: 4609199801803860468,
+            tbt_p50: 4575574502164525056,
+            tbt_max: 4589340709345344256,
+            lat_p50: 4614310424491164702,
+            stall200: 0,
+            hits: 5397,
+            misses: 510,
+        },
+    );
+
+    let sarathi = ServingEngine::new(ServingConfig::sarathi(llama3(), gpu(), 1024)).run(offline);
+    assert_matches_golden(
+        "sarathi_offline",
+        &sarathi,
+        &Golden {
+            makespan: 4619641717820506628,
+            completed: 16,
+            iterations: 270,
+            hybrid: 135,
+            ttft_p50: 4614167509303138966,
+            ttft_p99: 4618387286776373393,
+            tbt_p50: 4578181879319054848,
+            tbt_max: 4587707149233108736,
+            lat_p50: 4619086305298313794,
+            stall200: 0,
+            hits: 118,
+            misses: 152,
+        },
+    );
+
+    let vllm = ServingEngine::new(ServingConfig::vllm(llama3(), gpu())).run(online);
+    assert_matches_golden(
+        "vllm_online",
+        &vllm,
+        &Golden {
+            makespan: 4634281936496695202,
+            completed: 40,
+            iterations: 5555,
+            hybrid: 0,
+            ttft_p50: 4602566335034308640,
+            ttft_p99: 4608898658765648423,
+            tbt_p50: 4575480349117739008,
+            tbt_max: 4611104788700718688,
+            lat_p50: 4615029678595120562,
+            stall200: 4604705439004963635,
+            hits: 5426,
+            misses: 129,
+        },
+    );
+}
+
+/// Driving `step()` by hand produces a report identical to `run()` — same
+/// clocks, same percentiles, same cache counters.
+#[test]
+fn manual_stepping_matches_run_exactly() {
+    for specs in [
+        Workload::internal().generate(32, 1.0, 42),
+        offline_long_context(12, 4 * 1024, 64),
+    ] {
+        let engine = ServingEngine::new(ServingConfig::sarathi_pod(llama3(), gpu(), 1024));
+        let from_run = engine.run(specs.clone());
+
+        let mut stepped = ServingEngine::new(ServingConfig::sarathi_pod(llama3(), gpu(), 1024));
+        for spec in specs {
+            stepped.submit(spec);
+        }
+        let mut now = 0.0;
+        let mut ran = 0usize;
+        loop {
+            match stepped.step(now) {
+                IterationOutcome::Ran(stats) => {
+                    assert!(stats.duration > 0.0);
+                    assert_eq!(stats.completed_at, stepped.clock());
+                    ran += 1;
+                    now = stats.completed_at;
+                }
+                IterationOutcome::IdleUntil(t) => {
+                    assert!(t > now, "idle time must move forward");
+                    now = t;
+                }
+                IterationOutcome::Drained => break,
+                IterationOutcome::Blocked { .. } => panic!("workload fits, must not block"),
+            }
+        }
+        assert!(stepped.is_drained());
+        assert_eq!(ran, from_run.iterations);
+        assert_eq!(stepped.report(), from_run);
+    }
+}
+
+/// Same seed ⇒ identical trace ⇒ identical engine and cluster reports, run
+/// after run.
+#[test]
+fn same_seed_is_deterministic_end_to_end() {
+    let schedule = RateSchedule::bursty(0.4, 5.0, 30.0, 8.0);
+    let trace_a = Workload::arxiv().generate_trace(40, &schedule, 1234);
+    let trace_b = Workload::arxiv().generate_trace(40, &schedule, 1234);
+    assert_eq!(
+        trace_a, trace_b,
+        "trace generation must be seed-deterministic"
+    );
+
+    let config = ServingConfig::sarathi_pod(llama3(), gpu(), 1024);
+    let r1 = ServingEngine::new(config.clone()).run(trace_a.clone());
+    let r2 = ServingEngine::new(config.clone()).run(trace_b.clone());
+    assert_eq!(r1, r2);
+
+    let c1 = Cluster::new(ClusterConfig::new(
+        config.clone(),
+        3,
+        RouterPolicy::decode_aware(),
+    ))
+    .run(trace_a);
+    let c2 = Cluster::new(ClusterConfig::new(config, 3, RouterPolicy::decode_aware())).run(trace_b);
+    assert_eq!(c1, c2);
+}
+
+/// A fleet of one replica behind any router is exactly the single engine.
+#[test]
+fn one_replica_cluster_is_the_engine() {
+    let specs = Workload::internal().generate(20, 1.0, 7);
+    let config = ServingConfig::sarathi(llama3(), gpu(), 1024);
+    let plain = ServingEngine::new(config.clone()).run(specs.clone());
+    let cluster = Cluster::new(ClusterConfig::new(config, 1, RouterPolicy::RoundRobin)).run(specs);
+    assert_eq!(cluster.per_replica[0], plain);
+    assert_eq!(
+        cluster.aggregate.makespan.to_bits(),
+        plain.makespan.to_bits()
+    );
+}
+
+/// POD keeps its single-GPU win at every fleet size: Sarathi+POD completes
+/// the same bursty trace no slower than Sarathi per replica count.
+#[test]
+fn pod_advantage_survives_scaling_out() {
+    let schedule = RateSchedule::bursty(0.5, 4.0, 30.0, 10.0);
+    let trace = Workload::internal().generate_trace(36, &schedule, 5);
+    for replicas in [1usize, 2, 4] {
+        let sarathi = Cluster::new(ClusterConfig::new(
+            ServingConfig::sarathi(llama3(), gpu(), 1024),
+            replicas,
+            RouterPolicy::decode_aware(),
+        ))
+        .run(trace.clone());
+        let pod = Cluster::new(ClusterConfig::new(
+            ServingConfig::sarathi_pod(llama3(), gpu(), 1024),
+            replicas,
+            RouterPolicy::decode_aware(),
+        ))
+        .run(trace.clone());
+        assert_eq!(pod.aggregate.completed, 36);
+        // Makespan under online arrivals is dominated by the arrival span, so
+        // allow 1% routing noise there; the mean latency win must be strict.
+        assert!(
+            pod.aggregate.makespan <= sarathi.aggregate.makespan * 1.01,
+            "{replicas} replicas: POD makespan {} vs Sarathi {}",
+            pod.aggregate.makespan,
+            sarathi.aggregate.makespan
+        );
+        assert!(
+            pod.aggregate.request_latency.mean < sarathi.aggregate.request_latency.mean,
+            "{replicas} replicas: POD mean latency {} vs Sarathi {}",
+            pod.aggregate.request_latency.mean,
+            sarathi.aggregate.request_latency.mean
+        );
+    }
+}
