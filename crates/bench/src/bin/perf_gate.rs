@@ -1,17 +1,24 @@
-//! CI perf-regression gate: compare a freshly generated `BENCH_engine.json`
-//! against the committed baseline and fail (exit 1) when a gated metric
-//! regressed by more than the allowed fraction.
+//! CI perf-regression gate: compare freshly generated trend files against
+//! the committed baselines and fail (exit 1) when a gated metric regressed
+//! by more than the allowed fraction.
 //!
 //! ```text
-//! cargo run -p pod-bench --bin perf_gate -- <baseline.json> <fresh.json> [--max-drop 0.30]
+//! cargo run -p pod-bench --bin perf_gate -- <baseline.json> <fresh.json> \
+//!     [--cluster <cluster_baseline.json> <cluster_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
-//! The gated metrics are the two headline throughputs of the PR 1
-//! optimization work: the contention engine's `engine.intervals_per_sec` and
-//! the serving loop's `pricing.batches_priced_per_sec_memoized`. Benchmarks
-//! on shared CI runners are noisy, so the default threshold is a deliberately
-//! loose 30% — the gate catches "someone accidentally serialized the hot
-//! loop", not single-digit drift (the uploaded trend artifact is for that).
+//! The positional pair is the engine trend (`BENCH_engine.json`): the two
+//! headline throughputs of the PR 1 optimization work, the contention
+//! engine's `engine.intervals_per_sec` and the serving loop's
+//! `pricing.batches_priced_per_sec_memoized`. The optional `--cluster` pair
+//! gates the fleet-level serving metric from `BENCH_cluster.json` — mean
+//! completed requests per minute across every sweep cell — so a modeling or
+//! scheduling regression that silently slows the simulated fleet fails CI
+//! the same way a slow hot loop does. Benchmarks on shared CI runners are
+//! noisy, so the default threshold is a deliberately loose 30% — the gate
+//! catches "someone accidentally serialized the hot loop" (or "halved fleet
+//! throughput"), not single-digit drift (the uploaded trend artifacts are
+//! for that).
 
 use llm_serving::JsonValue;
 use std::process::ExitCode;
@@ -43,8 +50,52 @@ fn metric(doc: &JsonValue, path: &str, file: &str) -> Result<f64, String> {
     Ok(v)
 }
 
+/// The gated cluster metric: mean fleet requests/min over every sweep cell
+/// of a `BENCH_cluster.json` document.
+fn fleet_requests_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String> {
+    let JsonValue::Arr(cells) = doc
+        .get_path("cells")
+        .ok_or_else(|| format!("{file} has no 'cells'"))?
+    else {
+        return Err(format!("{file}: 'cells' is not an array"));
+    };
+    if cells.is_empty() {
+        return Err(format!("{file}: 'cells' is empty"));
+    }
+    let mut total = 0.0;
+    for (i, cell) in cells.iter().enumerate() {
+        total += cell
+            .get_path("report.aggregate.requests_per_minute")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| {
+                format!("{file}: cell {i} has no report.aggregate.requests_per_minute")
+            })?;
+    }
+    let mean = total / cells.len() as f64;
+    if !(mean.is_finite() && mean > 0.0) {
+        return Err(format!(
+            "{file}: mean fleet requests/min {mean} is not a positive number"
+        ));
+    }
+    Ok(mean)
+}
+
+/// Compare one metric pair, printing the verdict row. Returns whether it
+/// passed.
+fn check(label: &str, base: f64, now: f64, max_drop: f64) -> bool {
+    let ratio = now / base;
+    let ok = ratio >= 1.0 - max_drop;
+    println!(
+        "  {label:<44} baseline {base:>14.1}  fresh {now:>14.1}  ({:+.1}%)  {}",
+        (ratio - 1.0) * 100.0,
+        if ok { "ok" } else { "REGRESSED" }
+    );
+    ok
+}
+
 fn run(args: &[String]) -> Result<bool, String> {
     let mut paths: Vec<&String> = Vec::new();
+    let mut cluster_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -59,14 +110,23 @@ fn run(args: &[String]) -> Result<bool, String> {
                 return Err(format!("--max-drop must be in [0, 1), got {max_drop}"));
             }
             i += 2;
+        } else if args[i] == "--cluster" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--cluster needs <baseline.json> <fresh.json>".to_string());
+            };
+            cluster_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
         }
     }
-    let [baseline_path, fresh_path] = paths.as_slice() else {
-        return Err("usage: perf_gate <baseline.json> <fresh.json> [--max-drop 0.30]".to_string());
-    };
+    if paths.len() != 2 {
+        return Err("usage: perf_gate <baseline.json> <fresh.json> \
+             [--cluster <baseline.json> <fresh.json>] [--max-drop 0.30]"
+            .to_string());
+    }
+    let (baseline_path, fresh_path) = (paths[0], paths[1]);
 
     let baseline = load(baseline_path)?;
     let fresh = load(fresh_path)?;
@@ -79,17 +139,13 @@ fn run(args: &[String]) -> Result<bool, String> {
     for path in GATED_METRICS {
         let base = metric(&baseline, path, baseline_path)?;
         let now = metric(&fresh, path, fresh_path)?;
-        let ratio = now / base;
-        let verdict = if ratio >= 1.0 - max_drop {
-            "ok"
-        } else {
-            ok = false;
-            "REGRESSED"
-        };
-        println!(
-            "  {path:<44} baseline {base:>14.1}  fresh {now:>14.1}  ({:+.1}%)  {verdict}",
-            (ratio - 1.0) * 100.0
-        );
+        ok &= check(path, base, now, max_drop);
+    }
+    if let [cluster_base_path, cluster_fresh_path] = cluster_paths.as_slice() {
+        let base = fleet_requests_per_minute(&load(cluster_base_path)?, cluster_base_path)?;
+        let now = fleet_requests_per_minute(&load(cluster_fresh_path)?, cluster_fresh_path)?;
+        println!("cluster gate: fresh {cluster_fresh_path} vs baseline {cluster_base_path}");
+        ok &= check("cluster.fleet_requests_per_minute", base, now, max_drop);
     }
     Ok(ok)
 }
@@ -170,6 +226,51 @@ mod tests {
             run(&[base, fresh, "--max-drop".to_string(), "0.20".to_string()]),
             Ok(true)
         );
+    }
+
+    fn cluster_trend(rpms: &[f64]) -> String {
+        JsonValue::obj(vec![(
+            "cells",
+            JsonValue::Arr(
+                rpms.iter()
+                    .map(|&rpm| {
+                        JsonValue::obj(vec![(
+                            "report",
+                            JsonValue::obj(vec![(
+                                "aggregate",
+                                JsonValue::obj(vec![("requests_per_minute", JsonValue::Num(rpm))]),
+                            )]),
+                        )])
+                    })
+                    .collect(),
+            ),
+        )])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn cluster_metric_gates_fleet_throughput() {
+        let eng_base = write_tmp("perf_gate_c_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_c_eng_fresh.json", &trend(1000.0, 500.0));
+        let cl_base = write_tmp("perf_gate_cl_base.json", &cluster_trend(&[10.0, 20.0]));
+        // Mean 15 -> 12 is a 20% drop: passes at 30%.
+        let cl_ok = write_tmp("perf_gate_cl_ok.json", &cluster_trend(&[8.0, 16.0]));
+        // Mean 15 -> 9 is a 40% drop: fails.
+        let cl_bad = write_tmp("perf_gate_cl_bad.json", &cluster_trend(&[6.0, 12.0]));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--cluster".to_string(),
+                cl_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&cl_ok)), Ok(true));
+        assert_eq!(run(&args(&cl_bad)), Ok(false));
+        // A malformed cluster file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_cl_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
     }
 
     #[test]

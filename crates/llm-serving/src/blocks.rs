@@ -1,0 +1,890 @@
+//! The prefix-sharing paged KV-cache block subsystem.
+//!
+//! This replaces the counter-only capacity manager with real per-block
+//! identity, the way vLLM's block manager and SGLang's RadixAttention treat
+//! GPU memory:
+//!
+//! * [`BlockPool`] owns `capacity / BLOCK_TOKENS` fixed-size blocks with
+//!   reference counts. A block is **free** (on the free list), **referenced**
+//!   (held by at least one live request) or **cached** (refcount zero but
+//!   still holding the KV of a previously computed prefix — reclaimable).
+//! * [`PrefixIndex`] is a radix trie over block-granular token fingerprints:
+//!   each node is one full block of `BLOCK_TOKENS` tokens, keyed by the
+//!   fingerprint hash of its content, child edges extending the prefix. A
+//!   request's prompt walks the trie and every matched node is a block of KV
+//!   it does not have to prefill.
+//! * **Copy-on-write on divergence:** when the walk ends mid-block — the
+//!   request's next tokens agree with a cached block for only part of its
+//!   span — the cached block is copied into a private block and the common
+//!   leading tokens are reused; the divergent tail is recomputed. The shared
+//!   original is never mutated.
+//! * **LRU eviction:** cached blocks whose trie node is a leaf are evictable,
+//!   oldest-use first. Evicting a leaf may turn its parent into an evictable
+//!   leaf, so long-dead conversations drain from the tail inward, exactly
+//!   like RadixAttention's leaf-first LRU.
+//!
+//! Everything is deterministic: ties break on allocation order, the LRU is a
+//! total order over `(last_use, node id)`, and no hash-map iteration order
+//! ever reaches a decision.
+
+use crate::request::PromptContent;
+use std::collections::{BTreeSet, HashMap};
+
+/// Tokens per KV-cache block (the paged-attention page size).
+pub const BLOCK_TOKENS: usize = 16;
+
+/// Identifier of one KV-cache block inside a [`BlockPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// The raw index (stable for the lifetime of the pool).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Number of blocks needed to hold `tokens` tokens.
+pub fn blocks_for(tokens: usize) -> usize {
+    tokens.div_ceil(BLOCK_TOKENS)
+}
+
+/// Sentinel for "no trie node" / the trie root.
+const NO_NODE: u32 = u32::MAX;
+
+/// Position in the [`PrefixIndex`] reached by a prefix walk; extending a
+/// request's indexed chain resumes from here instead of re-walking from the
+/// root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor(u32);
+
+impl Cursor {
+    /// The trie root (empty prefix).
+    pub fn root() -> Self {
+        Cursor(NO_NODE)
+    }
+}
+
+impl Default for Cursor {
+    fn default() -> Self {
+        Cursor::root()
+    }
+}
+
+/// Fingerprints of one full block of tokens.
+type BlockTokens = [u64; BLOCK_TOKENS];
+
+/// One radix-trie node: a full block of tokens extending its parent's prefix.
+#[derive(Debug, Clone)]
+struct TrieNode {
+    /// Parent node, or [`NO_NODE`] when the parent is the root.
+    parent: u32,
+    /// Hash of `tokens` — this node's edge key in its parent's child map.
+    key: u64,
+    /// The pool block holding this node's KV.
+    block: u32,
+    /// The token fingerprints themselves, kept to resolve hash collisions
+    /// and to measure partial (copy-on-write) matches.
+    tokens: BlockTokens,
+    /// Children by content hash of the next block.
+    children: HashMap<u64, u32>,
+    /// Logical time of the last walk through this node (LRU key).
+    last_use: u64,
+}
+
+/// A radix trie mapping block-granular token prefixes to cached block ids.
+///
+/// The index stores *structure only* — which prefixes exist and which block
+/// holds each — while [`BlockPool`] owns reference counts and the eviction
+/// order. Nodes are slab-allocated so ids are stable and deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixIndex {
+    nodes: Vec<Option<TrieNode>>,
+    free_nodes: Vec<u32>,
+    root_children: HashMap<u64, u32>,
+}
+
+impl PrefixIndex {
+    /// Number of live nodes (cached or referenced prefix blocks).
+    pub fn len(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    /// Whether the index holds no prefixes at all.
+    pub fn is_empty(&self) -> bool {
+        self.root_children.is_empty()
+    }
+
+    fn node(&self, idx: u32) -> &TrieNode {
+        self.nodes[idx as usize]
+            .as_ref()
+            .expect("trie node id is live")
+    }
+
+    fn node_mut(&mut self, idx: u32) -> &mut TrieNode {
+        self.nodes[idx as usize]
+            .as_mut()
+            .expect("trie node id is live")
+    }
+
+    fn children_of(&self, cursor: Cursor) -> &HashMap<u64, u32> {
+        if cursor.0 == NO_NODE {
+            &self.root_children
+        } else {
+            &self.node(cursor.0).children
+        }
+    }
+
+    /// Child of `cursor` whose content is exactly `tokens`, if cached.
+    fn child_matching(&self, cursor: Cursor, tokens: &BlockTokens) -> Option<u32> {
+        let idx = *self.children_of(cursor).get(&hash_block(tokens))?;
+        // Verify content, not just the 64-bit hash, so a collision can never
+        // silently splice two different prefixes together.
+        (self.node(idx).tokens == *tokens).then_some(idx)
+    }
+
+    /// Insert a child under `cursor`. Returns `None` (leaving the trie
+    /// unchanged) if an equal-keyed child already exists — the caller's block
+    /// then simply stays private.
+    fn insert_child(&mut self, cursor: Cursor, tokens: BlockTokens, block: u32) -> Option<u32> {
+        let key = hash_block(&tokens);
+        if self.children_of(cursor).contains_key(&key) {
+            return None;
+        }
+        let idx = match self.free_nodes.pop() {
+            Some(i) => i,
+            None => {
+                self.nodes.push(None);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.nodes[idx as usize] = Some(TrieNode {
+            parent: cursor.0,
+            key,
+            block,
+            tokens,
+            children: HashMap::new(),
+            last_use: 0,
+        });
+        if cursor.0 == NO_NODE {
+            self.root_children.insert(key, idx);
+        } else {
+            self.node_mut(cursor.0).children.insert(key, idx);
+        }
+        Some(idx)
+    }
+
+    /// Remove a (leaf) node, returning its block and its parent cursor.
+    fn remove_leaf(&mut self, idx: u32) -> (u32, Cursor) {
+        let node = self.nodes[idx as usize]
+            .take()
+            .expect("evicting a live node");
+        debug_assert!(node.children.is_empty(), "only leaves are evictable");
+        if node.parent == NO_NODE {
+            self.root_children.remove(&node.key);
+        } else {
+            self.node_mut(node.parent).children.remove(&node.key);
+        }
+        self.free_nodes.push(idx);
+        (node.block, Cursor(node.parent))
+    }
+}
+
+/// Result of matching a request's prompt against the prefix index.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixMatch {
+    /// Fully matched cached blocks, in prefix order. Their reference counts
+    /// have been incremented; they belong in the request's block table.
+    pub blocks: Vec<BlockId>,
+    /// Prompt tokens satisfied from the cache: `blocks.len() * BLOCK_TOKENS`
+    /// plus any copy-on-write partial tokens.
+    pub cached_tokens: usize,
+    /// Trie position after the last matched block, for later
+    /// [`BlockPool::extend_index`] calls.
+    pub cursor: Cursor,
+    /// When the walk diverged mid-block: the cached block whose leading
+    /// tokens agree with the request. The caller copies it into a private
+    /// block (copy-on-write) and recomputes only the divergent tail.
+    pub cow_source: Option<BlockId>,
+}
+
+/// Per-block pool state.
+#[derive(Debug, Clone)]
+struct BlockState {
+    refs: u32,
+    /// The trie node this block backs, if it was ever indexed.
+    node: u32,
+}
+
+/// A pool of ref-counted KV-cache blocks with a prefix index and LRU
+/// eviction: free vs. referenced vs. cached populations, radix matching
+/// with copy-on-write, and deterministic leaf-first LRU eviction.
+#[derive(Debug, Clone)]
+pub struct BlockPool {
+    capacity_blocks: usize,
+    /// Per-block state for ids below `virgin`; blocks at or above the
+    /// watermark have never been touched and are implicitly free, so
+    /// constructing a pool is O(1) no matter the capacity.
+    states: Vec<BlockState>,
+    /// Lowest never-yet-used block id (the lazy tail of the free set).
+    virgin: u32,
+    /// Explicitly freed blocks, reused LIFO (deterministic).
+    free: Vec<u32>,
+    index: PrefixIndex,
+    /// Evictable trie leaves ordered by `(last_use, node id)` — a total
+    /// order, so eviction is deterministic.
+    evictable: BTreeSet<(u64, u32)>,
+    /// Logical clock advanced on every prefix walk (LRU recency).
+    tick: u64,
+    /// Blocks with refcount > 0 (kept incrementally so usage queries are
+    /// O(1)).
+    referenced: usize,
+    blocks_evicted: usize,
+}
+
+impl BlockPool {
+    /// A pool backing `capacity_tokens` tokens of KV cache. Capacity that is
+    /// not a whole number of blocks is **rounded down** — a partial block
+    /// cannot hold a page of KV.
+    pub fn new(capacity_tokens: usize) -> Self {
+        let capacity_blocks = capacity_tokens / BLOCK_TOKENS;
+        BlockPool {
+            capacity_blocks,
+            states: Vec::new(),
+            virgin: 0,
+            free: Vec::new(),
+            index: PrefixIndex::default(),
+            evictable: BTreeSet::new(),
+            tick: 0,
+            referenced: 0,
+            blocks_evicted: 0,
+        }
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Blocks available without eviction (explicitly freed + never used).
+    pub fn free_blocks(&self) -> usize {
+        self.free.len() + (self.capacity_blocks - self.virgin as usize)
+    }
+
+    /// Take a free block: explicitly freed ones first (LIFO), then the next
+    /// never-used id.
+    fn take_free(&mut self) -> Option<u32> {
+        if let Some(id) = self.free.pop() {
+            return Some(id);
+        }
+        if (self.virgin as usize) < self.capacity_blocks {
+            let id = self.virgin;
+            self.virgin += 1;
+            self.states.push(BlockState {
+                refs: 0,
+                node: NO_NODE,
+            });
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Unreferenced blocks still holding cached prefixes. (Counts evictable
+    /// leaves plus cached interior nodes, which become evictable once their
+    /// children drain.)
+    pub fn cached_blocks(&self) -> usize {
+        self.capacity_blocks - self.free_blocks() - self.referenced_blocks()
+    }
+
+    /// Blocks held by live requests (refcount > 0).
+    pub fn referenced_blocks(&self) -> usize {
+        self.referenced
+    }
+
+    /// A lower bound on the blocks an allocation could obtain right now:
+    /// free blocks plus cached chains reclaimable by leaf-first eviction.
+    /// Conservative on branching tries (a shared parent only counts once
+    /// *both* its children are gone); [`BlockPool::alloc`] itself is greedy
+    /// and never relies on this estimate.
+    pub fn available_blocks(&self) -> usize {
+        // Walk up from every evictable leaf, counting the leaf plus the
+        // maximal run of exclusive (single-child, unreferenced) ancestors —
+        // exactly the set one sequence of leaf evictions can free.
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for &(_, leaf) in &self.evictable {
+            if !seen.insert(leaf) {
+                continue;
+            }
+            count += 1;
+            let mut at = self.index.node(leaf).parent;
+            while at != NO_NODE && seen.insert(at) {
+                let node = self.index.node(at);
+                if node.children.len() == 1 && self.states[node.block as usize].refs == 0 {
+                    count += 1;
+                    at = node.parent;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.free.len() + count
+    }
+
+    /// Blocks evicted over the pool's lifetime.
+    pub fn blocks_evicted(&self) -> usize {
+        self.blocks_evicted
+    }
+
+    /// Allocate `n` private blocks, evicting cached prefixes (LRU,
+    /// leaf-first) as needed. Returns `None` — and allocates nothing — if
+    /// even eviction cannot free enough; blocks evicted before the shortfall
+    /// was discovered stay evicted (their cached prefixes are gone, the
+    /// capacity returns to the free list).
+    pub fn alloc(&mut self, n: usize) -> Option<Vec<BlockId>> {
+        // O(1) reject for the common can't-fit case (admission retries every
+        // iteration while the pool is full): at most every non-referenced
+        // block could be obtained, so asking for more can never succeed and
+        // must not churn through a doomed evict-and-roll-back pass.
+        if n > self.capacity_blocks - self.referenced {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let id = match self.take_free().or_else(|| self.evict_one()) {
+                Some(id) => id,
+                None => {
+                    // Roll back: nothing is handed out on failure.
+                    for BlockId(id) in out {
+                        self.states[id as usize].refs = 0;
+                        self.referenced -= 1;
+                        self.free.push(id);
+                    }
+                    return None;
+                }
+            };
+            debug_assert_eq!(self.states[id as usize].refs, 0);
+            debug_assert_eq!(self.states[id as usize].node, NO_NODE);
+            self.states[id as usize].refs = 1;
+            self.referenced += 1;
+            out.push(BlockId(id));
+        }
+        Some(out)
+    }
+
+    /// Evict the least-recently-used evictable leaf, returning its block id.
+    fn evict_one(&mut self) -> Option<u32> {
+        let &(stamp, leaf) = self.evictable.iter().next()?;
+        self.evictable.remove(&(stamp, leaf));
+        let (block, parent) = self.index.remove_leaf(leaf);
+        debug_assert_eq!(self.states[block as usize].refs, 0);
+        self.states[block as usize].node = NO_NODE;
+        self.blocks_evicted += 1;
+        // The parent may now be an evictable leaf itself.
+        if parent.0 != NO_NODE {
+            let p = self.index.node(parent.0);
+            if p.children.is_empty() && self.states[p.block as usize].refs == 0 {
+                self.evictable.insert((p.last_use, parent.0));
+            }
+        }
+        Some(block)
+    }
+
+    /// Release one reference on every block in `blocks`. Blocks that were
+    /// indexed stay cached (becoming evictable once they are leaves);
+    /// anonymous blocks return to the free list.
+    pub fn release(&mut self, blocks: &[BlockId]) {
+        for &BlockId(id) in blocks {
+            let state = &mut self.states[id as usize];
+            debug_assert!(state.refs > 0, "releasing an unreferenced block");
+            state.refs -= 1;
+            if state.refs > 0 {
+                continue;
+            }
+            self.referenced -= 1;
+            if state.node == NO_NODE {
+                self.free.push(id);
+            } else {
+                let node = self.index.node(state.node);
+                if node.children.is_empty() {
+                    self.evictable.insert((node.last_use, state.node));
+                }
+            }
+        }
+    }
+
+    /// Longest cached prefix of `content`'s stream available right now,
+    /// capped at `limit_tokens`, **without touching any state** — the
+    /// side-effect-free form routers use to measure affinity.
+    pub fn peek_prefix(&self, content: PromptContent, limit_tokens: usize) -> usize {
+        if !content.is_shareable() {
+            return 0;
+        }
+        let mut cursor = Cursor::root();
+        let mut matched = 0usize;
+        while matched + BLOCK_TOKENS <= limit_tokens {
+            let tokens = block_tokens(content, matched / BLOCK_TOKENS);
+            match self.index.child_matching(cursor, &tokens) {
+                Some(idx) => {
+                    cursor = Cursor(idx);
+                    matched += BLOCK_TOKENS;
+                }
+                None => break,
+            }
+        }
+        matched
+            + self
+                .partial_match_len(cursor, content, matched, limit_tokens)
+                .0
+    }
+
+    /// Longest common leading run between `content`'s tokens from stream
+    /// position `from` and any child of `cursor`, capped at `limit`. Returns
+    /// `(length, child node)`. Deterministic: best length wins, ties break on
+    /// the smallest node id, so hash-map order never matters.
+    fn partial_match_len(
+        &self,
+        cursor: Cursor,
+        content: PromptContent,
+        from: usize,
+        limit_tokens: usize,
+    ) -> (usize, Option<u32>) {
+        let span = (limit_tokens - from).min(BLOCK_TOKENS);
+        if span == 0 {
+            return (0, None);
+        }
+        let want: Vec<u64> = (0..span)
+            .map(|i| content.token_at(from + i).expect("shareable content"))
+            .collect();
+        let mut best = (0usize, None);
+        for &child in self.index.children_of(cursor).values() {
+            let node = self.index.node(child);
+            let common = want
+                .iter()
+                .zip(node.tokens.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            let better = common > best.0
+                || (common == best.0 && common > 0 && best.1.is_some_and(|b| child < b));
+            if better {
+                best = (common, Some(child));
+            }
+        }
+        if best.0 == 0 {
+            (0, None)
+        } else {
+            best
+        }
+    }
+
+    /// Walk the prefix index for `content` and acquire every matched block
+    /// (incrementing refcounts and refreshing LRU recency). `limit_tokens`
+    /// caps the match — callers pass one less than the tokens they must
+    /// compute so at least one token is always left to prefill.
+    ///
+    /// If the walk diverges mid-block against a cached block, the result
+    /// carries that block as [`PrefixMatch::cow_source`] and counts its
+    /// common leading tokens in `cached_tokens`; the caller copies it into
+    /// one of its own freshly allocated blocks. The source is **pinned**
+    /// (its refcount incremented) so allocations made before the copy cannot
+    /// evict it; the caller must [`release`](BlockPool::release) it once the
+    /// copy is done.
+    pub fn acquire_prefix(&mut self, content: PromptContent, limit_tokens: usize) -> PrefixMatch {
+        let mut m = PrefixMatch::default();
+        if !content.is_shareable() {
+            return m;
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        while m.cached_tokens + BLOCK_TOKENS <= limit_tokens {
+            let tokens = block_tokens(content, m.cached_tokens / BLOCK_TOKENS);
+            let Some(idx) = self.index.child_matching(m.cursor, &tokens) else {
+                break;
+            };
+            let block = self.index.node(idx).block;
+            let state = &mut self.states[block as usize];
+            if state.refs == 0 {
+                self.referenced += 1;
+                // Leaving the cached set: no longer evictable.
+                let old = self.index.node(idx).last_use;
+                self.evictable.remove(&(old, idx));
+            }
+            state.refs += 1;
+            self.index.node_mut(idx).last_use = stamp;
+            m.blocks.push(BlockId(block));
+            m.cached_tokens += BLOCK_TOKENS;
+            m.cursor = Cursor(idx);
+        }
+        let (extra, child) =
+            self.partial_match_len(m.cursor, content, m.cached_tokens, limit_tokens);
+        if extra > 0 {
+            let child = child.expect("partial match has a source node");
+            let block = self.index.node(child).block;
+            // Pin the source exactly like a full match, so it survives any
+            // same-admission allocation; the caller releases it post-copy.
+            let state = &mut self.states[block as usize];
+            if state.refs == 0 {
+                self.referenced += 1;
+                let old = self.index.node(child).last_use;
+                self.evictable.remove(&(old, child));
+            }
+            self.states[block as usize].refs += 1;
+            self.index.node_mut(child).last_use = stamp;
+            m.cow_source = Some(BlockId(block));
+            m.cached_tokens += extra;
+        }
+        m
+    }
+
+    /// Register `blocks` — the caller's own, already-computed, full blocks
+    /// starting at block index `start_block` of `content`'s stream — in the
+    /// prefix index, resuming from `cursor`. Returns the new cursor and how
+    /// many of `blocks` were registered (callers must not advance their
+    /// indexing watermark past a short count: the chain is shared or
+    /// collided there, and indexing from a stale cursor would splice wrong
+    /// prefixes together).
+    ///
+    /// The caller must hold references to the blocks along `cursor`'s path
+    /// (the engine always does: they are the request's acquired or own
+    /// blocks), which is what keeps returned cursors safe from eviction. If
+    /// an identical chain already exists (two identical prompts admitted
+    /// before either computed its blocks), indexing **stops** rather than
+    /// walking into nodes the caller holds no reference to; the duplicate
+    /// blocks simply stay private.
+    pub fn extend_index(
+        &mut self,
+        mut cursor: Cursor,
+        content: PromptContent,
+        start_block: usize,
+        blocks: &[BlockId],
+    ) -> (Cursor, usize) {
+        debug_assert!(content.is_shareable());
+        let mut registered = 0usize;
+        for (i, &BlockId(block)) in blocks.iter().enumerate() {
+            let tokens = block_tokens(content, start_block + i);
+            if self.index.child_matching(cursor, &tokens).is_some() {
+                // An equal chain already exists; following it would leave the
+                // caller with a cursor into blocks it does not reference.
+                break;
+            }
+            // Defensive: a cursor node gaining a child can no longer be an
+            // evictable leaf.
+            if cursor.0 != NO_NODE {
+                let lu = self.index.node(cursor.0).last_use;
+                self.evictable.remove(&(lu, cursor.0));
+            }
+            match self.index.insert_child(cursor, tokens, block) {
+                Some(idx) => {
+                    debug_assert_eq!(self.states[block as usize].node, NO_NODE);
+                    self.states[block as usize].node = idx;
+                    self.index.node_mut(idx).last_use = self.tick;
+                    cursor = Cursor(idx);
+                    registered += 1;
+                }
+                // Hash collision with different content: leave both private.
+                None => break,
+            }
+        }
+        (cursor, registered)
+    }
+
+    /// Number of prefixes currently indexed (diagnostics).
+    pub fn indexed_blocks(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// Fingerprints of block `block_idx` of `content`'s stream.
+fn block_tokens(content: PromptContent, block_idx: usize) -> BlockTokens {
+    let base = block_idx * BLOCK_TOKENS;
+    std::array::from_fn(|i| {
+        content
+            .token_at(base + i)
+            .expect("block_tokens requires shareable content")
+    })
+}
+
+/// Hash of a block's token fingerprints (FNV-1a over the 64-bit ids).
+fn hash_block(tokens: &BlockTokens) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &t in tokens {
+        h ^= t;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn content(lineage: u64) -> PromptContent {
+        PromptContent::unique(lineage)
+    }
+
+    #[test]
+    fn capacity_rounds_down_to_whole_blocks() {
+        let pool = BlockPool::new(BLOCK_TOKENS * 10 + 7);
+        assert_eq!(pool.capacity_blocks(), 10);
+        assert_eq!(pool.free_blocks(), 10);
+    }
+
+    #[test]
+    fn alloc_and_release_round_trip() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 8);
+        let a = pool.alloc(3).expect("fits");
+        assert_eq!(pool.free_blocks(), 5);
+        assert_eq!(pool.referenced_blocks(), 3);
+        assert!(pool.alloc(6).is_none(), "over-allocation must fail whole");
+        assert_eq!(pool.free_blocks(), 5, "failed alloc must not consume");
+        pool.release(&a);
+        assert_eq!(pool.free_blocks(), 8);
+        assert_eq!(pool.referenced_blocks(), 0);
+    }
+
+    #[test]
+    fn index_match_and_share() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 16);
+        let c = content(1);
+        // Request A computes 4 full blocks and indexes them.
+        let a = pool.alloc(4).unwrap();
+        let (cur, n) = pool.extend_index(Cursor::root(), c, 0, &a);
+        assert_ne!(cur, Cursor::root());
+        assert_eq!(n, 4);
+        assert_eq!(pool.indexed_blocks(), 4);
+
+        // An identical request matches all 4 (capped below 5 blocks).
+        let m = pool.acquire_prefix(c, 4 * BLOCK_TOKENS + 5);
+        assert_eq!(m.blocks, a);
+        assert_eq!(m.cached_tokens, 4 * BLOCK_TOKENS);
+        assert!(m.cow_source.is_none());
+        // Shared blocks are referenced twice now.
+        pool.release(&m.blocks);
+        pool.release(&a);
+        // Fully released: cached, not free.
+        assert_eq!(pool.referenced_blocks(), 0);
+        assert_eq!(pool.cached_blocks(), 4);
+        assert_eq!(pool.free_blocks(), 12);
+
+        // A different lineage matches nothing.
+        assert_eq!(pool.peek_prefix(content(2), 1024), 0);
+        // Opaque content never matches.
+        assert_eq!(pool.peek_prefix(PromptContent::Opaque, 1024), 0);
+    }
+
+    #[test]
+    fn match_is_capped_by_limit() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 16);
+        let c = content(3);
+        let a = pool.alloc(4).unwrap();
+        pool.extend_index(Cursor::root(), c, 0, &a);
+        // A prompt of exactly 2 blocks + 1 token, capped at prompt-1: only
+        // the first 2 full blocks match even though 4 are cached.
+        let limit = 2 * BLOCK_TOKENS; // (2 blocks + 1 token) - 1
+        let m = pool.acquire_prefix(c, limit);
+        assert_eq!(m.blocks.len(), 2);
+        // The third cached block partially covers the remaining 0 tokens —
+        // nothing more to take.
+        assert_eq!(m.cached_tokens, 2 * BLOCK_TOKENS);
+        pool.release(&m.blocks);
+        pool.release(&a);
+    }
+
+    #[test]
+    fn copy_on_write_reuses_the_common_leading_tokens() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 16);
+        // Conversation lineage 9: cache a 2-block chain.
+        let c_long = content(9);
+        let a = pool.alloc(2).unwrap();
+        pool.extend_index(Cursor::root(), c_long, 0, &a);
+        // A second request shares block 0 fully; its prompt ends 5 tokens
+        // into block 1 (prompt = 16 + 5 = 21 tokens, limit 20 with the
+        // one-token cap). Same stream => the 4 leading tokens of block 1
+        // agree => copy-on-write.
+        let m = pool.acquire_prefix(c_long, 20);
+        assert_eq!(m.blocks.len(), 1, "one full block matched");
+        assert_eq!(m.cow_source, Some(a[1]));
+        assert_eq!(m.cached_tokens, 20, "16 full + 4 partial tokens");
+        // The source is pinned: even releasing the original owner leaves it
+        // referenced, so a same-admission allocation cannot evict it before
+        // the copy happens.
+        pool.release(&a);
+        assert_eq!(pool.referenced_blocks(), 2);
+        pool.release(&[m.cow_source.unwrap()]);
+        pool.release(&m.blocks);
+        assert_eq!(pool.referenced_blocks(), 0);
+        assert_eq!(pool.cached_blocks(), 2);
+    }
+
+    #[test]
+    fn divergent_streams_do_not_cow_match() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 16);
+        let a = pool.alloc(1).unwrap();
+        pool.extend_index(Cursor::root(), content(1), 0, &a);
+        // A different lineage diverges at token 0: no partial match.
+        let m = pool.acquire_prefix(content(2), BLOCK_TOKENS - 1);
+        assert!(m.blocks.is_empty());
+        assert_eq!(m.cached_tokens, 0);
+        assert!(m.cow_source.is_none());
+        pool.release(&a);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_leaf_first() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 4);
+        // Two single-block chains, released in order 1 then 2.
+        let b1 = pool.alloc(1).unwrap();
+        pool.extend_index(Cursor::root(), content(1), 0, &b1);
+        let b2 = pool.alloc(1).unwrap();
+        pool.extend_index(Cursor::root(), content(2), 0, &b2);
+        pool.release(&b1);
+        pool.release(&b2);
+        // Touch chain 1 so chain 2 becomes the LRU.
+        let m = pool.acquire_prefix(content(1), BLOCK_TOKENS);
+        pool.release(&m.blocks);
+        assert_eq!(pool.cached_blocks(), 2);
+
+        // Allocating 3 blocks: 2 free + 1 eviction, which must take chain 2.
+        let big = pool.alloc(3).expect("eviction frees the LRU leaf");
+        assert_eq!(pool.blocks_evicted(), 1);
+        assert_eq!(pool.peek_prefix(content(1), BLOCK_TOKENS), BLOCK_TOKENS);
+        assert_eq!(pool.peek_prefix(content(2), BLOCK_TOKENS), 0);
+        pool.release(&big);
+    }
+
+    #[test]
+    fn chains_evict_leaf_first_then_parent() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 3);
+        let chain = pool.alloc(3).unwrap();
+        pool.extend_index(Cursor::root(), content(7), 0, &chain);
+        pool.release(&chain);
+        assert_eq!(pool.cached_blocks(), 3);
+        assert_eq!(pool.available_blocks(), 3, "whole chain is reclaimable");
+
+        // One allocation must evict the *tail* block: the 2-block prefix
+        // stays matchable.
+        let one = pool.alloc(1).unwrap();
+        assert_eq!(
+            pool.peek_prefix(content(7), 3 * BLOCK_TOKENS),
+            2 * BLOCK_TOKENS
+        );
+        let two = pool.alloc(2).unwrap();
+        assert_eq!(pool.peek_prefix(content(7), 3 * BLOCK_TOKENS), 0);
+        assert_eq!(pool.blocks_evicted(), 3);
+        pool.release(&one);
+        pool.release(&two);
+        assert_eq!(pool.free_blocks(), 3);
+    }
+
+    #[test]
+    fn referenced_blocks_are_never_evicted() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 2);
+        let chain = pool.alloc(2).unwrap();
+        pool.extend_index(Cursor::root(), content(5), 0, &chain);
+        // Still referenced: nothing is available beyond the free list.
+        assert_eq!(pool.available_blocks(), 0);
+        assert!(pool.alloc(1).is_none());
+        pool.release(&chain);
+        assert_eq!(pool.available_blocks(), 2);
+    }
+
+    #[test]
+    fn identical_chains_indexed_twice_keep_the_duplicate_private() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 8);
+        let c = content(4);
+        let a = pool.alloc(2).unwrap();
+        pool.extend_index(Cursor::root(), c, 0, &a);
+        // A concurrent identical request computed its own copies before
+        // matching; indexing stops at the existing chain (descending would
+        // leave the caller with a cursor into blocks it never referenced).
+        let b = pool.alloc(2).unwrap();
+        let (cur, n) = pool.extend_index(Cursor::root(), c, 0, &b);
+        assert_eq!(cur, Cursor::root());
+        assert_eq!(n, 0, "nothing registered over an existing chain");
+        assert_eq!(pool.indexed_blocks(), 2, "no duplicate nodes");
+        pool.release(&a);
+        pool.release(&b);
+        // The duplicates were private: they return to the free list.
+        assert_eq!(pool.free_blocks(), 6);
+        assert_eq!(pool.cached_blocks(), 2);
+    }
+
+    /// Property: over random alloc / index / match / release traffic the
+    /// three populations always partition the capacity, availability is
+    /// honored exactly, and draining every reference leaves only cached or
+    /// free blocks.
+    #[test]
+    fn random_traffic_never_leaks_or_double_books() {
+        let mut rng = SplitMix64::seed_from_u64(0xB10C_CA5E);
+        for case in 0..30 {
+            let capacity = 4 + rng.next_usize(40);
+            let mut pool = BlockPool::new(capacity * BLOCK_TOKENS);
+            // Live "requests": (blocks, lineage, indexed?).
+            let mut live: Vec<(Vec<BlockId>, u64, bool)> = Vec::new();
+            for step in 0..300 {
+                match rng.next_usize(4) {
+                    // Admit: match + alloc a 1..6-block chain.
+                    0 | 1 => {
+                        let lineage = 1 + rng.next_usize(6) as u64;
+                        let want = 1 + rng.next_usize(5);
+                        let c = content(lineage);
+                        let m = pool.acquire_prefix(c, want * BLOCK_TOKENS);
+                        let need = want - m.blocks.len();
+                        let mut blocks = m.blocks;
+                        match pool.alloc(need) {
+                            Some(fresh) => {
+                                blocks.extend(fresh);
+                                live.push((blocks, lineage, false));
+                            }
+                            None => pool.release(&blocks),
+                        }
+                    }
+                    // Index a live chain.
+                    2 => {
+                        if let Some(i) = (!live.is_empty()).then(|| rng.next_usize(live.len())) {
+                            let (blocks, lineage, indexed) = &mut live[i];
+                            if !*indexed {
+                                pool.extend_index(
+                                    Cursor::root(),
+                                    content(*lineage),
+                                    0,
+                                    &blocks.clone(),
+                                );
+                                *indexed = true;
+                            }
+                        }
+                    }
+                    // Release a live chain.
+                    _ => {
+                        if !live.is_empty() {
+                            let (blocks, _, _) = live.swap_remove(rng.next_usize(live.len()));
+                            pool.release(&blocks);
+                        }
+                    }
+                }
+                let used = pool.referenced_blocks();
+                let cached = pool.cached_blocks();
+                let free = pool.free_blocks();
+                assert_eq!(
+                    used + cached + free,
+                    capacity,
+                    "case {case} step {step}: populations must partition capacity"
+                );
+                assert!(pool.available_blocks() <= cached + free);
+            }
+            for (blocks, _, _) in live.drain(..) {
+                pool.release(&blocks);
+            }
+            assert_eq!(pool.referenced_blocks(), 0, "case {case}: leaked refs");
+            assert_eq!(
+                pool.cached_blocks() + pool.free_blocks(),
+                capacity,
+                "case {case}: blocks lost"
+            );
+            // Everything cached is reclaimable once nothing is referenced.
+            assert_eq!(pool.available_blocks(), capacity);
+        }
+    }
+}

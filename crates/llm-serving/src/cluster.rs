@@ -46,6 +46,15 @@ pub enum RouterPolicy {
         /// Prompt length threshold in tokens for the long-prefill rule.
         long_prefill_tokens: usize,
     },
+    /// Prefix-affinity: send each request to the replica whose prefix index
+    /// holds the longest cached prefix of its prompt (probed side-effect-free
+    /// via [`ServingEngine::cached_prefix_tokens_for`]), so agent fleets and
+    /// shared-system-prompt chat reuse warm KV instead of re-prefilling it on
+    /// a cold replica. Ties — including the all-cold case — fall back to
+    /// least outstanding work tokens. Only meaningful when replicas run the
+    /// paged KV policy with prefix caching; otherwise every probe returns
+    /// zero and this degrades to least-outstanding.
+    PrefixAffinity,
 }
 
 impl RouterPolicy {
@@ -65,6 +74,7 @@ impl RouterPolicy {
             RouterPolicy::DecodeAware {
                 long_prefill_tokens,
             } => format!("decode-aware(long>={long_prefill_tokens})"),
+            RouterPolicy::PrefixAffinity => "prefix-affinity".to_string(),
         }
     }
 }
@@ -170,6 +180,16 @@ impl Cluster {
                     })
                 }
             }
+            RouterPolicy::PrefixAffinity => {
+                // Longest cached prefix wins; ties (notably the all-cold
+                // case) fall back to least outstanding work.
+                argmin_by_key(&self.replicas, |r| {
+                    (
+                        std::cmp::Reverse(r.cached_prefix_tokens_for(spec)),
+                        r.outstanding_tokens(),
+                    )
+                })
+            }
         }
     }
 
@@ -232,6 +252,13 @@ impl Cluster {
         aggregate.price_cache_hits = per_replica.iter().map(|r| r.price_cache_hits).sum();
         aggregate.price_cache_misses = per_replica.iter().map(|r| r.price_cache_misses).sum();
         aggregate.busy_time = per_replica.iter().map(|r| r.busy_time).sum();
+        aggregate.prefill_tokens_scheduled =
+            per_replica.iter().map(|r| r.prefill_tokens_scheduled).sum();
+        aggregate.cached_prefix_tokens = per_replica.iter().map(|r| r.cached_prefix_tokens).sum();
+        aggregate.blocks_reused = per_replica.iter().map(|r| r.blocks_reused).sum();
+        aggregate.cow_copies = per_replica.iter().map(|r| r.cow_copies).sum();
+        aggregate.preemptions = per_replica.iter().map(|r| r.preemptions).sum();
+        aggregate.blocks_evicted = per_replica.iter().map(|r| r.blocks_evicted).sum();
 
         let max_busy = per_replica.iter().map(|r| r.busy_time).fold(0.0, f64::max);
         let mean_busy = aggregate.busy_time / per_replica.len() as f64;

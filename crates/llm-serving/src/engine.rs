@@ -11,12 +11,13 @@
 //! [`crate::Cluster`] interleaves many engines on a shared virtual clock
 //! through the same `step` entry point.
 
+use crate::blocks::{blocks_for, BlockId, Cursor, BLOCK_TOKENS};
 use crate::kvcache::KvCacheManager;
 use crate::linear::IterationCostModel;
 use crate::metrics::ServingReport;
 use crate::model::ModelConfig;
 use crate::request::{Phase, Request, RequestSpec};
-use crate::scheduler::{plan_batch, BatchPlan, SchedulerKind};
+use crate::scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
 use attn_kernels::{canonical_decodes, AttentionStrategy, HybridBatch, PrefillChunk};
 use gpu_sim::GpuConfig;
 use std::collections::{HashMap, VecDeque};
@@ -98,6 +99,52 @@ impl BatchSignature {
     }
 }
 
+/// How the engine manages KV-cache residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvCachePolicy {
+    /// Sarathi-Serve's conservative rule: a request is admitted only when
+    /// its full prompt **plus expected output** fits, and is never preempted.
+    /// The historical default; golden tests pin it bit-for-bit.
+    Conservative,
+    /// Paged residency over the block subsystem ([`crate::BlockPool`]):
+    /// admission allocates blocks for the prompt only, decode tokens grow
+    /// the allocation on demand, and when growth exhausts the pool the most
+    /// recently started decode is preempted (swap-out) and later restored by
+    /// recomputing its KV.
+    Paged {
+        /// Whether prompts are matched against the radix prefix index so
+        /// shared prefixes skip prefill (with copy-on-write on divergence
+        /// and LRU eviction of dead prefixes). With this off, the paged
+        /// policy is pure on-demand paging + preemption.
+        prefix_caching: bool,
+    },
+}
+
+impl KvCachePolicy {
+    /// Report-label fragment (empty for the conservative default).
+    pub fn label_suffix(&self) -> &'static str {
+        match self {
+            KvCachePolicy::Conservative => "",
+            KvCachePolicy::Paged {
+                prefix_caching: false,
+            } => "+paged",
+            KvCachePolicy::Paged {
+                prefix_caching: true,
+            } => "+prefix",
+        }
+    }
+
+    /// Whether this policy runs the prefix index.
+    pub fn prefix_caching(&self) -> bool {
+        matches!(
+            self,
+            KvCachePolicy::Paged {
+                prefix_caching: true
+            }
+        )
+    }
+}
+
 /// Full configuration of a serving system under test.
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
@@ -118,6 +165,9 @@ pub struct ServingConfig {
     /// signature. Defaults to on; set the `POD_PRICE_CACHE=0` environment
     /// variable (or this field) to price every iteration exactly.
     pub price_cache: bool,
+    /// KV-cache residency policy (conservative admission vs. paged blocks
+    /// with prefix sharing and preemption).
+    pub kv_policy: KvCachePolicy,
 }
 
 impl ServingConfig {
@@ -132,6 +182,7 @@ impl ServingConfig {
             max_batch_size: 256,
             kv_capacity_tokens: None,
             price_cache: price_cache_default(),
+            kv_policy: KvCachePolicy::Conservative,
         }
     }
 
@@ -145,6 +196,7 @@ impl ServingConfig {
             max_batch_size: 256,
             kv_capacity_tokens: None,
             price_cache: price_cache_default(),
+            kv_policy: KvCachePolicy::Conservative,
         }
     }
 
@@ -156,14 +208,23 @@ impl ServingConfig {
         }
     }
 
-    /// Label used in reports, e.g. `"Sarathi(chunk=1024)+POD"`.
+    /// The same configuration on the paged KV policy, with or without prefix
+    /// caching.
+    pub fn with_paged_kv(mut self, prefix_caching: bool) -> Self {
+        self.kv_policy = KvCachePolicy::Paged { prefix_caching };
+        self
+    }
+
+    /// Label used in reports, e.g. `"Sarathi(chunk=1024)+POD"` (with
+    /// `"+paged"` / `"+prefix"` appended for the paged KV policies).
     pub fn system_label(&self) -> String {
+        let kv = self.kv_policy.label_suffix();
         let attn = match self.attention {
             AttentionStrategy::Pod => "+POD",
             AttentionStrategy::FaSerial => "",
-            other => return format!("{}[{}]", self.scheduler.label(), other),
+            other => return format!("{}[{}]{}", self.scheduler.label(), other, kv),
         };
-        format!("{}{}", self.scheduler.label(), attn)
+        format!("{}{}{}", self.scheduler.label(), attn, kv)
     }
 }
 
@@ -207,6 +268,24 @@ pub struct IterationStats {
     pub newly_finished: usize,
 }
 
+/// Per-request paged-KV state: its block table and how far its chain is
+/// registered in the prefix index.
+#[derive(Debug, Clone, Default)]
+struct RequestKv {
+    /// Blocks backing this request's context, in stream order. The leading
+    /// `shared` entries were acquired from the prefix cache.
+    blocks: Vec<BlockId>,
+    /// Trie position after the last indexed block.
+    cursor: Cursor,
+    /// Leading blocks registered in the prefix index (shared or own).
+    indexed: usize,
+    /// Leading blocks acquired from the cache at admission.
+    shared: usize,
+    /// Indexing hit an existing equal chain (a concurrent identical prompt
+    /// won the race); further blocks stay private.
+    index_stalled: bool,
+}
+
 /// Mutable simulation state of one replica: queues, KV cache, clock and the
 /// price cache. Kept separate from the engine's immutable configuration so
 /// `step` can borrow the cost model and the state independently.
@@ -218,6 +297,9 @@ struct EngineState {
     waiting: VecDeque<usize>,
     running: Vec<usize>,
     reserved: Vec<bool>,
+    /// Paged-KV bookkeeping, parallel to `requests` (unused under the
+    /// conservative policy).
+    tables: Vec<RequestKv>,
     kv: KvCacheManager,
     clock: f64,
     iterations: usize,
@@ -226,6 +308,16 @@ struct EngineState {
     price_cache: HashMap<BatchSignature, f64>,
     cache_hits: usize,
     cache_misses: usize,
+    /// Prefill tokens actually scheduled (cached-prefix tokens never are).
+    prefill_tokens_scheduled: usize,
+    /// Prompt tokens satisfied from the prefix cache at admissions.
+    cached_prefix_tokens: usize,
+    /// Cached blocks acquired (shared) across all admissions.
+    blocks_reused: usize,
+    /// Copy-on-write block copies made at admissions.
+    cow_copies: usize,
+    /// Decode preemptions (swap-outs) forced by pool exhaustion.
+    preemptions: usize,
 }
 
 impl EngineState {
@@ -236,6 +328,7 @@ impl EngineState {
             waiting: VecDeque::new(),
             running: Vec::new(),
             reserved: Vec::new(),
+            tables: Vec::new(),
             kv: KvCacheManager::new(kv_capacity),
             clock: 0.0,
             iterations: 0,
@@ -244,6 +337,108 @@ impl EngineState {
             price_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            prefill_tokens_scheduled: 0,
+            cached_prefix_tokens: 0,
+            blocks_reused: 0,
+            cow_copies: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Preempt a decoding request: reclaim its blocks (indexed ones stay
+    /// cached for its own restore or other sharers), move it to the front of
+    /// the waiting queue, and mark the full recompute it owes.
+    fn preempt(&mut self, rid: usize) {
+        let table = std::mem::take(&mut self.tables[rid]);
+        self.kv.release_blocks(&table.blocks);
+        self.requests[rid].preempt();
+        self.running.retain(|&r| r != rid);
+        self.reserved[rid] = false;
+        // Re-queue ahead of unadmitted work but *behind* any already-admitted
+        // (mid-prefill) request: that one holds blocks, and only the queue
+        // front ever gets scheduled — parking an unadmittable victim in front
+        // of it would starve the one request able to free capacity.
+        let at = self
+            .waiting
+            .iter()
+            .take_while(|&&r| self.reserved[r])
+            .count();
+        self.waiting.insert(at, rid);
+        self.preemptions += 1;
+    }
+
+    /// Ensure every request that will decode this iteration has a block for
+    /// its next token, preempting the most recently started decodes when the
+    /// pool is exhausted (LIFO victim selection: the youngest decode loses
+    /// the least recomputation).
+    fn grow_decode_blocks(&mut self, decode_cap: usize) {
+        let mut i = 0;
+        while i < self.running.len().min(decode_cap) {
+            let rid = self.running[i];
+            let needed = blocks_for(self.requests[rid].context_len() + 1);
+            if self.tables[rid].blocks.len() >= needed {
+                i += 1;
+                continue;
+            }
+            let short = needed - self.tables[rid].blocks.len();
+            match self.kv.alloc_blocks(short) {
+                Some(fresh) => {
+                    self.tables[rid].blocks.extend(fresh);
+                    i += 1;
+                }
+                None => {
+                    // Shed the newest decode and retry; if that is the very
+                    // request being grown, it preempts itself.
+                    let victim = *self.running.last().expect("rid is in running");
+                    self.preempt(victim);
+                }
+            }
+        }
+    }
+
+    /// Register this request's newly computed full blocks in the prefix
+    /// index (no-op for opaque content or once indexing stalled on an
+    /// existing equal chain).
+    fn index_computed_blocks(&mut self, rid: usize) {
+        let req = &self.requests[rid];
+        if !req.spec.content.is_shareable() || self.tables[rid].index_stalled {
+            return;
+        }
+        let computed_full = (req.context_len() / BLOCK_TOKENS).min(self.tables[rid].blocks.len());
+        let table = &mut self.tables[rid];
+        if computed_full > table.indexed {
+            let want = computed_full - table.indexed;
+            let (cursor, registered) = self.kv.extend_index(
+                table.cursor,
+                req.spec.content,
+                table.indexed,
+                &table.blocks[table.indexed..computed_full],
+            );
+            table.cursor = cursor;
+            table.indexed += registered;
+            table.index_stalled = registered < want;
+        }
+    }
+
+    /// Release a finished request's residency according to the KV policy.
+    fn release_finished(&mut self, rid: usize, policy: KvCachePolicy) {
+        match policy {
+            KvCachePolicy::Conservative => {
+                if self.reserved[rid] {
+                    self.kv.release(self.requests[rid].spec.total_tokens());
+                    self.reserved[rid] = false;
+                }
+            }
+            KvCachePolicy::Paged { prefix_caching } => {
+                if prefix_caching {
+                    // Index the decode region too, so multi-turn follow-ups
+                    // whose prompts embed this response hit the cache.
+                    self.index_computed_blocks(rid);
+                }
+                let table = std::mem::take(&mut self.tables[rid]);
+                self.kv.release_blocks(&table.blocks);
+                self.reserved[rid] = false;
+            }
         }
     }
 }
@@ -359,6 +554,7 @@ impl ServingEngine {
         let id = self.state.requests.len();
         self.state.requests.push(Request::new(id, spec));
         self.state.reserved.push(false);
+        self.state.tables.push(RequestKv::default());
         // Keep the pending-arrival queue sorted; insertion after equal
         // arrivals preserves submission order for ties, matching the stable
         // sort the closed-world `run` historically used.
@@ -420,6 +616,19 @@ impl ServingEngine {
         self.state.kv.utilization()
     }
 
+    /// Prompt tokens of `spec` this replica's prefix index could satisfy
+    /// right now, without touching any state. Zero unless the engine runs
+    /// the paged policy with prefix caching. The affinity signal
+    /// [`crate::RouterPolicy::PrefixAffinity`] routes on.
+    pub fn cached_prefix_tokens_for(&self, spec: &RequestSpec) -> usize {
+        if !self.config.kv_policy.prefix_caching() {
+            return 0;
+        }
+        self.state
+            .kv
+            .peek_prefix(spec.content, spec.prompt_tokens.saturating_sub(1))
+    }
+
     /// Advance the simulation by exactly one scheduler iteration.
     ///
     /// `now` is the caller's clock; the engine clock first catches up to it
@@ -444,15 +653,114 @@ impl ServingEngine {
             }
         }
 
-        let plan = plan_batch(
-            self.config.scheduler,
-            &mut st.requests,
-            &st.waiting,
-            &st.running,
-            &mut st.kv,
-            &mut st.reserved,
-            self.config.max_batch_size,
-        );
+        // Under the paged policy, decode growth happens before batch
+        // formation: every request that will decode this iteration gets a
+        // block for its next token, preempting the newest decodes if the
+        // pool is exhausted. The growth set must match the scheduler's
+        // decode set exactly: Sarathi caps decodes at `max_batch_size`,
+        // while the vLLM policy decodes every running request.
+        if matches!(self.config.kv_policy, KvCachePolicy::Paged { .. }) {
+            let decode_cap = match self.config.scheduler {
+                SchedulerKind::Vllm => usize::MAX,
+                SchedulerKind::Sarathi { .. } => self.config.max_batch_size,
+            };
+            st.grow_decode_blocks(decode_cap);
+        }
+
+        let plan = {
+            let capacity_blocks = st.kv.capacity_tokens() / BLOCK_TOKENS;
+            let (requests, waiting, running) = (&mut st.requests, &st.waiting, &st.running);
+            let (kv, reserved, tables) = (&mut st.kv, &mut st.reserved, &mut st.tables);
+            let (cached_ctr, reused_ctr, cow_ctr) = (
+                &mut st.cached_prefix_tokens,
+                &mut st.blocks_reused,
+                &mut st.cow_copies,
+            );
+            match self.config.kv_policy {
+                KvCachePolicy::Conservative => plan_batch(
+                    self.config.scheduler,
+                    requests,
+                    waiting,
+                    running,
+                    &mut |req: &Request| {
+                        if reserved[req.id] {
+                            return AdmissionDecision::Admit { cached_tokens: 0 };
+                        }
+                        if kv.reserve(req.spec.total_tokens()) {
+                            reserved[req.id] = true;
+                            AdmissionDecision::Admit { cached_tokens: 0 }
+                        } else {
+                            AdmissionDecision::Defer
+                        }
+                    },
+                    self.config.max_batch_size,
+                ),
+                KvCachePolicy::Paged { prefix_caching } => plan_batch(
+                    self.config.scheduler,
+                    requests,
+                    waiting,
+                    running,
+                    &mut |req: &Request| {
+                        if reserved[req.id] {
+                            return AdmissionDecision::Admit { cached_tokens: 0 };
+                        }
+                        // Feasibility: to *finish*, the request must at some
+                        // point hold blocks for its whole prompt + output.
+                        // Admitting one that never can would decode until
+                        // growth exhausts the pool and then preempt/recompute
+                        // forever; deferring it surfaces the same Blocked
+                        // outcome (with the same total-tokens sizing number)
+                        // the conservative policy reports.
+                        if blocks_for(req.spec.total_tokens()) > capacity_blocks {
+                            return AdmissionDecision::Defer;
+                        }
+                        // Match the prompt (or, after a preemption, the full
+                        // recompute target) against the prefix index, capped
+                        // one below the target so at least one token is
+                        // always computed; then allocate the uncached rest.
+                        let target = req.target_prefill();
+                        let m = if prefix_caching {
+                            kv.acquire_prefix(req.spec.content, target - 1)
+                        } else {
+                            Default::default()
+                        };
+                        let needed = blocks_for(target) - m.blocks.len();
+                        let outcome = match kv.alloc_blocks(needed) {
+                            Some(fresh) => {
+                                *cached_ctr += m.cached_tokens;
+                                *reused_ctr += m.blocks.len();
+                                *cow_ctr += usize::from(m.cow_source.is_some());
+                                let table = &mut tables[req.id];
+                                table.shared = m.blocks.len();
+                                table.indexed = m.blocks.len();
+                                table.cursor = m.cursor;
+                                table.blocks = m.blocks;
+                                table.blocks.extend(fresh);
+                                reserved[req.id] = true;
+                                AdmissionDecision::Admit {
+                                    cached_tokens: m.cached_tokens,
+                                }
+                            }
+                            None => {
+                                // Roll back the prefix acquisition; the
+                                // request retries next iteration.
+                                kv.release_blocks(&m.blocks);
+                                AdmissionDecision::Defer
+                            }
+                        };
+                        // The CoW source was pinned by acquire_prefix so the
+                        // allocation above could not evict it mid-admission;
+                        // the copy has now happened (or the admission was
+                        // rolled back), so drop the pin either way.
+                        if let Some(cow) = m.cow_source {
+                            kv.release_blocks(&[cow]);
+                        }
+                        outcome
+                    },
+                    self.config.max_batch_size,
+                ),
+            }
+        };
 
         if plan.is_empty() {
             if let Some(&id) = st.arrivals.front() {
@@ -504,28 +812,47 @@ impl ServingEngine {
             st.hybrid_iterations += 1;
         }
 
-        // Apply the iteration's effects.
-        let newly_finished = apply_plan(
+        // Apply the iteration's effects to request lifecycles and queues.
+        let finished = apply_plan(
             &plan,
             st.clock,
             &mut st.requests,
             &mut st.waiting,
             &mut st.running,
-            &mut st.kv,
-            &mut st.reserved,
         );
+
+        // KV-cache effects, per policy: register newly computed full blocks
+        // in the prefix index, then release finished residencies (a finished
+        // request's indexed blocks stay cached until evicted).
+        if self.config.kv_policy.prefix_caching() {
+            if let Some((rid, _)) = plan.prefill {
+                if !finished.contains(&rid) {
+                    st.index_computed_blocks(rid);
+                }
+            }
+            for &rid in &plan.decodes {
+                if !finished.contains(&rid) {
+                    st.index_computed_blocks(rid);
+                }
+            }
+        }
+        for &rid in &finished {
+            st.release_finished(rid, self.config.kv_policy);
+        }
 
         // Token accounting via the plan's own budget arithmetic, so the
         // stats and the Sarathi chunk accounting can never drift apart.
         let decode_tokens = plan.decodes.len();
+        let prefill_tokens = plan.scheduled_tokens() - decode_tokens;
+        st.prefill_tokens_scheduled += prefill_tokens;
         IterationOutcome::Ran(IterationStats {
             started_at,
             completed_at: st.clock,
             duration: dt,
             hybrid: plan.is_hybrid(),
-            prefill_tokens: plan.scheduled_tokens() - decode_tokens,
+            prefill_tokens,
             decode_tokens,
-            newly_finished,
+            newly_finished: finished.len(),
         })
     }
 
@@ -586,6 +913,12 @@ impl ServingEngine {
         report.price_cache_hits = st.cache_hits;
         report.price_cache_misses = st.cache_misses;
         report.busy_time = st.busy_time;
+        report.prefill_tokens_scheduled = st.prefill_tokens_scheduled;
+        report.cached_prefix_tokens = st.cached_prefix_tokens;
+        report.blocks_reused = st.blocks_reused;
+        report.cow_copies = st.cow_copies;
+        report.preemptions = st.preemptions;
+        report.blocks_evicted = st.kv.blocks_evicted();
         report
     }
 
@@ -646,30 +979,30 @@ fn to_hybrid_batch(plan: &BatchPlan, requests: &[Request]) -> HybridBatch {
     HybridBatch { prefill, decodes }
 }
 
-/// Apply one iteration's effects to the queues and KV cache, returning how
-/// many requests finished.
+/// Apply one iteration's effects to the request lifecycles and queues,
+/// returning the ids that finished (prefill-completions first, then decodes,
+/// in plan order — a deterministic release order). KV-cache effects are the
+/// caller's job, since they depend on the residency policy.
 fn apply_plan(
     plan: &BatchPlan,
     clock: f64,
     requests: &mut [Request],
     waiting: &mut VecDeque<usize>,
     running: &mut Vec<usize>,
-    kv: &mut KvCacheManager,
-    reserved: &mut [bool],
-) -> usize {
-    let mut finished = 0usize;
+) -> Vec<usize> {
+    let mut finished = Vec::new();
     if let Some((rid, chunk)) = plan.prefill {
         requests[rid].record_prefill(chunk, clock);
         match requests[rid].phase() {
             Phase::Decoding => {
-                // Prompt finished: first token produced, move to running.
+                // Prompt finished: first token produced (or, after a
+                // preemption, recompute complete), move to running.
                 waiting.retain(|&r| r != rid);
                 running.push(rid);
             }
             Phase::Finished => {
                 waiting.retain(|&r| r != rid);
-                release(rid, requests, kv, reserved);
-                finished += 1;
+                finished.push(rid);
             }
             _ => {}
         }
@@ -678,18 +1011,10 @@ fn apply_plan(
         requests[rid].record_decode_token(clock);
         if requests[rid].phase() == Phase::Finished {
             running.retain(|&r| r != rid);
-            release(rid, requests, kv, reserved);
-            finished += 1;
+            finished.push(rid);
         }
     }
     finished
-}
-
-fn release(rid: usize, requests: &[Request], kv: &mut KvCacheManager, reserved: &mut [bool]) {
-    if reserved[rid] {
-        kv.release(requests[rid].spec.total_tokens());
-        reserved[rid] = false;
-    }
 }
 
 #[cfg(test)]

@@ -430,6 +430,115 @@ mod tests {
     }
 
     #[test]
+    fn every_escape_sequence_round_trips() {
+        // All escapes the parser knows, as values and as keys.
+        let s = "quote:\" back:\\ slash:/ nl:\n tab:\t cr:\r bs:\u{0008} ff:\u{000c}";
+        let v = JsonValue::Obj(vec![(s.to_string(), JsonValue::str(s))]);
+        let text = v.to_string_pretty();
+        assert_eq!(JsonValue::parse(&text).expect("escapes parse"), v);
+        // Explicit escape spellings parse to the same characters.
+        let spelled = "\"quote:\\\" back:\\\\ slash:\\/ nl:\\n tab:\\t cr:\\r bs:\\b ff:\\f\"";
+        assert_eq!(
+            JsonValue::parse(spelled).unwrap(),
+            JsonValue::str("quote:\" back:\\ slash:/ nl:\n tab:\t cr:\r bs:\u{0008} ff:\u{000c}")
+        );
+        // \uXXXX escapes, including a control character the writer emits.
+        assert_eq!(
+            JsonValue::parse("\"\\u0041\\u00e9\\u0001\"").unwrap(),
+            JsonValue::str("A\u{e9}\u{1}")
+        );
+        // Malformed escapes are rejected, not mangled.
+        for bad in ["\"\\q\"", "\"\\u12\"", "\"\\uzzzz\"", "\"\\ud800\"", "\"\\"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_strings_survive_the_round_trip() {
+        for s in [
+            "héllo wörld",
+            "日本語テキスト",
+            "emoji 🚀🔥",
+            "mixed 𝕌𝕟𝕚¢ode",
+        ] {
+            let v = JsonValue::obj(vec![(s, JsonValue::str(s))]);
+            let text = v.to_string_pretty();
+            let back = JsonValue::parse(&text).expect("unicode parses");
+            assert_eq!(back, v, "{s}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        // 200 levels of alternating arrays and single-key objects.
+        let mut v = JsonValue::Num(1.0);
+        for depth in 0..200 {
+            v = if depth % 2 == 0 {
+                JsonValue::Arr(vec![v])
+            } else {
+                JsonValue::obj(vec![("d", v)])
+            };
+        }
+        let text = v.to_string_pretty();
+        let back = JsonValue::parse(&text).expect("deep document parses");
+        assert_eq!(back, v);
+        // An unbalanced deep document is rejected.
+        let unbalanced = "[".repeat(50);
+        assert!(JsonValue::parse(&unbalanced).is_err());
+    }
+
+    /// Property test: random documents generated from the value model always
+    /// serialize to text the parser maps back to the identical value.
+    #[test]
+    fn random_documents_round_trip() {
+        fn gen(rng: &mut crate::rng::SplitMix64, depth: usize) -> JsonValue {
+            match rng.next_usize(if depth == 0 { 4 } else { 6 }) {
+                0 => JsonValue::Null,
+                1 => JsonValue::Bool(rng.next_usize(2) == 0),
+                2 => {
+                    // Finite doubles over a wide dynamic range, incl. negatives.
+                    let mag = (rng.next_f64() - 0.5) * 2.0;
+                    let exp = rng.next_usize(13) as i32 - 6;
+                    JsonValue::Num(mag * 10f64.powi(exp))
+                }
+                3 => {
+                    let len = rng.next_usize(12);
+                    let s: String = (0..len)
+                        .map(|_| {
+                            // Bias toward troublemakers: quotes, escapes,
+                            // control chars, non-ASCII.
+                            const POOL: &[char] =
+                                &['a', 'β', '"', '\\', '\n', '\t', '\u{1}', '/', '🦀', ' '];
+                            POOL[rng.next_usize(POOL.len())]
+                        })
+                        .collect();
+                    JsonValue::Str(s)
+                }
+                4 => {
+                    let len = rng.next_usize(4);
+                    JsonValue::Arr((0..len).map(|_| gen(rng, depth - 1)).collect())
+                }
+                _ => {
+                    let len = rng.next_usize(4);
+                    JsonValue::Obj(
+                        (0..len)
+                            .map(|i| (format!("k{i}"), gen(rng, depth - 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(0x150F_F1CE);
+        for case in 0..500 {
+            let v = gen(&mut rng, 4);
+            let text = v.to_string_pretty();
+            let back =
+                JsonValue::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(back, v, "case {case} round trip\n{text}");
+        }
+    }
+
+    #[test]
     fn parser_handles_standard_json() {
         let v = JsonValue::parse("  {\"a\": [1, 2.5, -3e2], \"b\": \"\\u0041\"} ").unwrap();
         assert_eq!(

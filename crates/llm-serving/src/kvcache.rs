@@ -1,65 +1,96 @@
-//! Paged KV-cache capacity management.
+//! Paged KV-cache capacity management: a compatible facade over the
+//! prefix-sharing block subsystem ([`BlockPool`] + [`crate::PrefixIndex`]).
 //!
 //! The serving engine needs to know how many requests can be resident at once
 //! given the GPU memory left after model weights. Allocation is tracked in
-//! fixed-size blocks of tokens (as in vLLM's PagedAttention), and a request
-//! is only admitted when its full prompt plus its expected output fits —
-//! which is the conservative admission policy Sarathi-Serve uses to avoid
-//! preemptions.
+//! fixed-size blocks of tokens (as in vLLM's PagedAttention). Historically
+//! this type was a bare block *counter*; it now fronts a real
+//! [`BlockPool`] with per-block identity, so the same facade serves both
+//! worlds:
+//!
+//! * the **conservative** token-count API ([`reserve`](KvCacheManager::reserve)
+//!   / [`release`](KvCacheManager::release)) used by Sarathi-Serve's
+//!   no-preemption admission — block-for-block identical to the old counter;
+//! * the **paged** API ([`acquire_prefix`](KvCacheManager::acquire_prefix),
+//!   [`alloc_blocks`](KvCacheManager::alloc_blocks), …) used by the
+//!   prefix-sharing engine mode, which matches prompts against the radix
+//!   [`crate::PrefixIndex`], shares blocks copy-on-write, and evicts cached
+//!   prefixes LRU-first.
 
-/// Tokens per KV-cache block.
-pub const BLOCK_TOKENS: usize = 16;
+use crate::blocks::{blocks_for, BlockId, BlockPool, Cursor, PrefixMatch};
+use crate::request::PromptContent;
+
+pub use crate::blocks::BLOCK_TOKENS;
 
 /// Tracks KV-cache block usage on one GPU (replicated across the
 /// tensor-parallel group, so one GPU's capacity is the binding constraint).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct KvCacheManager {
-    capacity_blocks: usize,
-    used_blocks: usize,
+    pool: BlockPool,
+    /// Blocks held by anonymous token-count reservations (the conservative
+    /// API). Anonymous blocks are interchangeable and never enter the prefix
+    /// index, so they are pure O(1) accounting against the pool's capacity —
+    /// exactly the historical counter — rather than materialized block ids.
+    /// The two facade halves are not mixed on one manager: the engine uses
+    /// the token-count API under `KvCachePolicy::Conservative` and the block
+    /// API under `KvCachePolicy::Paged`, never both.
+    anon_blocks: usize,
 }
 
 impl KvCacheManager {
     /// A manager with capacity for `capacity_tokens` tokens.
+    ///
+    /// Capacity that is not a whole multiple of [`BLOCK_TOKENS`] is
+    /// **rounded down** to the nearest block boundary: a partial block
+    /// cannot hold a KV page, so `new(1000)` yields
+    /// `capacity_tokens() == 992` (62 blocks), not 1000.
     pub fn new(capacity_tokens: usize) -> Self {
         KvCacheManager {
-            capacity_blocks: capacity_tokens / BLOCK_TOKENS,
-            used_blocks: 0,
+            pool: BlockPool::new(capacity_tokens),
+            anon_blocks: 0,
         }
     }
 
-    /// Total capacity in tokens.
+    /// Blocks referenced through either facade half.
+    fn used_blocks(&self) -> usize {
+        self.anon_blocks + self.pool.referenced_blocks()
+    }
+
+    /// Total capacity in tokens (rounded down to whole blocks; see
+    /// [`KvCacheManager::new`]).
     pub fn capacity_tokens(&self) -> usize {
-        self.capacity_blocks * BLOCK_TOKENS
+        self.pool.capacity_blocks() * BLOCK_TOKENS
     }
 
-    /// Tokens currently reserved.
+    /// Tokens currently reserved by live requests.
     pub fn used_tokens(&self) -> usize {
-        self.used_blocks * BLOCK_TOKENS
+        self.used_blocks() * BLOCK_TOKENS
     }
 
-    /// Tokens still available.
+    /// Tokens still available to reservations: free blocks plus cached
+    /// prefixes that eviction can reclaim (with the conservative API nothing
+    /// is ever cached, so this is exactly capacity minus used).
     pub fn free_tokens(&self) -> usize {
-        (self.capacity_blocks - self.used_blocks) * BLOCK_TOKENS
+        (self.pool.capacity_blocks() - self.used_blocks()) * BLOCK_TOKENS
     }
 
     /// Number of blocks needed for `tokens` tokens.
     pub fn blocks_for(tokens: usize) -> usize {
-        tokens.div_ceil(BLOCK_TOKENS)
+        blocks_for(tokens)
     }
 
     /// Whether a reservation of `tokens` tokens would fit right now.
     pub fn can_reserve(&self, tokens: usize) -> bool {
-        self.used_blocks + Self::blocks_for(tokens) <= self.capacity_blocks
+        self.used_blocks() + Self::blocks_for(tokens) <= self.pool.capacity_blocks()
     }
 
     /// Reserve `tokens` tokens. Returns `false` (and reserves nothing) if the
     /// cache does not have room.
     pub fn reserve(&mut self, tokens: usize) -> bool {
-        let blocks = Self::blocks_for(tokens);
-        if self.used_blocks + blocks > self.capacity_blocks {
+        if !self.can_reserve(tokens) {
             return false;
         }
-        self.used_blocks += blocks;
+        self.anon_blocks += Self::blocks_for(tokens);
         true
     }
 
@@ -72,21 +103,87 @@ impl KvCacheManager {
     pub fn release(&mut self, tokens: usize) {
         let blocks = Self::blocks_for(tokens);
         assert!(
-            blocks <= self.used_blocks,
+            blocks <= self.anon_blocks,
             "releasing {blocks} blocks but only {} are in use",
-            self.used_blocks
+            self.anon_blocks
         );
-        self.used_blocks -= blocks;
+        self.anon_blocks -= blocks;
     }
 
-    /// Fraction of the cache currently in use.
+    /// Fraction of the cache currently referenced by live requests.
     pub fn utilization(&self) -> f64 {
-        if self.capacity_blocks == 0 {
+        if self.pool.capacity_blocks() == 0 {
             return 0.0;
         }
-        self.used_blocks as f64 / self.capacity_blocks as f64
+        self.used_blocks() as f64 / self.pool.capacity_blocks() as f64
+    }
+
+    // ----- paged API (prefix sharing, growth, eviction) -----
+
+    /// Longest cached prefix available for `content`, capped at
+    /// `limit_tokens`, without touching any state (router affinity probes).
+    pub fn peek_prefix(&self, content: PromptContent, limit_tokens: usize) -> usize {
+        self.pool.peek_prefix(content, limit_tokens)
+    }
+
+    /// Match `content` against the prefix index and acquire every matched
+    /// block. See [`BlockPool::acquire_prefix`].
+    pub fn acquire_prefix(&mut self, content: PromptContent, limit_tokens: usize) -> PrefixMatch {
+        self.pool.acquire_prefix(content, limit_tokens)
+    }
+
+    /// Allocate `n` private blocks, evicting cached prefixes as needed. See
+    /// [`BlockPool::alloc`].
+    pub fn alloc_blocks(&mut self, n: usize) -> Option<Vec<BlockId>> {
+        self.pool.alloc(n)
+    }
+
+    /// Release one reference on every block in `blocks`. See
+    /// [`BlockPool::release`].
+    pub fn release_blocks(&mut self, blocks: &[BlockId]) {
+        self.pool.release(blocks);
+    }
+
+    /// Register computed full blocks in the prefix index, returning the new
+    /// cursor and how many blocks were registered. See
+    /// [`BlockPool::extend_index`].
+    pub fn extend_index(
+        &mut self,
+        cursor: Cursor,
+        content: PromptContent,
+        start_block: usize,
+        blocks: &[BlockId],
+    ) -> (Cursor, usize) {
+        self.pool.extend_index(cursor, content, start_block, blocks)
+    }
+
+    /// Blocks holding cached (unreferenced but reusable) prefixes.
+    pub fn cached_blocks(&self) -> usize {
+        self.pool.cached_blocks()
+    }
+
+    /// Cached blocks evicted over the manager's lifetime.
+    pub fn blocks_evicted(&self) -> usize {
+        self.pool.blocks_evicted()
+    }
+
+    /// The underlying block pool (diagnostics and tests).
+    pub fn pool(&self) -> &BlockPool {
+        &self.pool
     }
 }
+
+impl PartialEq for KvCacheManager {
+    /// Managers compare by observable capacity accounting (capacity and
+    /// referenced blocks), not by internal block identity — reservation
+    /// histories that lead to the same occupancy are equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.pool.capacity_blocks() == other.pool.capacity_blocks()
+            && self.used_blocks() == other.used_blocks()
+    }
+}
+
+impl Eq for KvCacheManager {}
 
 #[cfg(test)]
 mod tests {
@@ -132,6 +229,24 @@ mod tests {
         assert_eq!(KvCacheManager::blocks_for(1), 1);
         assert_eq!(KvCacheManager::blocks_for(16), 1);
         assert_eq!(KvCacheManager::blocks_for(17), 2);
+    }
+
+    /// Regression for the silent-truncation fix: capacity that is not a
+    /// multiple of [`BLOCK_TOKENS`] rounds down explicitly, and every
+    /// accounting quantity agrees with the rounded capacity.
+    #[test]
+    fn capacity_rounds_down_to_a_block_multiple() {
+        for (given, expect) in [(1000, 992), (15, 0), (16, 16), (17, 16), (0, 0)] {
+            let kv = KvCacheManager::new(given);
+            assert_eq!(kv.capacity_tokens(), expect, "capacity_tokens({given})");
+            assert_eq!(kv.free_tokens(), expect, "free_tokens({given})");
+            assert_eq!(kv.capacity_tokens() % BLOCK_TOKENS, 0);
+        }
+        // A sub-block manager admits nothing, gracefully.
+        let mut tiny = KvCacheManager::new(BLOCK_TOKENS - 1);
+        assert!(!tiny.can_reserve(1));
+        assert!(!tiny.reserve(1));
+        assert_eq!(tiny.utilization(), 0.0);
     }
 
     /// Property: over arbitrary admit/free cycles, block accounting never

@@ -23,6 +23,13 @@
 //!   pluggable [`RouterPolicy`] (round-robin, least-outstanding-tokens, or
 //!   prefill/decode-aware), with fleet-level percentiles and replica
 //!   imbalance in [`ClusterReport`].
+//! * [`BlockPool`] / [`PrefixIndex`] — the prefix-sharing paged KV-cache
+//!   block subsystem: ref-counted blocks, a radix trie over token-fingerprint
+//!   chunks, copy-on-write on divergence and LRU eviction. Enabled per
+//!   config via [`KvCachePolicy::Paged`]; requests carry [`PromptContent`]
+//!   stream identities, shared-prefix traces come from
+//!   [`SharedPrefixWorkload`], and [`RouterPolicy::PrefixAffinity`] routes
+//!   on cached-prefix length.
 //! * [`Workload`] — synthetic traces matched to the paper's internal and
 //!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
 //!   sweeps and time-varying (bursty / diurnal) arrival schedules
@@ -49,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod blocks;
 mod cluster;
 mod engine;
 mod json;
@@ -61,14 +69,18 @@ mod rng;
 mod scheduler;
 mod workload;
 
+pub use blocks::{blocks_for, BlockId, BlockPool, Cursor, PrefixIndex, PrefixMatch, BLOCK_TOKENS};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, RouterPolicy, LONG_PREFILL_TOKENS};
-pub use engine::{IterationOutcome, IterationStats, ServingConfig, ServingEngine};
+pub use engine::{IterationOutcome, IterationStats, KvCachePolicy, ServingConfig, ServingEngine};
 pub use json::{JsonParseError, JsonValue};
-pub use kvcache::{KvCacheManager, BLOCK_TOKENS};
+pub use kvcache::KvCacheManager;
 pub use linear::{IterationBreakdown, IterationCostModel};
 pub use metrics::{percentile, ServingReport, SummaryStats};
 pub use model::{ModelConfig, ParamCounts};
-pub use request::{Phase, Request, RequestSpec};
+pub use request::{Phase, PromptContent, Request, RequestSpec};
 pub use rng::SplitMix64;
-pub use scheduler::{plan_batch, BatchPlan, SchedulerKind};
-pub use workload::{offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, Workload};
+pub use scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
+pub use workload::{
+    offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, SharedPrefixWorkload,
+    Workload,
+};

@@ -125,6 +125,21 @@ pub struct ServingReport {
     /// between `makespan` and this is time the replica sat idle waiting for
     /// arrivals; the cluster layer uses it to measure replica imbalance.
     pub busy_time: f64,
+    /// Prefill tokens actually scheduled across all iterations. With prefix
+    /// caching, cached tokens are skipped and never counted here.
+    pub prefill_tokens_scheduled: usize,
+    /// Prompt tokens satisfied from the prefix cache at admission.
+    pub cached_prefix_tokens: usize,
+    /// Cached KV blocks acquired (shared) by admitted requests.
+    pub blocks_reused: usize,
+    /// Copy-on-write block copies made when a prompt diverged mid-block
+    /// from a cached prefix.
+    pub cow_copies: usize,
+    /// Decode preemptions (swap-outs) forced by KV-pool exhaustion under the
+    /// paged policy.
+    pub preemptions: usize,
+    /// Cached prefix blocks evicted (LRU) to make room for allocations.
+    pub blocks_evicted: usize,
 }
 
 impl ServingReport {
@@ -184,6 +199,12 @@ impl ServingReport {
             price_cache_hits: 0,
             price_cache_misses: 0,
             busy_time: 0.0,
+            prefill_tokens_scheduled: 0,
+            cached_prefix_tokens: 0,
+            blocks_reused: 0,
+            cow_copies: 0,
+            preemptions: 0,
+            blocks_evicted: 0,
         }
     }
 
@@ -223,6 +244,19 @@ impl ServingReport {
                 "price_cache_misses",
                 JsonValue::Num(self.price_cache_misses as f64),
             ),
+            (
+                "prefill_tokens_scheduled",
+                JsonValue::Num(self.prefill_tokens_scheduled as f64),
+            ),
+            (
+                "cached_prefix_tokens",
+                JsonValue::Num(self.cached_prefix_tokens as f64),
+            ),
+            ("prefix_hit_rate", JsonValue::Num(self.prefix_hit_rate())),
+            ("blocks_reused", JsonValue::Num(self.blocks_reused as f64)),
+            ("cow_copies", JsonValue::Num(self.cow_copies as f64)),
+            ("preemptions", JsonValue::Num(self.preemptions as f64)),
+            ("blocks_evicted", JsonValue::Num(self.blocks_evicted as f64)),
         ])
     }
 
@@ -234,6 +268,17 @@ impl ServingReport {
             return 0.0;
         }
         self.price_cache_hits as f64 / total as f64
+    }
+
+    /// Fraction of prompt-prefill work satisfied from the prefix cache:
+    /// cached tokens over cached + actually scheduled prefill tokens. Zero
+    /// when prefix caching was off or nothing ran.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let total = self.cached_prefix_tokens + self.prefill_tokens_scheduled;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cached_prefix_tokens as f64 / total as f64
     }
 
     /// Offline-throughput metric the paper reports in Figure 12: completed

@@ -7,6 +7,15 @@
 //! synthetic request traces; it is tiny, allocation-free and seedable, which
 //! is all the serving experiments need.
 
+/// The SplitMix64 finalizer: a strong, stateless 64-bit mixer. Shared by the
+/// generator below and by the token-fingerprint hashing in
+/// [`crate::PromptContent`], so the magic constants exist exactly once.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// SplitMix64 generator. Identical seeds yield identical streams.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
@@ -22,10 +31,7 @@ impl SplitMix64 {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        mix64(self.state)
     }
 
     /// Uniform sample in `[0, 1)` with 53 bits of precision.

@@ -1,8 +1,15 @@
 //! Batch-formation policies: the original vLLM scheduler (prefill
 //! prioritizing) and Sarathi-Serve (chunked prefills with stall-free hybrid
 //! batching), as compared in §5 of the paper.
+//!
+//! Admission is pluggable: the scheduler asks an [`AdmitFn`] whether the
+//! front of the waiting queue may enter the KV cache. The conservative
+//! policy reserves prompt + output up front (Sarathi-Serve's no-preemption
+//! rule); the paged policy matches the prompt against the prefix index and
+//! allocates only the uncached remainder, reporting how many leading tokens
+//! were satisfied from the cache so the prefill chunk starts at the matched
+//! offset.
 
-use crate::kvcache::KvCacheManager;
 use crate::request::{Phase, Request};
 use std::collections::VecDeque;
 
@@ -31,6 +38,26 @@ impl SchedulerKind {
         }
     }
 }
+
+/// What the admission policy decided for the front of the waiting queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The request is (or already was) admitted. On *first* admission,
+    /// `cached_tokens` leading prompt tokens were satisfied from the prefix
+    /// cache and are recorded on the request so chunking starts at the
+    /// matched offset; later calls return zero.
+    Admit {
+        /// Leading prompt tokens skipped via the prefix cache.
+        cached_tokens: usize,
+    },
+    /// No room right now; try again next iteration.
+    Defer,
+}
+
+/// Admission callback: may the given (front-of-queue) request enter the KV
+/// cache? Implementations own all cache state; the scheduler only applies
+/// the decision.
+pub type AdmitFn<'a> = dyn FnMut(&Request) -> AdmissionDecision + 'a;
 
 /// The batch one iteration will execute: at most one prefill chunk plus any
 /// number of decodes (the hybrid-batching common case from §2.1).
@@ -64,42 +91,40 @@ impl BatchPlan {
 ///
 /// `waiting` holds indices of requests whose prompt is not yet fully
 /// processed (front = oldest / partially prefilled); `running` holds indices
-/// of requests in their decode phase. The scheduler may reserve KV-cache
-/// space for a newly admitted request (a request is admitted only when its
-/// full prompt plus expected output fits, mirroring Sarathi-Serve's
-/// no-preemption admission policy).
+/// of requests in their decode phase. Admission of the front waiting request
+/// is delegated to `admit` (see [`AdmissionDecision`]).
 pub fn plan_batch(
     kind: SchedulerKind,
     requests: &mut [Request],
     waiting: &VecDeque<usize>,
     running: &[usize],
-    kv: &mut KvCacheManager,
-    reserved: &mut [bool],
+    admit: &mut AdmitFn<'_>,
     max_batch_size: usize,
 ) -> BatchPlan {
     match kind {
-        SchedulerKind::Vllm => plan_vllm(requests, waiting, running, kv, reserved),
+        SchedulerKind::Vllm => plan_vllm(requests, waiting, running, admit),
         SchedulerKind::Sarathi { chunk_size } => plan_sarathi(
             chunk_size,
             requests,
             waiting,
             running,
-            kv,
-            reserved,
+            admit,
             max_batch_size,
         ),
     }
 }
 
-fn try_admit(req: &Request, kv: &mut KvCacheManager, reserved: &mut [bool]) -> bool {
-    if reserved[req.id] {
-        return true;
-    }
-    if kv.reserve(req.spec.total_tokens()) {
-        reserved[req.id] = true;
-        true
-    } else {
-        false
+/// Ask `admit` about the front request, applying a first-admission prefix
+/// match to the request's prefill progress. Returns whether it is admitted.
+fn try_admit(req: &mut Request, admit: &mut AdmitFn<'_>) -> bool {
+    match admit(req) {
+        AdmissionDecision::Admit { cached_tokens } => {
+            if cached_tokens > 0 {
+                req.note_cached_prefix(cached_tokens);
+            }
+            true
+        }
+        AdmissionDecision::Defer => false,
     }
 }
 
@@ -107,13 +132,12 @@ fn plan_vllm(
     requests: &mut [Request],
     waiting: &VecDeque<usize>,
     running: &[usize],
-    kv: &mut KvCacheManager,
-    reserved: &mut [bool],
+    admit: &mut AdmitFn<'_>,
 ) -> BatchPlan {
     // Prefill-prioritizing: if the oldest waiting request fits, run its whole
     // prompt now, pausing decodes.
     if let Some(&front) = waiting.front() {
-        if try_admit(&requests[front], kv, reserved) {
+        if try_admit(&mut requests[front], admit) {
             let chunk = requests[front].remaining_prompt();
             return BatchPlan {
                 prefill: Some((front, chunk)),
@@ -127,14 +151,12 @@ fn plan_vllm(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn plan_sarathi(
     chunk_size: usize,
     requests: &mut [Request],
     waiting: &VecDeque<usize>,
     running: &[usize],
-    kv: &mut KvCacheManager,
-    reserved: &mut [bool],
+    admit: &mut AdmitFn<'_>,
     max_batch_size: usize,
 ) -> BatchPlan {
     let decodes: Vec<usize> = running.iter().copied().take(max_batch_size).collect();
@@ -142,7 +164,7 @@ fn plan_sarathi(
     let mut prefill = None;
     if budget > 0 && decodes.len() < max_batch_size {
         if let Some(&front) = waiting.front() {
-            if try_admit(&requests[front], kv, reserved) {
+            if try_admit(&mut requests[front], admit) {
                 debug_assert_ne!(requests[front].phase(), Phase::Finished);
                 let chunk = requests[front].remaining_prompt().min(budget);
                 if chunk > 0 {
@@ -157,6 +179,7 @@ fn plan_sarathi(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kvcache::KvCacheManager;
     use crate::request::RequestSpec;
 
     fn setup(n: usize, prompt: usize, output: usize) -> (Vec<Request>, Vec<bool>) {
@@ -165,6 +188,25 @@ mod tests {
             .collect();
         let reserved = vec![false; n];
         (requests, reserved)
+    }
+
+    /// The conservative admission rule the engine uses: reserve the full
+    /// prompt + output on first sight, nothing on later calls.
+    fn conservative<'a>(
+        kv: &'a mut KvCacheManager,
+        reserved: &'a mut [bool],
+    ) -> impl FnMut(&Request) -> AdmissionDecision + 'a {
+        move |req: &Request| {
+            if reserved[req.id] {
+                return AdmissionDecision::Admit { cached_tokens: 0 };
+            }
+            if kv.reserve(req.spec.total_tokens()) {
+                reserved[req.id] = true;
+                AdmissionDecision::Admit { cached_tokens: 0 }
+            } else {
+                AdmissionDecision::Defer
+            }
+        }
     }
 
     #[test]
@@ -178,8 +220,7 @@ mod tests {
             &mut requests,
             &waiting,
             &running,
-            &mut kv,
-            &mut reserved,
+            &mut conservative(&mut kv, &mut reserved),
             256,
         );
         // The whole prompt is scheduled and the decodes are paused.
@@ -199,8 +240,7 @@ mod tests {
             &mut requests,
             &waiting,
             &running,
-            &mut kv,
-            &mut reserved,
+            &mut conservative(&mut kv, &mut reserved),
             256,
         );
         assert!(plan.prefill.is_none());
@@ -218,8 +258,7 @@ mod tests {
             &mut requests,
             &waiting,
             &running,
-            &mut kv,
-            &mut reserved,
+            &mut conservative(&mut kv, &mut reserved),
             256,
         );
         assert!(plan.is_hybrid());
@@ -242,8 +281,7 @@ mod tests {
             &mut requests,
             &waiting,
             &[],
-            &mut kv,
-            &mut reserved,
+            &mut conservative(&mut kv, &mut reserved),
             256,
         );
         // Only the remaining 100 prompt tokens are scheduled.
@@ -261,12 +299,32 @@ mod tests {
             &mut requests,
             &waiting,
             &running,
-            &mut kv,
-            &mut reserved,
+            &mut conservative(&mut kv, &mut reserved),
             256,
         );
         assert!(plan.prefill.is_none());
         assert_eq!(plan.decodes.len(), 64);
+    }
+
+    #[test]
+    fn cached_prefix_shrinks_the_scheduled_chunk() {
+        // An admission that reports 192 leading tokens as cached: the chunk
+        // starts at the matched offset, so only 108 of the 300 prompt tokens
+        // are scheduled.
+        let (mut requests, _) = setup(1, 300, 10);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let mut admit = |_req: &Request| AdmissionDecision::Admit { cached_tokens: 192 };
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 512 },
+            &mut requests,
+            &waiting,
+            &[],
+            &mut admit,
+            256,
+        );
+        assert_eq!(plan.prefill, Some((0, 108)));
+        assert_eq!(requests[0].cached_prompt_tokens, 192);
+        assert_eq!(requests[0].prefilled, 192);
     }
 
     #[test]
@@ -278,8 +336,7 @@ mod tests {
             &mut requests,
             &VecDeque::new(),
             &[],
-            &mut kv,
-            &mut reserved,
+            &mut conservative(&mut kv, &mut reserved),
             256,
         );
         assert!(plan.is_empty());

@@ -7,7 +7,7 @@
 //! (0–40 / 0–50) and mean decode length (331 / 470 tokens), with Poisson
 //! arrivals at a configurable queries-per-second rate.
 
-use crate::request::RequestSpec;
+use crate::request::{PromptContent, RequestSpec};
 use crate::rng::SplitMix64;
 
 /// Named workload generator.
@@ -136,6 +136,147 @@ impl Workload {
             .min(context / 2);
         let prompt = context.saturating_sub(decode).max(1);
         RequestSpec::new(arrival, prompt, decode)
+    }
+}
+
+/// A workload whose requests share token prefixes: system-prompt groups
+/// (agent fleets, chat products where every request opens with the same
+/// instructions) and multi-turn conversations that re-submit their whole
+/// history as the next prompt.
+///
+/// Built on top of a base [`Workload`] for sizes and arrivals; this layer
+/// only decides each request's [`PromptContent`] — which is what the
+/// prefix-sharing paged KV cache and the prefix-affinity router act on. With
+/// `share_ratio = 0` the generated sizes are identical to the base workload
+/// and every stream is unique, so prefix caching finds nothing to share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedPrefixWorkload {
+    /// Base generator for arrivals and request sizes.
+    pub base: Workload,
+    /// Number of distinct system-prompt groups.
+    pub groups: usize,
+    /// Length of each group's shared system prompt, in tokens.
+    pub prefix_tokens: usize,
+    /// Fraction of requests that belong to a system-prompt group (the rest
+    /// have fully unique prompts).
+    pub share_ratio: f64,
+    /// Among shared requests, the probability of being a *follow-up turn* of
+    /// an existing conversation: its prompt embeds the full prior context
+    /// (including the previous response), so a prefix cache can skip
+    /// everything but the new user turn.
+    pub followup_ratio: f64,
+    /// Cap on follow-up prompt growth; a conversation that would exceed it
+    /// starts over as a new one (keeps multi-turn traces within the KV
+    /// capacities the benches configure).
+    pub max_prompt_tokens: usize,
+}
+
+impl SharedPrefixWorkload {
+    /// A shared-prefix workload over `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero, `prefix_tokens` is zero, or either ratio
+    /// is outside `[0, 1]`.
+    pub fn new(
+        base: Workload,
+        groups: usize,
+        prefix_tokens: usize,
+        share_ratio: f64,
+        followup_ratio: f64,
+    ) -> Self {
+        assert!(groups > 0, "need at least one system-prompt group");
+        assert!(
+            prefix_tokens > 0,
+            "a shared prefix needs at least one token"
+        );
+        assert!(
+            (0.0..=1.0).contains(&share_ratio),
+            "share_ratio must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&followup_ratio),
+            "followup_ratio must be in [0, 1]"
+        );
+        SharedPrefixWorkload {
+            base,
+            groups,
+            prefix_tokens,
+            share_ratio,
+            followup_ratio,
+            max_prompt_tokens: 24 * 1024,
+        }
+    }
+
+    /// Generate `count` requests with Poisson arrivals at `qps` queries per
+    /// second, deterministically from `seed`. Sizes and arrivals come from
+    /// the base workload; this pass assigns content identities and stretches
+    /// follow-up prompts to embed their conversation history.
+    pub fn generate(&self, count: usize, qps: f64, seed: u64) -> Vec<RequestSpec> {
+        let specs = self.base.generate(count, qps, seed);
+        self.assign_content(specs, seed)
+    }
+
+    fn assign_content(&self, specs: Vec<RequestSpec>, seed: u64) -> Vec<RequestSpec> {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5EED_50F1_C5A7);
+        // Live conversations: (lineage tag, group, context tokens so far).
+        let mut convs: Vec<(u64, usize, usize)> = Vec::new();
+        let mut lineage_counter = 0u64;
+        let mut fresh_lineage = |rng: &mut SplitMix64| {
+            lineage_counter += 1;
+            // Mix the seed in so different traces never collide by lineage.
+            seed ^ rng.next_u64() ^ lineage_counter.rotate_left(32)
+        };
+        specs
+            .into_iter()
+            .map(|spec| {
+                let shared = rng.next_f64() < self.share_ratio;
+                if !shared {
+                    let lineage = fresh_lineage(&mut rng);
+                    return spec.with_content(PromptContent::unique(lineage));
+                }
+                let followup = !convs.is_empty() && rng.next_f64() < self.followup_ratio;
+                let mut retired = None;
+                if followup {
+                    let idx = rng.next_usize(convs.len());
+                    let (lineage, group, history) = convs[idx];
+                    // New user turn appended to the full prior context.
+                    let turn = 64 + rng.next_usize(448);
+                    let prompt = history + turn;
+                    if prompt <= self.max_prompt_tokens {
+                        convs[idx].2 = prompt + spec.output_tokens;
+                        return RequestSpec::new(spec.arrival, prompt, spec.output_tokens)
+                            .with_content(PromptContent::shared(
+                                self.group_tag(seed, group),
+                                self.prefix_tokens,
+                                lineage,
+                            ));
+                    }
+                    // Conversation too long: retire it (its slot is reused by
+                    // the fresh conversation below) so dead entries do not
+                    // accumulate and dilute the realized follow-up ratio.
+                    retired = Some(idx);
+                }
+                let group = rng.next_usize(self.groups);
+                let lineage = fresh_lineage(&mut rng);
+                // First turn: the system prompt plus the base prompt body.
+                let prompt = spec.prompt_tokens.max(self.prefix_tokens + 64);
+                let conv = (lineage, group, prompt + spec.output_tokens);
+                match retired {
+                    Some(idx) => convs[idx] = conv,
+                    None => convs.push(conv),
+                }
+                RequestSpec::new(spec.arrival, prompt, spec.output_tokens).with_content(
+                    PromptContent::shared(self.group_tag(seed, group), self.prefix_tokens, lineage),
+                )
+            })
+            .collect()
+    }
+
+    /// Tag of a system-prompt group (trace-scoped: different seeds get
+    /// different system prompts).
+    fn group_tag(&self, seed: u64, group: usize) -> u64 {
+        (seed.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15).wrapping_add(group as u64 + 1)
     }
 }
 
@@ -429,6 +570,107 @@ mod tests {
             duration: 1.0,
             qps: 0.0,
         }]);
+    }
+
+    #[test]
+    fn shared_prefix_workload_marks_groups_and_followups() {
+        let w = SharedPrefixWorkload::new(Workload::internal(), 3, 2048, 0.7, 0.4);
+        let reqs = w.generate(400, 1.0, 11);
+        assert_eq!(reqs.len(), 400);
+        let shared: Vec<_> = reqs
+            .iter()
+            .filter_map(|r| match r.content {
+                PromptContent::Tokens {
+                    prefix_tag,
+                    prefix_tokens,
+                    lineage_tag,
+                } if prefix_tokens > 0 => Some((prefix_tag, lineage_tag)),
+                _ => None,
+            })
+            .collect();
+        let frac = shared.len() as f64 / reqs.len() as f64;
+        assert!(
+            (frac - 0.7).abs() < 0.1,
+            "share ratio {frac} should be near 0.7"
+        );
+        // At most three distinct system-prompt tags.
+        let mut tags: Vec<u64> = shared.iter().map(|&(t, _)| t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert!(tags.len() <= 3 && !tags.is_empty());
+        // Follow-up turns exist: some lineage appears more than once.
+        let mut lineages: Vec<u64> = shared.iter().map(|&(_, l)| l).collect();
+        lineages.sort_unstable();
+        let repeats = lineages.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 0, "expected multi-turn re-submissions");
+        // Every shared prompt is long enough to contain its system prompt.
+        assert!(reqs
+            .iter()
+            .filter(
+                |r| matches!(r.content, PromptContent::Tokens { prefix_tokens: p, .. } if p > 0)
+            )
+            .all(|r| r.prompt_tokens > 2048));
+        // Deterministic per seed.
+        assert_eq!(reqs, w.generate(400, 1.0, 11));
+        assert_ne!(reqs, w.generate(400, 1.0, 12));
+    }
+
+    #[test]
+    fn followup_prompts_embed_their_history() {
+        let w = SharedPrefixWorkload::new(Workload::internal(), 1, 1024, 1.0, 1.0);
+        let reqs = w.generate(20, 1.0, 3);
+        // With followup_ratio 1, every request after the first extends the
+        // single conversation (until the length cap): prompts grow.
+        let mut by_lineage: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for r in &reqs {
+            if let PromptContent::Tokens { lineage_tag, .. } = r.content {
+                by_lineage
+                    .entry(lineage_tag)
+                    .or_default()
+                    .push(r.prompt_tokens);
+            }
+        }
+        let longest = by_lineage.values().map(|v| v.len()).max().unwrap();
+        assert!(longest >= 3, "expected a conversation with several turns");
+        let chain = by_lineage.values().find(|v| v.len() == longest).unwrap();
+        assert!(
+            chain.windows(2).all(|w| w[1] > w[0]),
+            "follow-up prompts must strictly grow: {chain:?}"
+        );
+        assert!(chain.iter().all(|&p| p <= w.max_prompt_tokens));
+    }
+
+    #[test]
+    fn zero_share_ratio_reproduces_base_sizes_with_unique_streams() {
+        let base = Workload::internal();
+        let w = SharedPrefixWorkload::new(base.clone(), 4, 2048, 0.0, 0.5);
+        let plain = base.generate(100, 1.2, 9);
+        let traced = w.generate(100, 1.2, 9);
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.prompt_tokens, b.prompt_tokens);
+            assert_eq!(a.output_tokens, b.output_tokens);
+            assert!(matches!(
+                b.content,
+                PromptContent::Tokens {
+                    prefix_tokens: 0,
+                    ..
+                }
+            ));
+        }
+        // All lineages distinct: nothing to share.
+        let mut lineages: Vec<u64> = traced
+            .iter()
+            .filter_map(|r| match r.content {
+                PromptContent::Tokens { lineage_tag, .. } => Some(lineage_tag),
+                _ => None,
+            })
+            .collect();
+        let n = lineages.len();
+        lineages.sort_unstable();
+        lineages.dedup();
+        assert_eq!(lineages.len(), n);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Prefix-sharing walkthrough: the same shared-system-prompt workload served
+//! three ways — conservative admission, paged without caching, and paged
+//! with the radix prefix index — plus a prefix-affinity fleet.
+//!
+//! Demonstrates the blocks subsystem end to end: prompts annotated with
+//! [`llm_serving::PromptContent`] token streams, admission matching against
+//! the prefix index (chunked prefill starts at the matched offset),
+//! copy-on-write on mid-block divergence, and the report counters that
+//! quantify it all.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example prefix_caching
+//! ```
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    Cluster, ClusterConfig, ModelConfig, RouterPolicy, ServingConfig, ServingEngine,
+    SharedPrefixWorkload, Workload,
+};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+
+    // Four agent "products", each with a ~2K-token system prompt (not
+    // block-aligned, so divergence exercises copy-on-write); 80% of requests
+    // belong to a product and 35% of those are multi-turn follow-ups whose
+    // prompt embeds the whole prior conversation.
+    let workload = SharedPrefixWorkload::new(Workload::internal(), 4, 2043, 0.8, 0.35);
+    let trace = workload.generate(80, 1.0, 42);
+    println!(
+        "{} requests, {} system-prompt groups of {} tokens, share ratio {:.0}%, {:.0}% multi-turn\n",
+        trace.len(),
+        workload.groups,
+        workload.prefix_tokens,
+        workload.share_ratio * 100.0,
+        workload.followup_ratio * 100.0,
+    );
+
+    let base = ServingConfig::sarathi_pod(model.clone(), gpu.clone(), 1024);
+    let systems = [
+        ("conservative (reserve prompt+output)", base.clone()),
+        ("paged, caching off", base.clone().with_paged_kv(false)),
+        ("paged + prefix caching", base.clone().with_paged_kv(true)),
+    ];
+    for (name, config) in &systems {
+        let report = ServingEngine::new(config.clone()).run(trace.clone());
+        println!("{name}  [{}]", report.system);
+        println!(
+            "  TTFT mean/p99: {:.2} / {:.2} s | latency mean {:.2} s | makespan {:.1} s",
+            report.ttft.mean, report.ttft.p99, report.request_latency.mean, report.makespan,
+        );
+        println!(
+            "  prefill scheduled {} toks | cached {} toks (hit rate {:.1}%) | \
+             blocks reused {} | CoW {} | evicted {} | preemptions {}\n",
+            report.prefill_tokens_scheduled,
+            report.cached_prefix_tokens,
+            report.prefix_hit_rate() * 100.0,
+            report.blocks_reused,
+            report.cow_copies,
+            report.blocks_evicted,
+            report.preemptions,
+        );
+    }
+
+    // The same trace against a 4-replica fleet: prefix-affinity routing
+    // concentrates each product's requests where their prefix is already
+    // cached, beating load-blind round-robin on hit rate.
+    println!("4-replica fleet, paged + prefix caching:");
+    for router in [RouterPolicy::RoundRobin, RouterPolicy::PrefixAffinity] {
+        let config = ClusterConfig::new(base.clone().with_paged_kv(true), 4, router);
+        let report = Cluster::new(config).run(trace.clone());
+        println!(
+            "  {:<16} hit rate {:>5.1}% | TTFT mean {:.2} s | {:.1} req/min | assigned {:?}",
+            report.router,
+            report.aggregate.prefix_hit_rate() * 100.0,
+            report.aggregate.ttft.mean,
+            report.requests_per_minute(),
+            report.assigned_per_replica,
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Integration tests for the prefix-sharing paged KV cache: the acceptance
+//! golden (share ratio 0 changes nothing), the sharing win (TTFT and
+//! scheduled prefill strictly improve on shared-prompt workloads),
+//! preemption + restore determinism, and the prefix-affinity router.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    Cluster, ClusterConfig, ModelConfig, RouterPolicy, ServingConfig, ServingEngine, ServingReport,
+    SharedPrefixWorkload, Workload,
+};
+
+fn llama3() -> ModelConfig {
+    ModelConfig::llama3_8b()
+}
+
+fn gpu() -> GpuConfig {
+    GpuConfig::a100_80gb()
+}
+
+fn sarathi() -> ServingConfig {
+    ServingConfig::sarathi(llama3(), gpu(), 1024)
+}
+
+fn shared_workload(share_ratio: f64) -> SharedPrefixWorkload {
+    SharedPrefixWorkload::new(Workload::internal(), 4, 2048, share_ratio, 0.35)
+}
+
+/// Scheduling-relevant fields must agree **bit-for-bit** (bookkeeping
+/// counters like eviction totals may legitimately differ between policies).
+fn assert_schedule_identical(tag: &str, a: &ServingReport, b: &ServingReport) {
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "{tag}: makespan"
+    );
+    assert_eq!(a.completed, b.completed, "{tag}: completed");
+    assert_eq!(a.iterations, b.iterations, "{tag}: iterations");
+    assert_eq!(
+        a.hybrid_iterations, b.hybrid_iterations,
+        "{tag}: hybrid iterations"
+    );
+    assert_eq!(
+        a.ttft.p50.to_bits(),
+        b.ttft.p50.to_bits(),
+        "{tag}: TTFT p50"
+    );
+    assert_eq!(
+        a.ttft.p99.to_bits(),
+        b.ttft.p99.to_bits(),
+        "{tag}: TTFT p99"
+    );
+    assert_eq!(a.tbt.max.to_bits(), b.tbt.max.to_bits(), "{tag}: TBT max");
+    assert_eq!(
+        a.request_latency.p50.to_bits(),
+        b.request_latency.p50.to_bits(),
+        "{tag}: latency p50"
+    );
+    assert_eq!(a.busy_time.to_bits(), b.busy_time.to_bits(), "{tag}: busy");
+    assert_eq!(
+        a.prefill_tokens_scheduled, b.prefill_tokens_scheduled,
+        "{tag}: prefill tokens"
+    );
+    assert_eq!(a.preemptions, b.preemptions, "{tag}: preemptions");
+    assert_eq!(
+        a.cached_prefix_tokens, b.cached_prefix_tokens,
+        "{tag}: cached tokens"
+    );
+}
+
+/// Acceptance golden, part 1: with share ratio 0 there is nothing to share,
+/// so turning the whole prefix-caching machinery on (paged + index + LRU)
+/// must not move a single bit of the schedule relative to paged-without-
+/// caching.
+#[test]
+fn share_ratio_zero_with_caching_is_bit_for_bit_inert() {
+    let specs = shared_workload(0.0).generate(40, 0.9, 21);
+    let caching_on = ServingEngine::new(sarathi().with_paged_kv(true)).run(specs.clone());
+    let caching_off = ServingEngine::new(sarathi().with_paged_kv(false)).run(specs);
+    assert_schedule_identical("share0 paged", &caching_on, &caching_off);
+    assert_eq!(caching_on.cached_prefix_tokens, 0);
+    assert_eq!(caching_on.blocks_reused, 0);
+    assert_eq!(caching_on.cow_copies, 0);
+    assert_eq!(caching_on.prefix_hit_rate(), 0.0);
+}
+
+/// Acceptance golden, part 2: a share-ratio-0 trace served by the **default
+/// (conservative) engine** reports bit-for-bit what the same sizes from the
+/// plain generator report — the blocks refactor left pre-refactor behavior
+/// untouched. (The existing goldens in `stepping_and_cluster.rs` pin the
+/// default engine to the pre-stepping engine's exact bit patterns; this adds
+/// that content annotations are inert under it.)
+#[test]
+fn share_ratio_zero_on_the_default_engine_matches_the_plain_workload() {
+    let traced = shared_workload(0.0).generate(36, 1.0, 33);
+    let plain = Workload::internal().generate(36, 1.0, 33);
+    for (a, b) in traced.iter().zip(&plain) {
+        assert_eq!(a.prompt_tokens, b.prompt_tokens);
+        assert_eq!(a.output_tokens, b.output_tokens);
+        assert_eq!(a.arrival, b.arrival);
+    }
+    let from_traced = ServingEngine::new(sarathi()).run(traced);
+    let from_plain = ServingEngine::new(sarathi()).run(plain);
+    assert_eq!(from_traced, from_plain);
+}
+
+/// The headline acceptance ordering: on a shared-system-prompt workload,
+/// prefix sharing strictly improves mean TTFT and strictly reduces the
+/// prefill tokens actually scheduled, for both attention backends.
+#[test]
+fn prefix_sharing_strictly_improves_ttft_and_prefill_work() {
+    let specs = shared_workload(0.8).generate(48, 1.0, 7);
+    for base in [sarathi(), ServingConfig::sarathi_pod(llama3(), gpu(), 1024)] {
+        let with = ServingEngine::new(base.clone().with_paged_kv(true)).run(specs.clone());
+        let without = ServingEngine::new(base.with_paged_kv(false)).run(specs.clone());
+        assert_eq!(with.completed, 48);
+        assert_eq!(without.completed, 48);
+        assert!(
+            with.ttft.mean < without.ttft.mean,
+            "{}: mean TTFT {} must beat {}",
+            with.system,
+            with.ttft.mean,
+            without.ttft.mean
+        );
+        assert!(
+            with.prefill_tokens_scheduled < without.prefill_tokens_scheduled,
+            "{}: scheduled prefill {} must be below {}",
+            with.system,
+            with.prefill_tokens_scheduled,
+            without.prefill_tokens_scheduled
+        );
+        assert!(with.prefix_hit_rate() > 0.1, "{}", with.prefix_hit_rate());
+        assert!(with.blocks_reused > 0);
+        assert_eq!(
+            with.cached_prefix_tokens + with.prefill_tokens_scheduled,
+            without.prefill_tokens_scheduled,
+            "every skipped token is one the baseline had to schedule"
+        );
+        assert_eq!(without.cached_prefix_tokens, 0);
+    }
+}
+
+/// Multi-turn conversations whose prompts end mid-block exercise the
+/// copy-on-write path: divergence inside a cached block copies it and reuses
+/// the common leading tokens.
+#[test]
+fn multi_turn_resubmission_triggers_copy_on_write() {
+    // A deliberately non-block-aligned system prompt (1042 % 16 != 0):
+    // lineages sharing it diverge mid-block, which is the CoW case. (With an
+    // aligned prefix, divergence falls exactly on a block boundary and full
+    // matches suffice.)
+    let w = SharedPrefixWorkload::new(Workload::internal(), 2, 1042, 1.0, 0.6);
+    let report = ServingEngine::new(sarathi().with_paged_kv(true)).run(w.generate(60, 1.2, 19));
+    assert_eq!(report.completed, 60);
+    assert!(report.cow_copies > 0, "expected CoW copies on divergence");
+    assert!(
+        report.prefix_hit_rate() > 0.2,
+        "{}",
+        report.prefix_hit_rate()
+    );
+}
+
+/// Preemption: a small pool with decode-heavy requests admits optimistically
+/// (no output reservation), exhausts during decode growth, swaps out the
+/// newest decode and restores it by recomputation. Everything still
+/// completes, and the preemption shows up as a decode stall.
+#[test]
+fn pool_exhaustion_preempts_and_restores() {
+    let mut config = sarathi().with_paged_kv(false);
+    // ~4 requests of 2K+2K tokens fit fully; admit more than that.
+    config.kv_capacity_tokens = Some(18_000);
+    let specs = vec![llm_serving::RequestSpec::new(0.0, 2048, 2048); 8];
+    let report = ServingEngine::new(config).run(specs);
+    assert_eq!(report.completed, 8);
+    assert!(
+        report.preemptions > 0,
+        "expected preemptions under pressure"
+    );
+    // The conservative policy on the same capacity also completes (it just
+    // queues instead of preempting) — sanity that both paths drain.
+    let mut conservative = sarathi();
+    conservative.kv_capacity_tokens = Some(18_000);
+    let specs = vec![llm_serving::RequestSpec::new(0.0, 2048, 2048); 8];
+    let r2 = ServingEngine::new(conservative).run(specs);
+    assert_eq!(r2.completed, 8);
+    assert_eq!(r2.preemptions, 0);
+}
+
+/// Prefix caching softens preemption: the victim's indexed blocks stay
+/// cached, so its restore re-matches them instead of recomputing everything
+/// (unless eviction claimed them first).
+#[test]
+fn preemption_with_caching_restores_from_cache() {
+    let w = SharedPrefixWorkload::new(Workload::internal(), 2, 1024, 1.0, 0.0);
+    let mut config = sarathi().with_paged_kv(true);
+    config.kv_capacity_tokens = Some(60_000);
+    let report = ServingEngine::new(config).run(w.generate(24, 2.0, 3));
+    assert_eq!(report.completed, 24);
+    if report.preemptions > 0 {
+        // Some restores hit the cache: cached tokens exceed what admission
+        // alone could have matched is hard to assert tightly, but hit rate
+        // must be positive and the run must stay consistent.
+        assert!(report.cached_prefix_tokens > 0);
+    }
+}
+
+/// A paged request that can never finish (prompt + output exceeds the pool)
+/// must surface the same Blocked deadlock the conservative policy reports —
+/// not livelock in an endless self-preempt/recompute cycle. Regression for
+/// exactly that hang.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn infeasible_paged_request_blocks_instead_of_livelocking() {
+    let mut config = sarathi().with_paged_kv(true);
+    config.kv_capacity_tokens = Some(1600); // 100 blocks
+    let _ = ServingEngine::new(config).run(vec![llm_serving::RequestSpec::new(0.0, 512, 2000)]);
+}
+
+/// The feasibility boundary: a request whose total exactly fills the pool is
+/// admitted and completes (growth can always evict its own cached blocks on
+/// the way to the final token).
+#[test]
+fn paged_request_filling_the_whole_pool_completes() {
+    for caching in [false, true] {
+        let mut config = sarathi().with_paged_kv(caching);
+        config.kv_capacity_tokens = Some(1600);
+        let report =
+            ServingEngine::new(config).run(vec![llm_serving::RequestSpec::new(0.0, 512, 1088)]);
+        assert_eq!(report.completed, 1, "caching={caching}");
+    }
+}
+
+/// Determinism satellite: preemption + restore under a fixed seed yields an
+/// identical `ServingReport` across two runs and across thread counts.
+#[test]
+fn preemption_is_deterministic_across_runs_and_threads() {
+    let make_config = || {
+        let mut c = ServingConfig::sarathi_pod(llama3(), gpu(), 1024).with_paged_kv(true);
+        c.kv_capacity_tokens = Some(30_000);
+        c
+    };
+    let w = SharedPrefixWorkload::new(Workload::internal(), 3, 2048, 0.7, 0.4);
+    // Offline pressure: everyone arrives at once against a pool that holds
+    // barely one conversation, so decode growth must preempt.
+    let mut specs = w.generate(32, 1.5, 99);
+    for s in &mut specs {
+        s.arrival = 0.0;
+    }
+
+    let serial_a = ServingEngine::new(make_config()).run(specs.clone());
+    let serial_b = ServingEngine::new(make_config()).run(specs.clone());
+    assert_eq!(serial_a, serial_b, "two serial runs must be identical");
+    assert!(
+        serial_a.preemptions > 0,
+        "workload must actually exercise preemption (got {})",
+        serial_a.preemptions
+    );
+
+    // The same simulation fanned out across threads (as the bench sweeps do)
+    // must produce the same report regardless of worker count.
+    for workers in [1usize, 4] {
+        let next = AtomicUsize::new(0);
+        let mut reports: Vec<Option<ServingReport>> = vec![None; 4];
+        let slots: Vec<_> = reports.iter_mut().map(Some).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let slot_refs: Vec<(usize, &mut Option<ServingReport>)> =
+                slots.into_iter().flatten().enumerate().collect();
+            let chunked = split_round_robin(slot_refs, workers);
+            for chunk in chunked {
+                let specs = &specs;
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    for (_, slot) in chunk {
+                        next.fetch_add(1, Ordering::Relaxed);
+                        *slot = Some(ServingEngine::new(make_config()).run(specs.clone()));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        });
+        for r in reports.iter().flatten() {
+            assert_eq!(
+                r, &serial_a,
+                "{workers}-thread run diverged from the serial report"
+            );
+        }
+    }
+}
+
+fn split_round_robin<T>(items: Vec<T>, ways: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..ways).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % ways].push(item);
+    }
+    out
+}
+
+/// The prefix-affinity router steers requests to the replica already holding
+/// their prefix: on a grouped workload it achieves a higher fleet prefix hit
+/// rate than round-robin, which scatters each group across every replica.
+#[test]
+fn prefix_affinity_routing_beats_round_robin_on_hit_rate() {
+    let w = SharedPrefixWorkload::new(Workload::internal(), 4, 4096, 0.9, 0.4);
+    let specs = w.generate(64, 2.0, 13);
+    let base = sarathi().with_paged_kv(true);
+    let affinity = Cluster::new(ClusterConfig::new(
+        base.clone(),
+        4,
+        RouterPolicy::PrefixAffinity,
+    ))
+    .run(specs.clone());
+    let rr = Cluster::new(ClusterConfig::new(base, 4, RouterPolicy::RoundRobin)).run(specs);
+    assert_eq!(affinity.aggregate.completed, 64);
+    assert_eq!(rr.aggregate.completed, 64);
+    assert!(
+        affinity.aggregate.prefix_hit_rate() > rr.aggregate.prefix_hit_rate(),
+        "affinity hit rate {:.3} must beat round-robin {:.3}",
+        affinity.aggregate.prefix_hit_rate(),
+        rr.aggregate.prefix_hit_rate()
+    );
+    // Aggregates carry the new counters and serialize.
+    let json = affinity.to_json().to_string_pretty();
+    let parsed = llm_serving::JsonValue::parse(&json).expect("cluster JSON parses");
+    assert!(parsed
+        .get_path("aggregate.cached_prefix_tokens")
+        .and_then(llm_serving::JsonValue::as_f64)
+        .is_some_and(|v| v > 0.0));
+}
+
+/// A cluster of paged replicas behind any router is deterministic, and a
+/// one-replica prefix-affinity fleet equals the plain engine.
+#[test]
+fn paged_cluster_is_deterministic_and_single_replica_matches_engine() {
+    let w = SharedPrefixWorkload::new(Workload::internal(), 2, 2048, 0.6, 0.3);
+    let specs = w.generate(24, 1.2, 5);
+    let base = ServingConfig::sarathi_pod(llama3(), gpu(), 1024).with_paged_kv(true);
+    let a = Cluster::new(ClusterConfig::new(
+        base.clone(),
+        3,
+        RouterPolicy::PrefixAffinity,
+    ))
+    .run(specs.clone());
+    let b = Cluster::new(ClusterConfig::new(
+        base.clone(),
+        3,
+        RouterPolicy::PrefixAffinity,
+    ))
+    .run(specs.clone());
+    assert_eq!(a, b);
+
+    let solo = Cluster::new(ClusterConfig::new(
+        base.clone(),
+        1,
+        RouterPolicy::PrefixAffinity,
+    ))
+    .run(specs.clone());
+    let plain = ServingEngine::new(base).run(specs);
+    assert_eq!(solo.per_replica[0], plain);
+}
