@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run -p pod-bench --bin perf_gate -- <baseline.json> <fresh.json> \
-//!     [--cluster <cluster_baseline.json> <cluster_fresh.json>] [--max-drop 0.30]
+//!     [--cluster <cluster_baseline.json> <cluster_fresh.json>] \
+//!     [--slo <slo_baseline.json> <slo_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
 //! The positional pair is the engine trend (`BENCH_engine.json`): the two
@@ -50,9 +51,9 @@ fn metric(doc: &JsonValue, path: &str, file: &str) -> Result<f64, String> {
     Ok(v)
 }
 
-/// The gated cluster metric: mean fleet requests/min over every sweep cell
-/// of a `BENCH_cluster.json` document.
-fn fleet_requests_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String> {
+/// Mean of a per-cell metric over every sweep cell of a trend document
+/// (`BENCH_cluster.json` / `BENCH_slo.json` share the cells layout).
+fn mean_cell_metric(doc: &JsonValue, path: &str, file: &str) -> Result<f64, String> {
     let JsonValue::Arr(cells) = doc
         .get_path("cells")
         .ok_or_else(|| format!("{file} has no 'cells'"))?
@@ -65,24 +66,35 @@ fn fleet_requests_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String>
     let mut total = 0.0;
     for (i, cell) in cells.iter().enumerate() {
         total += cell
-            .get_path("report.aggregate.requests_per_minute")
+            .get_path(path)
             .and_then(JsonValue::as_f64)
-            .ok_or_else(|| {
-                format!("{file}: cell {i} has no report.aggregate.requests_per_minute")
-            })?;
+            .ok_or_else(|| format!("{file}: cell {i} has no {path}"))?;
     }
     let mean = total / cells.len() as f64;
     if !(mean.is_finite() && mean > 0.0) {
         return Err(format!(
-            "{file}: mean fleet requests/min {mean} is not a positive number"
+            "{file}: mean of {path} ({mean}) is not a positive number"
         ));
     }
     Ok(mean)
 }
 
-/// Compare one metric pair, printing the verdict row. Returns whether it
-/// passed.
-fn check(label: &str, base: f64, now: f64, max_drop: f64) -> bool {
+/// The gated cluster metric: mean fleet requests/min over every sweep cell
+/// of a `BENCH_cluster.json` document.
+fn fleet_requests_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String> {
+    mean_cell_metric(doc, "report.aggregate.requests_per_minute", file)
+}
+
+/// The gated SLO metric: mean aggregate goodput (deadline-meeting
+/// completions) per minute over every sweep cell of a `BENCH_slo.json`
+/// document.
+fn fleet_goodput_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String> {
+    mean_cell_metric(doc, "report.aggregate.slo.goodput_per_minute", file)
+}
+
+/// Compare one metric pair, printing the verdict row and recording the
+/// delta for the end-of-run recap. Returns whether it passed.
+fn check(label: &str, base: f64, now: f64, max_drop: f64, deltas: &mut Vec<(String, f64)>) -> bool {
     let ratio = now / base;
     let ok = ratio >= 1.0 - max_drop;
     println!(
@@ -90,12 +102,14 @@ fn check(label: &str, base: f64, now: f64, max_drop: f64) -> bool {
         (ratio - 1.0) * 100.0,
         if ok { "ok" } else { "REGRESSED" }
     );
+    deltas.push((label.to_string(), (ratio - 1.0) * 100.0));
     ok
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
     let mut paths: Vec<&String> = Vec::new();
     let mut cluster_paths: Vec<&String> = Vec::new();
+    let mut slo_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -116,6 +130,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             cluster_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--slo" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--slo needs <baseline.json> <fresh.json>".to_string());
+            };
+            slo_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
@@ -123,7 +143,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
     if paths.len() != 2 {
         return Err("usage: perf_gate <baseline.json> <fresh.json> \
-             [--cluster <baseline.json> <fresh.json>] [--max-drop 0.30]"
+             [--cluster <baseline.json> <fresh.json>] \
+             [--slo <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
     let (baseline_path, fresh_path) = (paths[0], paths[1]);
@@ -132,6 +153,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let fresh = load(fresh_path)?;
 
     let mut ok = true;
+    let mut deltas: Vec<(String, f64)> = Vec::new();
     println!(
         "perf gate: fresh {fresh_path} vs baseline {baseline_path} (max drop {:.0}%)",
         max_drop * 100.0
@@ -139,14 +161,47 @@ fn run(args: &[String]) -> Result<bool, String> {
     for path in GATED_METRICS {
         let base = metric(&baseline, path, baseline_path)?;
         let now = metric(&fresh, path, fresh_path)?;
-        ok &= check(path, base, now, max_drop);
+        ok &= check(path, base, now, max_drop, &mut deltas);
     }
     if let [cluster_base_path, cluster_fresh_path] = cluster_paths.as_slice() {
         let base = fleet_requests_per_minute(&load(cluster_base_path)?, cluster_base_path)?;
         let now = fleet_requests_per_minute(&load(cluster_fresh_path)?, cluster_fresh_path)?;
         println!("cluster gate: fresh {cluster_fresh_path} vs baseline {cluster_base_path}");
-        ok &= check("cluster.fleet_requests_per_minute", base, now, max_drop);
+        ok &= check(
+            "cluster.fleet_requests_per_minute",
+            base,
+            now,
+            max_drop,
+            &mut deltas,
+        );
     }
+    if let [slo_base_path, slo_fresh_path] = slo_paths.as_slice() {
+        let base = fleet_goodput_per_minute(&load(slo_base_path)?, slo_base_path)?;
+        let now = fleet_goodput_per_minute(&load(slo_fresh_path)?, slo_fresh_path)?;
+        println!("slo gate: fresh {slo_fresh_path} vs baseline {slo_base_path}");
+        ok &= check(
+            "slo.mean_goodput_per_minute",
+            base,
+            now,
+            max_drop,
+            &mut deltas,
+        );
+    }
+    // Recap every metric delta, pass or fail — the line a reviewer scans in
+    // green CI logs to see where the trend is heading.
+    let recap: Vec<String> = deltas
+        .iter()
+        .map(|(label, pct)| format!("{label} {pct:+.1}%"))
+        .collect();
+    println!(
+        "per-metric deltas ({}): {}",
+        if ok {
+            "all within threshold"
+        } else {
+            "REGRESSION"
+        },
+        recap.join(", ")
+    );
     Ok(ok)
 }
 
@@ -271,6 +326,59 @@ mod tests {
         // A malformed cluster file is an error, not a silent pass.
         let empty = write_tmp("perf_gate_cl_empty.json", "{}\n");
         assert!(run(&args(&empty)).is_err());
+    }
+
+    fn slo_trend(goodputs: &[f64]) -> String {
+        JsonValue::obj(vec![(
+            "cells",
+            JsonValue::Arr(
+                goodputs
+                    .iter()
+                    .map(|&g| {
+                        JsonValue::obj(vec![(
+                            "report",
+                            JsonValue::obj(vec![(
+                                "aggregate",
+                                JsonValue::obj(vec![(
+                                    "slo",
+                                    JsonValue::obj(vec![("goodput_per_minute", JsonValue::Num(g))]),
+                                )]),
+                            )]),
+                        )])
+                    })
+                    .collect(),
+            ),
+        )])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn slo_metric_gates_mean_goodput() {
+        let eng_base = write_tmp("perf_gate_s_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_s_eng_fresh.json", &trend(1000.0, 500.0));
+        let slo_base = write_tmp("perf_gate_slo_base.json", &slo_trend(&[60.0, 120.0]));
+        // Mean 90 -> 72 is a 20% drop: passes at 30%.
+        let slo_ok = write_tmp("perf_gate_slo_ok.json", &slo_trend(&[48.0, 96.0]));
+        // Mean 90 -> 45 is a 50% drop: fails — the doctored baseline the CI
+        // wiring was verified against.
+        let slo_bad = write_tmp("perf_gate_slo_bad.json", &slo_trend(&[30.0, 60.0]));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--slo".to_string(),
+                slo_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&slo_ok)), Ok(true));
+        assert_eq!(run(&args(&slo_bad)), Ok(false));
+        // A malformed SLO file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_slo_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+        // A cells file missing the slo block is an error too.
+        let no_slo = write_tmp("perf_gate_slo_noslo.json", &cluster_trend(&[10.0]));
+        assert!(run(&args(&no_slo)).is_err());
     }
 
     #[test]

@@ -79,26 +79,146 @@ impl RouterPolicy {
     }
 }
 
+/// Configuration of the cluster autoscaler: when to grow or shrink the
+/// fleet on the shared virtual clock.
+///
+/// The autoscaler samples the fleet every `interval` simulated seconds and
+/// compares the outstanding-token backlog per active replica against two
+/// thresholds. Sustained pressure (`sustain` consecutive over-threshold
+/// checks) scales out by one replica; sustained slack drains one replica —
+/// it stops receiving new requests, its not-yet-started queue re-routes to
+/// the survivors through the fleet's [`RouterPolicy`], and it retires once
+/// its in-flight prefills and decodes finish. The `sustain` hysteresis keeps
+/// a bursty trace from flapping the fleet size every check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Lower bound on active replicas (never drains below this).
+    pub min_replicas: usize,
+    /// Upper bound on replicas ever spawned concurrently.
+    pub max_replicas: usize,
+    /// Seconds of virtual time between autoscaling checks.
+    pub interval: f64,
+    /// Outstanding work tokens per active replica above which a check counts
+    /// as scale-out pressure.
+    pub scale_out_backlog: usize,
+    /// Outstanding work tokens per active replica below which a check counts
+    /// as scale-in slack.
+    pub scale_in_backlog: usize,
+    /// Consecutive pressured (or slack) checks required before acting —
+    /// the hysteresis that stops flapping.
+    pub sustain: usize,
+}
+
+impl AutoscalerConfig {
+    /// An autoscaler between `min_replicas` and `max_replicas` with default
+    /// cadence and thresholds (5 s checks, scale out above 60K outstanding
+    /// tokens per replica — about six seconds of work for the simulated
+    /// Llama-3-8B/A100 replica — scale in below 12K, 2-check hysteresis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_replicas` is zero or exceeds `max_replicas`.
+    pub fn new(min_replicas: usize, max_replicas: usize) -> Self {
+        let cfg = AutoscalerConfig {
+            min_replicas,
+            max_replicas,
+            interval: 5.0,
+            scale_out_backlog: 60_000,
+            scale_in_backlog: 12_000,
+            sustain: 2,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.min_replicas > 0, "autoscaler needs min_replicas >= 1");
+        assert!(
+            self.min_replicas <= self.max_replicas,
+            "autoscaler bounds inverted: min {} > max {}",
+            self.min_replicas,
+            self.max_replicas
+        );
+        assert!(
+            self.interval > 0.0 && self.interval.is_finite(),
+            "autoscaler interval must be positive and finite"
+        );
+        assert!(
+            self.scale_in_backlog <= self.scale_out_backlog,
+            "scale-in threshold must not exceed the scale-out threshold"
+        );
+        assert!(self.sustain > 0, "sustain must be at least 1 check");
+    }
+}
+
+/// Lifecycle of one replica under autoscaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReplicaState {
+    /// Routable: receives new requests.
+    Active,
+    /// Scale-in target: no new requests; finishing its in-flight work.
+    Draining,
+    /// Drained and shut down; no longer stepped.
+    Retired,
+}
+
+/// Per-replica lifecycle bookkeeping (spawn/retire times feed the
+/// replica-seconds cost metric).
+#[derive(Debug, Clone, Copy)]
+struct ReplicaLife {
+    state: ReplicaState,
+    spawned_at: f64,
+    retired_at: Option<f64>,
+}
+
+impl ReplicaLife {
+    fn new(spawned_at: f64) -> Self {
+        ReplicaLife {
+            state: ReplicaState::Active,
+            spawned_at,
+            retired_at: None,
+        }
+    }
+}
+
 /// Configuration of a replica fleet.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Per-replica serving configuration (every replica is identical — one
     /// tensor-parallel shard's worth of model and GPU).
     pub base: ServingConfig,
-    /// Number of replicas.
+    /// Number of replicas (the *initial* fleet size when an autoscaler is
+    /// attached).
     pub replicas: usize,
     /// Routing policy.
     pub router: RouterPolicy,
+    /// Optional autoscaler. `None` (the default) pins the fleet at
+    /// `replicas` and is bit-for-bit identical to the pre-autoscaler
+    /// cluster.
+    pub autoscaler: Option<AutoscalerConfig>,
 }
 
 impl ClusterConfig {
-    /// A fleet of `replicas` identical replicas behind `router`.
+    /// A fleet of `replicas` identical replicas behind `router`, with no
+    /// autoscaler.
     pub fn new(base: ServingConfig, replicas: usize, router: RouterPolicy) -> Self {
         ClusterConfig {
             base,
             replicas,
             router,
+            autoscaler: None,
         }
+    }
+
+    /// The same fleet with an autoscaler attached (`replicas` becomes the
+    /// initial size and is clamped into the autoscaler's bounds).
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerConfig) -> Self {
+        autoscaler.validate();
+        self.replicas = self
+            .replicas
+            .clamp(autoscaler.min_replicas, autoscaler.max_replicas);
+        self.autoscaler = Some(autoscaler);
+        self
     }
 }
 
@@ -124,6 +244,15 @@ pub struct Cluster {
     router: RouterPolicy,
     rr_next: usize,
     assigned: Vec<usize>,
+    autoscaler: Option<AutoscalerConfig>,
+    initial_replicas: usize,
+    lifecycle: Vec<ReplicaLife>,
+    scale_out_events: usize,
+    scale_in_events: usize,
+    peak_active: usize,
+    /// Scale-pressure streaks (consecutive over/under-threshold checks).
+    out_streak: usize,
+    in_streak: usize,
 }
 
 impl Cluster {
@@ -134,35 +263,62 @@ impl Cluster {
     /// Panics if `replicas` is zero.
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.replicas > 0, "a cluster needs at least one replica");
-        let replicas = (0..config.replicas)
+        let replicas: Vec<ServingEngine> = (0..config.replicas)
             .map(|_| ServingEngine::new(config.base.clone()))
             .collect();
         Cluster {
-            replicas,
             router: config.router,
             rr_next: 0,
             assigned: vec![0; config.replicas],
+            autoscaler: config.autoscaler,
+            initial_replicas: config.replicas,
+            lifecycle: vec![ReplicaLife::new(0.0); config.replicas],
+            scale_out_events: 0,
+            scale_in_events: 0,
+            peak_active: config.replicas,
+            out_streak: 0,
+            in_streak: 0,
+            replicas,
         }
     }
 
-    /// The replica engines (inspectable mid-run or after).
+    /// The replica engines (inspectable mid-run or after). Under autoscaling
+    /// this includes retired replicas — their reports still carry the
+    /// requests they served.
     pub fn replicas(&self) -> &[ServingEngine] {
         &self.replicas
+    }
+
+    /// Indices of replicas currently accepting new requests.
+    fn active_indices(&self) -> Vec<usize> {
+        (0..self.replicas.len())
+            .filter(|&i| self.lifecycle[i].state == ReplicaState::Active)
+            .collect()
     }
 
     /// Pick the replica for `spec` given current replica state, without
     /// submitting it. This **advances router state** (the round-robin
     /// cursor): call it once per request, exactly as [`Cluster::run`] does,
-    /// not as a side-effect-free preview.
+    /// not as a side-effect-free preview. Draining and retired replicas are
+    /// never picked.
     pub fn route(&mut self, spec: &RequestSpec) -> usize {
+        let candidates = self.active_indices();
+        self.route_among(&candidates, spec)
+    }
+
+    /// Route among an explicit candidate set (the active replicas).
+    fn route_among(&mut self, candidates: &[usize], spec: &RequestSpec) -> usize {
+        assert!(!candidates.is_empty(), "no active replica to route to");
         match self.router {
             RouterPolicy::RoundRobin => {
-                let idx = self.rr_next % self.replicas.len();
-                self.rr_next = (self.rr_next + 1) % self.replicas.len();
+                let idx = candidates[self.rr_next % candidates.len()];
+                self.rr_next = (self.rr_next + 1) % candidates.len();
                 idx
             }
             RouterPolicy::LeastOutstandingTokens => {
-                argmin_by_key(&self.replicas, |r| (r.outstanding_tokens(), 0usize))
+                argmin_by_key(&self.replicas, candidates, |r| {
+                    (r.outstanding_tokens(), 0usize)
+                })
             }
             RouterPolicy::DecodeAware {
                 long_prefill_tokens,
@@ -171,11 +327,11 @@ impl Cluster {
                     // A heavy prompt queues behind the existing prefill
                     // backlog; among equally clear queues it lands where it
                     // disturbs the fewest generation streams.
-                    argmin_by_key(&self.replicas, |r| {
+                    argmin_by_key(&self.replicas, candidates, |r| {
                         (r.queued_prefill_tokens(), r.running_decodes())
                     })
                 } else {
-                    argmin_by_key(&self.replicas, |r| {
+                    argmin_by_key(&self.replicas, candidates, |r| {
                         (r.outstanding_tokens(), r.queued_prefill_tokens())
                     })
                 }
@@ -183,7 +339,7 @@ impl Cluster {
             RouterPolicy::PrefixAffinity => {
                 // Longest cached prefix wins; ties (notably the all-cold
                 // case) fall back to least outstanding work.
-                argmin_by_key(&self.replicas, |r| {
+                argmin_by_key(&self.replicas, candidates, |r| {
                     (
                         std::cmp::Reverse(r.cached_prefix_tokens_for(spec)),
                         r.outstanding_tokens(),
@@ -193,9 +349,28 @@ impl Cluster {
         }
     }
 
+    /// Reset the fleet to its initial state (fresh engines, router cursor,
+    /// lifecycle and autoscaler counters).
+    fn reset(&mut self) {
+        let base = self.replicas[0].config().clone();
+        self.replicas.truncate(self.initial_replicas);
+        for replica in &mut self.replicas {
+            *replica = ServingEngine::new(base.clone());
+        }
+        self.rr_next = 0;
+        self.assigned = vec![0; self.replicas.len()];
+        self.lifecycle = vec![ReplicaLife::new(0.0); self.replicas.len()];
+        self.scale_out_events = 0;
+        self.scale_in_events = 0;
+        self.peak_active = self.replicas.len();
+        self.out_streak = 0;
+        self.in_streak = 0;
+    }
+
     /// Serve `specs` to completion: route every request at its arrival time
     /// (advancing all replicas to that instant first, so routing sees live
-    /// state), then drain the fleet.
+    /// state), then drain the fleet. With an autoscaler attached, scaling
+    /// checks interleave with arrivals on the same virtual clock.
     ///
     /// Each call starts from a fresh fleet — replica engines, router cursor
     /// and assignment counts are reset first — so repeated `run`s on one
@@ -205,11 +380,7 @@ impl Cluster {
     ///
     /// Panics if a single request can never fit in a replica's KV cache.
     pub fn run(&mut self, specs: Vec<RequestSpec>) -> ClusterReport {
-        for replica in &mut self.replicas {
-            *replica = ServingEngine::new(replica.config().clone());
-        }
-        self.rr_next = 0;
-        self.assigned = vec![0; self.replicas.len()];
+        self.reset();
 
         let mut order: Vec<usize> = (0..specs.len()).collect();
         order.sort_by(|&a, &b| {
@@ -218,19 +389,139 @@ impl Cluster {
                 .partial_cmp(&specs[b].arrival)
                 .expect("arrival times must not be NaN")
         });
-        for &i in &order {
-            let spec = specs[i];
-            for replica in &mut self.replicas {
-                replica.advance_to(spec.arrival);
+
+        match self.autoscaler {
+            None => {
+                for &i in &order {
+                    let spec = specs[i];
+                    for replica in &mut self.replicas {
+                        replica.advance_to(spec.arrival);
+                    }
+                    let target = self.route(&spec);
+                    self.replicas[target].submit(spec);
+                    self.assigned[target] += 1;
+                }
+                for replica in &mut self.replicas {
+                    replica.run_until_drained();
+                }
             }
+            Some(scaler) => self.run_autoscaled(&specs, &order, scaler),
+        }
+        self.report()
+    }
+
+    /// The autoscaled serving loop: arrivals and scaling checks interleave
+    /// on the shared virtual clock.
+    fn run_autoscaled(&mut self, specs: &[RequestSpec], order: &[usize], scaler: AutoscalerConfig) {
+        let mut next_check = scaler.interval;
+        for &i in order {
+            let spec = specs[i];
+            while next_check <= spec.arrival {
+                self.advance_non_retired(next_check);
+                self.autoscale_check(next_check, &scaler, true);
+                next_check += scaler.interval;
+            }
+            self.advance_non_retired(spec.arrival);
             let target = self.route(&spec);
             self.replicas[target].submit(spec);
             self.assigned[target] += 1;
         }
-        for replica in &mut self.replicas {
-            replica.run_until_drained();
+        // Drain: keep checking so slack scale-ins retire replicas (the
+        // replica-seconds cost metric depends on *when* they retire). Every
+        // pass advances the clock by one interval, so this terminates once
+        // the backlog is served. Scale-out is suppressed here: the closed
+        // world knows no further arrivals exist, and a replica spawned now
+        // could never receive work (routing happens at arrival or drain
+        // reclaim) — it would only idle and inflate replica_seconds.
+        loop {
+            let unfinished = (0..self.replicas.len()).any(|i| {
+                self.lifecycle[i].state != ReplicaState::Retired && !self.replicas[i].is_drained()
+            });
+            if !unfinished {
+                break;
+            }
+            self.advance_non_retired(next_check);
+            self.autoscale_check(next_check, &scaler, false);
+            next_check += scaler.interval;
         }
-        self.report()
+    }
+
+    /// Advance every non-retired replica to simulated time `t`.
+    fn advance_non_retired(&mut self, t: f64) {
+        for i in 0..self.replicas.len() {
+            if self.lifecycle[i].state != ReplicaState::Retired {
+                self.replicas[i].advance_to(t);
+            }
+        }
+    }
+
+    /// One autoscaling decision at time `now`: retire drained replicas,
+    /// update the pressure streaks, and scale out/in if a streak sustained.
+    /// `allow_scale_out` is false during the post-arrival drain, where a new
+    /// replica could never be routed any work.
+    fn autoscale_check(&mut self, now: f64, scaler: &AutoscalerConfig, allow_scale_out: bool) {
+        // Draining replicas whose in-flight work finished retire now.
+        for i in 0..self.replicas.len() {
+            if self.lifecycle[i].state == ReplicaState::Draining && self.replicas[i].is_drained() {
+                self.lifecycle[i].state = ReplicaState::Retired;
+                // Its engine clock is when work actually stopped; a replica
+                // never costs less than zero seconds.
+                self.lifecycle[i].retired_at =
+                    Some(self.replicas[i].clock().max(self.lifecycle[i].spawned_at));
+            }
+        }
+
+        let active = self.active_indices();
+        let backlog: usize = active
+            .iter()
+            .map(|&i| self.replicas[i].outstanding_tokens())
+            .sum();
+        let per_replica = backlog / active.len().max(1);
+        if per_replica > scaler.scale_out_backlog {
+            self.out_streak += 1;
+            self.in_streak = 0;
+        } else if per_replica < scaler.scale_in_backlog {
+            self.in_streak += 1;
+            self.out_streak = 0;
+        } else {
+            self.out_streak = 0;
+            self.in_streak = 0;
+        }
+
+        if allow_scale_out
+            && self.out_streak >= scaler.sustain
+            && active.len() < scaler.max_replicas
+        {
+            let base = self.replicas[0].config().clone();
+            self.replicas.push(ServingEngine::new(base));
+            self.lifecycle.push(ReplicaLife::new(now));
+            self.assigned.push(0);
+            self.scale_out_events += 1;
+            self.peak_active = self.peak_active.max(active.len() + 1);
+            self.out_streak = 0;
+            self.in_streak = 0;
+        } else if self.in_streak >= scaler.sustain && active.len() > scaler.min_replicas {
+            // Drain the least-loaded active replica; ties prefer the newest
+            // (highest index), keeping the original fleet core stable.
+            let victim = *active
+                .iter()
+                .min_by_key(|&&i| (self.replicas[i].outstanding_tokens(), std::cmp::Reverse(i)))
+                .expect("active set is non-empty");
+            self.lifecycle[victim].state = ReplicaState::Draining;
+            self.scale_in_events += 1;
+            self.in_streak = 0;
+            self.out_streak = 0;
+            // Its not-yet-started requests re-route through the normal
+            // router over the surviving active replicas; in-flight prefills
+            // and decodes finish where they are.
+            let reclaimed = self.replicas[victim].reclaim_unstarted();
+            let survivors = self.active_indices();
+            for spec in reclaimed {
+                let target = self.route_among(&survivors, &spec);
+                self.replicas[target].submit(spec);
+                self.assigned[target] += 1;
+            }
+        }
     }
 
     /// Aggregate what the fleet has served so far into a [`ClusterReport`].
@@ -268,25 +559,45 @@ impl Cluster {
             1.0
         };
 
+        // Replica-seconds: the fleet's capacity cost. A replica is paid for
+        // from its spawn until it retires (autoscaled drain) or until the
+        // fleet finishes (still-active replicas).
+        let fleet_end = aggregate.makespan;
+        let replica_seconds = self
+            .lifecycle
+            .iter()
+            .map(|l| {
+                let end = l.retired_at.unwrap_or(fleet_end).max(l.spawned_at);
+                end - l.spawned_at
+            })
+            .sum();
+
         ClusterReport {
             router: self.router.label(),
             busy_imbalance,
             assigned_per_replica: self.assigned.clone(),
             per_replica,
             aggregate,
+            scale_out_events: self.scale_out_events,
+            scale_in_events: self.scale_in_events,
+            peak_replicas: self.peak_active,
+            replica_seconds,
         }
     }
 }
 
-/// Index of the replica minimizing `key` (first wins ties, so routing is
-/// deterministic).
-fn argmin_by_key<K: Ord>(replicas: &[ServingEngine], key: impl Fn(&ServingEngine) -> K) -> usize {
-    replicas
+/// Index (among `candidates`) of the replica minimizing `key` (first wins
+/// ties, so routing is deterministic).
+fn argmin_by_key<K: Ord>(
+    replicas: &[ServingEngine],
+    candidates: &[usize],
+    key: impl Fn(&ServingEngine) -> K,
+) -> usize {
+    candidates
         .iter()
-        .enumerate()
-        .min_by_key(|(_, r)| key(r))
-        .map(|(i, _)| i)
-        .expect("cluster has at least one replica")
+        .copied()
+        .min_by_key(|&i| key(&replicas[i]))
+        .expect("cluster has at least one active replica")
 }
 
 /// Fleet-level results of one cluster run.
@@ -305,6 +616,18 @@ pub struct ClusterReport {
     /// Max-over-mean replica busy time: 1.0 is a perfectly balanced fleet,
     /// N means one replica did all the work of N.
     pub busy_imbalance: f64,
+    /// Autoscaler scale-out actions taken during the run (0 without an
+    /// autoscaler).
+    pub scale_out_events: usize,
+    /// Autoscaler scale-in (drain) actions taken during the run.
+    pub scale_in_events: usize,
+    /// Largest number of simultaneously active replicas.
+    pub peak_replicas: usize,
+    /// Total replica-seconds paid for: each replica from spawn to retirement
+    /// (or fleet completion). The capacity-cost denominator for
+    /// goodput-per-replica-second comparisons; `replicas × makespan` for a
+    /// fixed fleet.
+    pub replica_seconds: f64,
 }
 
 impl ClusterReport {
@@ -325,6 +648,21 @@ impl ClusterReport {
             ("router", JsonValue::str(&self.router)),
             ("replicas", JsonValue::Num(self.num_replicas() as f64)),
             ("busy_imbalance", JsonValue::Num(self.busy_imbalance)),
+            (
+                "autoscaler",
+                JsonValue::obj(vec![
+                    (
+                        "scale_out_events",
+                        JsonValue::Num(self.scale_out_events as f64),
+                    ),
+                    (
+                        "scale_in_events",
+                        JsonValue::Num(self.scale_in_events as f64),
+                    ),
+                    ("peak_replicas", JsonValue::Num(self.peak_replicas as f64)),
+                    ("replica_seconds", JsonValue::Num(self.replica_seconds)),
+                ]),
+            ),
             (
                 "assigned_per_replica",
                 JsonValue::Arr(
@@ -519,5 +857,142 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replicas_rejected() {
         let _ = Cluster::new(ClusterConfig::new(base(), 0, RouterPolicy::RoundRobin));
+    }
+
+    /// A saturating trace for the autoscaler tests: a burst far beyond what
+    /// the starting fleet can absorb, then silence.
+    fn pressure_trace(count: usize, seed: u64) -> Vec<RequestSpec> {
+        let schedule = RateSchedule::bursty(8.0, 0.2, 30.0, 90.0);
+        crate::workload::SloMix::interactive_batch().apply(
+            Workload::internal().generate_trace(count, &schedule, seed),
+            seed,
+        )
+    }
+
+    #[test]
+    fn pinned_autoscaler_is_bit_for_bit_inert() {
+        // min == max: no scaling action is possible, and the autoscaled
+        // serving loop (interleaved checks and all) must reproduce the
+        // plain fixed-fleet loop exactly — same reports, same JSON.
+        let specs = pressure_trace(48, 21);
+        for router in [RouterPolicy::RoundRobin, RouterPolicy::decode_aware()] {
+            let plain = Cluster::new(ClusterConfig::new(base(), 3, router)).run(specs.clone());
+            let pinned = Cluster::new(
+                ClusterConfig::new(base(), 3, router).with_autoscaler(AutoscalerConfig::new(3, 3)),
+            )
+            .run(specs.clone());
+            assert_eq!(
+                plain.aggregate,
+                pinned.aggregate,
+                "{}: pinned autoscaler must not change results",
+                router.label()
+            );
+            assert_eq!(plain.per_replica, pinned.per_replica);
+            assert_eq!(plain.assigned_per_replica, pinned.assigned_per_replica);
+            assert_eq!(
+                plain.to_json().to_string_pretty(),
+                pinned.to_json().to_string_pretty()
+            );
+            assert_eq!(pinned.scale_out_events, 0);
+            assert_eq!(pinned.scale_in_events, 0);
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_scales_out_and_slack_drains_back() {
+        let specs = pressure_trace(100, 33);
+        let fixed = Cluster::new(ClusterConfig::new(
+            base(),
+            1,
+            RouterPolicy::LeastOutstandingTokens,
+        ))
+        .run(specs.clone());
+        let mut scaled_cluster = Cluster::new(
+            ClusterConfig::new(base(), 1, RouterPolicy::LeastOutstandingTokens)
+                .with_autoscaler(AutoscalerConfig::new(1, 6)),
+        );
+        let scaled = scaled_cluster.run(specs.clone());
+        assert!(scaled.scale_out_events > 0, "the burst must trigger growth");
+        assert!(scaled.peak_replicas > 1);
+        assert!(
+            scaled.scale_in_events > 0,
+            "the calm tail must drain replicas"
+        );
+        assert_eq!(
+            scaled.aggregate.completed + scaled.aggregate.shed_requests,
+            100
+        );
+        // Scaling out must actually help the SLO under this burst.
+        assert!(
+            scaled.aggregate.slo_attainment() > fixed.aggregate.slo_attainment(),
+            "scaled attainment {} vs fixed {}",
+            scaled.aggregate.slo_attainment(),
+            fixed.aggregate.slo_attainment()
+        );
+        // And cost less than pinning the fleet at max the whole time.
+        let max_fixed = Cluster::new(ClusterConfig::new(
+            base(),
+            6,
+            RouterPolicy::LeastOutstandingTokens,
+        ))
+        .run(specs);
+        assert!(
+            scaled.replica_seconds < max_fixed.replica_seconds,
+            "autoscaled {} replica-seconds vs max-pinned {}",
+            scaled.replica_seconds,
+            max_fixed.replica_seconds
+        );
+        // Deterministic.
+        let again = scaled_cluster.run(pressure_trace(100, 33));
+        assert_eq!(scaled, again);
+    }
+
+    #[test]
+    fn draining_reroutes_queued_requests_and_finishes_inflight_work() {
+        // Aggressive scale-in: a tiny slack threshold would never trigger,
+        // so use a huge one with min 1 and start at 3 — the fleet must
+        // shrink, yet every request completes exactly once.
+        let specs = Workload::internal().generate(40, 1.0, 13);
+        let scaler = AutoscalerConfig {
+            min_replicas: 1,
+            max_replicas: 3,
+            interval: 4.0,
+            scale_out_backlog: usize::MAX / 2,
+            scale_in_backlog: 50_000,
+            sustain: 1,
+        };
+        let report = Cluster::new(
+            ClusterConfig::new(base(), 3, RouterPolicy::RoundRobin).with_autoscaler(scaler),
+        )
+        .run(specs);
+        assert!(report.scale_in_events > 0, "slack must drain replicas");
+        assert_eq!(report.scale_out_events, 0);
+        assert_eq!(
+            report.aggregate.completed, 40,
+            "every request finishes exactly once despite re-routing"
+        );
+        assert!(report.replica_seconds < 3.0 * report.aggregate.makespan);
+    }
+
+    #[test]
+    fn autoscaler_respects_bounds() {
+        let specs = pressure_trace(60, 5);
+        let report = Cluster::new(
+            ClusterConfig::new(base(), 2, RouterPolicy::LeastOutstandingTokens).with_autoscaler(
+                AutoscalerConfig {
+                    max_replicas: 3,
+                    ..AutoscalerConfig::new(2, 3)
+                },
+            ),
+        )
+        .run(specs);
+        assert!(report.peak_replicas <= 3, "never more than max active");
+        assert_eq!(report.aggregate.completed, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_autoscaler_bounds_rejected() {
+        let _ = AutoscalerConfig::new(4, 2);
     }
 }

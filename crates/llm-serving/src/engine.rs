@@ -145,6 +145,52 @@ impl KvCachePolicy {
     }
 }
 
+/// SLO-aware admission control: what to do with a queued request whose
+/// deadline can no longer be met.
+///
+/// Serving a request that has already blown its TTFT deadline spends chunk
+/// budget (and KV capacity) on work that can never count toward goodput —
+/// and delays every request queued behind it, poisoning *their* deadlines
+/// too. Shedding it instead keeps the batch budget on requests that can
+/// still be good throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Serve every request regardless of deadlines — the historical default;
+    /// golden tests pin it bit-for-bit.
+    #[default]
+    AdmitAll,
+    /// Drop (shed) a request at the admission point if its TTFT deadline has
+    /// already passed before any of its prompt was computed. Requests
+    /// without an [`crate::SloSpec`] are never shed, and neither are
+    /// preempted requests (they already produced their first token — the
+    /// deadline was decided at first admission).
+    DeadlineShed,
+}
+
+impl AdmissionPolicy {
+    /// Whether `req` should be shed rather than admitted at time `now`.
+    fn should_shed(&self, req: &Request, now: f64) -> bool {
+        match self {
+            AdmissionPolicy::AdmitAll => false,
+            AdmissionPolicy::DeadlineShed => {
+                req.first_token_time.is_none()
+                    && req
+                        .spec
+                        .slo
+                        .is_some_and(|slo| now > req.spec.arrival + slo.ttft_deadline)
+            }
+        }
+    }
+
+    /// Report-label fragment (empty for the admit-all default).
+    pub fn label_suffix(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::AdmitAll => "",
+            AdmissionPolicy::DeadlineShed => "+shed",
+        }
+    }
+}
+
 /// Full configuration of a serving system under test.
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
@@ -168,6 +214,9 @@ pub struct ServingConfig {
     /// KV-cache residency policy (conservative admission vs. paged blocks
     /// with prefix sharing and preemption).
     pub kv_policy: KvCachePolicy,
+    /// SLO-aware admission control (shed vs. serve requests whose deadlines
+    /// are already unmeetable). Defaults to [`AdmissionPolicy::AdmitAll`].
+    pub admission: AdmissionPolicy,
 }
 
 impl ServingConfig {
@@ -183,6 +232,7 @@ impl ServingConfig {
             kv_capacity_tokens: None,
             price_cache: price_cache_default(),
             kv_policy: KvCachePolicy::Conservative,
+            admission: AdmissionPolicy::AdmitAll,
         }
     }
 
@@ -197,6 +247,7 @@ impl ServingConfig {
             kv_capacity_tokens: None,
             price_cache: price_cache_default(),
             kv_policy: KvCachePolicy::Conservative,
+            admission: AdmissionPolicy::AdmitAll,
         }
     }
 
@@ -215,16 +266,24 @@ impl ServingConfig {
         self
     }
 
+    /// The same configuration with an SLO-aware admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Label used in reports, e.g. `"Sarathi(chunk=1024)+POD"` (with
-    /// `"+paged"` / `"+prefix"` appended for the paged KV policies).
+    /// `"+paged"` / `"+prefix"` appended for the paged KV policies, and
+    /// `"+shed"` for deadline-shedding admission).
     pub fn system_label(&self) -> String {
         let kv = self.kv_policy.label_suffix();
+        let adm = self.admission.label_suffix();
         let attn = match self.attention {
             AttentionStrategy::Pod => "+POD",
             AttentionStrategy::FaSerial => "",
-            other => return format!("{}[{}]{}", self.scheduler.label(), other, kv),
+            other => return format!("{}[{}]{}{}", self.scheduler.label(), other, kv, adm),
         };
-        format!("{}{}{}", self.scheduler.label(), attn, kv)
+        format!("{}{}{}{}", self.scheduler.label(), attn, kv, adm)
     }
 }
 
@@ -571,6 +630,34 @@ impl ServingEngine {
         &self.state.requests
     }
 
+    /// Pull every request that has not started (no KV residency, no tokens
+    /// computed) out of this replica's queues and return its spec, marking
+    /// the local record as reassigned. The cluster autoscaler calls this
+    /// when draining a replica for scale-in: the in-flight requests (admitted
+    /// mid-prefill or decoding) stay and finish here, while the returned
+    /// specs are re-routed to surviving replicas. Returned in queue order
+    /// (waiting front first, then not-yet-due arrivals by arrival time).
+    pub fn reclaim_unstarted(&mut self) -> Vec<RequestSpec> {
+        let st = &mut self.state;
+        let mut specs = Vec::new();
+        let mut kept = VecDeque::new();
+        for &rid in &st.waiting {
+            if st.reserved[rid] {
+                kept.push_back(rid);
+            } else {
+                st.requests[rid].reassigned = true;
+                specs.push(st.requests[rid].spec);
+            }
+        }
+        st.waiting = kept;
+        for &rid in &st.arrivals {
+            st.requests[rid].reassigned = true;
+            specs.push(st.requests[rid].spec);
+        }
+        st.arrivals.clear();
+        specs
+    }
+
     /// Whether every submitted request has finished.
     pub fn is_drained(&self) -> bool {
         self.state.arrivals.is_empty()
@@ -667,99 +754,135 @@ impl ServingEngine {
             st.grow_decode_blocks(decode_cap);
         }
 
-        let plan = {
-            let capacity_blocks = st.kv.capacity_tokens() / BLOCK_TOKENS;
-            let (requests, waiting, running) = (&mut st.requests, &st.waiting, &st.running);
-            let (kv, reserved, tables) = (&mut st.kv, &mut st.reserved, &mut st.tables);
-            let (cached_ctr, reused_ctr, cow_ctr) = (
-                &mut st.cached_prefix_tokens,
-                &mut st.blocks_reused,
-                &mut st.cow_copies,
-            );
-            match self.config.kv_policy {
-                KvCachePolicy::Conservative => plan_batch(
-                    self.config.scheduler,
-                    requests,
-                    waiting,
-                    running,
-                    &mut |req: &Request| {
-                        if reserved[req.id] {
-                            return AdmissionDecision::Admit { cached_tokens: 0 };
-                        }
-                        if kv.reserve(req.spec.total_tokens()) {
-                            reserved[req.id] = true;
-                            AdmissionDecision::Admit { cached_tokens: 0 }
-                        } else {
-                            AdmissionDecision::Defer
-                        }
-                    },
-                    self.config.max_batch_size,
-                ),
-                KvCachePolicy::Paged { prefix_caching } => plan_batch(
-                    self.config.scheduler,
-                    requests,
-                    waiting,
-                    running,
-                    &mut |req: &Request| {
-                        if reserved[req.id] {
-                            return AdmissionDecision::Admit { cached_tokens: 0 };
-                        }
-                        // Feasibility: to *finish*, the request must at some
-                        // point hold blocks for its whole prompt + output.
-                        // Admitting one that never can would decode until
-                        // growth exhausts the pool and then preempt/recompute
-                        // forever; deferring it surfaces the same Blocked
-                        // outcome (with the same total-tokens sizing number)
-                        // the conservative policy reports.
-                        if blocks_for(req.spec.total_tokens()) > capacity_blocks {
-                            return AdmissionDecision::Defer;
-                        }
-                        // Match the prompt (or, after a preemption, the full
-                        // recompute target) against the prefix index, capped
-                        // one below the target so at least one token is
-                        // always computed; then allocate the uncached rest.
-                        let target = req.target_prefill();
-                        let m = if prefix_caching {
-                            kv.acquire_prefix(req.spec.content, target - 1)
-                        } else {
-                            Default::default()
-                        };
-                        let needed = blocks_for(target) - m.blocks.len();
-                        let outcome = match kv.alloc_blocks(needed) {
-                            Some(fresh) => {
-                                *cached_ctr += m.cached_tokens;
-                                *reused_ctr += m.blocks.len();
-                                *cow_ctr += usize::from(m.cow_source.is_some());
-                                let table = &mut tables[req.id];
-                                table.shared = m.blocks.len();
-                                table.indexed = m.blocks.len();
-                                table.cursor = m.cursor;
-                                table.blocks = m.blocks;
-                                table.blocks.extend(fresh);
-                                reserved[req.id] = true;
-                                AdmissionDecision::Admit {
-                                    cached_tokens: m.cached_tokens,
-                                }
+        // Plan the iteration. Shedding re-plans without advancing time: a
+        // shed frees the prefill slot, so the next waiting request gets its
+        // admission consult in the *same* iteration (each shed strictly
+        // shrinks the waiting queue, so the loop terminates).
+        let plan = loop {
+            let plan = {
+                let admission = self.config.admission;
+                let now_clock = st.clock;
+                let capacity_blocks = st.kv.capacity_tokens() / BLOCK_TOKENS;
+                let (requests, waiting, running) = (&mut st.requests, &st.waiting, &st.running);
+                let (kv, reserved, tables) = (&mut st.kv, &mut st.reserved, &mut st.tables);
+                let (cached_ctr, reused_ctr, cow_ctr) = (
+                    &mut st.cached_prefix_tokens,
+                    &mut st.blocks_reused,
+                    &mut st.cow_copies,
+                );
+                match self.config.kv_policy {
+                    KvCachePolicy::Conservative => plan_batch(
+                        self.config.scheduler,
+                        requests,
+                        waiting,
+                        running,
+                        &mut |req: &Request| {
+                            if reserved[req.id] {
+                                return AdmissionDecision::Admit { cached_tokens: 0 };
                             }
-                            None => {
-                                // Roll back the prefix acquisition; the
-                                // request retries next iteration.
-                                kv.release_blocks(&m.blocks);
+                            if admission.should_shed(req, now_clock) {
+                                return AdmissionDecision::Shed;
+                            }
+                            if kv.reserve(req.spec.total_tokens()) {
+                                reserved[req.id] = true;
+                                AdmissionDecision::Admit { cached_tokens: 0 }
+                            } else {
                                 AdmissionDecision::Defer
                             }
-                        };
-                        // The CoW source was pinned by acquire_prefix so the
-                        // allocation above could not evict it mid-admission;
-                        // the copy has now happened (or the admission was
-                        // rolled back), so drop the pin either way.
-                        if let Some(cow) = m.cow_source {
-                            kv.release_blocks(&[cow]);
-                        }
-                        outcome
-                    },
-                    self.config.max_batch_size,
-                ),
+                        },
+                        self.config.max_batch_size,
+                    ),
+                    KvCachePolicy::Paged { prefix_caching } => plan_batch(
+                        self.config.scheduler,
+                        requests,
+                        waiting,
+                        running,
+                        &mut |req: &Request| {
+                            if reserved[req.id] {
+                                return AdmissionDecision::Admit { cached_tokens: 0 };
+                            }
+                            if admission.should_shed(req, now_clock) {
+                                return AdmissionDecision::Shed;
+                            }
+                            // Feasibility: to *finish*, the request must at some
+                            // point hold blocks for its whole prompt + output.
+                            // Admitting one that never can would decode until
+                            // growth exhausts the pool and then preempt/recompute
+                            // forever; deferring it surfaces the same Blocked
+                            // outcome (with the same total-tokens sizing number)
+                            // the conservative policy reports.
+                            if blocks_for(req.spec.total_tokens()) > capacity_blocks {
+                                return AdmissionDecision::Defer;
+                            }
+                            // Match the prompt (or, after a preemption, the full
+                            // recompute target) against the prefix index, capped
+                            // one below the target so at least one token is
+                            // always computed; then allocate the uncached rest.
+                            let target = req.target_prefill();
+                            let m = if prefix_caching {
+                                kv.acquire_prefix(req.spec.content, target - 1)
+                            } else {
+                                Default::default()
+                            };
+                            // Allocate for the prefill target *plus the first
+                            // decode token after it*: completing the prefill
+                            // mints that token, and without room for its KV a
+                            // restored request self-preempts forever — the
+                            // preemption frees exactly the blocks re-admission
+                            // then re-allocates, while (under the vLLM
+                            // scheduler) the restore prefill pauses every other
+                            // decode, so nothing ever progresses. Requiring the
+                            // extra block up front turns that livelock into a
+                            // Defer, letting the running decodes drain and free
+                            // real capacity. Still within the feasibility bound:
+                            // target + 1 <= prompt + output.
+                            let needed = blocks_for(target + 1) - m.blocks.len();
+                            let outcome = match kv.alloc_blocks(needed) {
+                                Some(fresh) => {
+                                    *cached_ctr += m.cached_tokens;
+                                    *reused_ctr += m.blocks.len();
+                                    *cow_ctr += usize::from(m.cow_source.is_some());
+                                    let table = &mut tables[req.id];
+                                    table.shared = m.blocks.len();
+                                    table.indexed = m.blocks.len();
+                                    table.cursor = m.cursor;
+                                    table.blocks = m.blocks;
+                                    table.blocks.extend(fresh);
+                                    reserved[req.id] = true;
+                                    AdmissionDecision::Admit {
+                                        cached_tokens: m.cached_tokens,
+                                    }
+                                }
+                                None => {
+                                    // Roll back the prefix acquisition; the
+                                    // request retries next iteration.
+                                    kv.release_blocks(&m.blocks);
+                                    AdmissionDecision::Defer
+                                }
+                            };
+                            // The CoW source was pinned by acquire_prefix so the
+                            // allocation above could not evict it mid-admission;
+                            // the copy has now happened (or the admission was
+                            // rolled back), so drop the pin either way.
+                            if let Some(cow) = m.cow_source {
+                                kv.release_blocks(&[cow]);
+                            }
+                            outcome
+                        },
+                        self.config.max_batch_size,
+                    ),
+                }
+            };
+            if let Some(rid) = plan.shed {
+                st.requests[rid].shed_time = Some(st.clock);
+                st.waiting.retain(|&r| r != rid);
+                // Always re-plan: the freed prefill slot must be offered to
+                // the next waiting request in this same iteration (dropping
+                // only the shed request from an otherwise-formed plan would
+                // waste the whole chunk budget on a decodes-only batch).
+                continue;
             }
+            break plan;
         };
 
         if plan.is_empty() {
@@ -1206,14 +1329,17 @@ mod tests {
         let plan_a = BatchPlan {
             prefill: Some((0, 512)),
             decodes: vec![1, 2],
+            shed: None,
         };
         let plan_b = BatchPlan {
             prefill: Some((0, 512)),
             decodes: vec![2, 1],
+            shed: None,
         };
         let plan_c = BatchPlan {
             prefill: Some((0, 256)),
             decodes: vec![1, 2],
+            shed: None,
         };
         let sig_a = BatchSignature::of_plan(&plan_a, &requests);
         let sig_b = BatchSignature::of_plan(&plan_b, &requests);
@@ -1234,6 +1360,101 @@ mod tests {
         // it would otherwise spin forever un-drainable).
         let _ = ServingEngine::new(ServingConfig::sarathi(llama3(), gpu(), 1024))
             .run(vec![RequestSpec::new(f64::NAN, 128, 8)]);
+    }
+
+    #[test]
+    fn deadline_shed_drops_only_hopeless_requests() {
+        use crate::request::SloSpec;
+        // A saturating front: one huge prompt monopolizes the replica while
+        // short SLO'd requests queue behind it past their deadlines.
+        let config = ServingConfig::sarathi(llama3(), gpu(), 1024)
+            .with_admission(AdmissionPolicy::DeadlineShed);
+        let slo = SloSpec::new("interactive", 0.5, 0.2);
+        let specs = vec![
+            RequestSpec::new(0.0, 30_000, 64),
+            RequestSpec::new(0.1, 2_000, 32).with_slo(slo),
+            RequestSpec::new(0.2, 2_000, 32).with_slo(slo),
+            // No SLO: never shed, however late.
+            RequestSpec::new(0.3, 2_000, 32),
+        ];
+        let (report, requests) = ServingEngine::new(config).run_detailed(specs.clone());
+        // The big prompt takes far longer than 0.5 s to prefill, so both
+        // SLO'd requests blow their deadline in the queue and are shed.
+        assert_eq!(report.shed_requests, 2);
+        assert_eq!(report.completed, 2);
+        assert!(requests[1].shed_time.is_some());
+        assert!(requests[2].shed_time.is_some());
+        assert!(requests[3].finish_time.is_some(), "SLO-free request served");
+        assert_eq!(report.goodput_requests(), 2);
+
+        // Under AdmitAll the same trace serves everything (but late).
+        let admit_all = ServingEngine::new(ServingConfig::sarathi(llama3(), gpu(), 1024));
+        let all = admit_all.run(specs);
+        assert_eq!(all.shed_requests, 0);
+        assert_eq!(all.completed, 4);
+        assert_eq!(all.slo_met, 0, "served, but past deadline: not goodput");
+        assert_eq!(all.goodput_requests(), 2);
+    }
+
+    #[test]
+    fn shedding_never_strands_the_engine() {
+        use crate::request::SloSpec;
+        // Every request hopeless: the engine must shed them all and drain,
+        // not deadlock. Deadlines are blown by arrival ordering: a slow
+        // first request pushes the clock far past everyone's deadline.
+        let config = ServingConfig::sarathi_pod(llama3(), gpu(), 1024)
+            .with_admission(AdmissionPolicy::DeadlineShed);
+        let slo = SloSpec::new("interactive", 0.2, 0.2);
+        let mut specs = vec![RequestSpec::new(0.0, 30_000, 32)];
+        specs.extend((0..6).map(|i| RequestSpec::new(0.1 * i as f64, 4_000, 16).with_slo(slo)));
+        let report = ServingEngine::new(config).run(specs);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.shed_requests, 6);
+        assert_eq!(report.slo_classes[0].shed, 6);
+    }
+
+    #[test]
+    fn admit_all_is_bit_for_bit_inert_on_slo_carrying_traces() {
+        use crate::workload::SloMix;
+        // Attaching SLOs without a shedding policy must not change the
+        // simulation at all — only the grading.
+        let plain = Workload::internal().generate(24, 1.5, 11);
+        let tagged = SloMix::interactive_batch().apply(plain.clone(), 11);
+        let a = ServingEngine::new(ServingConfig::sarathi_pod(llama3(), gpu(), 1024)).run(plain);
+        let b = ServingEngine::new(ServingConfig::sarathi_pod(llama3(), gpu(), 1024)).run(tagged);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.ttft.p99.to_bits(), b.ttft.p99.to_bits());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(b.shed_requests, 0);
+        assert!(b.slo_requests > 0, "the tagged run is actually graded");
+    }
+
+    #[test]
+    fn reclaim_unstarted_takes_queued_but_not_inflight_requests() {
+        let mut engine = ServingEngine::new(ServingConfig::sarathi(llama3(), gpu(), 1024));
+        engine.submit(RequestSpec::new(0.0, 8_000, 64)); // will be mid-prefill
+        engine.submit(RequestSpec::new(0.0, 4_000, 32)); // queued behind it, unadmitted
+        engine.submit(RequestSpec::new(100.0, 2_000, 16)); // future arrival
+        engine.step(0.0);
+        // Request 0 is mid-prefill (admitted at the queue front, holds KV);
+        // request 1 never reached the front, request 2 has not arrived —
+        // both are reclaimable, in queue-then-arrival order.
+        let reclaimed = engine.reclaim_unstarted();
+        assert_eq!(reclaimed.len(), 2);
+        assert_eq!(reclaimed[0].prompt_tokens, 4_000);
+        assert_eq!(reclaimed[1].arrival, 100.0);
+        assert!(engine.requests()[1].reassigned);
+        assert!(engine.requests()[2].reassigned);
+        assert!(!engine.requests()[0].reassigned);
+        // The engine drains what it kept.
+        engine.run_until_drained();
+        assert!(engine.is_drained());
+        let report = engine.report();
+        assert_eq!(
+            report.completed, 1,
+            "reassigned requests are not served here"
+        );
     }
 
     #[test]

@@ -96,6 +96,45 @@ impl JsonValue {
         Some(v)
     }
 
+    /// Every dotted field path reachable in this document, sorted and
+    /// deduplicated. Array elements collapse under a `[]` segment, so the
+    /// *shape* of a report is captured independent of how many entries an
+    /// array happens to hold — e.g. a cluster report yields paths like
+    /// `per_replica[].ttft.p99`. Leaves contribute their own path; an empty
+    /// object or array contributes its container path.
+    ///
+    /// This is what the golden snapshot tests pin: a serialization refactor
+    /// that drops or renames a metric changes the path set even when every
+    /// value changes too.
+    pub fn field_paths(&self) -> Vec<String> {
+        fn walk(v: &JsonValue, prefix: &str, out: &mut Vec<String>) {
+            match v {
+                JsonValue::Obj(entries) if !entries.is_empty() => {
+                    for (k, child) in entries {
+                        let path = if prefix.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{prefix}.{k}")
+                        };
+                        walk(child, &path, out);
+                    }
+                }
+                JsonValue::Arr(items) if !items.is_empty() => {
+                    let path = format!("{prefix}[]");
+                    for item in items {
+                        walk(item, &path, out);
+                    }
+                }
+                _ => out.push(prefix.to_string()),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, "", &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -413,6 +452,46 @@ mod tests {
         );
         assert_eq!(v.get_path("engine.missing"), None);
         assert_eq!(v.get_path("missing.intervals_per_sec"), None);
+    }
+
+    #[test]
+    fn field_paths_capture_document_shape() {
+        let doc = JsonValue::obj(vec![
+            ("b", JsonValue::Num(1.0)),
+            (
+                "a",
+                JsonValue::obj(vec![("x", JsonValue::Num(2.0)), ("y", JsonValue::str("s"))]),
+            ),
+            (
+                "cells",
+                JsonValue::Arr(vec![
+                    JsonValue::obj(vec![("v", JsonValue::Num(1.0))]),
+                    JsonValue::obj(vec![
+                        ("v", JsonValue::Num(2.0)),
+                        ("extra", JsonValue::Bool(true)),
+                    ]),
+                ]),
+            ),
+            ("empty_obj", JsonValue::obj(vec![])),
+            ("empty_arr", JsonValue::Arr(vec![])),
+        ]);
+        assert_eq!(
+            doc.field_paths(),
+            vec![
+                "a.x",
+                "a.y",
+                "b",
+                "cells[].extra",
+                "cells[].v",
+                "empty_arr",
+                "empty_obj",
+            ]
+        );
+        // Paths are value-independent: same shape, different numbers.
+        let other = JsonValue::obj(vec![("b", JsonValue::Num(99.0))]);
+        assert_eq!(other.field_paths(), vec!["b"]);
+        // A bare leaf yields its (empty) root path.
+        assert_eq!(JsonValue::Num(1.0).field_paths(), vec![""]);
     }
 
     #[test]

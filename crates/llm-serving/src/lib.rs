@@ -30,6 +30,14 @@
 //!   stream identities, shared-prefix traces come from
 //!   [`SharedPrefixWorkload`], and [`RouterPolicy::PrefixAffinity`] routes
 //!   on cached-prefix length.
+//! * [`SloSpec`] / [`SloMix`] / [`AdmissionPolicy`] / [`AutoscalerConfig`] —
+//!   the SLO subsystem: requests carry optional TTFT/TBT objectives (stamped
+//!   onto traces by weighted class mixes), reports grade **goodput**
+//!   (deadline-meeting completions), SLO attainment and per-class violation
+//!   breakdowns ([`SloClassReport`]), admission can shed requests whose
+//!   deadlines are already unmeetable, and the cluster can autoscale on
+//!   sustained backlog — scale-out mid-run, drain-then-retire on slack, with
+//!   hysteresis, bounds and a `replica_seconds` cost metric.
 //! * [`Workload`] — synthetic traces matched to the paper's internal and
 //!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
 //!   sweeps and time-varying (bursty / diurnal) arrival schedules
@@ -70,17 +78,21 @@ mod scheduler;
 mod workload;
 
 pub use blocks::{blocks_for, BlockId, BlockPool, Cursor, PrefixIndex, PrefixMatch, BLOCK_TOKENS};
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, RouterPolicy, LONG_PREFILL_TOKENS};
-pub use engine::{IterationOutcome, IterationStats, KvCachePolicy, ServingConfig, ServingEngine};
+pub use cluster::{
+    AutoscalerConfig, Cluster, ClusterConfig, ClusterReport, RouterPolicy, LONG_PREFILL_TOKENS,
+};
+pub use engine::{
+    AdmissionPolicy, IterationOutcome, IterationStats, KvCachePolicy, ServingConfig, ServingEngine,
+};
 pub use json::{JsonParseError, JsonValue};
 pub use kvcache::KvCacheManager;
 pub use linear::{IterationBreakdown, IterationCostModel};
-pub use metrics::{percentile, ServingReport, SummaryStats};
+pub use metrics::{percentile, ServingReport, SloClassReport, SummaryStats};
 pub use model::{ModelConfig, ParamCounts};
-pub use request::{Phase, PromptContent, Request, RequestSpec};
+pub use request::{Phase, PromptContent, Request, RequestSpec, SloSpec};
 pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
 pub use workload::{
     offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, SharedPrefixWorkload,
-    Workload,
+    SloMix, Workload,
 };

@@ -94,6 +94,51 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Per-SLO-class attainment breakdown: how one class of requests (e.g.
+/// `"interactive"`) fared against its deadlines in a serving run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloClassReport {
+    /// Class label from [`crate::SloSpec::class`].
+    pub class: String,
+    /// Finished requests of this class.
+    pub finished: usize,
+    /// Finished requests that met both the TTFT deadline and the TBT target.
+    pub met: usize,
+    /// Finished requests whose first token missed the TTFT deadline.
+    pub ttft_violations: usize,
+    /// Finished requests with at least one decode gap above the TBT target.
+    pub tbt_violations: usize,
+    /// Requests of this class the admission policy shed (dropped unserved).
+    pub shed: usize,
+}
+
+impl SloClassReport {
+    /// Fraction of this class's finished requests that met their SLO
+    /// (1.0 when none finished).
+    pub fn attainment(&self) -> f64 {
+        if self.finished == 0 {
+            return 1.0;
+        }
+        self.met as f64 / self.finished as f64
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("class", JsonValue::str(&self.class)),
+            ("finished", JsonValue::Num(self.finished as f64)),
+            ("met", JsonValue::Num(self.met as f64)),
+            ("attainment", JsonValue::Num(self.attainment())),
+            (
+                "ttft_violations",
+                JsonValue::Num(self.ttft_violations as f64),
+            ),
+            ("tbt_violations", JsonValue::Num(self.tbt_violations as f64)),
+            ("shed", JsonValue::Num(self.shed as f64)),
+        ])
+    }
+}
+
 /// End-to-end results of one serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
@@ -140,6 +185,25 @@ pub struct ServingReport {
     pub preemptions: usize,
     /// Cached prefix blocks evicted (LRU) to make room for allocations.
     pub blocks_evicted: usize,
+    /// Requests the admission policy shed (dropped unserved because their
+    /// TTFT deadline was already blown). Never completed, never counted in
+    /// latency statistics, never goodput.
+    pub shed_requests: usize,
+    /// Finished requests that carried an [`crate::SloSpec`].
+    pub slo_requests: usize,
+    /// Finished SLO'd requests that met both the TTFT deadline and the TBT
+    /// target.
+    pub slo_met: usize,
+    /// Finished SLO'd requests whose first token missed its deadline.
+    pub slo_ttft_violations: usize,
+    /// Finished SLO'd requests with a decode gap above their TBT target.
+    pub slo_tbt_violations: usize,
+    /// TTFT slack (deadline minus achieved TTFT, positive = met with room)
+    /// across finished SLO'd requests — the attainment-margin percentiles.
+    pub ttft_slack: SummaryStats,
+    /// Per-class attainment breakdown, ordered by first appearance in the
+    /// request list (deterministic for a fixed workload).
+    pub slo_classes: Vec<SloClassReport>,
 }
 
 impl ServingReport {
@@ -162,10 +226,42 @@ impl ServingReport {
         let mut with_decode = 0usize;
         let mut stalls_200 = 0usize;
         let mut stalls_500 = 0usize;
-        // Single pass: collect every request's token gaps once and track the
-        // per-request maximum gap, instead of rebuilding the gap vector for
-        // each derived statistic.
-        for r in &finished {
+        let mut slo_requests = 0usize;
+        let mut slo_met = 0usize;
+        let mut slo_ttft_violations = 0usize;
+        let mut slo_tbt_violations = 0usize;
+        let mut ttft_slacks: Vec<f64> = Vec::new();
+        let mut classes: Vec<SloClassReport> = Vec::new();
+        let class_entry = |classes: &mut Vec<SloClassReport>, name: &str| -> usize {
+            match classes.iter().position(|c| c.class == name) {
+                Some(i) => i,
+                None => {
+                    classes.push(SloClassReport {
+                        class: name.to_string(),
+                        ..SloClassReport::default()
+                    });
+                    classes.len() - 1
+                }
+            }
+        };
+        // Single pass over every request, in list order (so `slo_classes`
+        // really is ordered by first appearance, shed or finished): collect
+        // each finished request's token gaps once and track the per-request
+        // maximum gap, instead of rebuilding the gap vector for each derived
+        // statistic; count shed requests (which never finish) as they occur.
+        let mut shed_requests = 0usize;
+        for r in requests {
+            if r.shed_time.is_some() {
+                shed_requests += 1;
+                if let Some(slo) = r.spec.slo {
+                    let i = class_entry(&mut classes, slo.class);
+                    classes[i].shed += 1;
+                }
+                continue;
+            }
+            if r.finish_time.is_none() {
+                continue;
+            }
             ttfts.extend(r.ttft());
             latencies.extend(r.latency());
             let mut max_gap = f64::NEG_INFINITY;
@@ -181,6 +277,30 @@ impl ServingReport {
                 }
                 if max_gap > 0.5 {
                     stalls_500 += 1;
+                }
+            }
+            if let Some(slo) = r.spec.slo {
+                slo_requests += 1;
+                let ttft_ok = r.meets_ttft();
+                // `max_gap` was just computed, so the TBT criterion is free
+                // here (NEG_INFINITY = no decode gaps = trivially met);
+                // equivalent to [`Request::meets_tbt`] without re-walking
+                // the token times.
+                let tbt_ok = max_gap <= slo.tbt_target;
+                ttft_slacks.extend(r.ttft_slack());
+                let i = class_entry(&mut classes, slo.class);
+                classes[i].finished += 1;
+                if !ttft_ok {
+                    slo_ttft_violations += 1;
+                    classes[i].ttft_violations += 1;
+                }
+                if !tbt_ok {
+                    slo_tbt_violations += 1;
+                    classes[i].tbt_violations += 1;
+                }
+                if ttft_ok && tbt_ok {
+                    slo_met += 1;
+                    classes[i].met += 1;
                 }
             }
         }
@@ -205,6 +325,13 @@ impl ServingReport {
             cow_copies: 0,
             preemptions: 0,
             blocks_evicted: 0,
+            shed_requests,
+            slo_requests,
+            slo_met,
+            slo_ttft_violations,
+            slo_tbt_violations,
+            ttft_slack: SummaryStats::from_samples(&ttft_slacks),
+            slo_classes: classes,
         }
     }
 
@@ -257,7 +384,64 @@ impl ServingReport {
             ("cow_copies", JsonValue::Num(self.cow_copies as f64)),
             ("preemptions", JsonValue::Num(self.preemptions as f64)),
             ("blocks_evicted", JsonValue::Num(self.blocks_evicted as f64)),
+            ("shed_requests", JsonValue::Num(self.shed_requests as f64)),
+            (
+                "slo",
+                JsonValue::obj(vec![
+                    ("requests", JsonValue::Num(self.slo_requests as f64)),
+                    ("met", JsonValue::Num(self.slo_met as f64)),
+                    ("attainment", JsonValue::Num(self.slo_attainment())),
+                    (
+                        "ttft_violations",
+                        JsonValue::Num(self.slo_ttft_violations as f64),
+                    ),
+                    (
+                        "tbt_violations",
+                        JsonValue::Num(self.slo_tbt_violations as f64),
+                    ),
+                    (
+                        "goodput_requests",
+                        JsonValue::Num(self.goodput_requests() as f64),
+                    ),
+                    (
+                        "goodput_per_minute",
+                        JsonValue::Num(self.goodput_per_minute()),
+                    ),
+                    ("ttft_slack", self.ttft_slack.to_json()),
+                    (
+                        "per_class",
+                        JsonValue::Arr(self.slo_classes.iter().map(|c| c.to_json()).collect()),
+                    ),
+                ]),
+            ),
         ])
+    }
+
+    /// Fraction of finished SLO'd requests that met both targets (1.0 when
+    /// the run carried no SLOs). Shed requests are *not* in the denominator —
+    /// they show up in [`ServingReport::shed_requests`] and as missing
+    /// goodput instead.
+    pub fn slo_attainment(&self) -> f64 {
+        if self.slo_requests == 0 {
+            return 1.0;
+        }
+        self.slo_met as f64 / self.slo_requests as f64
+    }
+
+    /// Goodput in requests: completed requests that met their SLO (requests
+    /// without an SLO count — nothing was promised, so a completion is good
+    /// throughput). The metric the paper's latency targets exist to serve.
+    pub fn goodput_requests(&self) -> usize {
+        self.completed - (self.slo_requests - self.slo_met)
+    }
+
+    /// Goodput rate: SLO-meeting completions per minute of makespan — the
+    /// fleet-sizing metric ("how many replicas hold the SLO at this load").
+    pub fn goodput_per_minute(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.goodput_requests() as f64 / (self.makespan / 60.0)
     }
 
     /// Fraction of iterations priced from the cache, in `[0, 1]` (0 when the
@@ -358,6 +542,112 @@ mod tests {
             parsed.get("system"),
             Some(&JsonValue::str("Sarathi(chunk=1024)+POD"))
         );
+    }
+
+    #[test]
+    fn slo_grading_and_goodput() {
+        use crate::request::SloSpec;
+        let tight = SloSpec::new("interactive", 1.0, 0.2);
+        let loose = SloSpec::new("batch", 100.0, 5.0);
+
+        // Meets both targets.
+        let mut good = Request::new(0, RequestSpec::new(0.0, 10, 2).with_slo(tight));
+        good.record_prefill(10, 0.5);
+        good.record_decode_token(0.6);
+        // Misses TTFT, meets TBT.
+        let mut late = Request::new(1, RequestSpec::new(0.0, 10, 2).with_slo(tight));
+        late.record_prefill(10, 2.0);
+        late.record_decode_token(2.1);
+        // Meets TTFT, misses TBT (gap 0.5 > 0.2).
+        let mut stalled = Request::new(2, RequestSpec::new(0.0, 10, 2).with_slo(tight));
+        stalled.record_prefill(10, 0.5);
+        stalled.record_decode_token(1.0);
+        // Batch class: loose targets, met.
+        let mut batch = Request::new(3, RequestSpec::new(0.0, 10, 2).with_slo(loose));
+        batch.record_prefill(10, 10.0);
+        batch.record_decode_token(11.0);
+        // No SLO: finished = goodput, not in attainment.
+        let mut plain = Request::new(4, RequestSpec::new(0.0, 10, 1));
+        plain.record_prefill(10, 50.0);
+        // Shed before serving.
+        let mut shed = Request::new(5, RequestSpec::new(0.0, 10, 2).with_slo(tight));
+        shed.shed_time = Some(3.0);
+
+        let report = ServingReport::from_requests(
+            "test",
+            &[good, late, stalled, batch, plain, shed],
+            60.0,
+            10,
+            5,
+        );
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.shed_requests, 1);
+        assert_eq!(report.slo_requests, 4);
+        assert_eq!(report.slo_met, 2);
+        assert_eq!(report.slo_ttft_violations, 1);
+        assert_eq!(report.slo_tbt_violations, 1);
+        assert!((report.slo_attainment() - 0.5).abs() < 1e-12);
+        // Goodput: 5 completed minus 2 SLO violators = 3 (the plain request
+        // counts; the shed one never completed).
+        assert_eq!(report.goodput_requests(), 3);
+        assert!((report.goodput_per_minute() - 3.0).abs() < 1e-12);
+        // TTFT slack distribution covers the four finished SLO'd requests.
+        assert_eq!(report.ttft_slack.count, 4);
+        assert_eq!(report.ttft_slack.max, 99.0 - 9.0); // batch: 100 - 10
+
+        // Per-class breakdown, ordered by first appearance (shed counts too).
+        assert_eq!(report.slo_classes.len(), 2);
+        let interactive = &report.slo_classes[0];
+        assert_eq!(interactive.class, "interactive");
+        assert_eq!(interactive.finished, 3);
+        assert_eq!(interactive.met, 1);
+        assert_eq!(interactive.ttft_violations, 1);
+        assert_eq!(interactive.tbt_violations, 1);
+        assert_eq!(interactive.shed, 1);
+        assert!((interactive.attainment() - 1.0 / 3.0).abs() < 1e-12);
+        let batch_class = &report.slo_classes[1];
+        assert_eq!(batch_class.class, "batch");
+        assert_eq!(batch_class.finished, 1);
+        assert_eq!(batch_class.met, 1);
+        assert_eq!(batch_class.shed, 0);
+
+        // The SLO block serializes and parses.
+        let parsed =
+            JsonValue::parse(&report.to_json().to_string_pretty()).expect("report JSON parses");
+        assert_eq!(
+            parsed.get_path("slo.met").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get_path("slo.goodput_requests")
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            parsed.get_path("shed_requests").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        let JsonValue::Arr(classes) = parsed.get_path("slo.per_class").expect("per_class") else {
+            panic!("per_class must be an array");
+        };
+        assert_eq!(classes.len(), 2);
+        assert_eq!(
+            classes[0].get("class"),
+            Some(&JsonValue::str("interactive"))
+        );
+    }
+
+    #[test]
+    fn slo_free_runs_have_vacuous_attainment() {
+        let mut ok = Request::new(0, RequestSpec::new(0.0, 10, 1));
+        ok.record_prefill(10, 1.0);
+        let report = ServingReport::from_requests("test", &[ok], 60.0, 1, 0);
+        assert_eq!(report.slo_requests, 0);
+        assert_eq!(report.slo_attainment(), 1.0);
+        assert_eq!(report.goodput_requests(), report.completed);
+        assert!(report.slo_classes.is_empty());
+        assert_eq!(report.shed_requests, 0);
     }
 
     #[test]

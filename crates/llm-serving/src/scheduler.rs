@@ -52,6 +52,11 @@ pub enum AdmissionDecision {
     },
     /// No room right now; try again next iteration.
     Defer,
+    /// The request's deadline is already unmeetable: drop it unserved instead
+    /// of letting a hopeless prefill occupy the chunk budget (SLO-aware
+    /// admission control). The scheduler records it in [`BatchPlan::shed`];
+    /// the engine removes it from the queue and marks it shed.
+    Shed,
 }
 
 /// Admission callback: may the given (front-of-queue) request enter the KV
@@ -67,10 +72,15 @@ pub struct BatchPlan {
     pub prefill: Option<(usize, usize)>,
     /// Request indices that decode one token this iteration.
     pub decodes: Vec<usize>,
+    /// Front-of-queue request the admission policy shed (deadline already
+    /// unmeetable): to be dropped unserved by the engine, freeing the
+    /// prefill slot for the next candidate.
+    pub shed: Option<usize>,
 }
 
 impl BatchPlan {
-    /// True if the plan schedules nothing.
+    /// True if the plan schedules nothing (a shed alone is not work — the
+    /// engine drops the request and re-plans without advancing time).
     pub fn is_empty(&self) -> bool {
         self.prefill.is_none() && self.decodes.is_empty()
     }
@@ -114,17 +124,25 @@ pub fn plan_batch(
     }
 }
 
+/// Outcome of consulting the admission policy for the front request.
+enum FrontAdmission {
+    Admitted,
+    Deferred,
+    Shed,
+}
+
 /// Ask `admit` about the front request, applying a first-admission prefix
-/// match to the request's prefill progress. Returns whether it is admitted.
-fn try_admit(req: &mut Request, admit: &mut AdmitFn<'_>) -> bool {
+/// match to the request's prefill progress.
+fn try_admit(req: &mut Request, admit: &mut AdmitFn<'_>) -> FrontAdmission {
     match admit(req) {
         AdmissionDecision::Admit { cached_tokens } => {
             if cached_tokens > 0 {
                 req.note_cached_prefix(cached_tokens);
             }
-            true
+            FrontAdmission::Admitted
         }
-        AdmissionDecision::Defer => false,
+        AdmissionDecision::Defer => FrontAdmission::Deferred,
+        AdmissionDecision::Shed => FrontAdmission::Shed,
     }
 }
 
@@ -136,18 +154,25 @@ fn plan_vllm(
 ) -> BatchPlan {
     // Prefill-prioritizing: if the oldest waiting request fits, run its whole
     // prompt now, pausing decodes.
+    let mut shed = None;
     if let Some(&front) = waiting.front() {
-        if try_admit(&mut requests[front], admit) {
-            let chunk = requests[front].remaining_prompt();
-            return BatchPlan {
-                prefill: Some((front, chunk)),
-                decodes: Vec::new(),
-            };
+        match try_admit(&mut requests[front], admit) {
+            FrontAdmission::Admitted => {
+                let chunk = requests[front].remaining_prompt();
+                return BatchPlan {
+                    prefill: Some((front, chunk)),
+                    decodes: Vec::new(),
+                    shed: None,
+                };
+            }
+            FrontAdmission::Shed => shed = Some(front),
+            FrontAdmission::Deferred => {}
         }
     }
     BatchPlan {
         prefill: None,
         decodes: running.to_vec(),
+        shed,
     }
 }
 
@@ -162,18 +187,27 @@ fn plan_sarathi(
     let decodes: Vec<usize> = running.iter().copied().take(max_batch_size).collect();
     let budget = chunk_size.saturating_sub(decodes.len());
     let mut prefill = None;
+    let mut shed = None;
     if budget > 0 && decodes.len() < max_batch_size {
         if let Some(&front) = waiting.front() {
-            if try_admit(&mut requests[front], admit) {
-                debug_assert_ne!(requests[front].phase(), Phase::Finished);
-                let chunk = requests[front].remaining_prompt().min(budget);
-                if chunk > 0 {
-                    prefill = Some((front, chunk));
+            match try_admit(&mut requests[front], admit) {
+                FrontAdmission::Admitted => {
+                    debug_assert_ne!(requests[front].phase(), Phase::Finished);
+                    let chunk = requests[front].remaining_prompt().min(budget);
+                    if chunk > 0 {
+                        prefill = Some((front, chunk));
+                    }
                 }
+                FrontAdmission::Shed => shed = Some(front),
+                FrontAdmission::Deferred => {}
             }
         }
     }
-    BatchPlan { prefill, decodes }
+    BatchPlan {
+        prefill,
+        decodes,
+        shed,
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +359,27 @@ mod tests {
         assert_eq!(plan.prefill, Some((0, 108)));
         assert_eq!(requests[0].cached_prompt_tokens, 192);
         assert_eq!(requests[0].prefilled, 192);
+    }
+
+    #[test]
+    fn shed_front_is_reported_without_occupying_the_prefill_slot() {
+        // An admission policy that sheds the front request: the plan carries
+        // the shed id, schedules no prefill, and keeps the decodes running.
+        let (mut requests, _) = setup(3, 1000, 100);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let running = vec![1, 2];
+        let mut admit = |_req: &Request| AdmissionDecision::Shed;
+        for kind in [
+            SchedulerKind::Vllm,
+            SchedulerKind::Sarathi { chunk_size: 512 },
+        ] {
+            let plan = plan_batch(kind, &mut requests, &waiting, &running, &mut admit, 256);
+            assert_eq!(plan.shed, Some(0), "{kind:?}");
+            assert!(plan.prefill.is_none(), "{kind:?}");
+            assert_eq!(plan.decodes, vec![1, 2], "{kind:?}");
+            // A shed alone is not schedulable work.
+            assert_eq!(plan.scheduled_tokens(), 2, "{kind:?}");
+        }
     }
 
     #[test]

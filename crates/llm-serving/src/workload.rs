@@ -7,7 +7,7 @@
 //! (0–40 / 0–50) and mean decode length (331 / 470 tokens), with Poisson
 //! arrivals at a configurable queries-per-second rate.
 
-use crate::request::{PromptContent, RequestSpec};
+use crate::request::{PromptContent, RequestSpec, SloSpec};
 use crate::rng::SplitMix64;
 
 /// Named workload generator.
@@ -277,6 +277,84 @@ impl SharedPrefixWorkload {
     /// different system prompts).
     fn group_tag(&self, seed: u64, group: usize) -> u64 {
         (seed.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15).wrapping_add(group as u64 + 1)
+    }
+}
+
+/// A mix of SLO classes to stamp onto a generated trace: each request draws
+/// a class by weight (e.g. 70% `"interactive"` with tight deadlines, 30%
+/// `"batch"` with loose ones), deterministically from a seed.
+///
+/// Layered *after* size/arrival generation — it never changes a request's
+/// tokens or timing, only its [`SloSpec`] — so the same base trace is
+/// directly comparable with and without SLOs, and across mixes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloMix {
+    /// `(weight, slo)` pairs; weights are relative (not necessarily summing
+    /// to 1). A `None` slo entry leaves that share of requests SLO-free.
+    entries: Vec<(f64, Option<SloSpec>)>,
+    total_weight: f64,
+}
+
+impl SloMix {
+    /// A mix from `(weight, slo)` entries. `None` entries leave their share
+    /// of the trace SLO-free (best-effort traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry is given or any weight is not positive and finite.
+    pub fn new(entries: Vec<(f64, Option<SloSpec>)>) -> Self {
+        assert!(!entries.is_empty(), "an SLO mix needs at least one class");
+        for (w, _) in &entries {
+            assert!(
+                *w > 0.0 && w.is_finite(),
+                "SLO mix weights must be positive and finite"
+            );
+        }
+        let total_weight = entries.iter().map(|(w, _)| w).sum();
+        SloMix {
+            entries,
+            total_weight,
+        }
+    }
+
+    /// The canonical two-class mix the SLO benches use: 70% `"interactive"`
+    /// traffic with tight targets and 30% `"batch"` traffic with loose ones.
+    /// Targets are calibrated to the simulated Llama-3-8B/A100 replica
+    /// (TTFT p50 ~0.5 s, TBT p99 ~0.05 s unloaded): an unloaded replica
+    /// holds them easily, a saturated one does not.
+    pub fn interactive_batch() -> Self {
+        SloMix::new(vec![
+            (0.7, Some(SloSpec::new("interactive", 2.0, 0.2))),
+            (0.3, Some(SloSpec::new("batch", 30.0, 1.0))),
+        ])
+    }
+
+    /// Stamp each request of `specs` with a class drawn by weight,
+    /// deterministically from `seed`. Sizes, arrivals and content are
+    /// untouched.
+    pub fn apply(&self, specs: Vec<RequestSpec>, seed: u64) -> Vec<RequestSpec> {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0051_0C1A_55E5);
+        specs
+            .into_iter()
+            .map(|spec| {
+                let mut draw = rng.next_f64() * self.total_weight;
+                for (w, slo) in &self.entries {
+                    if draw < *w {
+                        return match slo {
+                            Some(s) => spec.with_slo(*s),
+                            None => spec,
+                        };
+                    }
+                    draw -= w;
+                }
+                // Floating-point edge: the draw landed exactly on the total.
+                let last = &self.entries[self.entries.len() - 1];
+                match last.1 {
+                    Some(s) => spec.with_slo(s),
+                    None => spec,
+                }
+            })
+            .collect()
     }
 }
 
@@ -671,6 +749,53 @@ mod tests {
         lineages.sort_unstable();
         lineages.dedup();
         assert_eq!(lineages.len(), n);
+    }
+
+    #[test]
+    fn slo_mix_stamps_classes_without_touching_sizes() {
+        let base = Workload::internal().generate(400, 1.0, 3);
+        let mix = SloMix::interactive_batch();
+        let tagged = mix.apply(base.clone(), 3);
+        assert_eq!(tagged.len(), base.len());
+        for (a, b) in base.iter().zip(&tagged) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.prompt_tokens, b.prompt_tokens);
+            assert_eq!(a.output_tokens, b.output_tokens);
+            assert_eq!(a.content, b.content);
+        }
+        // The realized class shares match the 70/30 weights.
+        let interactive = tagged
+            .iter()
+            .filter(|r| r.slo.is_some_and(|s| s.class == "interactive"))
+            .count();
+        let batch = tagged
+            .iter()
+            .filter(|r| r.slo.is_some_and(|s| s.class == "batch"))
+            .count();
+        assert_eq!(interactive + batch, tagged.len(), "every request tagged");
+        let frac = interactive as f64 / tagged.len() as f64;
+        assert!((frac - 0.7).abs() < 0.08, "interactive share {frac}");
+        // Deterministic per seed.
+        assert_eq!(tagged, mix.apply(base.clone(), 3));
+        assert_ne!(tagged, mix.apply(base, 4));
+    }
+
+    #[test]
+    fn slo_mix_supports_slo_free_shares() {
+        use crate::request::SloSpec;
+        let mix = SloMix::new(vec![
+            (1.0, Some(SloSpec::new("strict", 1.0, 0.1))),
+            (1.0, None),
+        ]);
+        let tagged = mix.apply(Workload::arxiv().generate(300, 2.0, 8), 8);
+        let with = tagged.iter().filter(|r| r.slo.is_some()).count();
+        assert!(with > 100 && with < 200, "roughly half tagged: {with}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_slo_mix_rejected() {
+        let _ = SloMix::new(Vec::new());
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Seeded property-fuzz harness: hundreds of random
+//! {workload × scheduler × KV policy × router × admission × autoscaler}
+//! configurations, each asserting the engine/cluster invariants that every
+//! refactor must preserve:
+//!
+//! * the virtual clock is monotonic, and iteration intervals are well formed;
+//! * no request is lost or duplicated across preemption, shedding and
+//!   autoscaler re-queueing — at drain, every request is finished, shed, or
+//!   reassigned (and reassigned ones finish exactly once elsewhere);
+//! * the block pool is leak-free after `run_until_drained` (utilization is
+//!   exactly zero, whatever mix of preemptions/evictions happened);
+//! * prefill and decode token conservation: every finished request computed
+//!   exactly its prompt (minus prefix-cache hits, plus preemption recompute)
+//!   and generated exactly its output tokens.
+//!
+//! Cases fan out over a worker pool sized by `POD_TEST_THREADS` (default:
+//! available parallelism); every case is deterministic from its seed alone,
+//! and a serial re-run of a sample is compared against the pooled results so
+//! thread-count independence is enforced *inside* the test as well as by the
+//! CI matrix. `POD_FUZZ_CASES` overrides the case count (default 500).
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, IterationOutcome, KvCachePolicy,
+    ModelConfig, Phase, RequestSpec, RouterPolicy, ServingConfig, ServingEngine,
+    SharedPrefixWorkload, SloMix, SplitMix64, Workload,
+};
+
+fn fuzz_cases() -> usize {
+    std::env::var("POD_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+fn test_threads() -> usize {
+    std::env::var("POD_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A scaled-down trace generator so a 500-case sweep stays fast in debug
+/// builds; a slice of cases still runs the paper-statistics workloads.
+fn sample_workload(rng: &mut SplitMix64) -> Workload {
+    match rng.next_usize(4) {
+        0 => Workload::internal(),
+        1 => Workload::arxiv(),
+        _ => Workload {
+            name: "mini".to_string(),
+            mean_context: 2_500.0,
+            context_range: (512, 6 * 1024),
+            mean_decode: 48.0,
+            min_decode: 4,
+        },
+    }
+}
+
+fn sample_specs(rng: &mut SplitMix64, seed: u64) -> Vec<RequestSpec> {
+    let count = 4 + rng.next_usize(10);
+    let qps = 0.5 + rng.next_f64() * 5.0;
+    let base = sample_workload(rng);
+    let specs = if rng.next_usize(4) == 0 {
+        // Shared-prefix trace: exercises the radix index, CoW and multi-turn
+        // follow-ups under the paged policies.
+        let shared = SharedPrefixWorkload::new(base, 1 + rng.next_usize(3), 257, 0.6, 0.3);
+        shared.generate(count, qps, seed)
+    } else {
+        base.generate(count, qps, seed)
+    };
+    match rng.next_usize(3) {
+        0 => specs,
+        1 => SloMix::interactive_batch().apply(specs, seed),
+        _ => SloMix::new(vec![(
+            1.0,
+            Some(llm_serving::SloSpec::new("strict", 0.75, 0.1)),
+        )])
+        .apply(specs, seed),
+    }
+}
+
+fn sample_config(rng: &mut SplitMix64) -> ServingConfig {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let mut config = match rng.next_usize(4) {
+        0 => ServingConfig::vllm(model, gpu),
+        _ => {
+            let chunk = [256, 512, 1024][rng.next_usize(3)];
+            if rng.next_usize(2) == 0 {
+                ServingConfig::sarathi(model, gpu, chunk)
+            } else {
+                ServingConfig::sarathi_pod(model, gpu, chunk)
+            }
+        }
+    };
+    config.kv_policy = match rng.next_usize(3) {
+        0 => KvCachePolicy::Conservative,
+        1 => KvCachePolicy::Paged {
+            prefix_caching: false,
+        },
+        _ => KvCachePolicy::Paged {
+            prefix_caching: true,
+        },
+    };
+    // Small capacities force queueing (conservative) and preemption (paged);
+    // 48K still fits the largest generatable request, so no config is a
+    // guaranteed deadlock.
+    config.kv_capacity_tokens = match rng.next_usize(3) {
+        0 => Some(48_000),
+        1 => Some(96_000),
+        _ => None,
+    };
+    if rng.next_usize(3) == 0 {
+        config.admission = AdmissionPolicy::DeadlineShed;
+    }
+    config
+}
+
+/// Step one engine to drain by hand, checking clock/interval invariants on
+/// the way, then check conservation and leak-freedom. Returns the report
+/// JSON as the case's fingerprint.
+fn run_engine_case(seed: u64) -> String {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let specs = sample_specs(&mut rng, seed);
+    let config = sample_config(&mut rng);
+    let tag = format!("engine case seed={seed} ({})", config.system_label());
+
+    let mut engine = ServingEngine::new(config);
+    for spec in &specs {
+        engine.submit(*spec);
+    }
+    let mut now = 0.0_f64;
+    let mut last_clock = 0.0_f64;
+    let mut decode_tokens = 0usize;
+    let mut prefill_tokens = 0usize;
+    let mut finished_seen = 0usize;
+    loop {
+        let clock_before = engine.clock();
+        assert!(
+            clock_before >= last_clock,
+            "{tag}: clock went backwards ({clock_before} < {last_clock})"
+        );
+        last_clock = clock_before;
+        match engine.step(now) {
+            IterationOutcome::Ran(stats) => {
+                assert!(
+                    stats.duration > 0.0 && stats.duration.is_finite(),
+                    "{tag}: bad iteration duration {}",
+                    stats.duration
+                );
+                assert!(
+                    stats.started_at >= clock_before.min(now)
+                        && stats.completed_at > stats.started_at,
+                    "{tag}: malformed interval [{}, {}]",
+                    stats.started_at,
+                    stats.completed_at
+                );
+                assert_eq!(
+                    engine.clock(),
+                    stats.completed_at,
+                    "{tag}: clock must equal the last completion"
+                );
+                assert!(
+                    stats.prefill_tokens + stats.decode_tokens > 0,
+                    "{tag}: an executed iteration processed no tokens"
+                );
+                decode_tokens += stats.decode_tokens;
+                prefill_tokens += stats.prefill_tokens;
+                finished_seen += stats.newly_finished;
+                now = stats.completed_at;
+            }
+            IterationOutcome::IdleUntil(t) => {
+                assert!(
+                    t > now,
+                    "{tag}: IdleUntil({t}) must point past the caller clock {now}"
+                );
+                now = t;
+            }
+            IterationOutcome::Drained => break,
+            IterationOutcome::Blocked {
+                needed_tokens,
+                capacity_tokens,
+            } => panic!("{tag}: blocked ({needed_tokens} vs {capacity_tokens})"),
+        }
+    }
+    assert!(engine.is_drained(), "{tag}: drained engine must report so");
+
+    // No request lost or duplicated; per-request token conservation.
+    let mut finished = 0usize;
+    let mut shed = 0usize;
+    let mut expected_decodes = 0usize;
+    for req in engine.requests() {
+        match (req.finish_time.is_some(), req.shed_time.is_some()) {
+            (true, false) => {
+                finished += 1;
+                assert_eq!(
+                    req.generated, req.spec.output_tokens,
+                    "{tag}: request {} generated the wrong token count",
+                    req.id
+                );
+                assert_eq!(
+                    req.prefilled,
+                    req.target_prefill(),
+                    "{tag}: request {} prefill incomplete",
+                    req.id
+                );
+                assert_eq!(
+                    req.token_times.len(),
+                    req.spec.output_tokens,
+                    "{tag}: request {} token-time count",
+                    req.id
+                );
+                // Decode tokens actually scheduled for this request: all but
+                // the first (produced at prefill completion), regardless of
+                // how many times it was preempted and restored.
+                expected_decodes += req.spec.output_tokens - 1;
+            }
+            (false, true) => {
+                shed += 1;
+                assert_eq!(
+                    req.prefilled, 0,
+                    "{tag}: shed request {} had computed tokens",
+                    req.id
+                );
+                assert_eq!(req.phase(), Phase::Queued, "{tag}: shed request phase");
+            }
+            (false, false) => panic!("{tag}: request {} lost (neither finished nor shed)", req.id),
+            (true, true) => panic!("{tag}: request {} both finished and shed", req.id),
+        }
+    }
+    assert_eq!(finished + shed, specs.len(), "{tag}: request conservation");
+    assert_eq!(
+        finished, finished_seen,
+        "{tag}: newly_finished conservation"
+    );
+    assert_eq!(
+        decode_tokens, expected_decodes,
+        "{tag}: decode conservation"
+    );
+
+    let report = engine.report();
+    assert_eq!(report.completed, finished, "{tag}");
+    assert_eq!(report.shed_requests, shed, "{tag}");
+    assert_eq!(
+        report.prefill_tokens_scheduled, prefill_tokens,
+        "{tag}: prefill accounting"
+    );
+    // Prefill conservation: scheduled prefill plus cache hits covers every
+    // finished request's prompt plus all preemption recompute.
+    let prompt_and_recompute: usize = engine
+        .requests()
+        .iter()
+        .filter(|r| r.finish_time.is_some())
+        .map(|r| r.spec.prompt_tokens + r.recompute_tokens)
+        .sum();
+    let cached: usize = engine
+        .requests()
+        .iter()
+        .map(|r| r.cached_prompt_tokens)
+        .sum();
+    assert!(
+        prefill_tokens + cached >= prompt_and_recompute,
+        "{tag}: prefill undercount ({prefill_tokens} + {cached} < {prompt_and_recompute})"
+    );
+    assert_eq!(
+        report.cached_prefix_tokens, cached,
+        "{tag}: cache accounting"
+    );
+
+    // Leak-freedom: after drain the KV pool holds no referenced blocks,
+    // whatever mix of preemptions, CoW and evictions happened.
+    assert_eq!(
+        engine.kv_utilization(),
+        0.0,
+        "{tag}: block pool leaked ({} preemptions, {} evictions)",
+        report.preemptions,
+        report.blocks_evicted
+    );
+    report.to_json().to_string_pretty()
+}
+
+/// One random cluster configuration run to completion, checking fleet-level
+/// request conservation (including autoscaler re-routing). Returns the
+/// cluster report JSON as the case's fingerprint.
+fn run_cluster_case(seed: u64) -> String {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xC1_05_7E_12);
+    let specs = sample_specs(&mut rng, seed);
+    let config = sample_config(&mut rng);
+    let router = match rng.next_usize(4) {
+        0 => RouterPolicy::RoundRobin,
+        1 => RouterPolicy::LeastOutstandingTokens,
+        2 => RouterPolicy::decode_aware(),
+        _ => RouterPolicy::PrefixAffinity,
+    };
+    let replicas = 1 + rng.next_usize(3);
+    let mut cluster_config = ClusterConfig::new(config, replicas, router);
+    if rng.next_usize(2) == 0 {
+        cluster_config = cluster_config.with_autoscaler(AutoscalerConfig {
+            min_replicas: 1,
+            max_replicas: replicas + rng.next_usize(3),
+            interval: 2.0 + rng.next_f64() * 6.0,
+            scale_out_backlog: 20_000 + rng.next_usize(80_000),
+            scale_in_backlog: 5_000 + rng.next_usize(15_000),
+            sustain: 1 + rng.next_usize(2),
+        });
+    }
+    let tag = format!(
+        "cluster case seed={seed} ({} replicas, {})",
+        replicas,
+        router.label()
+    );
+
+    let mut cluster = Cluster::new(cluster_config);
+    let report = cluster.run(specs.clone());
+
+    // Fleet-level conservation: every submitted request finished or was shed
+    // exactly once, across all replicas, despite drain re-routing.
+    assert_eq!(
+        report.aggregate.completed + report.aggregate.shed_requests,
+        specs.len(),
+        "{tag}: fleet request conservation"
+    );
+    let mut finished_ids = 0usize;
+    for replica in cluster.replicas() {
+        assert!(replica.is_drained(), "{tag}: replica not drained");
+        assert_eq!(replica.kv_utilization(), 0.0, "{tag}: replica leaked");
+        for req in replica.requests() {
+            if req.reassigned {
+                assert!(
+                    req.finish_time.is_none() && req.shed_time.is_none(),
+                    "{tag}: reassigned request served on its old replica"
+                );
+            } else {
+                assert!(
+                    req.finish_time.is_some() || req.shed_time.is_some(),
+                    "{tag}: request lost on a replica"
+                );
+                finished_ids += usize::from(req.finish_time.is_some());
+            }
+        }
+    }
+    assert_eq!(finished_ids, report.aggregate.completed, "{tag}");
+    assert_eq!(
+        report.aggregate.iterations,
+        report
+            .per_replica
+            .iter()
+            .map(|r| r.iterations)
+            .sum::<usize>(),
+        "{tag}: iteration totals"
+    );
+    assert!(report.busy_imbalance >= 1.0, "{tag}");
+    assert!(
+        report.replica_seconds >= 0.0 && report.replica_seconds.is_finite(),
+        "{tag}: replica seconds"
+    );
+    report.to_json().to_string_pretty()
+}
+
+fn run_case(seed: u64) -> String {
+    // Mostly engine cases (cheap, stepping-level invariants); every fourth
+    // case exercises the cluster/autoscaler layer.
+    if seed % 4 == 3 {
+        run_cluster_case(seed)
+    } else {
+        run_engine_case(seed)
+    }
+}
+
+/// Fan `cases` over the worker pool, preserving order.
+fn run_pooled(cases: &[u64]) -> Vec<String> {
+    let workers = test_threads().min(cases.len()).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<String>>> =
+        cases.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cases.len() {
+                    break;
+                }
+                let out = run_case(cases[i]);
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("every case ran"))
+        .collect()
+}
+
+#[test]
+fn random_configs_preserve_engine_and_cluster_invariants() {
+    let cases: Vec<u64> = (0..fuzz_cases() as u64).collect();
+    let pooled = run_pooled(&cases);
+
+    // Thread-count independence, enforced in-process: a serial re-run of a
+    // deterministic sample must fingerprint identically to the pooled run
+    // (CI additionally repeats the whole test under two POD_TEST_THREADS
+    // values).
+    let stride = (cases.len() / 16).max(1);
+    for i in (0..cases.len()).step_by(stride) {
+        let serial = run_case(cases[i]);
+        assert_eq!(
+            serial, pooled[i],
+            "case {} diverged between pooled and serial execution",
+            cases[i]
+        );
+    }
+}

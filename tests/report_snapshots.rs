@@ -1,0 +1,119 @@
+//! Golden snapshots of the report JSON **field sets**.
+//!
+//! `BENCH_engine.json` / `BENCH_cluster.json` / `BENCH_slo.json` feed the CI
+//! perf gate by dotted path, so a serialization refactor that drops or
+//! renames a metric breaks the gate *silently* — the gate only errors on the
+//! specific paths it reads, long after the artifact shape drifted for every
+//! other consumer. These tests pin the full path set of
+//! [`ServingReport::to_json`] and [`ClusterReport::to_json`] against
+//! committed snapshots and print a field-level diff on mismatch.
+//!
+//! When a change to the field set is *intentional*, regenerate with:
+//!
+//! ```text
+//! POD_UPDATE_SNAPSHOTS=1 cargo test --test report_snapshots
+//! ```
+//!
+//! and commit the updated files under `tests/snapshots/`.
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, ModelConfig, RouterPolicy,
+    ServingConfig, ServingEngine, SloMix, Workload,
+};
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name)
+}
+
+/// Compare `paths` against the committed snapshot, with a field-level diff
+/// in the failure message (or rewrite the snapshot when
+/// `POD_UPDATE_SNAPSHOTS=1`).
+fn assert_matches_snapshot(name: &str, paths: &[String]) {
+    let file = snapshot_path(name);
+    let fresh = format!("{}\n", paths.join("\n"));
+    if std::env::var("POD_UPDATE_SNAPSHOTS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(file.parent().expect("snapshot dir")).expect("mkdir snapshots");
+        std::fs::write(&file, &fresh).expect("write snapshot");
+        return;
+    }
+    let committed = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        panic!(
+            "cannot read snapshot {}: {e}\n\
+             (run with POD_UPDATE_SNAPSHOTS=1 to create it)",
+            file.display()
+        )
+    });
+    if committed == fresh {
+        return;
+    }
+    let committed_set: std::collections::BTreeSet<&str> =
+        committed.lines().filter(|l| !l.is_empty()).collect();
+    let fresh_set: std::collections::BTreeSet<&str> =
+        fresh.lines().filter(|l| !l.is_empty()).collect();
+    let missing: Vec<&&str> = committed_set.difference(&fresh_set).collect();
+    let added: Vec<&&str> = fresh_set.difference(&committed_set).collect();
+    panic!(
+        "report field set drifted from {}:\n\
+         fields REMOVED (perf gate / trend consumers may break): {missing:?}\n\
+         fields ADDED (fine, but must be committed): {added:?}\n\
+         If intentional, regenerate with POD_UPDATE_SNAPSHOTS=1 and commit.",
+        file.display()
+    );
+}
+
+/// A serving run that populates every optional corner of the report: SLO
+/// classes (met and violated), shedding, prefix caching, preemption.
+fn full_featured_serving_report() -> llm_serving::ServingReport {
+    let config = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024)
+        .with_paged_kv(true)
+        .with_admission(AdmissionPolicy::DeadlineShed);
+    let specs = SloMix::interactive_batch().apply(Workload::internal().generate(24, 4.0, 7), 7);
+    ServingEngine::new(config).run(specs)
+}
+
+#[test]
+fn serving_report_field_set_is_pinned() {
+    let report = full_featured_serving_report();
+    // Sanity: the run actually exercised the SLO block, so `slo.per_class[]`
+    // paths are present in what we pin.
+    assert!(report.slo_requests > 0);
+    assert!(!report.slo_classes.is_empty());
+    assert_matches_snapshot("serving_report_fields.txt", &report.to_json().field_paths());
+}
+
+#[test]
+fn cluster_report_field_set_is_pinned() {
+    let config = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024);
+    let specs = SloMix::interactive_batch().apply(Workload::internal().generate(30, 5.0, 11), 11);
+    let report = Cluster::new(
+        ClusterConfig::new(config, 2, RouterPolicy::decode_aware())
+            .with_autoscaler(AutoscalerConfig::new(1, 4)),
+    )
+    .run(specs);
+    assert!(report.aggregate.slo_requests > 0);
+    assert_matches_snapshot("cluster_report_fields.txt", &report.to_json().field_paths());
+}
+
+/// The perf gate's exact dotted paths must stay readable from a fresh
+/// report — the end-to-end property the snapshots exist to protect.
+#[test]
+fn perf_gate_paths_resolve_in_fresh_reports() {
+    let report = full_featured_serving_report();
+    let json = report.to_json();
+    for path in [
+        "requests_per_minute",
+        "slo.goodput_per_minute",
+        "slo.attainment",
+        "ttft.p99",
+        "tbt.p99",
+    ] {
+        assert!(
+            json.get_path(path).and_then(|v| v.as_f64()).is_some(),
+            "gated path '{path}' no longer resolves to a number"
+        );
+    }
+}
