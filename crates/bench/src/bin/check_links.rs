@@ -1,0 +1,196 @@
+//! CI docs gate: verify that every **relative** markdown link in the repo's
+//! documentation points at a file (or directory) that actually exists.
+//!
+//! ```text
+//! cargo run -p pod-bench --bin check_links [-- <repo-root>]
+//! ```
+//!
+//! Scans `README.md`, `*.md` at the repository root, and `docs/*.md`.
+//! External links (`http://`, `https://`, `mailto:`) and pure in-page
+//! anchors (`#...`) are skipped — this gate catches the failure mode CI can
+//! actually verify offline: a doc restructure that leaves `[text](docs/X.md)`
+//! pointing at a renamed or deleted file. Fragments on relative links
+//! (`ARCHITECTURE.md#crate-map`) are checked against the file only.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Extract the targets of inline markdown links `[text](target)` from one
+/// document, skipping fenced code blocks and inline code spans (where
+/// bracket syntax is code, not a link).
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut in_code = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(end) = line[i + 2..].find(')') {
+                        out.push(line[i + 2..i + 2 + end].to_string());
+                        i += 1 + end;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether a link target is relative (checkable against the filesystem).
+fn is_relative(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty())
+}
+
+/// Check one markdown file; returns the broken targets.
+fn broken_links(doc: &Path, root: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(doc) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("(unreadable: {e})")],
+    };
+    let base = doc.parent().unwrap_or(root);
+    link_targets(&text)
+        .into_iter()
+        .filter(|t| is_relative(t))
+        .filter(|t| {
+            // Strip an in-page fragment; the file itself must exist.
+            let path = t.split('#').next().unwrap_or(t);
+            !base.join(path).exists()
+        })
+        .collect()
+}
+
+/// Markdown documents the gate covers: root-level `*.md` plus `docs/*.md`.
+fn docs_to_check(root: &Path) -> Vec<PathBuf> {
+    let mut docs = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                docs.push(path);
+            }
+        }
+    }
+    docs.sort();
+    docs
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // The bench crate lives two levels below the repository root.
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+        });
+    let docs = docs_to_check(&root);
+    if docs.is_empty() {
+        eprintln!(
+            "check_links: no markdown documents found under {}",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for doc in &docs {
+        let broken = broken_links(doc, &root);
+        if broken.is_empty() {
+            println!(
+                "  {:<40} ok",
+                doc.strip_prefix(&root).unwrap_or(doc).display()
+            );
+        } else {
+            ok = false;
+            for target in broken {
+                println!(
+                    "  {:<40} BROKEN -> {target}",
+                    doc.strip_prefix(&root).unwrap_or(doc).display()
+                );
+            }
+        }
+    }
+    if ok {
+        println!(
+            "check_links: every relative link resolves ({} documents)",
+            docs.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("check_links FAILED: broken relative links found");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_links_only() {
+        let text = "See [the docs](docs/ARCHITECTURE.md) and [site](https://x.y).\n\
+                    ```\n[not a link](in/code.md)\n```\n\
+                    Inline `[code](span.md)` is skipped, [real](README.md#anchor) is not.";
+        let targets = link_targets(text);
+        assert_eq!(
+            targets,
+            vec!["docs/ARCHITECTURE.md", "https://x.y", "README.md#anchor"]
+        );
+    }
+
+    #[test]
+    fn relative_filter_skips_external_and_anchors() {
+        assert!(is_relative("docs/X.md"));
+        assert!(is_relative("../ROADMAP.md"));
+        assert!(!is_relative("https://arxiv.org/abs/2409.11155"));
+        assert!(!is_relative("#glossary"));
+        assert!(!is_relative("mailto:a@b.c"));
+    }
+
+    #[test]
+    fn broken_and_valid_links_are_distinguished() {
+        let dir = std::env::temp_dir().join("check_links_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("target.md"), "# hi\n").expect("write");
+        let doc = dir.join("doc.md");
+        std::fs::write(
+            &doc,
+            "[ok](target.md) [ok2](target.md#sec) [bad](missing.md)\n",
+        )
+        .expect("write");
+        let broken = broken_links(&doc, &dir);
+        assert_eq!(broken, vec!["missing.md"]);
+    }
+
+    #[test]
+    fn the_repos_own_docs_have_no_broken_links() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for doc in docs_to_check(&root) {
+            let broken = broken_links(&doc, &root);
+            assert!(
+                broken.is_empty(),
+                "{} has broken relative links: {broken:?}",
+                doc.display()
+            );
+        }
+    }
+}

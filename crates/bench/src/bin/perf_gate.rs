@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run -p pod-bench --bin perf_gate -- <baseline.json> <fresh.json> \
 //!     [--cluster <cluster_baseline.json> <cluster_fresh.json>] \
-//!     [--slo <slo_baseline.json> <slo_fresh.json>] [--max-drop 0.30]
+//!     [--slo <slo_baseline.json> <slo_fresh.json>] \
+//!     [--disagg <disagg_baseline.json> <disagg_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
 //! The positional pair is the engine trend (`BENCH_engine.json`): the two
@@ -87,9 +88,29 @@ fn fleet_requests_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String>
 
 /// The gated SLO metric: mean aggregate goodput (deadline-meeting
 /// completions) per minute over every sweep cell of a `BENCH_slo.json`
-/// document.
+/// document. `BENCH_disagg.json` shares the layout, so the `--disagg` gate
+/// reads the same path.
 fn fleet_goodput_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String> {
     mean_cell_metric(doc, "report.aggregate.slo.goodput_per_minute", file)
+}
+
+/// The end-of-run recap line: every gated metric's delta, pass or fail —
+/// printed in **every** mode (engine-only, `--cluster`, `--slo`,
+/// `--disagg`), so green CI logs always show where the trend is heading.
+fn recap_line(ok: bool, deltas: &[(String, f64)]) -> String {
+    let recap: Vec<String> = deltas
+        .iter()
+        .map(|(label, pct)| format!("{label} {pct:+.1}%"))
+        .collect();
+    format!(
+        "per-metric deltas ({}): {}",
+        if ok {
+            "all within threshold"
+        } else {
+            "REGRESSION"
+        },
+        recap.join(", ")
+    )
 }
 
 /// Compare one metric pair, printing the verdict row and recording the
@@ -110,6 +131,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut paths: Vec<&String> = Vec::new();
     let mut cluster_paths: Vec<&String> = Vec::new();
     let mut slo_paths: Vec<&String> = Vec::new();
+    let mut disagg_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -136,6 +158,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             slo_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--disagg" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--disagg needs <baseline.json> <fresh.json>".to_string());
+            };
+            disagg_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
@@ -144,7 +172,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     if paths.len() != 2 {
         return Err("usage: perf_gate <baseline.json> <fresh.json> \
              [--cluster <baseline.json> <fresh.json>] \
-             [--slo <baseline.json> <fresh.json>] [--max-drop 0.30]"
+             [--slo <baseline.json> <fresh.json>] \
+             [--disagg <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
     let (baseline_path, fresh_path) = (paths[0], paths[1]);
@@ -187,21 +216,21 @@ fn run(args: &[String]) -> Result<bool, String> {
             &mut deltas,
         );
     }
-    // Recap every metric delta, pass or fail — the line a reviewer scans in
-    // green CI logs to see where the trend is heading.
-    let recap: Vec<String> = deltas
-        .iter()
-        .map(|(label, pct)| format!("{label} {pct:+.1}%"))
-        .collect();
-    println!(
-        "per-metric deltas ({}): {}",
-        if ok {
-            "all within threshold"
-        } else {
-            "REGRESSION"
-        },
-        recap.join(", ")
-    );
+    if let [disagg_base_path, disagg_fresh_path] = disagg_paths.as_slice() {
+        let base = fleet_goodput_per_minute(&load(disagg_base_path)?, disagg_base_path)?;
+        let now = fleet_goodput_per_minute(&load(disagg_fresh_path)?, disagg_fresh_path)?;
+        println!("disagg gate: fresh {disagg_fresh_path} vs baseline {disagg_base_path}");
+        ok &= check(
+            "disagg.mean_goodput_per_minute",
+            base,
+            now,
+            max_drop,
+            &mut deltas,
+        );
+    }
+    // Recap every metric delta, pass or fail, in every mode — the line a
+    // reviewer scans in green CI logs to see where the trend is heading.
+    println!("{}", recap_line(ok, &deltas));
     Ok(ok)
 }
 
@@ -379,6 +408,55 @@ mod tests {
         // A cells file missing the slo block is an error too.
         let no_slo = write_tmp("perf_gate_slo_noslo.json", &cluster_trend(&[10.0]));
         assert!(run(&args(&no_slo)).is_err());
+    }
+
+    #[test]
+    fn disagg_metric_gates_mean_goodput() {
+        // BENCH_disagg.json shares the slo-cells layout, so the same
+        // trend-builder exercises the --disagg flag.
+        let eng_base = write_tmp("perf_gate_d_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_d_eng_fresh.json", &trend(1000.0, 500.0));
+        let dis_base = write_tmp("perf_gate_dis_base.json", &slo_trend(&[80.0, 120.0]));
+        // Mean 100 -> 80 is a 20% drop: passes at 30%.
+        let dis_ok = write_tmp("perf_gate_dis_ok.json", &slo_trend(&[64.0, 96.0]));
+        // Mean 100 -> 50 is a 50% drop: fails.
+        let dis_bad = write_tmp("perf_gate_dis_bad.json", &slo_trend(&[40.0, 60.0]));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--disagg".to_string(),
+                dis_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&dis_ok)), Ok(true));
+        assert_eq!(run(&args(&dis_bad)), Ok(false));
+        let empty = write_tmp("perf_gate_dis_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+    }
+
+    #[test]
+    fn recap_covers_every_checked_metric_in_every_mode() {
+        // The recap is built from whatever deltas accumulated — the
+        // engine-only pair, or engine + any optional gates — so no mode can
+        // silently drop it.
+        let engine_only = recap_line(
+            true,
+            &[
+                ("engine.intervals_per_sec".to_string(), 2.0),
+                ("pricing.batches_priced_per_sec_memoized".to_string(), -1.0),
+            ],
+        );
+        assert!(engine_only.contains("all within threshold"));
+        assert!(engine_only.contains("engine.intervals_per_sec +2.0%"));
+        assert!(engine_only.contains("-1.0%"));
+        let failing = recap_line(
+            false,
+            &[("disagg.mean_goodput_per_minute".to_string(), -45.0)],
+        );
+        assert!(failing.contains("REGRESSION"));
+        assert!(failing.contains("disagg.mean_goodput_per_minute -45.0%"));
     }
 
     #[test]

@@ -208,6 +208,22 @@ pub struct PrefixMatch {
     pub cow_source: Option<BlockId>,
 }
 
+/// A serialized KV block chain in flight between replicas: the
+/// pool-independent description of one request's resident context that a
+/// disaggregated prefill→decode handoff ships across the fleet. Block
+/// *identities* are pool-local, so a chain carries only its shape — token
+/// and block counts — and is re-materialized by [`BlockPool::adopt_chain`]
+/// as freshly allocated private blocks on the receiving pool. The bytes on
+/// the wire are modeled by the cluster's migration cost model, not stored
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvChain {
+    /// Context tokens the chain holds (prompt + tokens generated so far).
+    pub tokens: usize,
+    /// Blocks backing those tokens on the source pool.
+    pub blocks: usize,
+}
+
 /// Per-block pool state.
 #[derive(Debug, Clone)]
 struct BlockState {
@@ -412,6 +428,34 @@ impl BlockPool {
                 }
             }
         }
+    }
+
+    /// Serialize a request's block chain for a cross-replica KV handoff:
+    /// release every block locally (indexed blocks stay cached for other
+    /// sharers) and return the pool-independent [`KvChain`] descriptor a
+    /// decode replica re-materializes via [`BlockPool::adopt_chain`].
+    /// `tokens` is the context the chain holds (prompt + generated so far);
+    /// the transfer *cost* of those tokens is the cluster migration model's
+    /// job, not the pool's.
+    pub fn export_chain(&mut self, blocks: &[BlockId], tokens: usize) -> KvChain {
+        let chain = KvChain {
+            tokens,
+            blocks: blocks.len(),
+        };
+        self.release(blocks);
+        chain
+    }
+
+    /// Re-materialize a migrated chain on this pool: allocate `chain.blocks`
+    /// fresh private blocks (evicting cached prefixes LRU-first as needed),
+    /// standing in for the KV pages the transfer delivered. Returns `None` —
+    /// and allocates nothing — when even eviction cannot make room; the
+    /// import retries once residents free capacity. Adopted blocks are
+    /// private (never entered into the prefix index): block fingerprints are
+    /// pool-local, so a migrated chain cannot be proven equal to a cached
+    /// one here.
+    pub fn adopt_chain(&mut self, chain: KvChain) -> Option<Vec<BlockId>> {
+        self.alloc(chain.blocks)
     }
 
     /// Longest cached prefix of `content`'s stream available right now,

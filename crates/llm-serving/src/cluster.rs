@@ -12,7 +12,7 @@
 //! into a [`ClusterReport`] with fleet-level latency percentiles and a
 //! replica-imbalance measure.
 
-use crate::engine::ServingEngine;
+use crate::engine::{PrefillHandoff, ServingEngine};
 use crate::json::JsonValue;
 use crate::metrics::ServingReport;
 use crate::request::{Request, RequestSpec};
@@ -76,6 +76,174 @@ impl RouterPolicy {
             } => format!("decode-aware(long>={long_prefill_tokens})"),
             RouterPolicy::PrefixAffinity => "prefix-affinity".to_string(),
         }
+    }
+}
+
+/// What work a replica accepts in a (possibly disaggregated) fleet.
+///
+/// The paper's central claim is that fusing prefill and decode *inside one
+/// GPU* (POD-Attention on colocated replicas) beats splitting them across
+/// replicas; these roles make the strongest alternative — disaggregated
+/// prefill/decode serving with KV-cache migration, as in Splitwise and
+/// DistServe — representable, so the comparison can actually be run
+/// (`fig19_disaggregation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Serves the full request lifecycle (prefill and decode) locally — the
+    /// historical behavior and the default.
+    Colocated,
+    /// Accepts fresh prompts, runs their chunked prefill, mints the first
+    /// token, then ships the KV chain to a decode replica
+    /// ([`ServingEngine::take_ready_handoffs`]).
+    PrefillOnly,
+    /// Never routed fresh prompts; resumes migrated requests' decodes after
+    /// adopting their KV chains ([`ServingEngine::import_handoff`]).
+    DecodeOnly,
+}
+
+impl ReplicaRole {
+    /// Human-readable name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplicaRole::Colocated => "colocated",
+            ReplicaRole::PrefillOnly => "prefill",
+            ReplicaRole::DecodeOnly => "decode",
+        }
+    }
+
+    /// Whether fresh prompts may be routed here.
+    fn accepts_prompts(&self) -> bool {
+        !matches!(self, ReplicaRole::DecodeOnly)
+    }
+}
+
+/// Cost model of a prefill→decode KV-cache migration: per-token transfer
+/// over a configurable link, a fixed per-handoff latency, and optional
+/// compute/communication overlap à la ISO (arXiv:2409.11155), layered on the
+/// cluster's virtual clock.
+///
+/// A handoff of `T` context tokens ships `T × kv_bytes_per_token` bytes (one
+/// tensor-parallel shard's KV per link; shards transfer in parallel). The
+/// request is unavailable to the decode replica for the resulting *stall*:
+///
+/// * without overlap: `latency + bytes / bandwidth`;
+/// * with overlap: the transfer streams layer-by-layer **during** the
+///   chunked prefill that produces the KV, so only the tail that outruns
+///   the prefill window remains: `latency + max(0, bytes / bandwidth −
+///   prefill_window)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvMigration {
+    /// Link bandwidth in GB/s per replica pair (use `f64::INFINITY` for the
+    /// zero-cost ideal).
+    pub bandwidth_gbps: f64,
+    /// Fixed per-handoff latency in seconds (connection setup, control RPCs,
+    /// block-table exchange).
+    pub latency: f64,
+    /// Whether the transfer overlaps with the prefill computation that
+    /// produces the KV (ISO-style layer-wise streaming).
+    pub overlap: bool,
+}
+
+impl KvMigration {
+    /// A migration link with the given bandwidth and per-handoff latency,
+    /// no compute overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive or the latency is negative or
+    /// non-finite.
+    pub fn new(bandwidth_gbps: f64, latency: f64) -> Self {
+        let m = KvMigration {
+            bandwidth_gbps,
+            latency,
+            overlap: false,
+        };
+        m.validate();
+        m
+    }
+
+    /// The zero-cost ideal: infinite bandwidth, zero latency. With ample
+    /// replicas this makes disaggregation match colocation — the control
+    /// every realistic link is measured against.
+    pub fn free() -> Self {
+        KvMigration {
+            bandwidth_gbps: f64::INFINITY,
+            latency: 0.0,
+            overlap: false,
+        }
+    }
+
+    /// A cross-node InfiniBand-class link: 25 GB/s, 2 ms per handoff.
+    pub fn infiniband() -> Self {
+        KvMigration::new(25.0, 0.002)
+    }
+
+    /// A PCIe-bounce / TCP-class link: 2 GB/s, 5 ms per handoff — the regime
+    /// where migration stalls dominate TBT.
+    pub fn commodity() -> Self {
+        KvMigration::new(2.0, 0.005)
+    }
+
+    /// The same link with ISO-style compute/communication overlap enabled.
+    pub fn with_overlap(mut self) -> Self {
+        self.overlap = true;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.bandwidth_gbps > 0.0,
+            "migration bandwidth must be positive (use f64::INFINITY for free)"
+        );
+        assert!(
+            self.latency >= 0.0 && self.latency.is_finite(),
+            "migration latency must be non-negative and finite"
+        );
+    }
+
+    /// Raw wire time for `kv_bytes` bytes, excluding latency.
+    fn wire_secs(&self, kv_bytes: f64) -> f64 {
+        if self.bandwidth_gbps.is_infinite() {
+            0.0
+        } else {
+            kv_bytes / (self.bandwidth_gbps * 1e9)
+        }
+    }
+
+    /// End-to-end transfer time for `kv_bytes` bytes (latency + wire).
+    pub fn transfer_secs(&self, kv_bytes: f64) -> f64 {
+        self.latency + self.wire_secs(kv_bytes)
+    }
+
+    /// Seconds the migrated request is unavailable after its prefill
+    /// completes: the whole transfer, minus whatever `overlap_window`
+    /// seconds of prefill computation the transfer could stream behind
+    /// (only with `overlap` on).
+    pub fn stall_secs(&self, kv_bytes: f64, overlap_window: f64) -> f64 {
+        if self.overlap {
+            self.latency + (self.wire_secs(kv_bytes) - overlap_window.max(0.0)).max(0.0)
+        } else {
+            self.transfer_secs(kv_bytes)
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn label(&self) -> String {
+        if self.bandwidth_gbps.is_infinite() && self.latency == 0.0 {
+            return "free".to_string();
+        }
+        format!(
+            "{}GB/s+{:.0}ms{}",
+            self.bandwidth_gbps,
+            self.latency * 1e3,
+            if self.overlap { "+overlap" } else { "" }
+        )
+    }
+}
+
+impl Default for KvMigration {
+    fn default() -> Self {
+        KvMigration::free()
     }
 }
 
@@ -194,29 +362,122 @@ pub struct ClusterConfig {
     pub router: RouterPolicy,
     /// Optional autoscaler. `None` (the default) pins the fleet at
     /// `replicas` and is bit-for-bit identical to the pre-autoscaler
-    /// cluster.
+    /// cluster. Incompatible with disaggregated roles.
     pub autoscaler: Option<AutoscalerConfig>,
+    /// Per-replica roles, in replica order (`replicas` entries). All
+    /// [`ReplicaRole::Colocated`] — the default — is bit-for-bit identical
+    /// to the pre-disaggregation cluster.
+    pub roles: Vec<ReplicaRole>,
+    /// KV-migration cost model for prefill→decode handoffs (only exercised
+    /// when the fleet has [`ReplicaRole::PrefillOnly`] replicas).
+    pub migration: KvMigration,
 }
 
 impl ClusterConfig {
-    /// A fleet of `replicas` identical replicas behind `router`, with no
-    /// autoscaler.
+    /// A fleet of `replicas` identical colocated replicas behind `router`,
+    /// with no autoscaler.
     pub fn new(base: ServingConfig, replicas: usize, router: RouterPolicy) -> Self {
         ClusterConfig {
             base,
             replicas,
             router,
             autoscaler: None,
+            roles: vec![ReplicaRole::Colocated; replicas],
+            migration: KvMigration::free(),
         }
+    }
+
+    /// A disaggregated fleet: `prefill` prefill-only replicas followed by
+    /// `decode` decode-only replicas, with KV handoffs priced by
+    /// `migration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side of the fleet is empty.
+    pub fn disaggregated(
+        base: ServingConfig,
+        prefill: usize,
+        decode: usize,
+        router: RouterPolicy,
+        migration: KvMigration,
+    ) -> Self {
+        let mut roles = vec![ReplicaRole::PrefillOnly; prefill];
+        roles.extend(std::iter::repeat(ReplicaRole::DecodeOnly).take(decode));
+        ClusterConfig::new(base, prefill + decode, router).with_roles(roles, migration)
+    }
+
+    /// The same fleet with explicit per-replica roles (mixed fleets —
+    /// colocated replicas alongside a disaggregated pair — are allowed) and
+    /// a migration cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role list length disagrees with `replicas`, if no
+    /// replica accepts prompts, if prefill-only replicas exist without a
+    /// decode-only replica to hand off to (or vice versa), or if an
+    /// autoscaler is attached (autoscaling is colocated-only).
+    pub fn with_roles(mut self, roles: Vec<ReplicaRole>, migration: KvMigration) -> Self {
+        migration.validate();
+        self.roles = roles;
+        self.migration = migration;
+        self.validate_roles();
+        self
+    }
+
+    /// Whether any replica has a non-colocated role.
+    pub fn is_disaggregated(&self) -> bool {
+        self.roles.iter().any(|r| *r != ReplicaRole::Colocated)
+    }
+
+    fn validate_roles(&self) {
+        assert_eq!(
+            self.roles.len(),
+            self.replicas,
+            "role list ({}) must cover every replica ({})",
+            self.roles.len(),
+            self.replicas
+        );
+        let prefill_only = self
+            .roles
+            .iter()
+            .filter(|r| **r == ReplicaRole::PrefillOnly)
+            .count();
+        let decode_only = self
+            .roles
+            .iter()
+            .filter(|r| **r == ReplicaRole::DecodeOnly)
+            .count();
+        assert!(
+            self.roles.iter().any(|r| r.accepts_prompts()),
+            "a fleet needs at least one replica that accepts prompts"
+        );
+        assert!(
+            (prefill_only > 0) == (decode_only > 0),
+            "disaggregation needs both sides: {prefill_only} prefill-only vs \
+             {decode_only} decode-only replicas"
+        );
+        assert!(
+            !(self.is_disaggregated() && self.autoscaler.is_some()),
+            "the autoscaler supports colocated fleets only"
+        );
     }
 
     /// The same fleet with an autoscaler attached (`replicas` becomes the
     /// initial size and is clamped into the autoscaler's bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disaggregated fleet (autoscaling is colocated-only).
     pub fn with_autoscaler(mut self, autoscaler: AutoscalerConfig) -> Self {
         autoscaler.validate();
+        assert!(
+            !self.is_disaggregated(),
+            "the autoscaler supports colocated fleets only"
+        );
         self.replicas = self
             .replicas
             .clamp(autoscaler.min_replicas, autoscaler.max_replicas);
+        self.roles = vec![ReplicaRole::Colocated; self.replicas];
         self.autoscaler = Some(autoscaler);
         self
     }
@@ -253,6 +514,37 @@ pub struct Cluster {
     /// Scale-pressure streaks (consecutive over/under-threshold checks).
     out_streak: usize,
     in_streak: usize,
+    /// Per-replica roles (parallel to `replicas`; autoscaler-spawned
+    /// replicas are always colocated).
+    roles: Vec<ReplicaRole>,
+    /// KV-migration cost model for prefill→decode handoffs.
+    migration: KvMigration,
+}
+
+/// A KV chain in flight between replicas: delivered to a decode replica at
+/// `at` (export time + migration stall). `seq` breaks time ties
+/// deterministically, in export order.
+#[derive(Debug)]
+struct Delivery {
+    at: f64,
+    seq: usize,
+    handoff: PrefillHandoff,
+}
+
+/// Remove and return the earliest delivery due at or before `t` (by
+/// `(at, seq)`), if any.
+fn pop_due(deliveries: &mut Vec<Delivery>, t: f64) -> Option<Delivery> {
+    let best = deliveries
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.at <= t)
+        .min_by(|(_, a), (_, b)| {
+            a.at.partial_cmp(&b.at)
+                .expect("delivery times are never NaN")
+                .then(a.seq.cmp(&b.seq))
+        })
+        .map(|(i, _)| i)?;
+    Some(deliveries.swap_remove(best))
 }
 
 impl Cluster {
@@ -263,8 +555,15 @@ impl Cluster {
     /// Panics if `replicas` is zero.
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.replicas > 0, "a cluster needs at least one replica");
-        let replicas: Vec<ServingEngine> = (0..config.replicas)
-            .map(|_| ServingEngine::new(config.base.clone()))
+        config.validate_roles();
+        let replicas: Vec<ServingEngine> = config
+            .roles
+            .iter()
+            .map(|role| {
+                let mut engine = ServingEngine::new(config.base.clone());
+                engine.set_export_prefills(*role == ReplicaRole::PrefillOnly);
+                engine
+            })
             .collect();
         Cluster {
             router: config.router,
@@ -278,8 +577,15 @@ impl Cluster {
             peak_active: config.replicas,
             out_streak: 0,
             in_streak: 0,
+            roles: config.roles,
+            migration: config.migration,
             replicas,
         }
+    }
+
+    /// Per-replica roles, in replica order.
+    pub fn roles(&self) -> &[ReplicaRole] {
+        &self.roles
     }
 
     /// The replica engines (inspectable mid-run or after). Under autoscaling
@@ -296,13 +602,30 @@ impl Cluster {
             .collect()
     }
 
+    /// Indices of replicas fresh prompts may be routed to: active, and not
+    /// decode-only.
+    fn routable_indices(&self) -> Vec<usize> {
+        (0..self.replicas.len())
+            .filter(|&i| {
+                self.lifecycle[i].state == ReplicaState::Active && self.roles[i].accepts_prompts()
+            })
+            .collect()
+    }
+
+    /// Indices of decode-only replicas (migration targets).
+    fn decode_indices(&self) -> Vec<usize> {
+        (0..self.replicas.len())
+            .filter(|&i| self.roles[i] == ReplicaRole::DecodeOnly)
+            .collect()
+    }
+
     /// Pick the replica for `spec` given current replica state, without
     /// submitting it. This **advances router state** (the round-robin
     /// cursor): call it once per request, exactly as [`Cluster::run`] does,
-    /// not as a side-effect-free preview. Draining and retired replicas are
-    /// never picked.
+    /// not as a side-effect-free preview. Draining, retired and decode-only
+    /// replicas are never picked.
     pub fn route(&mut self, spec: &RequestSpec) -> usize {
-        let candidates = self.active_indices();
+        let candidates = self.routable_indices();
         self.route_among(&candidates, spec)
     }
 
@@ -354,8 +677,10 @@ impl Cluster {
     fn reset(&mut self) {
         let base = self.replicas[0].config().clone();
         self.replicas.truncate(self.initial_replicas);
-        for replica in &mut self.replicas {
+        self.roles.truncate(self.initial_replicas);
+        for (replica, role) in self.replicas.iter_mut().zip(&self.roles) {
             *replica = ServingEngine::new(base.clone());
+            replica.set_export_prefills(*role == ReplicaRole::PrefillOnly);
         }
         self.rr_next = 0;
         self.assigned = vec![0; self.replicas.len()];
@@ -390,8 +715,9 @@ impl Cluster {
                 .expect("arrival times must not be NaN")
         });
 
-        match self.autoscaler {
-            None => {
+        let disaggregated = self.roles.iter().any(|r| *r != ReplicaRole::Colocated);
+        match (self.autoscaler, disaggregated) {
+            (None, false) => {
                 for &i in &order {
                     let spec = specs[i];
                     for replica in &mut self.replicas {
@@ -405,9 +731,124 @@ impl Cluster {
                     replica.run_until_drained();
                 }
             }
-            Some(scaler) => self.run_autoscaled(&specs, &order, scaler),
+            (None, true) => self.run_disaggregated(&specs, &order),
+            (Some(scaler), _) => self.run_autoscaled(&specs, &order, scaler),
         }
         self.report()
+    }
+
+    /// The disaggregated serving loop: arrivals land on prefill-capable
+    /// replicas, completed prefills ship their KV chains through the
+    /// migration model, and decode replicas resume the requests when the
+    /// chains arrive — all on the shared virtual clock.
+    fn run_disaggregated(&mut self, specs: &[RequestSpec], order: &[usize]) {
+        let bytes_per_token = self.replicas[0]
+            .config()
+            .model
+            .attention
+            .kv_bytes_per_token() as f64;
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut seq = 0usize;
+
+        for &i in order {
+            let spec = specs[i];
+            self.pump_migrations(spec.arrival, bytes_per_token, &mut deliveries, &mut seq);
+            let target = self.route(&spec);
+            self.replicas[target].submit(spec);
+            self.assigned[target] += 1;
+        }
+
+        // Drain. Prefill-capable replicas receive no further work — and
+        // deliveries create decode-side work only — so one pass drains the
+        // prefill side and surfaces every remaining export. The deliveries
+        // then drive the decode side in (time, seq) order, each landing
+        // with decode state advanced to its delivery instant.
+        for i in 0..self.replicas.len() {
+            if self.roles[i].accepts_prompts() {
+                self.replicas[i].run_until_drained();
+            }
+        }
+        self.collect_exports(bytes_per_token, &mut deliveries, &mut seq);
+        deliveries.sort_by(|a, b| {
+            a.at.partial_cmp(&b.at)
+                .expect("delivery times are never NaN")
+                .then(a.seq.cmp(&b.seq))
+        });
+        let decode = self.decode_indices();
+        for d in std::mem::take(&mut deliveries) {
+            for &j in &decode {
+                self.replicas[j].advance_to(d.at);
+            }
+            self.deliver(d);
+        }
+        for &j in &decode {
+            self.replicas[j].run_until_drained();
+        }
+    }
+
+    /// Advance the fleet to simulated time `t`, moving any KV chains whose
+    /// prefill completed along the way: prefill-capable replicas advance
+    /// first (producing exports), then every delivery due by `t` lands on a
+    /// decode replica at its delivery instant, then the decode side catches
+    /// up to `t`.
+    fn pump_migrations(
+        &mut self,
+        t: f64,
+        bytes_per_token: f64,
+        deliveries: &mut Vec<Delivery>,
+        seq: &mut usize,
+    ) {
+        for i in 0..self.replicas.len() {
+            if self.roles[i].accepts_prompts() {
+                self.replicas[i].advance_to(t);
+            }
+        }
+        self.collect_exports(bytes_per_token, deliveries, seq);
+        while let Some(d) = pop_due(deliveries, t) {
+            for j in self.decode_indices() {
+                self.replicas[j].advance_to(d.at);
+            }
+            self.deliver(d);
+        }
+        for j in self.decode_indices() {
+            self.replicas[j].advance_to(t);
+        }
+    }
+
+    /// Pull completed prefills off every prefill-only replica and schedule
+    /// their deliveries: a handoff of `T` tokens arrives `stall` seconds
+    /// after its export, per the [`KvMigration`] model.
+    fn collect_exports(
+        &mut self,
+        bytes_per_token: f64,
+        deliveries: &mut Vec<Delivery>,
+        seq: &mut usize,
+    ) {
+        for i in 0..self.replicas.len() {
+            if self.roles[i] != ReplicaRole::PrefillOnly {
+                continue;
+            }
+            for handoff in self.replicas[i].take_ready_handoffs() {
+                let kv_bytes = handoff.chain.tokens as f64 * bytes_per_token;
+                let stall = self.migration.stall_secs(kv_bytes, handoff.prefill_window);
+                deliveries.push(Delivery {
+                    at: handoff.export_time + stall,
+                    seq: *seq,
+                    handoff,
+                });
+                *seq += 1;
+            }
+        }
+    }
+
+    /// Land one delivery on the least-loaded decode replica.
+    fn deliver(&mut self, d: Delivery) {
+        let targets = self.decode_indices();
+        let target = *targets
+            .iter()
+            .min_by_key(|&&j| (self.replicas[j].outstanding_tokens(), j))
+            .expect("validated fleets have a decode replica for every prefill replica");
+        self.replicas[target].import_handoff(d.handoff, d.at);
     }
 
     /// The autoscaled serving loop: arrivals and scaling checks interleave
@@ -494,6 +935,7 @@ impl Cluster {
         {
             let base = self.replicas[0].config().clone();
             self.replicas.push(ServingEngine::new(base));
+            self.roles.push(ReplicaRole::Colocated);
             self.lifecycle.push(ReplicaLife::new(now));
             self.assigned.push(0);
             self.scale_out_events += 1;
@@ -524,32 +966,66 @@ impl Cluster {
         }
     }
 
+    /// Aggregate the given replicas' work into one [`ServingReport`]:
+    /// latency statistics over every request they served, counter fields
+    /// summed, makespan = the last of them to finish.
+    fn aggregate_over(&self, idxs: &[usize], per_replica: &[ServingReport]) -> ServingReport {
+        let requests: Vec<Request> = idxs
+            .iter()
+            .flat_map(|&i| self.replicas[i].requests().iter().cloned())
+            .collect();
+        let subset: Vec<&ServingReport> = idxs.iter().map(|&i| &per_replica[i]).collect();
+        let makespan = subset.iter().map(|r| r.makespan).fold(0.0, f64::max);
+        let mut aggregate = ServingReport::from_requests(
+            &self.replicas[0].config().system_label(),
+            &requests,
+            makespan,
+            subset.iter().map(|r| r.iterations).sum(),
+            subset.iter().map(|r| r.hybrid_iterations).sum(),
+        );
+        aggregate.price_cache_hits = subset.iter().map(|r| r.price_cache_hits).sum();
+        aggregate.price_cache_misses = subset.iter().map(|r| r.price_cache_misses).sum();
+        aggregate.busy_time = subset.iter().map(|r| r.busy_time).sum();
+        aggregate.prefill_tokens_scheduled =
+            subset.iter().map(|r| r.prefill_tokens_scheduled).sum();
+        aggregate.cached_prefix_tokens = subset.iter().map(|r| r.cached_prefix_tokens).sum();
+        aggregate.blocks_reused = subset.iter().map(|r| r.blocks_reused).sum();
+        aggregate.cow_copies = subset.iter().map(|r| r.cow_copies).sum();
+        aggregate.preemptions = subset.iter().map(|r| r.preemptions).sum();
+        aggregate.blocks_evicted = subset.iter().map(|r| r.blocks_evicted).sum();
+        aggregate.migrated_out_requests = subset.iter().map(|r| r.migrated_out_requests).sum();
+        aggregate.migrated_in_requests = subset.iter().map(|r| r.migrated_in_requests).sum();
+        aggregate.migrated_tokens = subset.iter().map(|r| r.migrated_tokens).sum();
+        aggregate.migration_stall_time = subset.iter().map(|r| r.migration_stall_time).sum();
+        aggregate
+    }
+
     /// Aggregate what the fleet has served so far into a [`ClusterReport`].
     pub fn report(&self) -> ClusterReport {
         let per_replica: Vec<ServingReport> = self.replicas.iter().map(|r| r.report()).collect();
-        let all_requests: Vec<Request> = self
-            .replicas
-            .iter()
-            .flat_map(|r| r.requests().iter().cloned())
-            .collect();
-        let makespan = per_replica.iter().map(|r| r.makespan).fold(0.0, f64::max);
-        let mut aggregate = ServingReport::from_requests(
-            &self.replicas[0].config().system_label(),
-            &all_requests,
-            makespan,
-            per_replica.iter().map(|r| r.iterations).sum(),
-            per_replica.iter().map(|r| r.hybrid_iterations).sum(),
-        );
-        aggregate.price_cache_hits = per_replica.iter().map(|r| r.price_cache_hits).sum();
-        aggregate.price_cache_misses = per_replica.iter().map(|r| r.price_cache_misses).sum();
-        aggregate.busy_time = per_replica.iter().map(|r| r.busy_time).sum();
-        aggregate.prefill_tokens_scheduled =
-            per_replica.iter().map(|r| r.prefill_tokens_scheduled).sum();
-        aggregate.cached_prefix_tokens = per_replica.iter().map(|r| r.cached_prefix_tokens).sum();
-        aggregate.blocks_reused = per_replica.iter().map(|r| r.blocks_reused).sum();
-        aggregate.cow_copies = per_replica.iter().map(|r| r.cow_copies).sum();
-        aggregate.preemptions = per_replica.iter().map(|r| r.preemptions).sum();
-        aggregate.blocks_evicted = per_replica.iter().map(|r| r.blocks_evicted).sum();
+        let all: Vec<usize> = (0..self.replicas.len()).collect();
+        let aggregate = self.aggregate_over(&all, &per_replica);
+
+        // Per-role breakdown, in role-declaration order of first appearance
+        // (deterministic for a fixed fleet). One entry per role present.
+        let mut per_role: Vec<RoleReport> = Vec::new();
+        for role in [
+            ReplicaRole::Colocated,
+            ReplicaRole::PrefillOnly,
+            ReplicaRole::DecodeOnly,
+        ] {
+            let idxs: Vec<usize> = (0..self.replicas.len())
+                .filter(|&i| self.roles[i] == role)
+                .collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            per_role.push(RoleReport {
+                role: role.label().to_string(),
+                replicas: idxs.len(),
+                report: self.aggregate_over(&idxs, &per_replica),
+            });
+        }
 
         let max_busy = per_replica.iter().map(|r| r.busy_time).fold(0.0, f64::max);
         let mean_busy = aggregate.busy_time / per_replica.len() as f64;
@@ -576,6 +1052,9 @@ impl Cluster {
             router: self.router.label(),
             busy_imbalance,
             assigned_per_replica: self.assigned.clone(),
+            roles: self.roles.iter().map(|r| r.label().to_string()).collect(),
+            migration: self.migration.label(),
+            per_role,
             per_replica,
             aggregate,
             scale_out_events: self.scale_out_events,
@@ -600,6 +1079,32 @@ fn argmin_by_key<K: Ord>(
         .expect("cluster has at least one active replica")
 }
 
+/// One role's share of a fleet's work (colocated / prefill / decode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleReport {
+    /// Role label ([`ReplicaRole::label`]).
+    pub role: String,
+    /// Replicas holding this role.
+    pub replicas: usize,
+    /// Aggregate over those replicas: for prefill-only replicas the latency
+    /// stats are empty (their requests migrate out before finishing) but
+    /// busy time, iterations and `migrated_tokens` show the prefill side's
+    /// work; decode-only replicas carry the end-to-end latency stats of
+    /// every migrated request.
+    pub report: ServingReport,
+}
+
+impl RoleReport {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("role", JsonValue::str(&self.role)),
+            ("replicas", JsonValue::Num(self.replicas as f64)),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
 /// Fleet-level results of one cluster run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
@@ -613,6 +1118,14 @@ pub struct ClusterReport {
     pub per_replica: Vec<ServingReport>,
     /// Requests assigned to each replica, in replica order.
     pub assigned_per_replica: Vec<usize>,
+    /// Each replica's role label, in replica order.
+    pub roles: Vec<String>,
+    /// Migration cost-model label ([`KvMigration::label`]; `"free"` for
+    /// colocated fleets, which never migrate).
+    pub migration: String,
+    /// Per-role aggregation (one entry per role present in the fleet; a
+    /// single `"colocated"` entry for classic fleets).
+    pub per_role: Vec<RoleReport>,
     /// Max-over-mean replica busy time: 1.0 is a perfectly balanced fleet,
     /// N means one replica did all the work of N.
     pub busy_imbalance: f64,
@@ -648,6 +1161,15 @@ impl ClusterReport {
             ("router", JsonValue::str(&self.router)),
             ("replicas", JsonValue::Num(self.num_replicas() as f64)),
             ("busy_imbalance", JsonValue::Num(self.busy_imbalance)),
+            (
+                "roles",
+                JsonValue::Arr(self.roles.iter().map(|r| JsonValue::str(r)).collect()),
+            ),
+            ("migration", JsonValue::str(&self.migration)),
+            (
+                "per_role",
+                JsonValue::Arr(self.per_role.iter().map(|r| r.to_json()).collect()),
+            ),
             (
                 "autoscaler",
                 JsonValue::obj(vec![
@@ -994,5 +1516,206 @@ mod tests {
     #[should_panic(expected = "bounds inverted")]
     fn inverted_autoscaler_bounds_rejected() {
         let _ = AutoscalerConfig::new(4, 2);
+    }
+
+    // ----- disaggregated prefill/decode serving -----
+
+    #[test]
+    fn decode_only_replicas_never_receive_fresh_prompts() {
+        let config = ClusterConfig::disaggregated(
+            base(),
+            2,
+            2,
+            RouterPolicy::LeastOutstandingTokens,
+            KvMigration::free(),
+        );
+        let mut cluster = Cluster::new(config);
+        for _ in 0..8 {
+            let target = cluster.route(&RequestSpec::new(0.0, 4096, 64));
+            assert!(target < 2, "prompt routed to decode-only replica {target}");
+            cluster.replicas[target].submit(RequestSpec::new(0.0, 4096, 64));
+        }
+    }
+
+    #[test]
+    fn disaggregated_fleet_serves_every_request_exactly_once() {
+        let specs = Workload::internal().generate(24, 1.5, 41);
+        let report = Cluster::new(ClusterConfig::disaggregated(
+            base(),
+            2,
+            2,
+            RouterPolicy::decode_aware(),
+            KvMigration::infiniband(),
+        ))
+        .run(specs.clone());
+        assert_eq!(report.aggregate.completed, 24);
+        // Every multi-token request migrated exactly once; single-token
+        // outputs finish at prefill and never migrate.
+        let expect_migrations = specs.iter().filter(|s| s.output_tokens > 1).count();
+        assert_eq!(report.aggregate.migrated_out_requests, expect_migrations);
+        assert_eq!(report.aggregate.migrated_in_requests, expect_migrations);
+        assert!(report.aggregate.migrated_tokens > 0);
+        assert!(report.aggregate.migration_stall_time > 0.0);
+        // Per-role breakdown: prefill side completed nothing locally, decode
+        // side carries the completions.
+        assert_eq!(report.per_role.len(), 2);
+        let prefill = &report.per_role[0];
+        let decode = &report.per_role[1];
+        assert_eq!(prefill.role, "prefill");
+        assert_eq!(decode.role, "decode");
+        assert_eq!(
+            prefill.report.completed,
+            specs.len() - expect_migrations,
+            "prefill side completes only single-token outputs"
+        );
+        assert_eq!(decode.report.completed, expect_migrations);
+        assert!(prefill.report.busy_time > 0.0);
+        assert!(decode.report.busy_time > 0.0);
+    }
+
+    #[test]
+    fn disaggregated_runs_are_deterministic_and_resettable() {
+        let specs = Workload::internal().generate(20, 2.0, 9);
+        let mut cluster = Cluster::new(ClusterConfig::disaggregated(
+            base(),
+            1,
+            1,
+            RouterPolicy::RoundRobin,
+            KvMigration::commodity(),
+        ));
+        let a = cluster.run(specs.clone());
+        let b = cluster.run(specs);
+        assert_eq!(a, b, "repeated disaggregated runs must be independent");
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn colocated_roles_are_bit_for_bit_inert() {
+        // An explicit all-colocated role list (with a non-free migration
+        // model that can never be exercised) must reproduce the classic
+        // cluster exactly.
+        let specs = Workload::internal().generate(16, 1.2, 23);
+        let plain = Cluster::new(ClusterConfig::new(base(), 2, RouterPolicy::RoundRobin))
+            .run(specs.clone());
+        let roled = Cluster::new(
+            ClusterConfig::new(base(), 2, RouterPolicy::RoundRobin)
+                .with_roles(vec![ReplicaRole::Colocated; 2], KvMigration::infiniband()),
+        )
+        .run(specs);
+        assert_eq!(plain.aggregate, roled.aggregate);
+        assert_eq!(plain.per_replica, roled.per_replica);
+        assert_eq!(plain.assigned_per_replica, roled.assigned_per_replica);
+        assert_eq!(roled.aggregate.migrated_out_requests, 0);
+    }
+
+    #[test]
+    fn slower_migration_links_stall_decodes_longer() {
+        let specs = Workload::internal().generate(16, 1.5, 37);
+        let run_with = |migration: KvMigration| {
+            Cluster::new(ClusterConfig::disaggregated(
+                base(),
+                1,
+                1,
+                RouterPolicy::RoundRobin,
+                migration,
+            ))
+            .run(specs.clone())
+        };
+        let free = run_with(KvMigration::free());
+        let fast = run_with(KvMigration::infiniband());
+        let slow = run_with(KvMigration::commodity());
+        // Even a free link accrues some stall: the decode replica may be
+        // mid-iteration when a chain lands, and that residency queueing is
+        // migration-induced too. But a real link must stall strictly more.
+        assert!(
+            free.aggregate.migration_stall_time < fast.aggregate.migration_stall_time,
+            "a 25 GB/s link must stall more than a free one ({} vs {})",
+            fast.aggregate.migration_stall_time,
+            free.aggregate.migration_stall_time
+        );
+        assert!(
+            slow.aggregate.migration_stall_time > fast.aggregate.migration_stall_time,
+            "2 GB/s must stall more than 25 GB/s ({} vs {})",
+            slow.aggregate.migration_stall_time,
+            fast.aggregate.migration_stall_time
+        );
+        // The stall lands in the decode gap after the first token.
+        assert!(slow.aggregate.tbt.max >= fast.aggregate.tbt.max);
+    }
+
+    #[test]
+    fn overlap_hides_part_of_the_transfer() {
+        let specs = Workload::internal().generate(16, 1.5, 37);
+        let run_with = |migration: KvMigration| {
+            Cluster::new(ClusterConfig::disaggregated(
+                base(),
+                1,
+                1,
+                RouterPolicy::RoundRobin,
+                migration,
+            ))
+            .run(specs.clone())
+        };
+        let serial = run_with(KvMigration::commodity());
+        let overlapped = run_with(KvMigration::commodity().with_overlap());
+        assert!(
+            overlapped.aggregate.migration_stall_time < serial.aggregate.migration_stall_time,
+            "ISO-style overlap must hide transfer time behind the prefill \
+             ({} vs {})",
+            overlapped.aggregate.migration_stall_time,
+            serial.aggregate.migration_stall_time
+        );
+    }
+
+    #[test]
+    fn migration_cost_model_arithmetic() {
+        let m = KvMigration::new(10.0, 0.5);
+        // 20 GB at 10 GB/s = 2 s wire + 0.5 s latency.
+        assert!((m.transfer_secs(20e9) - 2.5).abs() < 1e-9);
+        assert_eq!(m.stall_secs(20e9, 100.0), m.transfer_secs(20e9));
+        let o = m.with_overlap();
+        // A 1.5 s prefill window hides 1.5 s of the 2 s wire time.
+        assert!((o.stall_secs(20e9, 1.5) - 1.0).abs() < 1e-9);
+        // A window longer than the wire time leaves only the latency.
+        assert!((o.stall_secs(20e9, 10.0) - 0.5).abs() < 1e-9);
+        assert_eq!(KvMigration::free().transfer_secs(1e12), 0.0);
+        assert_eq!(KvMigration::free().label(), "free");
+    }
+
+    #[test]
+    #[should_panic(expected = "both sides")]
+    fn prefill_only_without_decode_only_rejected() {
+        let _ = Cluster::new(
+            ClusterConfig::new(base(), 2, RouterPolicy::RoundRobin).with_roles(
+                vec![ReplicaRole::PrefillOnly, ReplicaRole::Colocated],
+                KvMigration::free(),
+            ),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "accepts prompts")]
+    fn all_decode_fleet_rejected() {
+        let _ = Cluster::new(
+            ClusterConfig::new(base(), 1, RouterPolicy::RoundRobin)
+                .with_roles(vec![ReplicaRole::DecodeOnly], KvMigration::free()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "colocated fleets only")]
+    fn autoscaled_disaggregation_rejected() {
+        let mut config = ClusterConfig::disaggregated(
+            base(),
+            1,
+            1,
+            RouterPolicy::RoundRobin,
+            KvMigration::free(),
+        );
+        config.autoscaler = Some(AutoscalerConfig::new(1, 2));
+        config.validate_roles();
     }
 }

@@ -11,7 +11,7 @@
 //! [`crate::Cluster`] interleaves many engines on a shared virtual clock
 //! through the same `step` entry point.
 
-use crate::blocks::{blocks_for, BlockId, Cursor, BLOCK_TOKENS};
+use crate::blocks::{blocks_for, BlockId, Cursor, KvChain, BLOCK_TOKENS};
 use crate::kvcache::KvCacheManager;
 use crate::linear::IterationCostModel;
 use crate::metrics::ServingReport;
@@ -327,6 +327,36 @@ pub struct IterationStats {
     pub newly_finished: usize,
 }
 
+/// A completed prefill packaged for migration to a decode replica
+/// (disaggregated serving): the request record — with its latency
+/// bookkeeping, since TTFT was stamped when this replica minted the first
+/// token — plus the serialized KV chain and the timing the cluster's
+/// migration cost model prices the transfer from.
+#[derive(Debug, Clone)]
+pub struct PrefillHandoff {
+    /// The request, prefill complete and first token minted.
+    pub request: Request,
+    /// Serialized KV chain (context tokens and the blocks backing them).
+    pub chain: KvChain,
+    /// Simulated time the prefill completed; the transfer starts no earlier.
+    pub export_time: f64,
+    /// Seconds the prefill computation spanned on the source replica — the
+    /// window a layer-wise-streaming transfer can overlap with compute
+    /// (ISO-style), since each layer's KV is final as soon as it is
+    /// computed.
+    pub prefill_window: f64,
+}
+
+/// A migrated-in request waiting for its KV transfer to complete and for
+/// residency on this replica.
+#[derive(Debug, Clone)]
+struct PendingImport {
+    /// When the KV chain finishes arriving (per the migration cost model).
+    available_at: f64,
+    request: Request,
+    chain: KvChain,
+}
+
 /// Per-request paged-KV state: its block table and how far its chain is
 /// registered in the prefix index.
 #[derive(Debug, Clone, Default)]
@@ -377,6 +407,24 @@ struct EngineState {
     cow_copies: usize,
     /// Decode preemptions (swap-outs) forced by pool exhaustion.
     preemptions: usize,
+    /// Requests that completed prefill and are parked for migration pickup
+    /// (prefill-export mode only), with their already-serialized KV chains.
+    /// The KV residency is released the moment a request parks — the
+    /// transfer is modeled as overlappable communication that does not
+    /// occupy source HBM — so parked exports can never deadlock admission.
+    pending_export: Vec<(usize, KvChain)>,
+    /// Migrated-in requests waiting on transfer completion / residency,
+    /// ordered by `available_at` (ties keep insertion order).
+    pending_imports: VecDeque<PendingImport>,
+    /// Requests handed off to a decode replica from here.
+    migrated_out: usize,
+    /// Requests that resumed decoding here after a handoff.
+    migrated_in: usize,
+    /// KV tokens shipped out of this replica across all handoffs.
+    migrated_tokens_out: usize,
+    /// Total seconds migrated-in requests spent between first token (on the
+    /// source) and decode admission here (transfer + residency queueing).
+    migration_stall_time: f64,
 }
 
 impl EngineState {
@@ -401,6 +449,12 @@ impl EngineState {
             blocks_reused: 0,
             cow_copies: 0,
             preemptions: 0,
+            pending_export: Vec::new(),
+            pending_imports: VecDeque::new(),
+            migrated_out: 0,
+            migrated_in: 0,
+            migrated_tokens_out: 0,
+            migration_stall_time: 0.0,
         }
     }
 
@@ -552,6 +606,10 @@ pub struct ServingEngine {
     config: ServingConfig,
     cost: IterationCostModel,
     kv_capacity: usize,
+    /// Prefill-only mode (disaggregated serving): requests that complete
+    /// their prefill here are parked for [`ServingEngine::take_ready_handoffs`]
+    /// instead of decoding locally.
+    export_prefills: bool,
     state: EngineState,
 }
 
@@ -572,8 +630,23 @@ impl ServingEngine {
             config,
             cost,
             kv_capacity,
+            export_prefills: false,
             state: EngineState::new(kv_capacity),
         }
+    }
+
+    /// Put this replica in (or out of) prefill-only mode: with exporting on,
+    /// a request that completes its prefill — first token minted, TTFT
+    /// stamped — is parked for [`ServingEngine::take_ready_handoffs`]
+    /// instead of entering the local decode set. The cluster layer sets this
+    /// for [`crate::ReplicaRole::PrefillOnly`] replicas.
+    pub fn set_export_prefills(&mut self, export: bool) {
+        self.export_prefills = export;
+    }
+
+    /// Whether this replica exports completed prefills instead of decoding.
+    pub fn exports_prefills(&self) -> bool {
+        self.export_prefills
     }
 
     /// The configuration in effect.
@@ -658,11 +731,84 @@ impl ServingEngine {
         specs
     }
 
-    /// Whether every submitted request has finished.
+    /// Take every request that completed its prefill since the last call and
+    /// package each as a [`PrefillHandoff`]: its KV residency is released
+    /// here (serialized into the handoff's [`KvChain`]; blocks already
+    /// registered in the prefix index stay cached for future sharers), the
+    /// local record is marked migrated-out and excluded from this replica's
+    /// metrics, and the returned handoffs carry the latency bookkeeping to
+    /// the decode replica. Only meaningful in prefill-export mode.
+    pub fn take_ready_handoffs(&mut self) -> Vec<PrefillHandoff> {
+        let st = &mut self.state;
+        let mut out = Vec::with_capacity(st.pending_export.len());
+        for (rid, chain) in std::mem::take(&mut st.pending_export) {
+            let export_time = st.requests[rid]
+                .first_token_time
+                .expect("exported requests completed their prefill");
+            let prefill_window =
+                export_time - st.requests[rid].prefill_start_time.unwrap_or(export_time);
+            let request = st.requests[rid].clone();
+            st.requests[rid].migrated_out = true;
+            st.migrated_out += 1;
+            st.migrated_tokens_out += chain.tokens;
+            out.push(PrefillHandoff {
+                request,
+                chain,
+                export_time,
+                prefill_window,
+            });
+        }
+        out
+    }
+
+    /// Hand a migrated request to this replica: its KV chain finishes
+    /// arriving at `available_at` (as priced by the cluster's migration
+    /// model), after which the next [`ServingEngine::step`] adopts the chain
+    /// into the local KV cache and resumes decoding. If the cache is full at
+    /// delivery, the import waits for residents to finish (the waiting time
+    /// is accounted as migration stall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handoff's request is not prefill-complete.
+    pub fn import_handoff(&mut self, handoff: PrefillHandoff, available_at: f64) {
+        assert_eq!(
+            handoff.request.phase(),
+            Phase::Decoding,
+            "only prefill-complete requests migrate"
+        );
+        let at = self
+            .state
+            .pending_imports
+            .partition_point(|imp| imp.available_at <= available_at);
+        self.state.pending_imports.insert(
+            at,
+            PendingImport {
+                available_at,
+                request: handoff.request,
+                chain: handoff.chain,
+            },
+        );
+    }
+
+    /// Completed prefills parked for migration pickup.
+    pub fn ready_handoffs(&self) -> usize {
+        self.state.pending_export.len()
+    }
+
+    /// Migrated-in requests whose transfer or residency is still pending.
+    pub fn pending_imports(&self) -> usize {
+        self.state.pending_imports.len()
+    }
+
+    /// Whether every submitted request has finished (including any parked
+    /// handoffs being picked up and any migrated-in arrivals being served).
     pub fn is_drained(&self) -> bool {
         self.state.arrivals.is_empty()
             && self.state.waiting.is_empty()
             && self.state.running.is_empty()
+            && self.state.pending_export.is_empty()
+            && self.state.pending_imports.is_empty()
     }
 
     /// Requests currently in their decode phase.
@@ -695,7 +841,14 @@ impl ServingEngine {
             .chain(st.waiting.iter())
             .chain(st.running.iter())
             .map(|&r| st.requests[r].remaining_tokens())
-            .sum()
+            .sum::<usize>()
+            // Migrated-in requests still in flight are committed work too —
+            // without them, simultaneous deliveries would all dogpile onto
+            // the same decode replica.
+            + st.pending_imports
+                .iter()
+                .map(|imp| imp.request.remaining_tokens())
+                .sum::<usize>()
     }
 
     /// Fraction of the KV cache currently reserved.
@@ -738,6 +891,62 @@ impl ServingEngine {
             } else {
                 break;
             }
+        }
+
+        // Adopt migrated-in KV chains whose transfer has completed: allocate
+        // residency and resume the request's decode here. Delivery order is
+        // FIFO — a failed allocation holds later imports back too, so
+        // admission is deterministic and the longest-waiting chain lands
+        // first once capacity frees up.
+        while st
+            .pending_imports
+            .front()
+            .is_some_and(|imp| imp.available_at <= st.clock)
+        {
+            let front = st.pending_imports.front().expect("front checked above");
+            let adopted = match self.config.kv_policy {
+                KvCachePolicy::Conservative => st
+                    .kv
+                    .reserve(front.request.spec.total_tokens())
+                    .then(Vec::new),
+                KvCachePolicy::Paged { .. } => {
+                    // Mirror paged admission's +1 rule: room for the chain
+                    // plus the next minted token, so a fresh import cannot
+                    // immediately preempt itself on first growth.
+                    let blocks =
+                        blocks_for(front.request.context_len() + 1).max(front.chain.blocks);
+                    st.kv.adopt_chain(KvChain {
+                        tokens: front.chain.tokens,
+                        blocks,
+                    })
+                }
+            };
+            let Some(blocks) = adopted else {
+                break;
+            };
+            let mut imp = st.pending_imports.pop_front().expect("front exists");
+            let rid = st.requests.len();
+            imp.request.id = rid;
+            imp.request.migrated_in = true;
+            let stall = st.clock
+                - imp
+                    .request
+                    .first_token_time
+                    .expect("migrated requests completed prefill");
+            imp.request.migration_stall = stall;
+            st.migration_stall_time += stall;
+            st.migrated_in += 1;
+            st.requests.push(imp.request);
+            st.reserved.push(true);
+            st.tables.push(RequestKv {
+                blocks,
+                // Adopted chains stay private: block fingerprints are
+                // pool-local, so the migrated KV cannot be proven equal to
+                // anything in this replica's prefix index.
+                index_stalled: true,
+                ..RequestKv::default()
+            });
+            st.running.push(rid);
         }
 
         // Under the paged policy, decode growth happens before batch
@@ -886,8 +1095,35 @@ impl ServingEngine {
         };
 
         if plan.is_empty() {
-            if let Some(&id) = st.arrivals.front() {
-                return IterationOutcome::IdleUntil(st.requests[id].spec.arrival);
+            // A due-but-unadmitted import with no resident work left to free
+            // capacity can never fit: the migration analog of the oversized-
+            // request deadlock.
+            let import_due = st
+                .pending_imports
+                .front()
+                .is_some_and(|imp| imp.available_at <= st.clock);
+            if import_due && st.waiting.is_empty() && st.running.is_empty() {
+                return IterationOutcome::Blocked {
+                    needed_tokens: st
+                        .pending_imports
+                        .front()
+                        .map(|imp| imp.request.spec.total_tokens())
+                        .unwrap_or(0),
+                    capacity_tokens: self.kv_capacity,
+                };
+            }
+            let next_arrival = st.arrivals.front().map(|&id| st.requests[id].spec.arrival);
+            let next_import = st
+                .pending_imports
+                .front()
+                .map(|imp| imp.available_at)
+                .filter(|&t| t > st.clock);
+            let wake = match (next_arrival, next_import) {
+                (Some(a), Some(m)) => Some(a.min(m)),
+                (a, m) => a.or(m),
+            };
+            if let Some(t) = wake {
+                return IterationOutcome::IdleUntil(t);
             }
             if st.waiting.is_empty() && st.running.is_empty() {
                 return IterationOutcome::Drained;
@@ -961,6 +1197,42 @@ impl ServingEngine {
         }
         for &rid in &finished {
             st.release_finished(rid, self.config.kv_policy);
+        }
+
+        // Prefill-export mode: a request that just completed its prefill
+        // (first token minted, TTFT stamped, blocks indexed above so the
+        // local prefix cache keeps serving future sharers) parks for
+        // migration pickup instead of decoding here. Its KV residency is
+        // serialized into the handoff chain and released *now* — the
+        // transfer is overlappable communication, not source HBM — so a
+        // backlog of parked exports can never wedge admission. Requests that
+        // finished outright at prefill (single-token outputs) have nothing
+        // to migrate.
+        if self.export_prefills {
+            if let Some((rid, _)) = plan.prefill {
+                if st.requests[rid].phase() == Phase::Decoding {
+                    st.running.retain(|&r| r != rid);
+                    let tokens = st.requests[rid].context_len();
+                    let chain = match self.config.kv_policy {
+                        KvCachePolicy::Conservative => {
+                            if st.reserved[rid] {
+                                st.kv.release(st.requests[rid].spec.total_tokens());
+                                st.reserved[rid] = false;
+                            }
+                            KvChain {
+                                tokens,
+                                blocks: blocks_for(tokens),
+                            }
+                        }
+                        KvCachePolicy::Paged { .. } => {
+                            let table = std::mem::take(&mut st.tables[rid]);
+                            st.reserved[rid] = false;
+                            st.kv.export_chain(&table.blocks, tokens)
+                        }
+                    };
+                    st.pending_export.push((rid, chain));
+                }
+            }
         }
 
         // Token accounting via the plan's own budget arithmetic, so the
@@ -1042,6 +1314,10 @@ impl ServingEngine {
         report.cow_copies = st.cow_copies;
         report.preemptions = st.preemptions;
         report.blocks_evicted = st.kv.blocks_evicted();
+        report.migrated_out_requests = st.migrated_out;
+        report.migrated_in_requests = st.migrated_in;
+        report.migrated_tokens = st.migrated_tokens_out;
+        report.migration_stall_time = st.migration_stall_time;
         report
     }
 
@@ -1064,6 +1340,7 @@ impl ServingEngine {
             config: self.config.clone(),
             cost: self.cost.clone(),
             kv_capacity: self.kv_capacity,
+            export_prefills: self.export_prefills,
             state: EngineState::new(self.kv_capacity),
         };
         for spec in specs {

@@ -17,7 +17,7 @@
 //!   [`crate::PrefixIndex`], shares blocks copy-on-write, and evicts cached
 //!   prefixes LRU-first.
 
-use crate::blocks::{blocks_for, BlockId, BlockPool, Cursor, PrefixMatch};
+use crate::blocks::{blocks_for, BlockId, BlockPool, Cursor, KvChain, PrefixMatch};
 use crate::request::PromptContent;
 
 pub use crate::blocks::BLOCK_TOKENS;
@@ -155,6 +155,18 @@ impl KvCacheManager {
         blocks: &[BlockId],
     ) -> (Cursor, usize) {
         self.pool.extend_index(cursor, content, start_block, blocks)
+    }
+
+    /// Serialize a block chain for a cross-replica KV handoff (releasing it
+    /// locally). See [`BlockPool::export_chain`].
+    pub fn export_chain(&mut self, blocks: &[BlockId], tokens: usize) -> KvChain {
+        self.pool.export_chain(blocks, tokens)
+    }
+
+    /// Re-materialize a migrated chain as fresh private blocks. See
+    /// [`BlockPool::adopt_chain`].
+    pub fn adopt_chain(&mut self, chain: KvChain) -> Option<Vec<BlockId>> {
+        self.pool.adopt_chain(chain)
     }
 
     /// Blocks holding cached (unreferenced but reusable) prefixes.

@@ -38,6 +38,15 @@
 //!   deadlines are already unmeetable, and the cluster can autoscale on
 //!   sustained backlog — scale-out mid-run, drain-then-retire on slack, with
 //!   hysteresis, bounds and a `replica_seconds` cost metric.
+//! * [`ReplicaRole`] / [`KvMigration`] — disaggregated prefill/decode
+//!   serving, the strongest alternative the paper argues against:
+//!   prefill-only replicas complete prompts and export [`PrefillHandoff`]s
+//!   (the request plus its serialized [`KvChain`]), a bandwidth/latency
+//!   cost model with optional ISO-style compute overlap prices the
+//!   transfer, and decode-only replicas adopt the chains and resume the
+//!   decodes — with conservation guarantees (no request or block lost or
+//!   duplicated across a handoff) and `migrated_*` / `migration_stall_time`
+//!   metrics plus per-role [`RoleReport`] aggregation.
 //! * [`Workload`] — synthetic traces matched to the paper's internal and
 //!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
 //!   sweeps and time-varying (bursty / diurnal) arrival schedules
@@ -77,12 +86,16 @@ mod rng;
 mod scheduler;
 mod workload;
 
-pub use blocks::{blocks_for, BlockId, BlockPool, Cursor, PrefixIndex, PrefixMatch, BLOCK_TOKENS};
+pub use blocks::{
+    blocks_for, BlockId, BlockPool, Cursor, KvChain, PrefixIndex, PrefixMatch, BLOCK_TOKENS,
+};
 pub use cluster::{
-    AutoscalerConfig, Cluster, ClusterConfig, ClusterReport, RouterPolicy, LONG_PREFILL_TOKENS,
+    AutoscalerConfig, Cluster, ClusterConfig, ClusterReport, KvMigration, ReplicaRole, RoleReport,
+    RouterPolicy, LONG_PREFILL_TOKENS,
 };
 pub use engine::{
-    AdmissionPolicy, IterationOutcome, IterationStats, KvCachePolicy, ServingConfig, ServingEngine,
+    AdmissionPolicy, IterationOutcome, IterationStats, KvCachePolicy, PrefillHandoff,
+    ServingConfig, ServingEngine,
 };
 pub use json::{JsonParseError, JsonValue};
 pub use kvcache::KvCacheManager;

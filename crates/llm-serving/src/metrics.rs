@@ -185,6 +185,19 @@ pub struct ServingReport {
     pub preemptions: usize,
     /// Cached prefix blocks evicted (LRU) to make room for allocations.
     pub blocks_evicted: usize,
+    /// Requests whose completed prefill was handed off to a decode replica
+    /// from here (disaggregated serving). These records are excluded from
+    /// latency statistics — the decode-side copy carries them.
+    pub migrated_out_requests: usize,
+    /// Requests that resumed decoding here after a KV migration.
+    pub migrated_in_requests: usize,
+    /// KV tokens shipped out of this replica across all handoffs.
+    pub migrated_tokens: usize,
+    /// Total seconds migrated-in requests spent between first token (on
+    /// their prefill replica) and decode admission here: KV transfer plus
+    /// residency queueing. Appears in the TBT samples as the gap before each
+    /// migrated request's second token.
+    pub migration_stall_time: f64,
     /// Requests the admission policy shed (dropped unserved because their
     /// TTFT deadline was already blown). Never completed, never counted in
     /// latency statistics, never goodput.
@@ -325,6 +338,10 @@ impl ServingReport {
             cow_copies: 0,
             preemptions: 0,
             blocks_evicted: 0,
+            migrated_out_requests: 0,
+            migrated_in_requests: 0,
+            migrated_tokens: 0,
+            migration_stall_time: 0.0,
             shed_requests,
             slo_requests,
             slo_met,
@@ -384,6 +401,21 @@ impl ServingReport {
             ("cow_copies", JsonValue::Num(self.cow_copies as f64)),
             ("preemptions", JsonValue::Num(self.preemptions as f64)),
             ("blocks_evicted", JsonValue::Num(self.blocks_evicted as f64)),
+            (
+                "migration",
+                JsonValue::obj(vec![
+                    (
+                        "out_requests",
+                        JsonValue::Num(self.migrated_out_requests as f64),
+                    ),
+                    (
+                        "in_requests",
+                        JsonValue::Num(self.migrated_in_requests as f64),
+                    ),
+                    ("tokens", JsonValue::Num(self.migrated_tokens as f64)),
+                    ("stall_time", JsonValue::Num(self.migration_stall_time)),
+                ]),
+            ),
             ("shed_requests", JsonValue::Num(self.shed_requests as f64)),
             (
                 "slo",

@@ -1,0 +1,84 @@
+//! Disaggregated prefill/decode serving vs. POD colocation, side by side.
+//!
+//! Builds two fleets of the same size — four colocated Sarathi+POD replicas
+//! and a 2-prefill + 2-decode split — and serves the same SLO-tagged trace
+//! through both, across three KV-migration links (a 2 GB/s commodity link
+//! with ISO-style compute overlap, 25 GB/s InfiniBand, and the zero-cost
+//! ideal). Prints goodput, attainment, TTFT/TBT tails and the migration
+//! counters, showing where each design wins:
+//!
+//! * **colocation** keeps every GPU usable for both phases and lets the
+//!   fused POD kernel overlap them inside one device;
+//! * **disaggregation** isolates decode from prefill interference, but pays
+//!   a per-handoff KV transfer stall and a static capacity split.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example disaggregated_serving
+//! ```
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    Cluster, ClusterConfig, KvMigration, ModelConfig, RouterPolicy, ServingConfig, SloMix, Workload,
+};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    let base = ServingConfig::sarathi_pod(model.clone(), gpu.clone(), 1024);
+
+    // 3 qps of the paper's internal workload mix, 70% interactive (tight
+    // TTFT/TBT deadlines) / 30% batch — near the 4-replica saturation point,
+    // where the colocation-vs-disaggregation choice actually matters.
+    let trace = SloMix::interactive_batch().apply(Workload::internal().generate(96, 3.0, 7), 7);
+    println!(
+        "96 requests at 3.0 qps, 70/30 interactive/batch SLOs, {} on 4 replicas\n",
+        model.name
+    );
+
+    let colocated = Cluster::new(ClusterConfig::new(
+        base.clone(),
+        4,
+        RouterPolicy::decode_aware(),
+    ))
+    .run(trace.clone());
+    print_row("4x colocated", &colocated);
+
+    for migration in [
+        KvMigration::commodity().with_overlap(),
+        KvMigration::infiniband(),
+        KvMigration::free(),
+    ] {
+        let report = Cluster::new(ClusterConfig::disaggregated(
+            base.clone(),
+            2,
+            2,
+            RouterPolicy::decode_aware(),
+            migration,
+        ))
+        .run(trace.clone());
+        print_row(&format!("2P+2D ({})", report.migration), &report);
+    }
+
+    println!(
+        "\nReading the table: disaggregation's TBT tail hides the migration stall only while\n\
+         the link is fast; its goodput trails colocation because two prefill replicas bottleneck\n\
+         what four colocated replicas absorb — the comparison Figure 19 sweeps across loads."
+    );
+}
+
+fn print_row(label: &str, report: &llm_serving::ClusterReport) {
+    let a = &report.aggregate;
+    println!(
+        "{label:<28} goodput {:>3} ({:>5.1}/min)  attainment {:>5.1}%  TTFT p99 {:>5.2} s  \
+         TBT max {:>5.3} s  migrated {:>3} ({} tokens, {:.2} s stalled)",
+        a.goodput_requests(),
+        a.goodput_per_minute(),
+        a.slo_attainment() * 100.0,
+        a.ttft.p99,
+        a.tbt.max,
+        a.migrated_in_requests,
+        a.migrated_tokens,
+        a.migration_stall_time,
+    );
+}

@@ -15,10 +15,14 @@
 //!   Sarathi-Serve schedulers used for the end-to-end evaluation. The engine
 //!   is step-able ([`llm_serving::ServingEngine::step`]), and the
 //!   [`llm_serving::Cluster`] layer runs N replicas on a shared virtual
-//!   clock behind a pluggable router for fleet-scale experiments.
+//!   clock behind a pluggable router for fleet-scale experiments — including
+//!   disaggregated prefill/decode fleets with KV migration
+//!   ([`llm_serving::ReplicaRole`], [`llm_serving::KvMigration`]).
 //!
-//! See the repository README for a guided tour and `EXPERIMENTS.md` for the
-//! paper-vs-reproduction comparison of every table and figure.
+//! See the repository README for a guided tour and `docs/ARCHITECTURE.md`
+//! for the crate map, request lifecycle and bench → paper-figure index.
+
+#![warn(missing_docs)]
 
 pub use attn_kernels;
 pub use fusion_lab;
@@ -30,6 +34,6 @@ pub use pod_attention;
 // the types fleet experiments compose, and downstream users should not need
 // to know which workspace crate owns them.
 pub use llm_serving::{
-    Cluster, ClusterConfig, ClusterReport, IterationOutcome, RateSchedule, RouterPolicy,
-    ServingConfig, ServingEngine,
+    Cluster, ClusterConfig, ClusterReport, IterationOutcome, KvMigration, RateSchedule,
+    ReplicaRole, RouterPolicy, ServingConfig, ServingEngine,
 };

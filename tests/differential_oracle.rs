@@ -12,8 +12,8 @@
 
 use gpu_sim::GpuConfig;
 use llm_serving::{
-    offline_long_context, IterationOutcome, ModelConfig, RequestSpec, ServingConfig, ServingEngine,
-    SloMix, Workload,
+    offline_long_context, Cluster, ClusterConfig, IterationOutcome, KvMigration, ModelConfig,
+    RequestSpec, RouterPolicy, ServingConfig, ServingEngine, SloMix, Workload,
 };
 
 fn configs(scheduler_chunk: Option<usize>) -> (ServingConfig, ServingConfig) {
@@ -115,6 +115,92 @@ fn paged_matches_conservative_with_slos_and_shedding() {
     assert_eq!(ra, rb, "shed decisions must agree");
     for (a, b) in oracle.requests().iter().zip(paged.requests()) {
         assert_eq!(a.shed_time, b.shed_time, "request {} shed time", a.id);
+    }
+}
+
+/// Disaggregation oracle: with zero-cost migration and arrivals spaced so
+/// requests never overlap, a prefill-replica + decode-replica pair must be
+/// **outcome-identical** to a single colocated replica — same TTFT, same
+/// token times, bit for bit. With no overlap the colocated engine's batches
+/// are pure-prefill then pure-decode, which is exactly the work the split
+/// fleet runs; free migration hands the KV over at the very instant the
+/// colocated engine would have started decoding. Any divergence is
+/// migration-path drift: a handoff that loses progress, re-mints the first
+/// token, or shifts the decode clock.
+#[test]
+fn zero_cost_migration_is_outcome_identical_to_colocated() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+    for paged in [false, true] {
+        let mut config = ServingConfig::sarathi_pod(model.clone(), gpu.clone(), 1024);
+        if paged {
+            config = config.with_paged_kv(false);
+        }
+        // Arrivals 90 s apart: each request fully drains (prefill + decode
+        // takes a few simulated seconds) before the next exists.
+        let specs: Vec<RequestSpec> = [
+            (4_096usize, 64usize),
+            (16_384, 128),
+            (1_000, 32),
+            (8_192, 1), // single-token output: finishes at prefill, no handoff
+            (2_048, 96),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, o))| RequestSpec::new(90.0 * i as f64, p, o))
+        .collect();
+
+        let (colocated, colocated_requests) =
+            ServingEngine::new(config.clone()).run_detailed(specs.clone());
+        let mut cluster = Cluster::new(ClusterConfig::disaggregated(
+            config,
+            1,
+            1,
+            RouterPolicy::RoundRobin,
+            KvMigration::free(),
+        ));
+        let disagg = cluster.run(specs.clone());
+
+        assert_eq!(
+            disagg.aggregate.completed, colocated.completed,
+            "paged={paged}"
+        );
+        // Per-request identity, matched by arrival time (unique by
+        // construction): TTFT and every token completion bit-for-bit.
+        for want in &colocated_requests {
+            let got = cluster
+                .replicas()
+                .iter()
+                .flat_map(|r| r.requests())
+                .find(|r| r.finish_time.is_some() && r.spec.arrival == want.spec.arrival)
+                .unwrap_or_else(|| panic!("request at t={} lost", want.spec.arrival));
+            assert_eq!(
+                got.token_times, want.token_times,
+                "paged={paged}: token times diverged for request at t={}",
+                want.spec.arrival
+            );
+            assert_eq!(got.ttft(), want.ttft());
+            assert_eq!(got.latency(), want.latency());
+        }
+        assert_eq!(
+            disagg.aggregate.makespan.to_bits(),
+            colocated.makespan.to_bits(),
+            "paged={paged}"
+        );
+        assert_eq!(
+            disagg.aggregate.ttft.p99.to_bits(),
+            colocated.ttft.p99.to_bits()
+        );
+        assert_eq!(
+            disagg.aggregate.tbt.max.to_bits(),
+            colocated.tbt.max.to_bits()
+        );
+        assert_eq!(
+            disagg.aggregate.iterations, colocated.iterations,
+            "paged={paged}: the split fleet runs the same iterations, just \
+             on two engines"
+        );
+        assert_eq!(disagg.aggregate.migrated_out_requests, 4);
     }
 }
 

@@ -22,8 +22,8 @@
 use gpu_sim::GpuConfig;
 use llm_serving::{
     AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, IterationOutcome, KvCachePolicy,
-    ModelConfig, Phase, RequestSpec, RouterPolicy, ServingConfig, ServingEngine,
-    SharedPrefixWorkload, SloMix, SplitMix64, Workload,
+    KvMigration, ModelConfig, Phase, ReplicaRole, RequestSpec, RouterPolicy, ServingConfig,
+    ServingEngine, SharedPrefixWorkload, SloMix, SplitMix64, Workload,
 };
 
 fn fuzz_cases() -> usize {
@@ -299,16 +299,40 @@ fn run_cluster_case(seed: u64) -> String {
     };
     let replicas = 1 + rng.next_usize(3);
     let mut cluster_config = ClusterConfig::new(config, replicas, router);
-    if rng.next_usize(2) == 0 {
-        cluster_config = cluster_config.with_autoscaler(AutoscalerConfig {
-            min_replicas: 1,
-            max_replicas: replicas + rng.next_usize(3),
-            interval: 2.0 + rng.next_f64() * 6.0,
-            scale_out_backlog: 20_000 + rng.next_usize(80_000),
-            scale_in_backlog: 5_000 + rng.next_usize(15_000),
-            sustain: 1 + rng.next_usize(2),
-        });
+    // Three fleet shapes: autoscaled colocated, disaggregated (with a random
+    // migration link), or a plain fixed fleet.
+    match rng.next_usize(3) {
+        0 => {
+            cluster_config = cluster_config.with_autoscaler(AutoscalerConfig {
+                min_replicas: 1,
+                max_replicas: replicas + rng.next_usize(3),
+                interval: 2.0 + rng.next_f64() * 6.0,
+                scale_out_backlog: 20_000 + rng.next_usize(80_000),
+                scale_in_backlog: 5_000 + rng.next_usize(15_000),
+                sustain: 1 + rng.next_usize(2),
+            });
+        }
+        1 => {
+            let prefill = 1 + rng.next_usize(2);
+            let decode = 1 + rng.next_usize(2);
+            let mut roles = vec![ReplicaRole::PrefillOnly; prefill];
+            roles.extend(vec![ReplicaRole::DecodeOnly; decode]);
+            // A colocated replica sometimes rides along in the mixed fleet.
+            if rng.next_usize(2) == 0 {
+                roles.push(ReplicaRole::Colocated);
+            }
+            let migration = match rng.next_usize(4) {
+                0 => KvMigration::free(),
+                1 => KvMigration::infiniband(),
+                2 => KvMigration::commodity(),
+                _ => KvMigration::commodity().with_overlap(),
+            };
+            cluster_config.replicas = roles.len();
+            cluster_config = cluster_config.with_roles(roles, migration);
+        }
+        _ => {}
     }
+    let replicas = cluster_config.replicas;
     let tag = format!(
         "cluster case seed={seed} ({} replicas, {})",
         replicas,
@@ -326,6 +350,8 @@ fn run_cluster_case(seed: u64) -> String {
         "{tag}: fleet request conservation"
     );
     let mut finished_ids = 0usize;
+    let mut migrated_out_ids = 0usize;
+    let mut migrated_in_ids = 0usize;
     for replica in cluster.replicas() {
         assert!(replica.is_drained(), "{tag}: replica not drained");
         assert_eq!(replica.kv_utilization(), 0.0, "{tag}: replica leaked");
@@ -335,16 +361,55 @@ fn run_cluster_case(seed: u64) -> String {
                     req.finish_time.is_none() && req.shed_time.is_none(),
                     "{tag}: reassigned request served on its old replica"
                 );
+            } else if req.migrated_out {
+                // The handoff source record: prefill complete (first token
+                // minted here), never finished or shed here — the decode
+                // replica's copy carries the completion.
+                assert!(
+                    req.finish_time.is_none() && req.shed_time.is_none(),
+                    "{tag}: migrated-out request also served on its source replica"
+                );
+                assert!(
+                    req.first_token_time.is_some(),
+                    "{tag}: migrated-out request never completed its prefill"
+                );
+                migrated_out_ids += 1;
             } else {
                 assert!(
                     req.finish_time.is_some() || req.shed_time.is_some(),
                     "{tag}: request lost on a replica"
                 );
                 finished_ids += usize::from(req.finish_time.is_some());
+                if req.migrated_in {
+                    assert!(
+                        req.finish_time.is_some(),
+                        "{tag}: migrated-in request neither finished nor re-migrated"
+                    );
+                    assert!(
+                        req.migration_stall >= 0.0 && req.migration_stall.is_finite(),
+                        "{tag}: bad migration stall {}",
+                        req.migration_stall
+                    );
+                    migrated_in_ids += 1;
+                }
             }
         }
     }
     assert_eq!(finished_ids, report.aggregate.completed, "{tag}");
+    // Handoff conservation: every exported request was imported (and then
+    // finished) exactly once, fleet-wide.
+    assert_eq!(
+        migrated_out_ids, migrated_in_ids,
+        "{tag}: handoffs lost or duplicated in flight"
+    );
+    assert_eq!(
+        report.aggregate.migrated_out_requests, migrated_out_ids,
+        "{tag}: migration accounting"
+    );
+    assert_eq!(
+        report.aggregate.migrated_in_requests, migrated_in_ids,
+        "{tag}: migration accounting (in)"
+    );
     assert_eq!(
         report.aggregate.iterations,
         report
