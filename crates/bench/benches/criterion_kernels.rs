@@ -13,7 +13,10 @@
 
 use attn_kernels::{AttentionConfig, AttentionEstimator, AttentionStrategy, HybridBatch};
 use gpu_sim::GpuConfig;
-use llm_serving::{offline_long_context, ModelConfig, ServingConfig, ServingEngine, ServingReport};
+use llm_serving::{
+    offline_long_context, ModelConfig, QuantileSketch, ServingConfig, ServingEngine, ServingReport,
+    SummaryStats,
+};
 use pod_attention::PodAttention;
 use pod_bench::microbench::{bench, repo_root_path, BenchResult, Json};
 use pod_bench::{heading, par_map};
@@ -116,6 +119,37 @@ fn main() {
     results.push(r_price_memo);
     results.push(r_price_exact);
 
+    // --- report summarization: shared-select stats and the quantile sketch ---
+    // 500K latency-like samples, the size of a large serving run's token-gap
+    // buffer. `from_samples` does one shared O(n) selection pass for p50/p99;
+    // the sketch is the streaming (constant-memory) alternative the cluster
+    // layer uses at fleet scale.
+    let samples: Vec<f64> = {
+        let mut x = 0x9e3779b97f4a7c15_u64;
+        (0..500_000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                1e-3 + (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    };
+    let r_stats = bench("metrics/summary_stats_500k_samples", BUDGET, 5, || {
+        SummaryStats::from_samples(black_box(&samples))
+    });
+    let stats_samples_per_sec = samples.len() as f64 * r_stats.iters_per_sec();
+    results.push(r_stats);
+    let r_sketch = bench("metrics/sketch_observe_500k_samples", BUDGET, 5, || {
+        let mut sketch = QuantileSketch::new();
+        for &s in black_box(&samples) {
+            sketch.observe(s);
+        }
+        (sketch.quantile(0.5), sketch.quantile(0.99))
+    });
+    let sketch_samples_per_sec = samples.len() as f64 * r_sketch.iters_per_sec();
+    results.push(r_sketch);
+
     // --- end-to-end serving, small and fixed-size ---
     results.push(bench("serving/8_requests_end_to_end", BUDGET, 5, || {
         ServingEngine::new(ServingConfig::sarathi_pod(
@@ -191,6 +225,19 @@ fn main() {
                 (
                     "batches_priced_per_sec_exact",
                     Json::Num(priced_per_sec_exact),
+                ),
+            ]),
+        ),
+        (
+            "metrics",
+            Json::obj(vec![
+                (
+                    "summary_stats_samples_per_sec",
+                    Json::Num(stats_samples_per_sec),
+                ),
+                (
+                    "sketch_observe_samples_per_sec",
+                    Json::Num(sketch_samples_per_sec),
                 ),
             ]),
         ),

@@ -6,7 +6,8 @@
 //! cargo run -p pod-bench --bin perf_gate -- <baseline.json> <fresh.json> \
 //!     [--cluster <cluster_baseline.json> <cluster_fresh.json>] \
 //!     [--slo <slo_baseline.json> <slo_fresh.json>] \
-//!     [--disagg <disagg_baseline.json> <disagg_fresh.json>] [--max-drop 0.30]
+//!     [--disagg <disagg_baseline.json> <disagg_fresh.json>] \
+//!     [--fleet <fleet_baseline.json> <fleet_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
 //! The positional pair is the engine trend (`BENCH_engine.json`): the two
@@ -132,6 +133,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut cluster_paths: Vec<&String> = Vec::new();
     let mut slo_paths: Vec<&String> = Vec::new();
     let mut disagg_paths: Vec<&String> = Vec::new();
+    let mut fleet_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -164,6 +166,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             disagg_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--fleet" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--fleet needs <baseline.json> <fresh.json>".to_string());
+            };
+            fleet_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
@@ -173,7 +181,8 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Err("usage: perf_gate <baseline.json> <fresh.json> \
              [--cluster <baseline.json> <fresh.json>] \
              [--slo <baseline.json> <fresh.json>] \
-             [--disagg <baseline.json> <fresh.json>] [--max-drop 0.30]"
+             [--disagg <baseline.json> <fresh.json>] \
+             [--fleet <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
     let (baseline_path, fresh_path) = (paths[0], paths[1]);
@@ -227,6 +236,24 @@ fn run(args: &[String]) -> Result<bool, String> {
             max_drop,
             &mut deltas,
         );
+    }
+    if let [fleet_base_path, fleet_fresh_path] = fleet_paths.as_slice() {
+        // The trace-replay gate is host throughput, not simulated
+        // throughput: simulator events processed per wall-clock second while
+        // replaying the committed fleet trace (`BENCH_fleet.json`). This is
+        // what catches "someone serialized the event-driven core".
+        let base = metric(
+            &load(fleet_base_path)?,
+            "fleet.events_per_sec",
+            fleet_base_path,
+        )?;
+        let now = metric(
+            &load(fleet_fresh_path)?,
+            "fleet.events_per_sec",
+            fleet_fresh_path,
+        )?;
+        println!("fleet gate: fresh {fleet_fresh_path} vs baseline {fleet_base_path}");
+        ok &= check("fleet.events_per_sec", base, now, max_drop, &mut deltas);
     }
     // Recap every metric delta, pass or fail, in every mode — the line a
     // reviewer scans in green CI logs to see where the trend is heading.
@@ -433,6 +460,40 @@ mod tests {
         assert_eq!(run(&args(&dis_ok)), Ok(true));
         assert_eq!(run(&args(&dis_bad)), Ok(false));
         let empty = write_tmp("perf_gate_dis_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+    }
+
+    fn fleet_trend(events_per_sec: f64) -> String {
+        JsonValue::obj(vec![(
+            "fleet",
+            JsonValue::obj(vec![("events_per_sec", JsonValue::Num(events_per_sec))]),
+        )])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn fleet_metric_gates_replay_throughput() {
+        let eng_base = write_tmp("perf_gate_f_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_f_eng_fresh.json", &trend(1000.0, 500.0));
+        let fl_base = write_tmp("perf_gate_fl_base.json", &fleet_trend(200_000.0));
+        // 20% drop: passes at the default 30%.
+        let fl_ok = write_tmp("perf_gate_fl_ok.json", &fleet_trend(160_000.0));
+        // 50% drop: fails — the doctored baseline the CI wiring was
+        // verified against.
+        let fl_bad = write_tmp("perf_gate_fl_bad.json", &fleet_trend(100_000.0));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--fleet".to_string(),
+                fl_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&fl_ok)), Ok(true));
+        assert_eq!(run(&args(&fl_bad)), Ok(false));
+        // A malformed fleet file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_fl_empty.json", "{}\n");
         assert!(run(&args(&empty)).is_err());
     }
 

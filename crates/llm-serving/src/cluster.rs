@@ -11,12 +11,27 @@
 //! admission and queueing via [`ServingEngine::step`]. Results aggregate
 //! into a [`ClusterReport`] with fleet-level latency percentiles and a
 //! replica-imbalance measure.
+//!
+//! The run loop is an **event-driven core**: between barriers (request
+//! routing, migration deliveries, autoscaler checks) a min-heap of
+//! per-replica next-event times picks out only the replicas with due work,
+//! and those advance in parallel across a scoped worker pool
+//! ([`Cluster::set_advance_workers`]). A sequential full-sweep twin
+//! ([`Cluster::run_lockstep`]) is kept as the differential oracle; both
+//! produce bit-identical reports. For fleet-scale trace replay,
+//! [`ServingConfig::streaming_metrics`] switches reporting to mergeable
+//! quantile sketches ([`crate::QuantileSketch`]) so report memory stays
+//! constant in trace length.
 
 use crate::engine::{PrefillHandoff, ServingEngine};
 use crate::json::JsonValue;
-use crate::metrics::ServingReport;
+use crate::metrics::{ReportAccumulator, ServingReport};
 use crate::request::{Request, RequestSpec};
 use crate::ServingConfig;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Prompt length (tokens) above which the decode-aware router treats a
 /// request as a "long prefill" and steers it away from decode-heavy
@@ -519,6 +534,9 @@ pub struct Cluster {
     roles: Vec<ReplicaRole>,
     /// KV-migration cost model for prefill→decode handoffs.
     migration: KvMigration,
+    /// Worker threads for parallel replica advancement between barriers
+    /// (see [`Cluster::set_advance_workers`]).
+    advance_workers: usize,
 }
 
 /// A KV chain in flight between replicas: delivered to a decode replica at
@@ -545,6 +563,265 @@ fn pop_due(deliveries: &mut Vec<Delivery>, t: f64) -> Option<Delivery> {
         })
         .map(|(i, _)| i)?;
     Some(deliveries.swap_remove(best))
+}
+
+/// Default worker count for parallel replica advancement: the
+/// `POD_CLUSTER_THREADS` environment variable when set, otherwise the
+/// machine's available parallelism.
+fn default_advance_workers() -> usize {
+    std::env::var("POD_CLUSTER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// One `(next_event_time, replica)` entry in the fleet's event queue.
+/// Ordered by time (total order, no NaNs reach the heap), with the replica
+/// index as a deterministic tiebreak.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    at: f64,
+    idx: usize,
+    epoch: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then(self.idx.cmp(&other.idx))
+            .then(self.epoch.cmp(&other.epoch))
+    }
+}
+
+/// Min-heap over per-replica next-event times with lazy deletion (the same
+/// idiom as the block pool's eviction drain heap): each replica carries an
+/// epoch counter, [`ReplicaHeap::refresh`] bumps it and pushes a fresh
+/// entry, and stale entries — older epochs — are discarded on pop. At most
+/// one **live** entry per replica exists at any time.
+#[derive(Debug)]
+struct ReplicaHeap {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    epochs: Vec<u64>,
+}
+
+impl ReplicaHeap {
+    fn new(replicas: usize) -> Self {
+        ReplicaHeap {
+            heap: BinaryHeap::new(),
+            epochs: vec![0; replicas],
+        }
+    }
+
+    /// Invalidate any live entry for `idx` and, when the replica has a
+    /// pending event, enqueue it at that time.
+    fn refresh(&mut self, idx: usize, next_event: Option<f64>) {
+        while self.epochs.len() <= idx {
+            self.epochs.push(0);
+        }
+        self.epochs[idx] += 1;
+        if let Some(at) = next_event {
+            debug_assert!(!at.is_nan(), "event times are never NaN");
+            self.heap.push(Reverse(HeapEntry {
+                at,
+                idx,
+                epoch: self.epochs[idx],
+            }));
+        }
+    }
+
+    /// Pop every replica whose next event is strictly before `t` into
+    /// `due`, ascending by index. Entries at exactly `t` stay queued: an
+    /// engine whose next event is at `t` treats `advance_to(t)` as a no-op,
+    /// so popping them would only waste a step.
+    fn drain_due(&mut self, t: f64, due: &mut Vec<usize>) {
+        due.clear();
+        while let Some(&Reverse(top)) = self.heap.peek() {
+            if top.at >= t {
+                break;
+            }
+            self.heap.pop();
+            if self.epochs[top.idx] == top.epoch {
+                // Live entry: retire it (the caller re-refreshes after
+                // advancing) so duplicates are impossible.
+                self.epochs[top.idx] += 1;
+                due.push(top.idx);
+            }
+        }
+        due.sort_unstable();
+    }
+}
+
+/// Advances a subset of the fleet to barrier times, in one of two modes:
+///
+/// * **lockstep** (`heap: None`) — sweep every member sequentially, exactly
+///   as the pre-event-driven cluster did; the differential oracle.
+/// * **event-driven** (`heap: Some`) — pop only the members whose next
+///   event is due from the [`ReplicaHeap`] and advance those, in parallel
+///   across the cluster's worker threads. Replicas interact only at
+///   barriers (routing, autoscaler checks, migration deliveries), so
+///   advancing the due set concurrently is deterministic and bit-identical
+///   to the sweep: skipped replicas would have been state no-ops (see
+///   [`ServingEngine::next_event_time`]).
+#[derive(Debug)]
+struct Advancer {
+    members: Vec<usize>,
+    heap: Option<ReplicaHeap>,
+    /// Scratch for the due set (reused across barriers).
+    due: Vec<usize>,
+}
+
+impl Advancer {
+    /// An advancer over `members` (ascending replica indices).
+    fn new(members: Vec<usize>, event_driven: bool, replicas: &[ServingEngine]) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        let heap = event_driven.then(|| {
+            let mut heap = ReplicaHeap::new(replicas.len());
+            for &i in &members {
+                heap.refresh(i, replicas[i].next_event_time());
+            }
+            heap
+        });
+        Advancer {
+            members,
+            heap,
+            due: Vec::new(),
+        }
+    }
+
+    /// Track a replica spawned mid-run (autoscaler scale-out).
+    fn add_member(&mut self, idx: usize, replicas: &[ServingEngine]) {
+        self.members.push(idx);
+        if let Some(heap) = &mut self.heap {
+            heap.refresh(idx, replicas[idx].next_event_time());
+        }
+    }
+
+    /// Re-read a member's next event after the cluster mutated it
+    /// (submit, handoff import, queue reclaim).
+    fn notify(&mut self, idx: usize, replicas: &[ServingEngine]) {
+        debug_assert!(self.members.contains(&idx), "notify on a non-member");
+        if let Some(heap) = &mut self.heap {
+            heap.refresh(idx, replicas[idx].next_event_time());
+        }
+    }
+
+    /// Advance members to barrier time `t`: all of them (lockstep) or just
+    /// the due set (event-driven, in parallel across `workers` threads).
+    fn advance(&mut self, replicas: &mut [ServingEngine], t: f64, workers: usize) {
+        match &mut self.heap {
+            None => {
+                for &i in &self.members {
+                    replicas[i].advance_to(t);
+                }
+            }
+            Some(heap) => {
+                heap.drain_due(t, &mut self.due);
+                par_for_each(select_muts(replicas, &self.due), workers, |r| {
+                    r.advance_to(t)
+                });
+                for &i in &self.due {
+                    heap.refresh(i, replicas[i].next_event_time());
+                }
+            }
+        }
+    }
+
+    /// Run every member until drained — in parallel in event-driven mode
+    /// (the engines are independent), sequentially in lockstep.
+    fn drain(&mut self, replicas: &mut [ServingEngine], workers: usize) {
+        match &mut self.heap {
+            None => {
+                for &i in &self.members {
+                    replicas[i].run_until_drained();
+                }
+            }
+            Some(heap) => {
+                par_for_each(select_muts(replicas, &self.members), workers, |r| {
+                    r.run_until_drained()
+                });
+                for &i in &self.members {
+                    heap.refresh(i, replicas[i].next_event_time());
+                }
+            }
+        }
+    }
+}
+
+/// Mutable references to `replicas[i]` for each `i` in the strictly
+/// ascending index list `idxs`.
+fn select_muts<'a>(
+    replicas: &'a mut [ServingEngine],
+    idxs: &[usize],
+) -> Vec<&'a mut ServingEngine> {
+    let mut out = Vec::with_capacity(idxs.len());
+    let mut rest = replicas;
+    let mut base = 0usize;
+    for &i in idxs {
+        let (_, tail) = rest.split_at_mut(i - base);
+        let (head, tail) = tail.split_at_mut(1);
+        out.push(&mut head[0]);
+        rest = tail;
+        base = i + 1;
+    }
+    out
+}
+
+/// Apply `f` to every item, spreading the work across up to `workers`
+/// scoped threads through an atomic work queue (the bench harness's
+/// `par_map` worker-pool idiom). The items are independent, so the result
+/// is identical for every worker count; with one worker (or one item) it
+/// runs inline with no thread overhead.
+fn par_for_each<T, F>(items: Vec<&mut T>, workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<&mut T>>> =
+        items.into_iter().map(|r| Mutex::new(Some(r))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                // Each index is claimed exactly once (fetch_add), so the
+                // slot is always still full; the mutex only makes the
+                // `&mut` hand-off to this thread safe.
+                if let Some(item) = slots[i].lock().expect("work slot lock").take() {
+                    f(item);
+                }
+            });
+        }
+    });
 }
 
 impl Cluster {
@@ -579,6 +856,7 @@ impl Cluster {
             in_streak: 0,
             roles: config.roles,
             migration: config.migration,
+            advance_workers: default_advance_workers(),
             replicas,
         }
     }
@@ -593,6 +871,21 @@ impl Cluster {
     /// requests they served.
     pub fn replicas(&self) -> &[ServingEngine] {
         &self.replicas
+    }
+
+    /// Set the number of worker threads used to advance due replicas
+    /// between barriers (clamped to at least 1). Defaults to the
+    /// `POD_CLUSTER_THREADS` environment variable, falling back to the
+    /// machine's available parallelism. Replicas interact only at
+    /// barriers, so every worker count produces bit-identical results —
+    /// pinned by tests; tune this purely for wall-clock.
+    pub fn set_advance_workers(&mut self, workers: usize) {
+        self.advance_workers = workers.max(1);
+    }
+
+    /// Worker threads currently used for parallel replica advancement.
+    pub fn advance_workers(&self) -> usize {
+        self.advance_workers
     }
 
     /// Indices of replicas currently accepting new requests.
@@ -693,9 +986,19 @@ impl Cluster {
     }
 
     /// Serve `specs` to completion: route every request at its arrival time
-    /// (advancing all replicas to that instant first, so routing sees live
-    /// state), then drain the fleet. With an autoscaler attached, scaling
-    /// checks interleave with arrivals on the same virtual clock.
+    /// (advancing replicas with due work to that instant first, so routing
+    /// sees live state), then drain the fleet. With an autoscaler attached,
+    /// scaling checks interleave with arrivals on the same virtual clock.
+    ///
+    /// The run loop is **event-driven**: a min-heap of per-replica
+    /// next-event times ([`ServingEngine::next_event_time`]) is interleaved
+    /// with arrivals, migration deliveries and autoscaler checks, so only
+    /// replicas with work due before a barrier are stepped — and those are
+    /// stepped in parallel across [`Cluster::advance_workers`] threads.
+    /// Outcomes are bit-for-bit identical to the sequential full-sweep loop
+    /// ([`Cluster::run_lockstep`]) for every worker count: the event queue
+    /// changes when host work happens, never what virtual time things
+    /// happen at.
     ///
     /// Each call starts from a fresh fleet — replica engines, router cursor
     /// and assignment counts are reset first — so repeated `run`s on one
@@ -705,6 +1008,23 @@ impl Cluster {
     ///
     /// Panics if a single request can never fit in a replica's KV cache.
     pub fn run(&mut self, specs: Vec<RequestSpec>) -> ClusterReport {
+        self.run_inner(specs, true)
+    }
+
+    /// [`Cluster::run`] with the event queue and worker pool disabled:
+    /// every replica is swept sequentially to every barrier time, exactly
+    /// as the pre-event-driven cluster did. Kept as the differential oracle
+    /// — the fuzz harness asserts `run` and `run_lockstep` produce
+    /// identical reports for every generated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single request can never fit in a replica's KV cache.
+    pub fn run_lockstep(&mut self, specs: Vec<RequestSpec>) -> ClusterReport {
+        self.run_inner(specs, false)
+    }
+
+    fn run_inner(&mut self, specs: Vec<RequestSpec>, event_driven: bool) -> ClusterReport {
         self.reset();
 
         let mut order: Vec<usize> = (0..specs.len()).collect();
@@ -717,31 +1037,34 @@ impl Cluster {
 
         let disaggregated = self.roles.iter().any(|r| *r != ReplicaRole::Colocated);
         match (self.autoscaler, disaggregated) {
-            (None, false) => {
-                for &i in &order {
-                    let spec = specs[i];
-                    for replica in &mut self.replicas {
-                        replica.advance_to(spec.arrival);
-                    }
-                    let target = self.route(&spec);
-                    self.replicas[target].submit(spec);
-                    self.assigned[target] += 1;
-                }
-                for replica in &mut self.replicas {
-                    replica.run_until_drained();
-                }
-            }
-            (None, true) => self.run_disaggregated(&specs, &order),
-            (Some(scaler), _) => self.run_autoscaled(&specs, &order, scaler),
+            (None, false) => self.run_colocated(&specs, &order, event_driven),
+            (None, true) => self.run_disaggregated(&specs, &order, event_driven),
+            (Some(scaler), _) => self.run_autoscaled(&specs, &order, scaler, event_driven),
         }
         self.report()
+    }
+
+    /// The colocated serving loop: arrivals route over the whole fleet and
+    /// every replica serves its requests end-to-end.
+    fn run_colocated(&mut self, specs: &[RequestSpec], order: &[usize], event_driven: bool) {
+        let members: Vec<usize> = (0..self.replicas.len()).collect();
+        let mut fleet = Advancer::new(members, event_driven, &self.replicas);
+        for &i in order {
+            let spec = specs[i];
+            fleet.advance(&mut self.replicas, spec.arrival, self.advance_workers);
+            let target = self.route(&spec);
+            self.replicas[target].submit(spec);
+            self.assigned[target] += 1;
+            fleet.notify(target, &self.replicas);
+        }
+        fleet.drain(&mut self.replicas, self.advance_workers);
     }
 
     /// The disaggregated serving loop: arrivals land on prefill-capable
     /// replicas, completed prefills ship their KV chains through the
     /// migration model, and decode replicas resume the requests when the
     /// chains arrive — all on the shared virtual clock.
-    fn run_disaggregated(&mut self, specs: &[RequestSpec], order: &[usize]) {
+    fn run_disaggregated(&mut self, specs: &[RequestSpec], order: &[usize], event_driven: bool) {
         let bytes_per_token = self.replicas[0]
             .config()
             .model
@@ -750,12 +1073,29 @@ impl Cluster {
         let mut deliveries: Vec<Delivery> = Vec::new();
         let mut seq = 0usize;
 
+        // The two sides of the fleet advance independently between
+        // migration barriers, so each gets its own event queue: prompt-side
+        // (prefill-only plus any colocated replicas) and decode-side.
+        let prompt_members: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.roles[i].accepts_prompts())
+            .collect();
+        let mut prompt_side = Advancer::new(prompt_members, event_driven, &self.replicas);
+        let mut decode_side = Advancer::new(self.decode_indices(), event_driven, &self.replicas);
+
         for &i in order {
             let spec = specs[i];
-            self.pump_migrations(spec.arrival, bytes_per_token, &mut deliveries, &mut seq);
+            self.pump_migrations(
+                spec.arrival,
+                bytes_per_token,
+                &mut deliveries,
+                &mut seq,
+                &mut prompt_side,
+                &mut decode_side,
+            );
             let target = self.route(&spec);
             self.replicas[target].submit(spec);
             self.assigned[target] += 1;
+            prompt_side.notify(target, &self.replicas);
         }
 
         // Drain. Prefill-capable replicas receive no further work — and
@@ -763,27 +1103,18 @@ impl Cluster {
         // prefill side and surfaces every remaining export. The deliveries
         // then drive the decode side in (time, seq) order, each landing
         // with decode state advanced to its delivery instant.
-        for i in 0..self.replicas.len() {
-            if self.roles[i].accepts_prompts() {
-                self.replicas[i].run_until_drained();
-            }
-        }
+        prompt_side.drain(&mut self.replicas, self.advance_workers);
         self.collect_exports(bytes_per_token, &mut deliveries, &mut seq);
         deliveries.sort_by(|a, b| {
             a.at.partial_cmp(&b.at)
                 .expect("delivery times are never NaN")
                 .then(a.seq.cmp(&b.seq))
         });
-        let decode = self.decode_indices();
         for d in std::mem::take(&mut deliveries) {
-            for &j in &decode {
-                self.replicas[j].advance_to(d.at);
-            }
-            self.deliver(d);
+            decode_side.advance(&mut self.replicas, d.at, self.advance_workers);
+            self.deliver(d, &mut decode_side);
         }
-        for &j in &decode {
-            self.replicas[j].run_until_drained();
-        }
+        decode_side.drain(&mut self.replicas, self.advance_workers);
     }
 
     /// Advance the fleet to simulated time `t`, moving any KV chains whose
@@ -797,22 +1128,16 @@ impl Cluster {
         bytes_per_token: f64,
         deliveries: &mut Vec<Delivery>,
         seq: &mut usize,
+        prompt_side: &mut Advancer,
+        decode_side: &mut Advancer,
     ) {
-        for i in 0..self.replicas.len() {
-            if self.roles[i].accepts_prompts() {
-                self.replicas[i].advance_to(t);
-            }
-        }
+        prompt_side.advance(&mut self.replicas, t, self.advance_workers);
         self.collect_exports(bytes_per_token, deliveries, seq);
         while let Some(d) = pop_due(deliveries, t) {
-            for j in self.decode_indices() {
-                self.replicas[j].advance_to(d.at);
-            }
-            self.deliver(d);
+            decode_side.advance(&mut self.replicas, d.at, self.advance_workers);
+            self.deliver(d, decode_side);
         }
-        for j in self.decode_indices() {
-            self.replicas[j].advance_to(t);
-        }
+        decode_side.advance(&mut self.replicas, t, self.advance_workers);
     }
 
     /// Pull completed prefills off every prefill-only replica and schedule
@@ -842,30 +1167,43 @@ impl Cluster {
     }
 
     /// Land one delivery on the least-loaded decode replica.
-    fn deliver(&mut self, d: Delivery) {
+    fn deliver(&mut self, d: Delivery, decode_side: &mut Advancer) {
         let targets = self.decode_indices();
         let target = *targets
             .iter()
             .min_by_key(|&&j| (self.replicas[j].outstanding_tokens(), j))
             .expect("validated fleets have a decode replica for every prefill replica");
         self.replicas[target].import_handoff(d.handoff, d.at);
+        decode_side.notify(target, &self.replicas);
     }
 
     /// The autoscaled serving loop: arrivals and scaling checks interleave
     /// on the shared virtual clock.
-    fn run_autoscaled(&mut self, specs: &[RequestSpec], order: &[usize], scaler: AutoscalerConfig) {
+    fn run_autoscaled(
+        &mut self,
+        specs: &[RequestSpec],
+        order: &[usize],
+        scaler: AutoscalerConfig,
+        event_driven: bool,
+    ) {
+        // One advancer over the whole (growing) fleet. Retired replicas are
+        // drained, so advancing them is a no-op and they simply never
+        // surface in the event queue.
+        let members: Vec<usize> = (0..self.replicas.len()).collect();
+        let mut fleet = Advancer::new(members, event_driven, &self.replicas);
         let mut next_check = scaler.interval;
         for &i in order {
             let spec = specs[i];
             while next_check <= spec.arrival {
-                self.advance_non_retired(next_check);
-                self.autoscale_check(next_check, &scaler, true);
+                fleet.advance(&mut self.replicas, next_check, self.advance_workers);
+                self.autoscale_check(next_check, &scaler, true, &mut fleet);
                 next_check += scaler.interval;
             }
-            self.advance_non_retired(spec.arrival);
+            fleet.advance(&mut self.replicas, spec.arrival, self.advance_workers);
             let target = self.route(&spec);
             self.replicas[target].submit(spec);
             self.assigned[target] += 1;
+            fleet.notify(target, &self.replicas);
         }
         // Drain: keep checking so slack scale-ins retire replicas (the
         // replica-seconds cost metric depends on *when* they retire). Every
@@ -881,18 +1219,9 @@ impl Cluster {
             if !unfinished {
                 break;
             }
-            self.advance_non_retired(next_check);
-            self.autoscale_check(next_check, &scaler, false);
+            fleet.advance(&mut self.replicas, next_check, self.advance_workers);
+            self.autoscale_check(next_check, &scaler, false, &mut fleet);
             next_check += scaler.interval;
-        }
-    }
-
-    /// Advance every non-retired replica to simulated time `t`.
-    fn advance_non_retired(&mut self, t: f64) {
-        for i in 0..self.replicas.len() {
-            if self.lifecycle[i].state != ReplicaState::Retired {
-                self.replicas[i].advance_to(t);
-            }
         }
     }
 
@@ -900,7 +1229,13 @@ impl Cluster {
     /// update the pressure streaks, and scale out/in if a streak sustained.
     /// `allow_scale_out` is false during the post-arrival drain, where a new
     /// replica could never be routed any work.
-    fn autoscale_check(&mut self, now: f64, scaler: &AutoscalerConfig, allow_scale_out: bool) {
+    fn autoscale_check(
+        &mut self,
+        now: f64,
+        scaler: &AutoscalerConfig,
+        allow_scale_out: bool,
+        fleet: &mut Advancer,
+    ) {
         // Draining replicas whose in-flight work finished retire now.
         for i in 0..self.replicas.len() {
             if self.lifecycle[i].state == ReplicaState::Draining && self.replicas[i].is_drained() {
@@ -942,6 +1277,7 @@ impl Cluster {
             self.peak_active = self.peak_active.max(active.len() + 1);
             self.out_streak = 0;
             self.in_streak = 0;
+            fleet.add_member(self.replicas.len() - 1, &self.replicas);
         } else if self.in_streak >= scaler.sustain && active.len() > scaler.min_replicas {
             // Drain the least-loaded active replica; ties prefer the newest
             // (highest index), keeping the original fleet core stable.
@@ -957,11 +1293,13 @@ impl Cluster {
             // router over the surviving active replicas; in-flight prefills
             // and decodes finish where they are.
             let reclaimed = self.replicas[victim].reclaim_unstarted();
+            fleet.notify(victim, &self.replicas);
             let survivors = self.active_indices();
             for spec in reclaimed {
                 let target = self.route_among(&survivors, &spec);
                 self.replicas[target].submit(spec);
                 self.assigned[target] += 1;
+                fleet.notify(target, &self.replicas);
             }
         }
     }
@@ -969,20 +1307,37 @@ impl Cluster {
     /// Aggregate the given replicas' work into one [`ServingReport`]:
     /// latency statistics over every request they served, counter fields
     /// summed, makespan = the last of them to finish.
+    ///
+    /// With streaming metrics enabled ([`ServingConfig::streaming_metrics`])
+    /// the fleet statistics come from merging the replicas' quantile-sketch
+    /// accumulators in replica-index order — constant memory, and
+    /// bit-identical for every advancement interleaving or worker count
+    /// because sketch merge is bucket-count addition. Otherwise every
+    /// request record is gathered and the exact percentiles are computed,
+    /// as before.
     fn aggregate_over(&self, idxs: &[usize], per_replica: &[ServingReport]) -> ServingReport {
-        let requests: Vec<Request> = idxs
-            .iter()
-            .flat_map(|&i| self.replicas[i].requests().iter().cloned())
-            .collect();
         let subset: Vec<&ServingReport> = idxs.iter().map(|&i| &per_replica[i]).collect();
         let makespan = subset.iter().map(|r| r.makespan).fold(0.0, f64::max);
-        let mut aggregate = ServingReport::from_requests(
-            &self.replicas[0].config().system_label(),
-            &requests,
-            makespan,
-            subset.iter().map(|r| r.iterations).sum(),
-            subset.iter().map(|r| r.hybrid_iterations).sum(),
-        );
+        let label = self.replicas[0].config().system_label();
+        let iterations = subset.iter().map(|r| r.iterations).sum();
+        let hybrid_iterations = subset.iter().map(|r| r.hybrid_iterations).sum();
+        let mut aggregate = if self.replicas[0].config().streaming_metrics {
+            let mut acc = ReportAccumulator::new();
+            for &i in idxs {
+                acc.merge(
+                    self.replicas[i]
+                        .accumulator()
+                        .expect("streaming replicas carry accumulators"),
+                );
+            }
+            acc.finalize(&label, makespan, iterations, hybrid_iterations)
+        } else {
+            let requests: Vec<Request> = idxs
+                .iter()
+                .flat_map(|&i| self.replicas[i].requests().iter().cloned())
+                .collect();
+            ServingReport::from_requests(&label, &requests, makespan, iterations, hybrid_iterations)
+        };
         aggregate.price_cache_hits = subset.iter().map(|r| r.price_cache_hits).sum();
         aggregate.price_cache_misses = subset.iter().map(|r| r.price_cache_misses).sum();
         aggregate.busy_time = subset.iter().map(|r| r.busy_time).sum();
@@ -1702,6 +2057,166 @@ mod tests {
         let _ = Cluster::new(
             ClusterConfig::new(base(), 1, RouterPolicy::RoundRobin)
                 .with_roles(vec![ReplicaRole::DecodeOnly], KvMigration::free()),
+        );
+    }
+
+    // ----- event-driven core -----
+
+    #[test]
+    fn event_driven_run_matches_lockstep_oracle_in_every_mode() {
+        let schedule = RateSchedule::bursty(0.5, 6.0, 40.0, 10.0);
+        let specs = Workload::internal().generate_trace(48, &schedule, 77);
+
+        // Colocated.
+        let mut colocated =
+            Cluster::new(ClusterConfig::new(base(), 3, RouterPolicy::decode_aware()));
+        let event = colocated.run(specs.clone());
+        let lock = colocated.run_lockstep(specs.clone());
+        assert_eq!(event, lock, "colocated event-driven != lockstep");
+        assert_eq!(
+            event.to_json().to_string_pretty(),
+            lock.to_json().to_string_pretty()
+        );
+
+        // Disaggregated, with a link slow enough that deliveries interleave
+        // with arrivals.
+        let mut disagg = Cluster::new(ClusterConfig::disaggregated(
+            base(),
+            2,
+            2,
+            RouterPolicy::decode_aware(),
+            KvMigration::commodity(),
+        ));
+        let event = disagg.run(specs.clone());
+        let lock = disagg.run_lockstep(specs);
+        assert_eq!(event, lock, "disaggregated event-driven != lockstep");
+
+        // Autoscaled: scale-out, queue reclaim and retirement all notify
+        // the event queue.
+        let burst = pressure_trace(80, 33);
+        let mut scaled = Cluster::new(
+            ClusterConfig::new(base(), 1, RouterPolicy::LeastOutstandingTokens)
+                .with_autoscaler(AutoscalerConfig::new(1, 5)),
+        );
+        let event = scaled.run(burst.clone());
+        let lock = scaled.run_lockstep(burst);
+        assert_eq!(event, lock, "autoscaled event-driven != lockstep");
+        assert!(
+            event.scale_out_events > 0,
+            "the burst must exercise scaling"
+        );
+    }
+
+    #[test]
+    fn advance_worker_count_never_changes_results() {
+        let schedule = RateSchedule::bursty(0.6, 5.0, 35.0, 10.0);
+        let specs = Workload::internal().generate_trace(40, &schedule, 91);
+        let mut cluster = Cluster::new(ClusterConfig::new(
+            base(),
+            4,
+            RouterPolicy::LeastOutstandingTokens,
+        ));
+        cluster.set_advance_workers(1);
+        let serial = cluster.run(specs.clone());
+        for workers in [2, 3, 8] {
+            cluster.set_advance_workers(workers);
+            let parallel = cluster.run(specs.clone());
+            assert_eq!(parallel, serial, "{workers} workers changed the report");
+            assert_eq!(
+                parallel.to_json().to_string_pretty(),
+                serial.to_json().to_string_pretty()
+            );
+        }
+
+        // Streaming metrics must be thread-count independent too: sketch
+        // merge order is fixed by replica index, not completion order.
+        let mut streaming = Cluster::new(ClusterConfig::new(
+            base().with_streaming_metrics(true),
+            4,
+            RouterPolicy::LeastOutstandingTokens,
+        ));
+        streaming.set_advance_workers(1);
+        let serial = streaming.run(specs.clone());
+        streaming.set_advance_workers(7);
+        let parallel = streaming.run(specs);
+        assert_eq!(parallel, serial);
+        assert_eq!(
+            parallel.to_json().to_string_pretty(),
+            serial.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn streaming_cluster_matches_exact_counters_within_sketch_bound() {
+        let schedule = RateSchedule::bursty(0.8, 5.0, 30.0, 12.0);
+        let specs = crate::workload::SloMix::interactive_batch()
+            .apply(Workload::internal().generate_trace(64, &schedule, 51), 51);
+
+        let mut exact_cluster =
+            Cluster::new(ClusterConfig::new(base(), 3, RouterPolicy::decode_aware()));
+        let exact = exact_cluster.run(specs.clone());
+        let mut streaming_cluster = Cluster::new(ClusterConfig::new(
+            base().with_streaming_metrics(true),
+            3,
+            RouterPolicy::decode_aware(),
+        ));
+        let streaming = streaming_cluster.run(specs);
+
+        // The simulation itself is untouched: identical routing, identical
+        // virtual-time outcomes, identical exact counters.
+        assert_eq!(streaming.assigned_per_replica, exact.assigned_per_replica);
+        assert_eq!(streaming.aggregate.completed, exact.aggregate.completed);
+        assert_eq!(
+            streaming.aggregate.shed_requests,
+            exact.aggregate.shed_requests
+        );
+        assert_eq!(streaming.aggregate.iterations, exact.aggregate.iterations);
+        assert_eq!(
+            streaming.aggregate.makespan.to_bits(),
+            exact.aggregate.makespan.to_bits()
+        );
+        assert_eq!(
+            streaming.aggregate.busy_time.to_bits(),
+            exact.aggregate.busy_time.to_bits()
+        );
+        assert_eq!(streaming.aggregate.slo_classes, exact.aggregate.slo_classes);
+
+        // Sketch percentiles stay within the documented relative-error
+        // bound of the adjacent-rank order statistic they summarize.
+        let mut latencies: Vec<f64> = exact_cluster
+            .replicas()
+            .iter()
+            .flat_map(|r| r.requests().iter())
+            .filter_map(|r| r.latency())
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        for (q, got) in [
+            (0.50, streaming.aggregate.request_latency.p50),
+            (0.99, streaming.aggregate.request_latency.p99),
+        ] {
+            let rank = (q * (latencies.len() - 1) as f64).round() as usize;
+            let want = latencies[rank];
+            assert!(
+                (got - want).abs() <= 0.0101 * want.abs() + 1e-9,
+                "latency q{q}: sketch {got} too far from rank statistic {want}"
+            );
+        }
+        assert!(
+            (streaming.aggregate.request_latency.mean - exact.aggregate.request_latency.mean).abs()
+                <= 1e-9 * exact.aggregate.request_latency.mean.abs(),
+            "streaming mean drifted"
+        );
+
+        // Constant-memory reporting: finished requests drop their sample
+        // buffers, so the streaming fleet's resident sample high-water mark
+        // is strictly below the exact fleet's keep-everything total.
+        let peak =
+            |c: &Cluster| -> usize { c.replicas().iter().map(|r| r.peak_token_samples()).sum() };
+        assert!(
+            peak(&streaming_cluster) < peak(&exact_cluster),
+            "streaming peak {} must undercut exact peak {}",
+            peak(&streaming_cluster),
+            peak(&exact_cluster)
         );
     }
 

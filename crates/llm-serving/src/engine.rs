@@ -14,7 +14,7 @@
 use crate::blocks::{blocks_for, BlockId, Cursor, KvChain, BLOCK_TOKENS};
 use crate::kvcache::KvCacheManager;
 use crate::linear::IterationCostModel;
-use crate::metrics::ServingReport;
+use crate::metrics::{ReportAccumulator, ServingReport};
 use crate::model::ModelConfig;
 use crate::request::{Phase, Request, RequestSpec};
 use crate::scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
@@ -217,6 +217,15 @@ pub struct ServingConfig {
     /// SLO-aware admission control (shed vs. serve requests whose deadlines
     /// are already unmeetable). Defaults to [`AdmissionPolicy::AdmitAll`].
     pub admission: AdmissionPolicy,
+    /// Streaming constant-memory metrics: fold each request into a
+    /// [`crate::ReportAccumulator`] the moment it finishes and drop its
+    /// per-token sample buffer. Counts, means, maxima and SLO tallies stay
+    /// exact; report percentiles come from [`crate::QuantileSketch`]es
+    /// (within that type's documented error bound) instead of exact
+    /// selection. Off by default — the exact sample-buffered path is
+    /// bit-for-bit pinned by the golden tests; fleet-scale trace replay
+    /// turns this on.
+    pub streaming_metrics: bool,
 }
 
 impl ServingConfig {
@@ -233,6 +242,7 @@ impl ServingConfig {
             price_cache: price_cache_default(),
             kv_policy: KvCachePolicy::Conservative,
             admission: AdmissionPolicy::AdmitAll,
+            streaming_metrics: false,
         }
     }
 
@@ -248,6 +258,7 @@ impl ServingConfig {
             price_cache: price_cache_default(),
             kv_policy: KvCachePolicy::Conservative,
             admission: AdmissionPolicy::AdmitAll,
+            streaming_metrics: false,
         }
     }
 
@@ -269,6 +280,13 @@ impl ServingConfig {
     /// The same configuration with an SLO-aware admission policy.
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// The same configuration with streaming constant-memory metrics on or
+    /// off (see [`ServingConfig::streaming_metrics`]).
+    pub fn with_streaming_metrics(mut self, streaming: bool) -> Self {
+        self.streaming_metrics = streaming;
         self
     }
 
@@ -425,10 +443,21 @@ struct EngineState {
     /// Total seconds migrated-in requests spent between first token (on the
     /// source) and decode admission here (transfer + residency queueing).
     migration_stall_time: f64,
+    /// Streaming-metrics accumulator (`Some` exactly when the config's
+    /// `streaming_metrics` is on): finished and shed requests fold in here
+    /// the moment they happen, after which their token-time buffers are
+    /// dropped.
+    accumulator: Option<ReportAccumulator>,
+    /// Token-time samples currently buffered across this replica's request
+    /// records — the resident sample memory proxy (8 bytes each).
+    live_token_samples: usize,
+    /// High-water mark of `live_token_samples`. In streaming mode this stays
+    /// bounded by in-flight work instead of growing with the whole trace.
+    peak_token_samples: usize,
 }
 
 impl EngineState {
-    fn new(kv_capacity: usize) -> Self {
+    fn new(kv_capacity: usize, streaming_metrics: bool) -> Self {
         EngineState {
             requests: Vec::new(),
             arrivals: VecDeque::new(),
@@ -455,6 +484,9 @@ impl EngineState {
             migrated_in: 0,
             migrated_tokens_out: 0,
             migration_stall_time: 0.0,
+            accumulator: streaming_metrics.then(ReportAccumulator::new),
+            live_token_samples: 0,
+            peak_token_samples: 0,
         }
     }
 
@@ -626,12 +658,13 @@ impl ServingEngine {
         let kv_capacity = config
             .kv_capacity_tokens
             .unwrap_or_else(|| config.model.kv_cache_capacity_tokens(&config.gpu));
+        let state = EngineState::new(kv_capacity, config.streaming_metrics);
         ServingEngine {
             config,
             cost,
             kv_capacity,
             export_prefills: false,
-            state: EngineState::new(kv_capacity),
+            state,
         }
     }
 
@@ -856,6 +889,46 @@ impl ServingEngine {
         self.state.kv.utilization()
     }
 
+    /// The earliest simulated time at which [`ServingEngine::step`] could
+    /// make progress, or `None` when nothing is pending (drained, or only
+    /// parked handoffs awaiting cluster pickup).
+    ///
+    /// This is the contract the event-driven [`crate::Cluster`] core builds
+    /// on: whenever `next_event_time()` is `None` or `>= t`, `advance_to(t)`
+    /// is a state no-op — the clock does not move (idle clocks only advance
+    /// when an iteration actually runs) and no queue changes — so skipping
+    /// this replica until `t` cannot change any simulation outcome. The
+    /// returned time may be conservative (earlier than real progress), which
+    /// costs one no-op step, never correctness.
+    pub fn next_event_time(&self) -> Option<f64> {
+        let st = &self.state;
+        if !st.waiting.is_empty() || !st.running.is_empty() {
+            // Runnable (or admission-deferred) work: steppable at the clock.
+            return Some(st.clock);
+        }
+        let next_arrival = st.arrivals.front().map(|&id| st.requests[id].spec.arrival);
+        let next_import = st.pending_imports.front().map(|imp| imp.available_at);
+        match (next_arrival, next_import) {
+            (Some(a), Some(m)) => Some(a.min(m)),
+            (a, m) => a.or(m),
+        }
+    }
+
+    /// High-water mark of token-time samples resident in this replica's
+    /// request records — the sample-memory proxy (8 bytes each) the
+    /// fleet-replay bench reports. In streaming mode finished requests drop
+    /// their buffers, so this tracks in-flight work rather than trace
+    /// length.
+    pub fn peak_token_samples(&self) -> usize {
+        self.state.peak_token_samples
+    }
+
+    /// Streaming-metrics accumulator, when the config enables it. The
+    /// cluster layer merges these for fleet-wide percentiles.
+    pub(crate) fn accumulator(&self) -> Option<&ReportAccumulator> {
+        self.state.accumulator.as_ref()
+    }
+
     /// Prompt tokens of `spec` this replica's prefix index could satisfy
     /// right now, without touching any state. Zero unless the engine runs
     /// the paged policy with prefix caching. The affinity signal
@@ -936,6 +1009,7 @@ impl ServingEngine {
             imp.request.migration_stall = stall;
             st.migration_stall_time += stall;
             st.migrated_in += 1;
+            st.live_token_samples += imp.request.token_times.len();
             st.requests.push(imp.request);
             st.reserved.push(true);
             st.tables.push(RequestKv {
@@ -1084,6 +1158,9 @@ impl ServingEngine {
             };
             if let Some(rid) = plan.shed {
                 st.requests[rid].shed_time = Some(st.clock);
+                if let Some(acc) = st.accumulator.as_mut() {
+                    acc.observe_shed(&st.requests[rid]);
+                }
                 st.waiting.retain(|&r| r != rid);
                 // Always re-plan: the freed prefill slot must be offered to
                 // the next waiting request in this same iteration (dropping
@@ -1172,6 +1249,9 @@ impl ServingEngine {
         }
 
         // Apply the iteration's effects to request lifecycles and queues.
+        let prefill_tt_before = plan
+            .prefill
+            .map(|(rid, _)| st.requests[rid].token_times.len());
         let finished = apply_plan(
             &plan,
             st.clock,
@@ -1179,6 +1259,15 @@ impl ServingEngine {
             &mut st.waiting,
             &mut st.running,
         );
+        // Resident-sample accounting: every decode minted one token time,
+        // and a prefill completion may have minted the first one.
+        st.live_token_samples += plan.decodes.len()
+            + plan.prefill.map_or(0, |(rid, _)| {
+                st.requests[rid].token_times.len() - prefill_tt_before.unwrap_or(0)
+            });
+        if st.live_token_samples > st.peak_token_samples {
+            st.peak_token_samples = st.live_token_samples;
+        }
 
         // KV-cache effects, per policy: register newly computed full blocks
         // in the prefix index, then release finished residencies (a finished
@@ -1197,6 +1286,20 @@ impl ServingEngine {
         }
         for &rid in &finished {
             st.release_finished(rid, self.config.kv_policy);
+        }
+
+        // Streaming metrics: fold each finished request into the accumulator
+        // and drop its token-time buffer — nothing downstream needs it.
+        // (Prefill-export parkings are not in `finished`; their buffers ride
+        // the handoff to the decode replica, which observes the request.)
+        if st.accumulator.is_some() {
+            for &rid in &finished {
+                if let Some(acc) = st.accumulator.as_mut() {
+                    acc.observe_finished(&st.requests[rid]);
+                }
+                let dropped = std::mem::take(&mut st.requests[rid].token_times);
+                st.live_token_samples -= dropped.len();
+            }
         }
 
         // Prefill-export mode: a request that just completed its prefill
@@ -1298,13 +1401,24 @@ impl ServingEngine {
     /// mid-run (unfinished requests are excluded from the latency stats).
     pub fn report(&self) -> ServingReport {
         let st = &self.state;
-        let mut report = ServingReport::from_requests(
-            &self.config.system_label(),
-            &st.requests,
-            st.clock,
-            st.iterations,
-            st.hybrid_iterations,
-        );
+        let mut report = match &st.accumulator {
+            // Streaming mode: the accumulator already folded every finished
+            // and shed request (token buffers are gone), so the report comes
+            // from it instead of a batch pass over the records.
+            Some(acc) => acc.finalize(
+                &self.config.system_label(),
+                st.clock,
+                st.iterations,
+                st.hybrid_iterations,
+            ),
+            None => ServingReport::from_requests(
+                &self.config.system_label(),
+                &st.requests,
+                st.clock,
+                st.iterations,
+                st.hybrid_iterations,
+            ),
+        };
         report.price_cache_hits = st.cache_hits;
         report.price_cache_misses = st.cache_misses;
         report.busy_time = st.busy_time;
@@ -1341,7 +1455,7 @@ impl ServingEngine {
             cost: self.cost.clone(),
             kv_capacity: self.kv_capacity,
             export_prefills: self.export_prefills,
-            state: EngineState::new(self.kv_capacity),
+            state: EngineState::new(self.kv_capacity, self.config.streaming_metrics),
         };
         for spec in specs {
             engine.submit(spec);

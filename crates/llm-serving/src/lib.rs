@@ -84,6 +84,7 @@ mod model;
 mod request;
 mod rng;
 mod scheduler;
+mod sketch;
 mod workload;
 
 pub use blocks::{
@@ -100,11 +101,12 @@ pub use engine::{
 pub use json::{JsonParseError, JsonValue};
 pub use kvcache::KvCacheManager;
 pub use linear::{IterationBreakdown, IterationCostModel};
-pub use metrics::{percentile, ServingReport, SloClassReport, SummaryStats};
+pub use metrics::{percentile, ReportAccumulator, ServingReport, SloClassReport, SummaryStats};
 pub use model::{ModelConfig, ParamCounts};
 pub use request::{Phase, PromptContent, Request, RequestSpec, SloSpec};
 pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
+pub use sketch::{QuantileSketch, DEFAULT_RELATIVE_ERROR};
 pub use workload::{
     offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, SharedPrefixWorkload,
     SloMix, Workload,

@@ -2,6 +2,7 @@
 
 use crate::json::JsonValue;
 use crate::request::Request;
+use crate::sketch::QuantileSketch;
 
 /// Summary statistics over a set of latency samples.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -35,14 +36,20 @@ impl SummaryStats {
             return SummaryStats::default();
         }
         let mut scratch: Vec<f64> = samples.to_vec();
-        let mean = scratch.iter().sum::<f64>() / scratch.len() as f64;
+        let mut sum = 0.0;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &scratch {
+            sum += v;
+            max = max.max(v);
+        }
+        let mean = sum / scratch.len() as f64;
         assert!(!mean.is_nan(), "latency samples must not be NaN");
-        let max = scratch.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (p50, p99) = percentile_pair(&mut scratch, 0.50, 0.99);
         SummaryStats {
             count: scratch.len(),
             mean,
-            p50: percentile_select(&mut scratch, 0.50),
-            p99: percentile_select(&mut scratch, 0.99),
+            p50,
+            p99,
             max,
         }
     }
@@ -59,21 +66,57 @@ impl SummaryStats {
     }
 }
 
-/// Percentile of an unsorted slice using nearest-rank interpolation,
-/// via `select_nth_unstable` (O(n), reorders `samples`).
-fn percentile_select(samples: &mut [f64], q: f64) -> f64 {
+/// Two percentiles of an unsorted slice (`q_lo <= q_hi`) using nearest-rank
+/// interpolation, in one shared selection pass: `select_nth_unstable`
+/// partitions the buffer once for the lower quantile, then the higher
+/// quantile is selected inside the (much smaller) right partition instead of
+/// re-partitioning the whole buffer. Produces bit-identical results to two
+/// independent selections — both read the same order statistics — which the
+/// golden report tests rely on. O(n), reorders `samples`.
+fn percentile_pair(samples: &mut [f64], q_lo: f64, q_hi: f64) -> (f64, f64) {
     debug_assert!(!samples.is_empty());
-    let q = q.clamp(0.0, 1.0);
-    let pos = q * (samples.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let (_, &mut lo_v, right) = samples.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
-    if lo == hi {
-        lo_v
+    debug_assert!(q_lo <= q_hi);
+    let span = (samples.len() - 1) as f64;
+    let pos_a = q_lo.clamp(0.0, 1.0) * span;
+    let (lo_a, hi_a) = (pos_a.floor() as usize, pos_a.ceil() as usize);
+    let pos_b = q_hi.clamp(0.0, 1.0) * span;
+    let (lo_b, hi_b) = (pos_b.floor() as usize, pos_b.ceil() as usize);
+
+    let (_, &mut val_a, right) = samples.select_nth_unstable_by(lo_a, |a, b| a.total_cmp(b));
+    if lo_b > lo_a {
+        // The higher quantile's floor rank lives strictly inside the right
+        // partition: select it there (global rank lo_b = right[lo_b-lo_a-1]).
+        let (left_b, &mut val_b, right_b) =
+            right.select_nth_unstable_by(lo_b - lo_a - 1, |a, b| a.total_cmp(b));
+        let p_lo = if lo_a == hi_a {
+            val_a
+        } else {
+            // Rank lo_a+1 is the minimum of the right partition, all of
+            // which now sits in `left_b` and `val_b`.
+            let hi_v = left_b.iter().copied().fold(val_b, f64::min);
+            let frac = pos_a - lo_a as f64;
+            val_a * (1.0 - frac) + hi_v * frac
+        };
+        let p_hi = if lo_b == hi_b {
+            val_b
+        } else {
+            let hi_v = right_b.iter().copied().fold(f64::INFINITY, f64::min);
+            let frac = pos_b - lo_b as f64;
+            val_b * (1.0 - frac) + hi_v * frac
+        };
+        (p_lo, p_hi)
     } else {
+        // Tiny sample counts: both quantiles straddle the same pair of ranks.
         let hi_v = right.iter().copied().fold(f64::INFINITY, f64::min);
-        let frac = pos - lo as f64;
-        lo_v * (1.0 - frac) + hi_v * frac
+        let interp = |pos: f64, lo: usize, hi: usize| {
+            if lo == hi {
+                val_a
+            } else {
+                let frac = pos - lo as f64;
+                val_a * (1.0 - frac) + hi_v * frac
+            }
+        };
+        (interp(pos_a, lo_a, hi_a), interp(pos_b, lo_b, hi_b))
     }
 }
 
@@ -507,6 +550,202 @@ impl ServingReport {
     }
 }
 
+/// Streaming, constant-memory counterpart of
+/// [`ServingReport::from_requests`], for fleet-scale trace replay.
+///
+/// In streaming mode the engine feeds every request into the accumulator
+/// the moment it finishes (or is shed) and then drops the request's
+/// per-token sample buffer, so memory stays O(sketch buckets) instead of
+/// O(total tokens). Counts, means, maxima, stall fractions and all SLO
+/// tallies are exact; only the `p50`/`p99` fields of the four
+/// [`SummaryStats`] distributions are approximate, within the
+/// [`QuantileSketch`] error bound (see that type's module docs).
+///
+/// Accumulators merge bucket-wise ([`ReportAccumulator::merge`]), which is
+/// how the cluster layer derives fleet-wide percentiles without ever
+/// concatenating sample buffers. The grading rules mirror `from_requests`
+/// line for line; `streaming_reports_match_exact_counters` below pins the
+/// two paths together.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportAccumulator {
+    ttft: QuantileSketch,
+    tbt: QuantileSketch,
+    latency: QuantileSketch,
+    slack: QuantileSketch,
+    finished: usize,
+    with_decode: usize,
+    stalls_200: usize,
+    stalls_500: usize,
+    shed: usize,
+    slo_requests: usize,
+    slo_met: usize,
+    slo_ttft_violations: usize,
+    slo_tbt_violations: usize,
+    classes: Vec<SloClassReport>,
+}
+
+impl ReportAccumulator {
+    /// An empty accumulator with default-accuracy sketches.
+    pub fn new() -> Self {
+        ReportAccumulator::default()
+    }
+
+    /// Requests observed as finished so far.
+    pub fn finished(&self) -> usize {
+        self.finished
+    }
+
+    fn class_entry(&mut self, name: &str) -> usize {
+        match self.classes.iter().position(|c| c.class == name) {
+            Some(i) => i,
+            None => {
+                self.classes.push(SloClassReport {
+                    class: name.to_string(),
+                    ..SloClassReport::default()
+                });
+                self.classes.len() - 1
+            }
+        }
+    }
+
+    /// Fold one finished request into the running distributions. Must be
+    /// called exactly once per finished request, while its `token_times`
+    /// are still intact; the caller may drop them afterwards.
+    pub fn observe_finished(&mut self, r: &Request) {
+        debug_assert!(r.finish_time.is_some() && r.shed_time.is_none());
+        self.finished += 1;
+        if let Some(t) = r.ttft() {
+            self.ttft.observe(t);
+        }
+        if let Some(l) = r.latency() {
+            self.latency.observe(l);
+        }
+        let mut max_gap = f64::NEG_INFINITY;
+        for w in r.token_times.windows(2) {
+            let gap = w[1] - w[0];
+            max_gap = max_gap.max(gap);
+            self.tbt.observe(gap);
+        }
+        if max_gap > f64::NEG_INFINITY {
+            self.with_decode += 1;
+            if max_gap > 0.2 {
+                self.stalls_200 += 1;
+            }
+            if max_gap > 0.5 {
+                self.stalls_500 += 1;
+            }
+        }
+        if let Some(slo) = r.spec.slo {
+            self.slo_requests += 1;
+            let ttft_ok = r.meets_ttft();
+            // Same shortcut as `from_requests`: `max_gap` doubles as the TBT
+            // criterion (NEG_INFINITY = no decode gaps = trivially met).
+            let tbt_ok = max_gap <= slo.tbt_target;
+            if let Some(s) = r.ttft_slack() {
+                self.slack.observe(s);
+            }
+            let i = self.class_entry(slo.class);
+            self.classes[i].finished += 1;
+            if !ttft_ok {
+                self.slo_ttft_violations += 1;
+                self.classes[i].ttft_violations += 1;
+            }
+            if !tbt_ok {
+                self.slo_tbt_violations += 1;
+                self.classes[i].tbt_violations += 1;
+            }
+            if ttft_ok && tbt_ok {
+                self.slo_met += 1;
+                self.classes[i].met += 1;
+            }
+        }
+    }
+
+    /// Fold one shed request in (it never finishes; only shed tallies move).
+    pub fn observe_shed(&mut self, r: &Request) {
+        debug_assert!(r.shed_time.is_some());
+        self.shed += 1;
+        if let Some(slo) = r.spec.slo {
+            let i = self.class_entry(slo.class);
+            self.classes[i].shed += 1;
+        }
+    }
+
+    /// Fold another accumulator in. Sketch merges are bucket-wise counter
+    /// additions, so fleet percentiles are independent of merge order; the
+    /// cluster merges in replica-index order for deterministic means and
+    /// class ordering (classes append by first appearance across the merge
+    /// sequence).
+    pub fn merge(&mut self, other: &ReportAccumulator) {
+        self.ttft.merge(&other.ttft);
+        self.tbt.merge(&other.tbt);
+        self.latency.merge(&other.latency);
+        self.slack.merge(&other.slack);
+        self.finished += other.finished;
+        self.with_decode += other.with_decode;
+        self.stalls_200 += other.stalls_200;
+        self.stalls_500 += other.stalls_500;
+        self.shed += other.shed;
+        self.slo_requests += other.slo_requests;
+        self.slo_met += other.slo_met;
+        self.slo_ttft_violations += other.slo_ttft_violations;
+        self.slo_tbt_violations += other.slo_tbt_violations;
+        for c in &other.classes {
+            let i = self.class_entry(&c.class);
+            self.classes[i].finished += c.finished;
+            self.classes[i].met += c.met;
+            self.classes[i].ttft_violations += c.ttft_violations;
+            self.classes[i].tbt_violations += c.tbt_violations;
+            self.classes[i].shed += c.shed;
+        }
+    }
+
+    /// Produce the report. Engine-level counters (price cache, busy time,
+    /// migration, ...) are zeroed exactly as in `from_requests`; the engine
+    /// and cluster overwrite them from their own exact tallies.
+    pub fn finalize(
+        &self,
+        system: &str,
+        makespan: f64,
+        iterations: usize,
+        hybrid_iterations: usize,
+    ) -> ServingReport {
+        let with_decode = self.with_decode.max(1);
+        ServingReport {
+            system: system.to_string(),
+            makespan,
+            completed: self.finished,
+            iterations,
+            hybrid_iterations,
+            ttft: self.ttft.summary(),
+            tbt: self.tbt.summary(),
+            request_latency: self.latency.summary(),
+            stall_fraction_200ms: self.stalls_200 as f64 / with_decode as f64,
+            stall_fraction_500ms: self.stalls_500 as f64 / with_decode as f64,
+            price_cache_hits: 0,
+            price_cache_misses: 0,
+            busy_time: 0.0,
+            prefill_tokens_scheduled: 0,
+            cached_prefix_tokens: 0,
+            blocks_reused: 0,
+            cow_copies: 0,
+            preemptions: 0,
+            blocks_evicted: 0,
+            migrated_out_requests: 0,
+            migrated_in_requests: 0,
+            migrated_tokens: 0,
+            migration_stall_time: 0.0,
+            shed_requests: self.shed,
+            slo_requests: self.slo_requests,
+            slo_met: self.slo_met,
+            slo_ttft_violations: self.slo_ttft_violations,
+            slo_tbt_violations: self.slo_tbt_violations,
+            ttft_slack: self.slack.summary(),
+            slo_classes: self.classes.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +919,104 @@ mod tests {
         assert_eq!(report.goodput_requests(), report.completed);
         assert!(report.slo_classes.is_empty());
         assert_eq!(report.shed_requests, 0);
+    }
+
+    /// The streaming accumulator and the exact batch path grade requests by
+    /// the same rules: every integer tally, mean, and max agree exactly, and
+    /// the sketch percentiles sit within their documented bound of the exact
+    /// ones.
+    #[test]
+    fn streaming_reports_match_exact_counters() {
+        use crate::request::SloSpec;
+        let tight = SloSpec::new("interactive", 1.0, 0.2);
+        let loose = SloSpec::new("batch", 100.0, 5.0);
+        let mut requests = Vec::new();
+        for i in 0..200usize {
+            let slo = match i % 3 {
+                0 => Some(tight),
+                1 => Some(loose),
+                _ => None,
+            };
+            let mut spec = RequestSpec::new(i as f64 * 0.1, 10, 4);
+            if let Some(s) = slo {
+                spec = spec.with_slo(s);
+            }
+            let mut r = Request::new(i, spec);
+            if i % 17 == 0 {
+                r.shed_time = Some(i as f64 * 0.1 + 0.5);
+            } else {
+                let t0 = i as f64 * 0.1 + 0.3 + (i % 7) as f64 * 0.25;
+                r.record_prefill(10, t0);
+                for tok in 1..4 {
+                    r.record_decode_token(t0 + tok as f64 * 0.05 * (1 + i % 5) as f64);
+                }
+            }
+            requests.push(r);
+        }
+        let exact = ServingReport::from_requests("test", &requests, 60.0, 10, 5);
+        let mut acc = ReportAccumulator::new();
+        for r in &requests {
+            if r.shed_time.is_some() {
+                acc.observe_shed(r);
+            } else if r.finish_time.is_some() {
+                acc.observe_finished(r);
+            }
+        }
+        let streamed = acc.finalize("test", 60.0, 10, 5);
+        assert_eq!(streamed.completed, exact.completed);
+        assert_eq!(streamed.shed_requests, exact.shed_requests);
+        assert_eq!(streamed.slo_requests, exact.slo_requests);
+        assert_eq!(streamed.slo_met, exact.slo_met);
+        assert_eq!(streamed.slo_ttft_violations, exact.slo_ttft_violations);
+        assert_eq!(streamed.slo_tbt_violations, exact.slo_tbt_violations);
+        assert_eq!(streamed.slo_classes, exact.slo_classes);
+        assert_eq!(streamed.stall_fraction_200ms, exact.stall_fraction_200ms);
+        assert_eq!(streamed.stall_fraction_500ms, exact.stall_fraction_500ms);
+        // Collect the exact sample sets the same way `from_requests` does,
+        // to check the sketch percentiles against their documented bound:
+        // within 1% of the sample at the rounded rank (NOT the interpolated
+        // percentile — bimodal slack distributions interpolate across the
+        // mode gap, where no sample lives).
+        let mut ttfts = Vec::new();
+        let mut latencies = Vec::new();
+        let mut tbts = Vec::new();
+        let mut slacks = Vec::new();
+        for r in &requests {
+            if r.shed_time.is_some() || r.finish_time.is_none() {
+                continue;
+            }
+            ttfts.extend(r.ttft());
+            latencies.extend(r.latency());
+            for w in r.token_times.windows(2) {
+                tbts.push(w[1] - w[0]);
+            }
+            if r.spec.slo.is_some() {
+                slacks.extend(r.ttft_slack());
+            }
+        }
+        for (s, e, samples) in [
+            (&streamed.ttft, &exact.ttft, &mut ttfts),
+            (&streamed.tbt, &exact.tbt, &mut tbts),
+            (
+                &streamed.request_latency,
+                &exact.request_latency,
+                &mut latencies,
+            ),
+            (&streamed.ttft_slack, &exact.ttft_slack, &mut slacks),
+        ] {
+            assert_eq!(s.count, e.count);
+            assert!((s.mean - e.mean).abs() <= 1e-12 * e.mean.abs().max(1.0));
+            assert_eq!(s.max, e.max);
+            samples.sort_by(|a, b| a.total_cmp(b));
+            for (sv, q) in [(s.p50, 0.50), (s.p99, 0.99)] {
+                let rank = (q * (samples.len() - 1) as f64).round() as usize;
+                let adj = samples[rank];
+                assert!(
+                    (sv - adj).abs() <= 0.0101 * adj.abs() + 1e-9,
+                    "sketch {sv} too far from rank-{rank} sample {adj} at q={q}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   exactly zero, whatever mix of preemptions/evictions happened);
 //! * prefill and decode token conservation: every finished request computed
 //!   exactly its prompt (minus prefix-cache hits, plus preemption recompute)
-//!   and generated exactly its output tokens.
+//!   and generated exactly its output tokens;
+//! * the event-driven cluster core (with a random advancement worker count,
+//!   and sketch-backed streaming metrics on a slice of cases) produces
+//!   reports bit-identical to the sequential lockstep oracle
+//!   (`Cluster::run_lockstep`).
 //!
 //! Cases fan out over a worker pool sized by `POD_TEST_THREADS` (default:
 //! available parallelism); every case is deterministic from its seed alone,
@@ -332,6 +336,12 @@ fn run_cluster_case(seed: u64) -> String {
         }
         _ => {}
     }
+    // Streaming (sketch-backed) reporting rides along on a third of the
+    // cluster cases: it must preserve every exact counter the invariants
+    // below check, and stay deterministic like the sample-buffer path.
+    if rng.next_usize(3) == 0 {
+        cluster_config.base = cluster_config.base.clone().with_streaming_metrics(true);
+    }
     let replicas = cluster_config.replicas;
     let tag = format!(
         "cluster case seed={seed} ({} replicas, {})",
@@ -340,7 +350,21 @@ fn run_cluster_case(seed: u64) -> String {
     );
 
     let mut cluster = Cluster::new(cluster_config);
+    // The differential oracle for the event-driven core: the event-queue
+    // run — under a random advancement worker count — must reproduce the
+    // sequential lockstep sweep bit for bit.
+    cluster.set_advance_workers(1 + rng.next_usize(8));
     let report = cluster.run(specs.clone());
+    let lockstep = cluster.run_lockstep(specs.clone());
+    assert_eq!(
+        report, lockstep,
+        "{tag}: event-driven run diverged from the lockstep oracle"
+    );
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        lockstep.to_json().to_string_pretty(),
+        "{tag}: event-driven vs lockstep JSON fingerprints diverged"
+    );
 
     // Fleet-level conservation: every submitted request finished or was shed
     // exactly once, across all replicas, despite drain re-routing.
