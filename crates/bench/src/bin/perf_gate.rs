@@ -7,6 +7,7 @@
 //!     [--cluster <cluster_baseline.json> <cluster_fresh.json>] \
 //!     [--slo <slo_baseline.json> <slo_fresh.json>] \
 //!     [--disagg <disagg_baseline.json> <disagg_fresh.json>] \
+//!     [--fairness <fairness_baseline.json> <fairness_fresh.json>] \
 //!     [--fleet <fleet_baseline.json> <fleet_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
@@ -89,8 +90,8 @@ fn fleet_requests_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String>
 
 /// The gated SLO metric: mean aggregate goodput (deadline-meeting
 /// completions) per minute over every sweep cell of a `BENCH_slo.json`
-/// document. `BENCH_disagg.json` shares the layout, so the `--disagg` gate
-/// reads the same path.
+/// document. `BENCH_disagg.json` and `BENCH_fairness.json` share the
+/// layout, so the `--disagg` and `--fairness` gates read the same path.
 fn fleet_goodput_per_minute(doc: &JsonValue, file: &str) -> Result<f64, String> {
     mean_cell_metric(doc, "report.aggregate.slo.goodput_per_minute", file)
 }
@@ -133,6 +134,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut cluster_paths: Vec<&String> = Vec::new();
     let mut slo_paths: Vec<&String> = Vec::new();
     let mut disagg_paths: Vec<&String> = Vec::new();
+    let mut fairness_paths: Vec<&String> = Vec::new();
     let mut fleet_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
@@ -166,6 +168,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             disagg_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--fairness" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--fairness needs <baseline.json> <fresh.json>".to_string());
+            };
+            fairness_paths = vec![base, fresh];
+            i += 3;
         } else if args[i] == "--fleet" {
             let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
                 return Err("--fleet needs <baseline.json> <fresh.json>".to_string());
@@ -182,6 +190,7 @@ fn run(args: &[String]) -> Result<bool, String> {
              [--cluster <baseline.json> <fresh.json>] \
              [--slo <baseline.json> <fresh.json>] \
              [--disagg <baseline.json> <fresh.json>] \
+             [--fairness <baseline.json> <fresh.json>] \
              [--fleet <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
@@ -231,6 +240,18 @@ fn run(args: &[String]) -> Result<bool, String> {
         println!("disagg gate: fresh {disagg_fresh_path} vs baseline {disagg_base_path}");
         ok &= check(
             "disagg.mean_goodput_per_minute",
+            base,
+            now,
+            max_drop,
+            &mut deltas,
+        );
+    }
+    if let [fair_base_path, fair_fresh_path] = fairness_paths.as_slice() {
+        let base = fleet_goodput_per_minute(&load(fair_base_path)?, fair_base_path)?;
+        let now = fleet_goodput_per_minute(&load(fair_fresh_path)?, fair_fresh_path)?;
+        println!("fairness gate: fresh {fair_fresh_path} vs baseline {fair_base_path}");
+        ok &= check(
+            "fairness.mean_goodput_per_minute",
             base,
             now,
             max_drop,
@@ -460,6 +481,34 @@ mod tests {
         assert_eq!(run(&args(&dis_ok)), Ok(true));
         assert_eq!(run(&args(&dis_bad)), Ok(false));
         let empty = write_tmp("perf_gate_dis_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+    }
+
+    #[test]
+    fn fairness_metric_gates_mean_goodput() {
+        // BENCH_fairness.json shares the slo-cells layout, so the same
+        // trend-builder exercises the --fairness flag.
+        let eng_base = write_tmp("perf_gate_fa_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_fa_eng_fresh.json", &trend(1000.0, 500.0));
+        let fa_base = write_tmp("perf_gate_fa_base.json", &slo_trend(&[90.0, 150.0]));
+        // Mean 120 -> 96 is a 20% drop: passes at 30%.
+        let fa_ok = write_tmp("perf_gate_fa_ok.json", &slo_trend(&[72.0, 120.0]));
+        // Mean 120 -> 60 is a 50% drop: fails — the doctored baseline the CI
+        // wiring was verified against.
+        let fa_bad = write_tmp("perf_gate_fa_bad.json", &slo_trend(&[45.0, 75.0]));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--fairness".to_string(),
+                fa_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&fa_ok)), Ok(true));
+        assert_eq!(run(&args(&fa_bad)), Ok(false));
+        // A malformed fairness file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_fa_empty.json", "{}\n");
         assert!(run(&args(&empty)).is_err());
     }
 

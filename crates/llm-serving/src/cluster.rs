@@ -365,6 +365,18 @@ impl ReplicaLife {
 }
 
 /// Configuration of a replica fleet.
+///
+/// # Builder surface
+///
+/// Start from [`ClusterConfig::new`] or [`ClusterConfig::disaggregated`]
+/// and chain `with_*` methods, mirroring the
+/// [`ServingConfig`](crate::ServingConfig) convention:
+///
+/// * [`ClusterConfig::with_roles`] — mixed / disaggregated fleets
+/// * [`ClusterConfig::with_autoscaler`] — backlog-driven fleet sizing
+/// * [`ClusterConfig::with_fair_queue`] — multi-tenant fairness on every
+///   replica (delegates to
+///   [`ServingConfig::with_fair_queue`](crate::ServingConfig::with_fair_queue))
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Per-replica serving configuration (every replica is identical — one
@@ -436,6 +448,15 @@ impl ClusterConfig {
         self.roles = roles;
         self.migration = migration;
         self.validate_roles();
+        self
+    }
+
+    /// The same fleet with multi-tenant fair queueing (and, per the
+    /// [`crate::FairQueueConfig`], priority preemption) on every replica.
+    /// Sugar for rebuilding `base` through
+    /// [`ServingConfig::with_fair_queue`](crate::ServingConfig::with_fair_queue).
+    pub fn with_fair_queue(mut self, fair_queue: crate::FairQueueConfig) -> Self {
+        self.base = self.base.with_fair_queue(fair_queue);
         self
     }
 

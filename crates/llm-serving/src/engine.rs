@@ -16,7 +16,7 @@ use crate::kvcache::KvCacheManager;
 use crate::linear::IterationCostModel;
 use crate::metrics::{ReportAccumulator, ServingReport};
 use crate::model::ModelConfig;
-use crate::request::{Phase, Request, RequestSpec};
+use crate::request::{Phase, Priority, Request, RequestSpec, TenantId};
 use crate::scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
 use attn_kernels::{canonical_decodes, AttentionStrategy, HybridBatch, PrefillChunk};
 use gpu_sim::GpuConfig;
@@ -191,7 +191,108 @@ impl AdmissionPolicy {
     }
 }
 
+/// Multi-tenant fair-queueing configuration: weighted deficit round-robin
+/// over queued prefill work, plus (optionally) priority preemption.
+///
+/// When attached to a config via [`ServingConfig::with_fair_queue`], the
+/// engine keeps a **virtual-token counter per tenant**: every prefill token
+/// scheduled for a tenant's request advances that tenant's counter by
+/// `1 / weight`, and each iteration the waiting-queue front is given to the
+/// tenant with the smallest counter (FIFO within a tenant, smallest
+/// [`TenantId`] on exact ties). Heavy tenants thus accumulate virtual time
+/// fast and yield the chunked-prefill slot; a tenant that was idle re-enters
+/// at the current virtual floor, so credit cannot be banked while away.
+///
+/// With a single tenant (or when no config is attached) the selection
+/// degenerates to plain FCFS and the engine's behavior is **bit-for-bit
+/// identical** to a fairness-free run — the inertness pin the golden tests
+/// and `fig20_fairness` rely on.
+///
+/// `preempt_priorities` additionally lets a strictly higher-[`Priority`]
+/// request at the queue front evict lower-priority running decodes through
+/// the existing paged preemption path (swap-out + recompute) when the block
+/// pool is what blocks its admission. Requires [`KvCachePolicy::Paged`];
+/// under the conservative policy the flag is ignored (there is no preemption
+/// path to reuse). The **admitted** request records each eviction it caused
+/// in [`Request::preemptions_inflicted`]; memory-pressure preemptions (decode
+/// growth against a full pool) have no single inflictor and are attributed
+/// to nobody.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FairQueueConfig {
+    /// `(tenant, weight)` overrides; any tenant not listed has weight 1.
+    /// Larger weight = larger guaranteed share of prefill slots.
+    weights: Vec<(TenantId, f64)>,
+    /// Whether higher-priority queue fronts may evict lower-priority running
+    /// decodes (paged policy only).
+    pub preempt_priorities: bool,
+}
+
+impl FairQueueConfig {
+    /// Fair queueing with equal weights for every tenant and no priority
+    /// preemption.
+    pub fn new() -> Self {
+        FairQueueConfig::default()
+    }
+
+    /// The same configuration with `tenant`'s weight set to `weight`
+    /// (relative to the default of 1 for unlisted tenants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn with_weight(mut self, tenant: TenantId, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "tenant weights must be positive and finite"
+        );
+        match self.weights.binary_search_by_key(&tenant, |&(t, _)| t) {
+            Ok(i) => self.weights[i].1 = weight,
+            Err(i) => self.weights.insert(i, (tenant, weight)),
+        }
+        self
+    }
+
+    /// The same configuration with priority preemption on or off.
+    pub fn with_priority_preemption(mut self, on: bool) -> Self {
+        self.preempt_priorities = on;
+        self
+    }
+
+    /// The weight of `tenant` (1 unless overridden).
+    pub fn weight(&self, tenant: TenantId) -> f64 {
+        self.weights
+            .binary_search_by_key(&tenant, |&(t, _)| t)
+            .map(|i| self.weights[i].1)
+            .unwrap_or(1.0)
+    }
+
+    /// Report-label fragment for a config that carries fair queueing.
+    pub fn label_suffix(&self) -> &'static str {
+        "+fair"
+    }
+}
+
 /// Full configuration of a serving system under test.
+///
+/// # Builder surface
+///
+/// Start from a named baseline — [`ServingConfig::vllm`],
+/// [`ServingConfig::sarathi`] or [`ServingConfig::sarathi_pod`] — then
+/// layer optional subsystems with the `with_*` methods, each of which
+/// consumes and returns the config so they chain:
+///
+/// * [`ServingConfig::with_paged_kv`] — paged KV blocks / prefix caching
+/// * [`ServingConfig::with_admission`] — SLO-aware shedding
+/// * [`ServingConfig::with_streaming_metrics`] — constant-memory reports
+/// * [`ServingConfig::with_fair_queue`] — multi-tenant fairness / priorities
+///
+/// [`ClusterConfig`](crate::ClusterConfig) wraps a `ServingConfig` for a
+/// replica fleet and follows the same convention
+/// ([`ClusterConfig::with_roles`](crate::ClusterConfig::with_roles),
+/// [`ClusterConfig::with_autoscaler`](crate::ClusterConfig::with_autoscaler),
+/// [`ClusterConfig::with_fair_queue`](crate::ClusterConfig::with_fair_queue)),
+/// as does per-request construction via
+/// [`RequestSpec::builder`](crate::RequestSpec::builder).
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// The model being served.
@@ -226,6 +327,10 @@ pub struct ServingConfig {
     /// bit-for-bit pinned by the golden tests; fleet-scale trace replay
     /// turns this on.
     pub streaming_metrics: bool,
+    /// Multi-tenant fair queueing and priority preemption. Defaults to
+    /// `None` (plain FCFS admission) — the inert default the golden tests
+    /// pin bit-for-bit; see [`FairQueueConfig`].
+    pub fair_queue: Option<FairQueueConfig>,
 }
 
 impl ServingConfig {
@@ -243,6 +348,7 @@ impl ServingConfig {
             kv_policy: KvCachePolicy::Conservative,
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
+            fair_queue: None,
         }
     }
 
@@ -259,6 +365,7 @@ impl ServingConfig {
             kv_policy: KvCachePolicy::Conservative,
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
+            fair_queue: None,
         }
     }
 
@@ -290,18 +397,27 @@ impl ServingConfig {
         self
     }
 
+    /// The same configuration with multi-tenant fair queueing (and, per the
+    /// [`FairQueueConfig`], priority preemption) attached.
+    pub fn with_fair_queue(mut self, fair_queue: FairQueueConfig) -> Self {
+        self.fair_queue = Some(fair_queue);
+        self
+    }
+
     /// Label used in reports, e.g. `"Sarathi(chunk=1024)+POD"` (with
-    /// `"+paged"` / `"+prefix"` appended for the paged KV policies, and
-    /// `"+shed"` for deadline-shedding admission).
+    /// `"+paged"` / `"+prefix"` appended for the paged KV policies,
+    /// `"+shed"` for deadline-shedding admission, and `"+fair"` for
+    /// fair-queueing configs).
     pub fn system_label(&self) -> String {
         let kv = self.kv_policy.label_suffix();
         let adm = self.admission.label_suffix();
+        let fair = self.fair_queue.as_ref().map_or("", |f| f.label_suffix());
         let attn = match self.attention {
             AttentionStrategy::Pod => "+POD",
             AttentionStrategy::FaSerial => "",
-            other => return format!("{}[{}]{}{}", self.scheduler.label(), other, kv, adm),
+            other => return format!("{}[{}]{}{}{}", self.scheduler.label(), other, kv, adm, fair),
         };
-        format!("{}{}{}{}", self.scheduler.label(), attn, kv, adm)
+        format!("{}{}{}{}{}", self.scheduler.label(), attn, kv, adm, fair)
     }
 }
 
@@ -454,6 +570,16 @@ struct EngineState {
     /// High-water mark of `live_token_samples`. In streaming mode this stays
     /// bounded by in-flight work instead of growing with the whole trace.
     peak_token_samples: usize,
+    /// Per-tenant virtual-token counters for fair queueing, sorted by tenant
+    /// id (empty and untouched unless the config carries a
+    /// [`FairQueueConfig`]). A tenant's counter advances by
+    /// `scheduled prefill tokens / weight`.
+    fair_vtime: Vec<(TenantId, f64)>,
+    /// Monotone floor of the virtual clock: the smallest counter among
+    /// tenants competing at the most recent selection. Tenants activating
+    /// (first request, or returning from idle) are lifted to it so virtual
+    /// time cannot be banked while away.
+    fair_floor: f64,
 }
 
 impl EngineState {
@@ -487,7 +613,22 @@ impl EngineState {
             accumulator: streaming_metrics.then(ReportAccumulator::new),
             live_token_samples: 0,
             peak_token_samples: 0,
+            fair_vtime: Vec::new(),
+            fair_floor: 0.0,
         }
+    }
+
+    /// Mutable virtual-time counter of `tenant`, created at the current
+    /// floor on first sight (the activation lift).
+    fn fair_vtime_entry(&mut self, tenant: TenantId) -> &mut f64 {
+        let i = match self.fair_vtime.binary_search_by_key(&tenant, |&(t, _)| t) {
+            Ok(i) => i,
+            Err(i) => {
+                self.fair_vtime.insert(i, (tenant, self.fair_floor));
+                i
+            }
+        };
+        &mut self.fair_vtime[i].1
     }
 
     /// Preempt a decoding request: reclaim its blocks (indexed ones stay
@@ -942,6 +1083,121 @@ impl ServingEngine {
             .peek_prefix(spec.content, spec.prompt_tokens.saturating_sub(1))
     }
 
+    /// Fair-queueing selection: give the waiting-queue slot right after any
+    /// admitted (reserved, mid-prefill) prefix to the best candidate —
+    /// highest [`Priority`] first, then the tenant with the smallest
+    /// virtual-token counter, then the smallest tenant id, then queue order.
+    /// Every other waiting request keeps its relative order. A no-op without
+    /// a [`FairQueueConfig`], and order-preserving (hence bit-for-bit inert)
+    /// whenever the FIFO front is already the best candidate — in particular
+    /// always for single-tenant, single-priority traces.
+    fn fair_reorder(&mut self) {
+        if self.config.fair_queue.is_none() {
+            return;
+        }
+        let st = &mut self.state;
+        let start = st.waiting.iter().take_while(|&&r| st.reserved[r]).count();
+        if st.waiting.len().saturating_sub(start) < 2 {
+            return;
+        }
+        // Activation lift + floor advance: every competing tenant enters the
+        // race at no less than the current floor, and the floor ratchets to
+        // the smallest competing counter so idle tenants cannot bank credit.
+        for pos in start..st.waiting.len() {
+            let tenant = st.requests[st.waiting[pos]].spec.tenant;
+            let floor = st.fair_floor;
+            let v = st.fair_vtime_entry(tenant);
+            *v = v.max(floor);
+        }
+        let min_active = (start..st.waiting.len())
+            .map(|pos| {
+                let t = st.requests[st.waiting[pos]].spec.tenant;
+                *st.fair_vtime_entry(t)
+            })
+            .fold(f64::INFINITY, f64::min);
+        st.fair_floor = st.fair_floor.max(min_active);
+        // Pick the best candidate; strict improvement keeps FIFO on ties.
+        let mut best = start;
+        for pos in start + 1..st.waiting.len() {
+            let (bp, bt): (Priority, TenantId) = {
+                let r = &st.requests[st.waiting[best]];
+                (r.spec.priority, r.spec.tenant)
+            };
+            let (cp, ct) = {
+                let r = &st.requests[st.waiting[pos]];
+                (r.spec.priority, r.spec.tenant)
+            };
+            let bv = *st.fair_vtime_entry(bt);
+            let cv = *st.fair_vtime_entry(ct);
+            if cp > bp || (cp == bp && (cv < bv || (cv == bv && ct < bt))) {
+                best = pos;
+            }
+        }
+        if best != start {
+            let rid = st.waiting.remove(best).expect("best is in bounds");
+            st.waiting.insert(start, rid);
+        }
+    }
+
+    /// Priority preemption: when the fair queue's choice sits at the actual
+    /// queue front but the block pool blocks its admission, evict running
+    /// decodes of strictly lower [`Priority`] (lowest class first, most
+    /// recently started among equals — they lose the least recomputation)
+    /// through the paged preemption path until the candidate fits or no
+    /// eligible victim remains. Each eviction is charged to the candidate's
+    /// [`Request::preemptions_inflicted`]. Returns whether anything was
+    /// preempted (victims re-queue at the front, so the caller must re-run
+    /// the fair selection).
+    fn priority_preempt(&mut self) -> bool {
+        let preempt_on = self
+            .config
+            .fair_queue
+            .as_ref()
+            .is_some_and(|f| f.preempt_priorities)
+            && matches!(self.config.kv_policy, KvCachePolicy::Paged { .. });
+        if !preempt_on {
+            return false;
+        }
+        let st = &mut self.state;
+        // Only act for the schedulable front: a reserved (mid-prefill)
+        // request ahead of the candidate owns the prefill slot, and evicting
+        // decodes for a request that cannot be consulted yet wastes work.
+        let Some(&cand) = st.waiting.front() else {
+            return false;
+        };
+        if st.reserved[cand] {
+            return false;
+        }
+        // Never preempt for a request that cannot fit even in an empty pool
+        // (the feasibility rule paged admission defers on).
+        let capacity_blocks = st.kv.capacity_tokens() / BLOCK_TOKENS;
+        if blocks_for(st.requests[cand].spec.total_tokens()) > capacity_blocks {
+            return false;
+        }
+        let pri = st.requests[cand].spec.priority;
+        // Same sizing as paged admission: the prefill target plus the first
+        // decode token it mints (prefix-cache hits can only shrink this, so
+        // the check may over-evict by at most the cached share).
+        let needed = blocks_for(st.requests[cand].target_prefill() + 1) * BLOCK_TOKENS;
+        let mut any = false;
+        while st.kv.free_tokens() < needed {
+            let victim = st
+                .running
+                .iter()
+                .rev()
+                .filter(|&&r| st.requests[r].spec.priority < pri)
+                .min_by_key(|&&r| st.requests[r].spec.priority)
+                .copied();
+            let Some(v) = victim else {
+                break;
+            };
+            st.preempt(v);
+            st.requests[cand].preemptions_inflicted += 1;
+            any = true;
+        }
+        any
+    }
+
     /// Advance the simulation by exactly one scheduler iteration.
     ///
     /// `now` is the caller's clock; the engine clock first catches up to it
@@ -1036,6 +1292,17 @@ impl ServingEngine {
             };
             st.grow_decode_blocks(decode_cap);
         }
+
+        // Multi-tenant fair queueing: decide which waiting request owns the
+        // admission slot this iteration, and — with priority preemption on —
+        // evict lower-priority decodes to make room for it. Victims re-queue
+        // at the front, so the selection re-runs to restore the winner (it
+        // outranks its own victims by construction).
+        self.fair_reorder();
+        if self.priority_preempt() {
+            self.fair_reorder();
+        }
+        let st = &mut self.state;
 
         // Plan the iteration. Shedding re-plans without advancing time: a
         // shed frees the prefill slot, so the next waiting request gets its
@@ -1343,6 +1610,17 @@ impl ServingEngine {
         let decode_tokens = plan.decodes.len();
         let prefill_tokens = plan.scheduled_tokens() - decode_tokens;
         st.prefill_tokens_scheduled += prefill_tokens;
+        // Fair queueing bills scheduled prefill work to the owning tenant's
+        // virtual-token counter, weighted (cached-prefix tokens were never
+        // scheduled and are free; decode tokens are not contended the same
+        // way — the chunk budget is what tenants fight over).
+        if let (Some(fq), Some((rid, _))) = (&self.config.fair_queue, plan.prefill) {
+            if prefill_tokens > 0 {
+                let tenant = st.requests[rid].spec.tenant;
+                let weight = fq.weight(tenant);
+                *st.fair_vtime_entry(tenant) += prefill_tokens as f64 / weight;
+            }
+        }
         IterationOutcome::Ran(IterationStats {
             started_at,
             completed_at: st.clock,
@@ -1856,5 +2134,130 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert!(c.contains("POD"));
+        let f = ServingConfig::sarathi(llama3(), gpu(), 512)
+            .with_fair_queue(FairQueueConfig::new())
+            .system_label();
+        assert!(f.ends_with("+fair"), "fair label: {f}");
+    }
+
+    /// The inertness pin at the engine level: with one tenant and one
+    /// priority class, fair queueing never reorders the queue and the report
+    /// is bit-for-bit FCFS (only the system label differs).
+    #[test]
+    fn single_tenant_fair_queueing_is_bit_for_bit_fcfs() {
+        let specs = Workload::internal().generate(30, 1.0, 77);
+        let fcfs =
+            ServingEngine::new(ServingConfig::sarathi(llama3(), gpu(), 1024)).run(specs.clone());
+        let mut fair = ServingEngine::new(
+            ServingConfig::sarathi(llama3(), gpu(), 1024).with_fair_queue(FairQueueConfig::new()),
+        )
+        .run(specs);
+        assert!(fair.system.ends_with("+fair"));
+        fair.system = fcfs.system.clone();
+        assert_eq!(
+            fair.to_json().to_string_pretty(),
+            fcfs.to_json().to_string_pretty()
+        );
+    }
+
+    /// Two tenants, one flooding the queue with heavy prefills: weighted
+    /// fair queueing must keep the polite tenant's time-to-first-token far
+    /// below what FCFS gives it, without losing any requests.
+    #[test]
+    fn fair_queueing_protects_the_polite_tenant_from_a_flood() {
+        // The flood: 12 heavy prompts, all at t=0, tenant 0. The polite
+        // tenant trickles small prompts in behind them.
+        let mut specs: Vec<RequestSpec> = (0..12)
+            .map(|_| RequestSpec::new(0.0, 12_000, 32).with_tenant(TenantId(0)))
+            .collect();
+        specs.extend(
+            (0..6).map(|i| {
+                RequestSpec::new(0.1 + i as f64 * 2.0, 1_000, 32).with_tenant(TenantId(1))
+            }),
+        );
+        let polite_ttft = |report: &ServingReport| {
+            report
+                .tenants
+                .iter()
+                .find(|t| t.tenant == TenantId(1))
+                .expect("tenant 1 served")
+                .ttft
+                .mean
+        };
+        let base = ServingConfig::sarathi(llama3(), gpu(), 1024);
+        let fcfs = ServingEngine::new(base.clone()).run(specs.clone());
+        let fair = ServingEngine::new(base.with_fair_queue(FairQueueConfig::new())).run(specs);
+        assert_eq!(fair.completed, fcfs.completed, "no request lost");
+        assert!(
+            polite_ttft(&fair) < 0.5 * polite_ttft(&fcfs),
+            "fair TTFT {} vs FCFS {}",
+            polite_ttft(&fair),
+            polite_ttft(&fcfs)
+        );
+    }
+
+    /// Priority preemption: a high-priority arrival evicts a lower-priority
+    /// resident decode when the paged pool is full, the eviction is
+    /// attributed to the preemptor, and everything still completes.
+    #[test]
+    fn priority_preemption_evicts_lower_class_decodes() {
+        let mut base = ServingConfig::sarathi(llama3(), gpu(), 1024).with_paged_kv(false);
+        base.kv_capacity_tokens = Some(20_000);
+        // Low-priority requests fill the pool with long decodes first; the
+        // high-priority request arrives once they are resident.
+        let mut specs: Vec<RequestSpec> = (0..4)
+            .map(|_| {
+                RequestSpec::new(0.0, 4_000, 2_000)
+                    .with_tenant(TenantId(0))
+                    .with_priority(Priority::Low)
+            })
+            .collect();
+        specs.push(
+            RequestSpec::new(2.0, 4_000, 32)
+                .with_tenant(TenantId(1))
+                .with_priority(Priority::High),
+        );
+        let fair = ServingEngine::new(
+            base.clone()
+                .with_fair_queue(FairQueueConfig::new().with_priority_preemption(true)),
+        )
+        .run(specs.clone());
+        assert_eq!(fair.completed, 5, "preempted work is re-served");
+        let high = fair
+            .tenants
+            .iter()
+            .find(|t| t.tenant == TenantId(1))
+            .expect("high-priority tenant served");
+        assert!(
+            high.preemptions_inflicted > 0,
+            "the high-priority admission must have evicted someone"
+        );
+        let low = fair
+            .tenants
+            .iter()
+            .find(|t| t.tenant == TenantId(0))
+            .expect("low-priority tenant served");
+        assert!(
+            low.preemptions_suffered >= high.preemptions_inflicted,
+            "victims restart: {} suffered vs {} inflicted",
+            low.preemptions_suffered,
+            high.preemptions_inflicted
+        );
+        // Without preemption the high-priority request waits for free KV.
+        let fcfs = ServingEngine::new(base).run(specs);
+        let high_ttft = |r: &ServingReport| {
+            r.tenants
+                .iter()
+                .find(|t| t.tenant == TenantId(1))
+                .expect("tenant 1")
+                .ttft
+                .mean
+        };
+        assert!(
+            high_ttft(&fair) < high_ttft(&fcfs),
+            "preemption must cut the high-priority TTFT: {} vs {}",
+            high_ttft(&fair),
+            high_ttft(&fcfs)
+        );
     }
 }

@@ -47,6 +47,14 @@
 //!   decodes — with conservation guarantees (no request or block lost or
 //!   duplicated across a handoff) and `migrated_*` / `migration_stall_time`
 //!   metrics plus per-role [`RoleReport`] aggregation.
+//! * [`TenantId`] / [`Priority`] / [`FairQueueConfig`] — multi-tenant
+//!   fairness: requests carry a tenant and an optional priority class,
+//!   admission runs weighted fair queueing over queued prefill work (so one
+//!   tenant's flash crowd can't monopolize the chunked-prefill slots),
+//!   priority classes preempt running decodes through the paged preemption
+//!   path, and reports break goodput, attainment, TTFT and preemptions
+//!   down per tenant ([`TenantReport`]). Adversarial multi-tenant traces
+//!   come from [`TenantMix`].
 //! * [`Workload`] — synthetic traces matched to the paper's internal and
 //!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
 //!   sweeps and time-varying (bursty / diurnal) arrival schedules
@@ -95,19 +103,23 @@ pub use cluster::{
     RouterPolicy, LONG_PREFILL_TOKENS,
 };
 pub use engine::{
-    AdmissionPolicy, IterationOutcome, IterationStats, KvCachePolicy, PrefillHandoff,
-    ServingConfig, ServingEngine,
+    AdmissionPolicy, FairQueueConfig, IterationOutcome, IterationStats, KvCachePolicy,
+    PrefillHandoff, ServingConfig, ServingEngine,
 };
 pub use json::{JsonParseError, JsonValue};
 pub use kvcache::KvCacheManager;
 pub use linear::{IterationBreakdown, IterationCostModel};
-pub use metrics::{percentile, ReportAccumulator, ServingReport, SloClassReport, SummaryStats};
+pub use metrics::{
+    percentile, ReportAccumulator, ServingReport, SloClassReport, SummaryStats, TenantReport,
+};
 pub use model::{ModelConfig, ParamCounts};
-pub use request::{Phase, PromptContent, Request, RequestSpec, SloSpec};
+pub use request::{
+    Phase, Priority, PromptContent, Request, RequestSpec, RequestSpecBuilder, SloSpec, TenantId,
+};
 pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
 pub use sketch::{QuantileSketch, DEFAULT_RELATIVE_ERROR};
 pub use workload::{
     offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, SharedPrefixWorkload,
-    SloMix, Workload,
+    SloMix, TenantMix, TenantTraffic, Workload,
 };

@@ -1,7 +1,7 @@
 //! Serving metrics: TTFT, TBT, request latency, stalls and throughput.
 
 use crate::json::JsonValue;
-use crate::request::Request;
+use crate::request::{Request, TenantId};
 use crate::sketch::QuantileSketch;
 
 /// Summary statistics over a set of latency samples.
@@ -182,6 +182,80 @@ impl SloClassReport {
     }
 }
 
+/// Per-tenant isolation breakdown: how one tenant's requests fared in a
+/// serving run, independent of SLO class. This is the fairness ledger —
+/// `fig20_fairness` compares each tenant's goodput under fair queueing
+/// against its solo-run goodput, and the preemption counters attribute
+/// priority evictions to the tenant that caused them.
+///
+/// Entries are ordered by tenant id (deterministic regardless of arrival
+/// order, and merge-order independent at the cluster layer — unlike
+/// [`SloClassReport`], which orders by first appearance).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantReport {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Finished requests from this tenant.
+    pub finished: usize,
+    /// Requests from this tenant the admission policy shed.
+    pub shed: usize,
+    /// Finished requests from this tenant that carried an SLO.
+    pub slo_requests: usize,
+    /// Finished SLO'd requests that met both targets.
+    pub slo_met: usize,
+    /// Preemptions *suffered*: restarts of this tenant's requests, whatever
+    /// the trigger (KV-pool exhaustion or a higher-priority arrival).
+    pub preemptions_suffered: usize,
+    /// Preemptions *inflicted*: evictions of other requests that this
+    /// tenant's admissions forced through priority preemption.
+    /// Memory-pressure preemptions are attributed to nobody.
+    pub preemptions_inflicted: usize,
+    /// Time-to-first-token statistics for this tenant's finished requests.
+    pub ttft: SummaryStats,
+}
+
+impl TenantReport {
+    /// Fraction of this tenant's finished SLO'd requests that met their SLO
+    /// (1.0 when none carried an SLO).
+    pub fn attainment(&self) -> f64 {
+        if self.slo_requests == 0 {
+            return 1.0;
+        }
+        self.slo_met as f64 / self.slo_requests as f64
+    }
+
+    /// Goodput in requests for this tenant: finished requests minus SLO
+    /// violators (mirrors [`ServingReport::goodput_requests`]).
+    pub fn goodput_requests(&self) -> usize {
+        self.finished - (self.slo_requests - self.slo_met)
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("tenant", JsonValue::Num(self.tenant.0 as f64)),
+            ("finished", JsonValue::Num(self.finished as f64)),
+            ("shed", JsonValue::Num(self.shed as f64)),
+            ("slo_requests", JsonValue::Num(self.slo_requests as f64)),
+            ("slo_met", JsonValue::Num(self.slo_met as f64)),
+            ("attainment", JsonValue::Num(self.attainment())),
+            (
+                "goodput_requests",
+                JsonValue::Num(self.goodput_requests() as f64),
+            ),
+            ("ttft", self.ttft.to_json()),
+            (
+                "preemptions_suffered",
+                JsonValue::Num(self.preemptions_suffered as f64),
+            ),
+            (
+                "preemptions_inflicted",
+                JsonValue::Num(self.preemptions_inflicted as f64),
+            ),
+        ])
+    }
+}
+
 /// End-to-end results of one serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
@@ -260,6 +334,9 @@ pub struct ServingReport {
     /// Per-class attainment breakdown, ordered by first appearance in the
     /// request list (deterministic for a fixed workload).
     pub slo_classes: Vec<SloClassReport>,
+    /// Per-tenant isolation breakdown, ordered by tenant id. Runs that never
+    /// stamp a tenant collapse to a single [`TenantId::DEFAULT`] row.
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ServingReport {
@@ -300,6 +377,27 @@ impl ServingReport {
                 }
             }
         };
+        // Per-tenant rows are kept sorted by id as they appear, alongside a
+        // per-tenant TTFT sample buffer summarized at the end.
+        let mut tenant_tallies: Vec<(TenantReport, Vec<f64>)> = Vec::new();
+        let tenant_entry = |tallies: &mut Vec<(TenantReport, Vec<f64>)>, id: TenantId| -> usize {
+            match tallies.binary_search_by_key(&id, |t| t.0.tenant) {
+                Ok(i) => i,
+                Err(i) => {
+                    tallies.insert(
+                        i,
+                        (
+                            TenantReport {
+                                tenant: id,
+                                ..TenantReport::default()
+                            },
+                            Vec::new(),
+                        ),
+                    );
+                    i
+                }
+            }
+        };
         // Single pass over every request, in list order (so `slo_classes`
         // really is ordered by first appearance, shed or finished): collect
         // each finished request's token gaps once and track the per-request
@@ -313,6 +411,8 @@ impl ServingReport {
                     let i = class_entry(&mut classes, slo.class);
                     classes[i].shed += 1;
                 }
+                let ti = tenant_entry(&mut tenant_tallies, r.spec.tenant);
+                tenant_tallies[ti].0.shed += 1;
                 continue;
             }
             if r.finish_time.is_none() {
@@ -320,6 +420,11 @@ impl ServingReport {
             }
             ttfts.extend(r.ttft());
             latencies.extend(r.latency());
+            let ti = tenant_entry(&mut tenant_tallies, r.spec.tenant);
+            tenant_tallies[ti].0.finished += 1;
+            tenant_tallies[ti].0.preemptions_suffered += r.restarts;
+            tenant_tallies[ti].0.preemptions_inflicted += r.preemptions_inflicted;
+            tenant_tallies[ti].1.extend(r.ttft());
             let mut max_gap = f64::NEG_INFINITY;
             for w in r.token_times.windows(2) {
                 let gap = w[1] - w[0];
@@ -358,6 +463,10 @@ impl ServingReport {
                     slo_met += 1;
                     classes[i].met += 1;
                 }
+                tenant_tallies[ti].0.slo_requests += 1;
+                if ttft_ok && tbt_ok {
+                    tenant_tallies[ti].0.slo_met += 1;
+                }
             }
         }
         let with_decode = with_decode.max(1);
@@ -392,6 +501,13 @@ impl ServingReport {
             slo_tbt_violations,
             ttft_slack: SummaryStats::from_samples(&ttft_slacks),
             slo_classes: classes,
+            tenants: tenant_tallies
+                .into_iter()
+                .map(|(mut rep, ttfts)| {
+                    rep.ttft = SummaryStats::from_samples(&ttfts);
+                    rep
+                })
+                .collect(),
         }
     }
 
@@ -489,6 +605,10 @@ impl ServingReport {
                     ),
                 ]),
             ),
+            (
+                "tenants",
+                JsonValue::Arr(self.tenants.iter().map(|t| t.to_json()).collect()),
+            ),
         ])
     }
 
@@ -582,6 +702,21 @@ pub struct ReportAccumulator {
     slo_ttft_violations: usize,
     slo_tbt_violations: usize,
     classes: Vec<SloClassReport>,
+    tenants: Vec<TenantAcc>,
+}
+
+/// Streaming per-tenant tallies: exact counters plus one TTFT sketch, kept
+/// sorted by tenant id (so merge order never changes the output ordering).
+#[derive(Debug, Clone, PartialEq, Default)]
+struct TenantAcc {
+    tenant: TenantId,
+    finished: usize,
+    shed: usize,
+    slo_requests: usize,
+    slo_met: usize,
+    preemptions_suffered: usize,
+    preemptions_inflicted: usize,
+    ttft: QuantileSketch,
 }
 
 impl ReportAccumulator {
@@ -608,6 +743,22 @@ impl ReportAccumulator {
         }
     }
 
+    fn tenant_entry(&mut self, id: TenantId) -> usize {
+        match self.tenants.binary_search_by_key(&id, |t| t.tenant) {
+            Ok(i) => i,
+            Err(i) => {
+                self.tenants.insert(
+                    i,
+                    TenantAcc {
+                        tenant: id,
+                        ..TenantAcc::default()
+                    },
+                );
+                i
+            }
+        }
+    }
+
     /// Fold one finished request into the running distributions. Must be
     /// called exactly once per finished request, while its `token_times`
     /// are still intact; the caller may drop them afterwards.
@@ -616,6 +767,13 @@ impl ReportAccumulator {
         self.finished += 1;
         if let Some(t) = r.ttft() {
             self.ttft.observe(t);
+        }
+        let ti = self.tenant_entry(r.spec.tenant);
+        self.tenants[ti].finished += 1;
+        self.tenants[ti].preemptions_suffered += r.restarts;
+        self.tenants[ti].preemptions_inflicted += r.preemptions_inflicted;
+        if let Some(t) = r.ttft() {
+            self.tenants[ti].ttft.observe(t);
         }
         if let Some(l) = r.latency() {
             self.latency.observe(l);
@@ -658,6 +816,10 @@ impl ReportAccumulator {
                 self.slo_met += 1;
                 self.classes[i].met += 1;
             }
+            self.tenants[ti].slo_requests += 1;
+            if ttft_ok && tbt_ok {
+                self.tenants[ti].slo_met += 1;
+            }
         }
     }
 
@@ -669,6 +831,8 @@ impl ReportAccumulator {
             let i = self.class_entry(slo.class);
             self.classes[i].shed += 1;
         }
+        let ti = self.tenant_entry(r.spec.tenant);
+        self.tenants[ti].shed += 1;
     }
 
     /// Fold another accumulator in. Sketch merges are bucket-wise counter
@@ -697,6 +861,16 @@ impl ReportAccumulator {
             self.classes[i].ttft_violations += c.ttft_violations;
             self.classes[i].tbt_violations += c.tbt_violations;
             self.classes[i].shed += c.shed;
+        }
+        for t in &other.tenants {
+            let i = self.tenant_entry(t.tenant);
+            self.tenants[i].ttft.merge(&t.ttft);
+            self.tenants[i].finished += t.finished;
+            self.tenants[i].shed += t.shed;
+            self.tenants[i].slo_requests += t.slo_requests;
+            self.tenants[i].slo_met += t.slo_met;
+            self.tenants[i].preemptions_suffered += t.preemptions_suffered;
+            self.tenants[i].preemptions_inflicted += t.preemptions_inflicted;
         }
     }
 
@@ -742,6 +916,20 @@ impl ReportAccumulator {
             slo_tbt_violations: self.slo_tbt_violations,
             ttft_slack: self.slack.summary(),
             slo_classes: self.classes.clone(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantReport {
+                    tenant: t.tenant,
+                    finished: t.finished,
+                    shed: t.shed,
+                    slo_requests: t.slo_requests,
+                    slo_met: t.slo_met,
+                    preemptions_suffered: t.preemptions_suffered,
+                    preemptions_inflicted: t.preemptions_inflicted,
+                    ttft: t.ttft.summary(),
+                })
+                .collect(),
         }
     }
 }
@@ -937,7 +1125,8 @@ mod tests {
                 1 => Some(loose),
                 _ => None,
             };
-            let mut spec = RequestSpec::new(i as f64 * 0.1, 10, 4);
+            let mut spec =
+                RequestSpec::new(i as f64 * 0.1, 10, 4).with_tenant(TenantId((i % 3) as u32));
             if let Some(s) = slo {
                 spec = spec.with_slo(s);
             }
@@ -950,6 +1139,8 @@ mod tests {
                 for tok in 1..4 {
                     r.record_decode_token(t0 + tok as f64 * 0.05 * (1 + i % 5) as f64);
                 }
+                r.restarts = i % 2;
+                r.preemptions_inflicted = i % 4;
             }
             requests.push(r);
         }
@@ -972,6 +1163,22 @@ mod tests {
         assert_eq!(streamed.slo_classes, exact.slo_classes);
         assert_eq!(streamed.stall_fraction_200ms, exact.stall_fraction_200ms);
         assert_eq!(streamed.stall_fraction_500ms, exact.stall_fraction_500ms);
+        // Per-tenant rows: every exact tally agrees; the tenant TTFT sketch
+        // gets the same percentile bound as the global distributions below.
+        assert_eq!(streamed.tenants.len(), 3);
+        assert_eq!(streamed.tenants.len(), exact.tenants.len());
+        for (s, e) in streamed.tenants.iter().zip(&exact.tenants) {
+            assert_eq!(s.tenant, e.tenant);
+            assert_eq!(s.finished, e.finished);
+            assert_eq!(s.shed, e.shed);
+            assert_eq!(s.slo_requests, e.slo_requests);
+            assert_eq!(s.slo_met, e.slo_met);
+            assert_eq!(s.preemptions_suffered, e.preemptions_suffered);
+            assert_eq!(s.preemptions_inflicted, e.preemptions_inflicted);
+            assert_eq!(s.ttft.count, e.ttft.count);
+            assert!((s.ttft.mean - e.ttft.mean).abs() <= 1e-12 * e.ttft.mean.abs().max(1.0));
+            assert_eq!(s.ttft.max, e.ttft.max);
+        }
         // Collect the exact sample sets the same way `from_requests` does,
         // to check the sketch percentiles against their documented bound:
         // within 1% of the sample at the rounded rank (NOT the interpolated
@@ -1017,6 +1224,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Tenant rows are keyed and ordered by id (not appearance), shed
+    /// requests land in their tenant's `shed` column, and the preemption
+    /// ledger separates suffered restarts from inflicted evictions.
+    #[test]
+    fn tenant_breakdown_orders_by_id_and_attributes_preemptions() {
+        use crate::request::SloSpec;
+        let slo = SloSpec::new("interactive", 1.0, 0.2);
+        // Tenant 7 appears first in the request list but must sort after 2.
+        let mut bully = Request::new(0, RequestSpec::new(0.0, 10, 2).with_tenant(TenantId(7)));
+        bully.record_prefill(10, 0.4);
+        bully.record_decode_token(0.5);
+        bully.preemptions_inflicted = 3;
+        let mut victim = Request::new(
+            1,
+            RequestSpec::new(0.0, 10, 2)
+                .with_tenant(TenantId(2))
+                .with_slo(slo),
+        );
+        victim.record_prefill(10, 0.5);
+        victim.record_decode_token(0.6);
+        victim.restarts = 2;
+        let mut dropped = Request::new(2, RequestSpec::new(0.0, 10, 2).with_tenant(TenantId(2)));
+        dropped.shed_time = Some(1.0);
+
+        let report = ServingReport::from_requests("test", &[bully, victim, dropped], 60.0, 4, 2);
+        assert_eq!(report.tenants.len(), 2);
+        let t2 = &report.tenants[0];
+        assert_eq!(t2.tenant, TenantId(2));
+        assert_eq!(t2.finished, 1);
+        assert_eq!(t2.shed, 1);
+        assert_eq!(t2.slo_requests, 1);
+        assert_eq!(t2.slo_met, 1);
+        assert_eq!(t2.preemptions_suffered, 2);
+        assert_eq!(t2.preemptions_inflicted, 0);
+        assert_eq!(t2.goodput_requests(), 1);
+        let t7 = &report.tenants[1];
+        assert_eq!(t7.tenant, TenantId(7));
+        assert_eq!(t7.preemptions_inflicted, 3);
+        assert_eq!(t7.attainment(), 1.0);
+        assert_eq!(t7.ttft.count, 1);
+
+        let parsed =
+            JsonValue::parse(&report.to_json().to_string_pretty()).expect("report JSON parses");
+        let JsonValue::Arr(tenants) = parsed.get_path("tenants").expect("tenants block") else {
+            panic!("tenants must be an array");
+        };
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            tenants[0].get("tenant").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            tenants[1]
+                .get("preemptions_inflicted")
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -121,8 +121,75 @@ impl SloSpec {
     }
 }
 
+/// Identity of the tenant a request belongs to, for fair queueing and
+/// per-tenant reporting.
+///
+/// Tenant 0 is the **default tenant**: workloads that never mention tenancy
+/// put every request there, and a trace where every request lands on one
+/// tenant behaves bit-for-bit like a tenant-free trace (fair queueing over a
+/// single tenant degenerates to FCFS). The id doubles as the deterministic
+/// tie-break in the fair queue, so reports order tenants by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The default tenant every untagged request belongs to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Scheduling priority class of a request. Ordered: a request of a strictly
+/// higher class may **preempt** a running decode of a lower class through the
+/// paged preemption path when the fair-queueing layer is enabled and KV
+/// memory is the bottleneck ([`crate::FairQueueConfig::preempt_priorities`]).
+///
+/// Priority is orthogonal to [`SloSpec`]: the SLO says how a request is
+/// *graded*, the priority says who yields KV residency under contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Throughput traffic; first to be preempted.
+    Low,
+    /// The default class for untagged requests.
+    #[default]
+    Normal,
+    /// Latency-critical traffic; may preempt `Low`/`Normal` decodes.
+    High,
+}
+
+impl Priority {
+    /// Class label used in reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// Specification of a request as generated by a workload: when it arrives and
 /// how many prompt/output tokens it has.
+///
+/// Construct one with [`RequestSpec::builder`]; the positional
+/// [`RequestSpec::new`] plus `with_*` chain remains as a shim for older call
+/// sites and is bit-for-bit equivalent.
+///
+/// # `Copy` audit
+///
+/// `RequestSpec` stays `Copy` on purpose: every field is a plain scalar or a
+/// `Copy` enum ([`PromptContent`], [`SloSpec`], [`TenantId`], [`Priority`]),
+/// and hot paths rely on implicit copies — the engine's
+/// `reclaim_unstarted` returns specs by value out of live request records,
+/// and traces are built with `vec![spec; n]` repetition. A copy is always a
+/// *full* copy with no shared state; cloning a spec can never alias another
+/// request. (The execution-side [`Request`] is deliberately `Clone` but not
+/// `Copy`: its `token_times` buffer is heap-allocated, and cloning one is an
+/// explicit, intentional act — e.g. serializing a migration handoff.)
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestSpec {
     /// Arrival time in seconds (0 for offline workloads).
@@ -137,10 +204,43 @@ pub struct RequestSpec {
     /// Latency objective this request is graded against (defaults to `None`:
     /// the request always counts toward goodput once it completes).
     pub slo: Option<SloSpec>,
+    /// Tenant this request bills its prefill work to (defaults to
+    /// [`TenantId::DEFAULT`]).
+    pub tenant: TenantId,
+    /// Scheduling priority class (defaults to [`Priority::Normal`]).
+    pub priority: Priority,
 }
 
 impl RequestSpec {
-    /// A new request specification.
+    /// Start building a request specification — the canonical construction
+    /// path. Optional attributes chain fluently:
+    ///
+    /// ```
+    /// use llm_serving::{Priority, RequestSpec, SloSpec, TenantId};
+    ///
+    /// let spec = RequestSpec::builder(0.5, 4096, 128)
+    ///     .slo(SloSpec::new("interactive", 2.0, 0.2))
+    ///     .tenant(TenantId(3))
+    ///     .priority(Priority::High)
+    ///     .build();
+    /// assert_eq!(spec.tenant, TenantId(3));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt or output length is zero.
+    pub fn builder(arrival: f64, prompt_tokens: usize, output_tokens: usize) -> RequestSpecBuilder {
+        RequestSpecBuilder {
+            spec: RequestSpec::new(arrival, prompt_tokens, output_tokens),
+        }
+    }
+
+    /// A new request specification with every optional attribute at its
+    /// default.
+    ///
+    /// Kept as a shim for existing call sites; prefer
+    /// [`RequestSpec::builder`], which reaches the same defaults and the
+    /// newer attributes (tenant, priority) through one fluent surface.
     ///
     /// # Panics
     ///
@@ -160,18 +260,43 @@ impl RequestSpec {
             output_tokens,
             content: PromptContent::Opaque,
             slo: None,
+            tenant: TenantId::DEFAULT,
+            priority: Priority::Normal,
         }
     }
 
     /// The same specification with an explicit token-stream identity.
+    ///
+    /// Shim for older call sites; prefer
+    /// [`RequestSpecBuilder::content`].
     pub fn with_content(mut self, content: PromptContent) -> Self {
         self.content = content;
         self
     }
 
     /// The same specification with a latency SLO attached.
+    ///
+    /// Shim for older call sites; prefer [`RequestSpecBuilder::slo`].
     pub fn with_slo(mut self, slo: SloSpec) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    /// The same specification billed to `tenant`.
+    ///
+    /// Shim-style convenience mirroring [`RequestSpec::with_slo`]; prefer
+    /// [`RequestSpecBuilder::tenant`] for new code.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The same specification at `priority`.
+    ///
+    /// Shim-style convenience mirroring [`RequestSpec::with_slo`]; prefer
+    /// [`RequestSpecBuilder::priority`] for new code.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 
@@ -184,6 +309,44 @@ impl RequestSpec {
     /// cache when it finishes.
     pub fn total_tokens(&self) -> usize {
         self.prompt_tokens + self.output_tokens
+    }
+}
+
+/// Fluent builder returned by [`RequestSpec::builder`]. Every setter is
+/// chainable; [`RequestSpecBuilder::build`] yields the finished spec.
+#[derive(Debug, Clone)]
+pub struct RequestSpecBuilder {
+    spec: RequestSpec,
+}
+
+impl RequestSpecBuilder {
+    /// Token-stream identity for prefix sharing.
+    pub fn content(mut self, content: PromptContent) -> Self {
+        self.spec.content = content;
+        self
+    }
+
+    /// Latency SLO the request is graded against.
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.spec.slo = Some(slo);
+        self
+    }
+
+    /// Tenant the request bills its prefill work to.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.spec.tenant = tenant;
+        self
+    }
+
+    /// Scheduling priority class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.spec.priority = priority;
+        self
+    }
+
+    /// Finish building the specification.
+    pub fn build(self) -> RequestSpec {
+        self.spec
     }
 }
 
@@ -223,8 +386,16 @@ pub struct Request {
     /// Generated tokens whose KV must be recomputed before decoding resumes,
     /// set when the request is preempted (its blocks were reclaimed).
     pub recompute_tokens: usize,
-    /// How many times this request was preempted and restarted.
+    /// How many times this request was preempted and restarted — the
+    /// preemptions this request **suffered**, whatever the trigger (KV
+    /// memory pressure or a higher-priority admission).
     pub restarts: usize,
+    /// How many preemptions this request **inflicted** on lower-priority
+    /// decodes: incremented on the *admitted* request when its priority
+    /// class evicted a victim to make room. Memory-pressure preemptions
+    /// (decode growth against a full block pool) have no single inflictor
+    /// and are attributed to nobody.
+    pub preemptions_inflicted: usize,
     /// Time the admission policy shed this request (dropped it unserved
     /// because its TTFT deadline was already blown), if it did. A shed
     /// request never finishes and is excluded from latency statistics.
@@ -270,6 +441,7 @@ impl Request {
             cached_prompt_tokens: 0,
             recompute_tokens: 0,
             restarts: 0,
+            preemptions_inflicted: 0,
             shed_time: None,
             reassigned: false,
             prefill_start_time: None,
@@ -604,6 +776,50 @@ mod tests {
     #[should_panic(expected = "ttft_deadline must be positive")]
     fn zero_ttft_deadline_rejected() {
         let _ = SloSpec::new("x", 0.0, 1.0);
+    }
+
+    #[test]
+    fn builder_matches_the_positional_shims_bit_for_bit() {
+        let slo = SloSpec::new("interactive", 2.0, 0.3);
+        let content = PromptContent::shared(7, 32, 100);
+        let built = RequestSpec::builder(1.5, 4096, 128)
+            .content(content)
+            .slo(slo)
+            .build();
+        let shimmed = RequestSpec::new(1.5, 4096, 128)
+            .with_content(content)
+            .with_slo(slo);
+        assert_eq!(built, shimmed);
+        // Defaults: the default tenant at normal priority.
+        assert_eq!(built.tenant, TenantId::DEFAULT);
+        assert_eq!(built.priority, Priority::Normal);
+        // The tenancy attributes round-trip through both surfaces.
+        let a = RequestSpec::builder(0.0, 10, 2)
+            .tenant(TenantId(9))
+            .priority(Priority::High)
+            .build();
+        let b = RequestSpec::new(0.0, 10, 2)
+            .with_tenant(TenantId(9))
+            .with_priority(Priority::High);
+        assert_eq!(a, b);
+        assert_eq!(a.tenant, TenantId(9));
+        assert_eq!(a.priority, Priority::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output token")]
+    fn builder_rejects_zero_output() {
+        let _ = RequestSpec::builder(0.0, 10, 0);
+    }
+
+    #[test]
+    fn priority_classes_are_ordered() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::High.as_str(), "high");
+        assert_eq!(TenantId::default(), TenantId(0));
+        assert_eq!(TenantId(3).to_string(), "tenant-3");
     }
 
     #[test]

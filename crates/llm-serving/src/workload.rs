@@ -7,7 +7,7 @@
 //! (0–40 / 0–50) and mean decode length (331 / 470 tokens), with Poisson
 //! arrivals at a configurable queries-per-second rate.
 
-use crate::request::{PromptContent, RequestSpec, SloSpec};
+use crate::request::{Priority, PromptContent, RequestSpec, SloSpec, TenantId};
 use crate::rng::SplitMix64;
 
 /// Named workload generator.
@@ -356,6 +356,235 @@ impl SloMix {
             })
             .collect()
     }
+}
+
+/// One tenant's traffic stream within a [`TenantMix`]: its own request
+/// shape, arrival schedule, volume, priority class and SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTraffic {
+    /// The tenant every request of this stream is stamped with.
+    pub tenant: TenantId,
+    /// Size/shape generator for this tenant's requests.
+    pub workload: Workload,
+    /// Arrival-rate schedule for this tenant's requests.
+    pub schedule: RateSchedule,
+    /// Number of requests this tenant submits.
+    pub count: usize,
+    /// Priority class stamped onto every request of this stream.
+    pub priority: Priority,
+    /// SLO stamped onto every request (`None` = best-effort).
+    pub slo: Option<SloSpec>,
+}
+
+/// Multi-tenant trace generator: each tenant is an independent
+/// [`TenantTraffic`] stream, and the mix interleaves the streams by arrival
+/// time into one trace.
+///
+/// The property the fairness benches build on: each tenant's stream is
+/// drawn from its *own* seed (derived from the trace seed and the tenant
+/// id), so [`TenantMix::solo`] — one tenant's stream alone, the isolation
+/// baseline — is request-for-request identical to that tenant's share of
+/// the full [`TenantMix::generate`] trace. Comparing a tenant's goodput
+/// solo vs. mixed therefore measures interference and nothing else.
+///
+/// The named constructors build the adversarial scenarios of
+/// `fig20_fairness`: [`TenantMix::noisy_neighbor`],
+/// [`TenantMix::prompt_bomb`] and [`TenantMix::priority_inversion`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMix {
+    tenants: Vec<TenantTraffic>,
+}
+
+impl TenantMix {
+    /// A mix from explicit per-tenant streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stream is given, a stream is empty, or two streams
+    /// share a tenant id.
+    pub fn new(tenants: Vec<TenantTraffic>) -> Self {
+        assert!(
+            !tenants.is_empty(),
+            "a tenant mix needs at least one tenant"
+        );
+        for t in &tenants {
+            assert!(
+                t.count > 0,
+                "every tenant stream needs at least one request"
+            );
+        }
+        let mut ids: Vec<TenantId> = tenants.iter().map(|t| t.tenant).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            tenants.len(),
+            "tenant ids must be unique within a mix"
+        );
+        TenantMix { tenants }
+    }
+
+    /// The per-tenant streams of this mix.
+    pub fn tenants(&self) -> &[TenantTraffic] {
+        &self.tenants
+    }
+
+    /// The noisy-neighbor scenario: `well_behaved` tenants each send
+    /// `count_each` interactive requests at a steady `qps_each`, while one
+    /// extra tenant (the highest id) sends `2 * count_each` requests with
+    /// 4x-heavier prompts in flash-crowd bursts at `burst_qps`. Under FCFS
+    /// the bursts monopolize the chunked-prefill slots; fair queueing is
+    /// supposed to contain the damage to the noisy tenant itself.
+    pub fn noisy_neighbor(
+        well_behaved: usize,
+        qps_each: f64,
+        burst_qps: f64,
+        count_each: usize,
+    ) -> Self {
+        assert!(well_behaved > 0, "need at least one well-behaved tenant");
+        let mut tenants: Vec<TenantTraffic> = (0..well_behaved)
+            .map(|i| TenantTraffic {
+                tenant: TenantId(i as u32),
+                workload: fair_bench_workload(1.0),
+                schedule: RateSchedule::constant(qps_each),
+                count: count_each,
+                priority: Priority::Normal,
+                slo: Some(interactive_slo()),
+            })
+            .collect();
+        tenants.push(TenantTraffic {
+            tenant: TenantId(well_behaved as u32),
+            workload: fair_bench_workload(4.0),
+            schedule: RateSchedule::bursty(qps_each, burst_qps, 5.0, 15.0),
+            count: 3 * count_each,
+            priority: Priority::Normal,
+            slo: Some(interactive_slo()),
+        });
+        TenantMix::new(tenants)
+    }
+
+    /// The prompt-bomb scenario: `well_behaved` steady interactive tenants
+    /// plus one tenant (the highest id) that submits a trickle of enormous
+    /// prompts — each one a multi-iteration prefill that, under FCFS,
+    /// stalls every queue position behind it.
+    pub fn prompt_bomb(well_behaved: usize, qps_each: f64, count_each: usize) -> Self {
+        assert!(well_behaved > 0, "need at least one well-behaved tenant");
+        let mut tenants: Vec<TenantTraffic> = (0..well_behaved)
+            .map(|i| TenantTraffic {
+                tenant: TenantId(i as u32),
+                workload: fair_bench_workload(1.0),
+                schedule: RateSchedule::constant(qps_each),
+                count: count_each,
+                priority: Priority::Normal,
+                slo: Some(interactive_slo()),
+            })
+            .collect();
+        tenants.push(TenantTraffic {
+            tenant: TenantId(well_behaved as u32),
+            workload: fair_bench_workload(12.0),
+            schedule: RateSchedule::constant((qps_each / 4.0).max(0.05)),
+            count: (count_each / 4).max(1),
+            priority: Priority::Normal,
+            slo: None,
+        });
+        TenantMix::new(tenants)
+    }
+
+    /// The priority-inversion scenario: tenant 0 is a high-priority
+    /// interactive trickle, tenant 1 a low-priority bulk flood with
+    /// 6x-heavier prompts and four times the volume. Without priority
+    /// preemption the bulk tenant's queued prefills and resident decodes
+    /// invert the priorities — the high-priority tenant waits behind work
+    /// the operator declared less important.
+    pub fn priority_inversion(qps_each: f64, count_each: usize) -> Self {
+        TenantMix::new(vec![
+            TenantTraffic {
+                tenant: TenantId(0),
+                workload: fair_bench_workload(1.0),
+                schedule: RateSchedule::constant(qps_each),
+                count: count_each,
+                priority: Priority::High,
+                slo: Some(interactive_slo()),
+            },
+            TenantTraffic {
+                tenant: TenantId(1),
+                workload: fair_bench_workload(6.0),
+                schedule: RateSchedule::constant(4.0 * qps_each),
+                count: 4 * count_each,
+                priority: Priority::Low,
+                slo: None,
+            },
+        ])
+    }
+
+    /// Generate the full mixed trace: every tenant's stream, interleaved by
+    /// arrival time (ties broken by tenant id; within a tenant, stream
+    /// order). Each stream draws from its own tenant-derived seed, so the
+    /// result is request-for-request the union of the [`TenantMix::solo`]
+    /// traces.
+    pub fn generate(&self, seed: u64) -> Vec<RequestSpec> {
+        let mut all: Vec<RequestSpec> = Vec::new();
+        for t in &self.tenants {
+            all.extend(stream(t, seed));
+        }
+        all.sort_by(|a, b| {
+            a.arrival
+                .total_cmp(&b.arrival)
+                .then(a.tenant.cmp(&b.tenant))
+        });
+        all
+    }
+
+    /// One tenant's stream alone — the solo baseline an isolation claim
+    /// compares against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is not part of this mix.
+    pub fn solo(&self, tenant: TenantId, seed: u64) -> Vec<RequestSpec> {
+        let t = self
+            .tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .unwrap_or_else(|| panic!("{tenant} is not part of this mix"));
+        stream(t, seed)
+    }
+}
+
+/// One tenant's stamped stream, from its own tenant-derived seed.
+fn stream(t: &TenantTraffic, seed: u64) -> Vec<RequestSpec> {
+    let stream_seed = seed ^ (u64::from(t.tenant.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    t.workload
+        .generate_trace(t.count, &t.schedule, stream_seed)
+        .into_iter()
+        .map(|spec| {
+            let spec = spec.with_tenant(t.tenant).with_priority(t.priority);
+            match t.slo {
+                Some(s) => spec.with_slo(s),
+                None => spec,
+            }
+        })
+        .collect()
+}
+
+/// The request shape the fairness scenarios use: small enough that a quick
+/// sweep stays fast, with `scale` stretching the prompt side for the heavy
+/// (noisy / bombing / bulk) tenants.
+fn fair_bench_workload(scale: f64) -> Workload {
+    Workload {
+        name: "fair".to_string(),
+        mean_context: 1_536.0 * scale,
+        context_range: (256, (6_144.0 * scale) as usize),
+        mean_decode: 96.0,
+        min_decode: 16,
+    }
+}
+
+/// The deadline the fairness scenarios grade against (loose enough for an
+/// unloaded replica, tight enough that queueing behind a flash crowd blows
+/// it).
+fn interactive_slo() -> SloSpec {
+    SloSpec::new("interactive", 2.5, 0.5)
 }
 
 /// One segment of a piecewise-constant arrival-rate schedule.
@@ -796,6 +1025,78 @@ mod tests {
     #[should_panic(expected = "at least one class")]
     fn empty_slo_mix_rejected() {
         let _ = SloMix::new(Vec::new());
+    }
+
+    /// The isolation-baseline property `fig20_fairness` builds on: a
+    /// tenant's solo trace is request-for-request identical to its share of
+    /// the mixed trace — only the interleaving with other tenants differs.
+    #[test]
+    fn tenant_mix_solo_matches_the_tenants_share_of_the_mixed_trace() {
+        let mix = TenantMix::noisy_neighbor(3, 0.5, 8.0, 40);
+        let full = mix.generate(11);
+        let total: usize = mix.tenants().iter().map(|t| t.count).sum();
+        assert_eq!(full.len(), total);
+        assert!(
+            full.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "mixed trace must be sorted by arrival"
+        );
+        for t in mix.tenants() {
+            let solo = mix.solo(t.tenant, 11);
+            assert_eq!(solo.len(), t.count);
+            let share: Vec<&RequestSpec> = full.iter().filter(|r| r.tenant == t.tenant).collect();
+            assert_eq!(share.len(), solo.len());
+            for (a, b) in solo.iter().zip(share) {
+                assert_eq!(a, b);
+            }
+        }
+        // Deterministic per seed, distinct across seeds.
+        assert_eq!(full, mix.generate(11));
+        assert_ne!(full, mix.generate(12));
+    }
+
+    #[test]
+    fn tenant_mix_scenarios_stamp_tenancy_priorities_and_slos() {
+        let noisy = TenantMix::noisy_neighbor(2, 0.5, 6.0, 30).generate(5);
+        assert!(noisy.iter().all(|r| r.priority == Priority::Normal));
+        assert!(noisy.iter().any(|r| r.tenant == TenantId(2)));
+        let noisy_share = noisy.iter().filter(|r| r.tenant == TenantId(2)).count();
+        assert_eq!(noisy_share, 90, "the noisy tenant sends 3x volume");
+
+        let bomb = TenantMix::prompt_bomb(2, 0.5, 40);
+        let bombs = bomb.solo(TenantId(2), 5);
+        let polite = bomb.solo(TenantId(0), 5);
+        let mean = |v: &[RequestSpec]| {
+            v.iter().map(|r| r.prompt_tokens).sum::<usize>() as f64 / v.len() as f64
+        };
+        assert!(
+            mean(&bombs) > 4.0 * mean(&polite),
+            "bomb prompts ({}) must dwarf polite prompts ({})",
+            mean(&bombs),
+            mean(&polite)
+        );
+
+        let inverted = TenantMix::priority_inversion(0.4, 25).generate(5);
+        assert!(inverted
+            .iter()
+            .all(|r| (r.tenant == TenantId(0)) == (r.priority == Priority::High)));
+        assert!(inverted
+            .iter()
+            .filter(|r| r.tenant == TenantId(1))
+            .all(|r| r.priority == Priority::Low && r.slo.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn tenant_mix_rejects_duplicate_tenants() {
+        let t = TenantTraffic {
+            tenant: TenantId(1),
+            workload: Workload::internal(),
+            schedule: RateSchedule::constant(1.0),
+            count: 5,
+            priority: Priority::Normal,
+            slo: None,
+        };
+        let _ = TenantMix::new(vec![t.clone(), t]);
     }
 
     #[test]

@@ -32,8 +32,13 @@ pub use pod_attention;
 
 // The cluster-scale serving surface, re-exported at the top level: these are
 // the types fleet experiments compose, and downstream users should not need
-// to know which workspace crate owns them.
+// to know which workspace crate owns them. One `use pod_repro::{...}` covers
+// the whole user-facing API, including the multi-tenant fairness surface
+// (`TenantId` / `Priority` / `FairQueueConfig` / `TenantMix`) and the
+// request/config builders (`RequestSpec::builder`, the `with_*` chains on
+// `ServingConfig` / `ClusterConfig`).
 pub use llm_serving::{
-    Cluster, ClusterConfig, ClusterReport, IterationOutcome, KvMigration, RateSchedule,
-    ReplicaRole, RouterPolicy, ServingConfig, ServingEngine,
+    Cluster, ClusterConfig, ClusterReport, FairQueueConfig, IterationOutcome, KvMigration,
+    Priority, RateSchedule, ReplicaRole, RequestSpec, RequestSpecBuilder, RouterPolicy,
+    ServingConfig, ServingEngine, ServingReport, TenantId, TenantMix, TenantReport, TenantTraffic,
 };

@@ -6,7 +6,10 @@
 //! * the virtual clock is monotonic, and iteration intervals are well formed;
 //! * no request is lost or duplicated across preemption, shedding and
 //!   autoscaler re-queueing — at drain, every request is finished, shed, or
-//!   reassigned (and reassigned ones finish exactly once elsewhere);
+//!   reassigned (and reassigned ones finish exactly once elsewhere); half
+//!   the cases run multi-tenant traces (random tenant counts, weights and
+//!   priority classes) so fair-queue deferral and priority preemption are
+//!   under the same conservation checks;
 //! * the block pool is leak-free after `run_until_drained` (utilization is
 //!   exactly zero, whatever mix of preemptions/evictions happened);
 //! * prefill and decode token conservation: every finished request computed
@@ -25,9 +28,10 @@
 
 use gpu_sim::GpuConfig;
 use llm_serving::{
-    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, IterationOutcome, KvCachePolicy,
-    KvMigration, ModelConfig, Phase, ReplicaRole, RequestSpec, RouterPolicy, ServingConfig,
-    ServingEngine, SharedPrefixWorkload, SloMix, SplitMix64, Workload,
+    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, FairQueueConfig, IterationOutcome,
+    KvCachePolicy, KvMigration, ModelConfig, Phase, Priority, ReplicaRole, RequestSpec,
+    RouterPolicy, ServingConfig, ServingEngine, SharedPrefixWorkload, SloMix, SplitMix64, TenantId,
+    Workload,
 };
 
 fn fuzz_cases() -> usize {
@@ -77,7 +81,7 @@ fn sample_specs(rng: &mut SplitMix64, seed: u64) -> Vec<RequestSpec> {
     } else {
         base.generate(count, qps, seed)
     };
-    match rng.next_usize(3) {
+    let specs = match rng.next_usize(3) {
         0 => specs,
         1 => SloMix::interactive_batch().apply(specs, seed),
         _ => SloMix::new(vec![(
@@ -85,7 +89,29 @@ fn sample_specs(rng: &mut SplitMix64, seed: u64) -> Vec<RequestSpec> {
             Some(llm_serving::SloSpec::new("strict", 0.75, 0.1)),
         )])
         .apply(specs, seed),
+    };
+    stamp_tenants(rng, specs)
+}
+
+/// Half the traces run multi-tenant: random tenant counts and a sprinkle of
+/// non-default priority classes, so fair-queue deferral and priority
+/// preemption face the same conservation invariants as plain FCFS.
+fn stamp_tenants(rng: &mut SplitMix64, specs: Vec<RequestSpec>) -> Vec<RequestSpec> {
+    if rng.next_usize(2) == 0 {
+        return specs;
     }
+    let tenant_count = 1 + rng.next_usize(4);
+    specs
+        .into_iter()
+        .map(|s| {
+            let s = s.with_tenant(TenantId(rng.next_usize(tenant_count) as u32));
+            match rng.next_usize(4) {
+                0 => s.with_priority(Priority::Low),
+                1 => s.with_priority(Priority::High),
+                _ => s,
+            }
+        })
+        .collect()
 }
 
 fn sample_config(rng: &mut SplitMix64) -> ServingConfig {
@@ -121,6 +147,22 @@ fn sample_config(rng: &mut SplitMix64) -> ServingConfig {
     };
     if rng.next_usize(3) == 0 {
         config.admission = AdmissionPolicy::DeadlineShed;
+    }
+    // Fair queueing rides along on half the configs, with random per-tenant
+    // weights and sometimes priority preemption: the conservation and
+    // leak-freedom invariants below must hold however the queue is reordered
+    // or resident decodes are evicted.
+    if rng.next_usize(2) == 0 {
+        let mut fair = FairQueueConfig::new();
+        for t in 0..4u32 {
+            if rng.next_usize(2) == 0 {
+                fair = fair.with_weight(TenantId(t), 0.25 + rng.next_f64() * 4.0);
+            }
+        }
+        if rng.next_usize(2) == 0 {
+            fair = fair.with_priority_preemption(true);
+        }
+        config = config.with_fair_queue(fair);
     }
     config
 }
@@ -483,6 +525,45 @@ fn run_pooled(cases: &[u64]) -> Vec<String> {
         .into_iter()
         .map(|m| m.into_inner().expect("slot").expect("every case ran"))
         .collect()
+}
+
+/// Differential oracle for the fair-queue inertness contract: with a single
+/// tenant and a single priority class, weighted fair queueing must reproduce
+/// FCFS **bit for bit** on every random workload × scheduler × KV policy
+/// combination — only the `+fair` system label may differ. This is the
+/// property every pre-tenancy golden in the repo implicitly relies on.
+#[test]
+fn single_tenant_fair_queueing_matches_fcfs_on_random_configs() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x00FA_1256);
+        let specs: Vec<RequestSpec> = sample_specs(&mut rng, seed)
+            .into_iter()
+            .map(|s| {
+                s.with_tenant(TenantId::DEFAULT)
+                    .with_priority(Priority::Normal)
+            })
+            .collect();
+        let mut config = sample_config(&mut rng);
+        config.fair_queue = None;
+        // Weight overrides for tenants that never appear must be inert too.
+        let fair_config = config.clone().with_fair_queue(
+            FairQueueConfig::new()
+                .with_weight(TenantId(3), 0.5 + rng.next_f64() * 3.0)
+                .with_priority_preemption(rng.next_usize(2) == 0),
+        );
+        let fcfs = ServingEngine::new(config).run(specs.clone());
+        let mut fair = ServingEngine::new(fair_config).run(specs);
+        assert!(
+            fair.system.ends_with("+fair"),
+            "seed {seed}: fair-queue system label missing"
+        );
+        fair.system = fcfs.system.clone();
+        assert_eq!(
+            fair.to_json().to_string_pretty(),
+            fcfs.to_json().to_string_pretty(),
+            "seed {seed}: single-tenant fair queueing diverged from FCFS"
+        );
+    }
 }
 
 #[test]

@@ -18,8 +18,8 @@
 
 use gpu_sim::GpuConfig;
 use llm_serving::{
-    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, ModelConfig, RouterPolicy,
-    ServingConfig, ServingEngine, SloMix, Workload,
+    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, FairQueueConfig, ModelConfig,
+    RouterPolicy, ServingConfig, ServingEngine, SloMix, TenantId, Workload,
 };
 use std::path::PathBuf;
 
@@ -66,12 +66,19 @@ fn assert_matches_snapshot(name: &str, paths: &[String]) {
 }
 
 /// A serving run that populates every optional corner of the report: SLO
-/// classes (met and violated), shedding, prefix caching, preemption.
+/// classes (met and violated), shedding, prefix caching, preemption, and
+/// multi-tenant fair queueing (so the `tenants[]` rows carry real tallies).
 fn full_featured_serving_report() -> llm_serving::ServingReport {
     let config = ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024)
         .with_paged_kv(true)
-        .with_admission(AdmissionPolicy::DeadlineShed);
-    let specs = SloMix::interactive_batch().apply(Workload::internal().generate(24, 4.0, 7), 7);
+        .with_admission(AdmissionPolicy::DeadlineShed)
+        .with_fair_queue(FairQueueConfig::new().with_weight(TenantId(1), 2.0));
+    let specs: Vec<_> = SloMix::interactive_batch()
+        .apply(Workload::internal().generate(24, 4.0, 7), 7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.with_tenant(TenantId((i % 3) as u32)))
+        .collect();
     ServingEngine::new(config).run(specs)
 }
 
@@ -82,6 +89,8 @@ fn serving_report_field_set_is_pinned() {
     // paths are present in what we pin.
     assert!(report.slo_requests > 0);
     assert!(!report.slo_classes.is_empty());
+    // Sanity: the multi-tenant run produced real per-tenant rows.
+    assert!(report.tenants.len() > 1);
     assert_matches_snapshot("serving_report_fields.txt", &report.to_json().field_paths());
 }
 
