@@ -8,7 +8,8 @@
 //!     [--slo <slo_baseline.json> <slo_fresh.json>] \
 //!     [--disagg <disagg_baseline.json> <disagg_fresh.json>] \
 //!     [--fairness <fairness_baseline.json> <fairness_fresh.json>] \
-//!     [--fleet <fleet_baseline.json> <fleet_fresh.json>] [--max-drop 0.30]
+//!     [--fleet <fleet_baseline.json> <fleet_fresh.json>] \
+//!     [--trace <trace_baseline.json> <trace_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
 //! The positional pair is the engine trend (`BENCH_engine.json`): the two
@@ -36,6 +37,13 @@ const GATED_METRICS: &[&str] = &[
 
 /// Default maximum allowed fractional drop (0.30 = 30%).
 const DEFAULT_MAX_DROP: f64 = 0.30;
+
+/// Hard ceiling on `trace.overhead_ratio` (traced / untraced wall-clock on
+/// the fleet replay): tracing must cost under ten percent. Unlike the
+/// cross-run throughput gates, this is an intra-run ratio — both legs run
+/// in the same process on the same machine — so it is far less noisy and
+/// gets a tight absolute bound instead of `--max-drop` slack.
+const MAX_TRACE_OVERHEAD: f64 = 1.10;
 
 fn load(path: &str) -> Result<JsonValue, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -136,6 +144,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut disagg_paths: Vec<&String> = Vec::new();
     let mut fairness_paths: Vec<&String> = Vec::new();
     let mut fleet_paths: Vec<&String> = Vec::new();
+    let mut trace_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -180,6 +189,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             fleet_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--trace" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--trace needs <baseline.json> <fresh.json>".to_string());
+            };
+            trace_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
@@ -191,7 +206,8 @@ fn run(args: &[String]) -> Result<bool, String> {
              [--slo <baseline.json> <fresh.json>] \
              [--disagg <baseline.json> <fresh.json>] \
              [--fairness <baseline.json> <fresh.json>] \
-             [--fleet <baseline.json> <fresh.json>] [--max-drop 0.30]"
+             [--fleet <baseline.json> <fresh.json>] \
+             [--trace <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
     let (baseline_path, fresh_path) = (paths[0], paths[1]);
@@ -275,6 +291,27 @@ fn run(args: &[String]) -> Result<bool, String> {
         )?;
         println!("fleet gate: fresh {fleet_fresh_path} vs baseline {fleet_base_path}");
         ok &= check("fleet.events_per_sec", base, now, max_drop, &mut deltas);
+    }
+    if let [trace_base_path, trace_fresh_path] = trace_paths.as_slice() {
+        // The tracing gate is two-sided: traced-replay host throughput must
+        // not regress past the threshold (cross-run, noisy, --max-drop
+        // slack), and the fresh off→on overhead ratio must stay under the
+        // hard ten-percent ceiling (intra-run, tight).
+        let trace_base = load(trace_base_path)?;
+        let trace_fresh = load(trace_fresh_path)?;
+        let base = metric(&trace_base, "trace.events_per_sec_on", trace_base_path)?;
+        let now = metric(&trace_fresh, "trace.events_per_sec_on", trace_fresh_path)?;
+        println!("trace gate: fresh {trace_fresh_path} vs baseline {trace_base_path}");
+        ok &= check("trace.events_per_sec_on", base, now, max_drop, &mut deltas);
+        let overhead = metric(&trace_fresh, "trace.overhead_ratio", trace_fresh_path)?;
+        let overhead_ok = overhead <= MAX_TRACE_OVERHEAD;
+        println!(
+            "  {:<44} ceiling {MAX_TRACE_OVERHEAD:>14.2}  fresh {overhead:>14.3}  {}",
+            "trace.overhead_ratio",
+            if overhead_ok { "ok" } else { "REGRESSED" }
+        );
+        deltas.push(("trace.overhead_ratio".to_string(), (overhead - 1.0) * 100.0));
+        ok &= overhead_ok;
     }
     // Recap every metric delta, pass or fail, in every mode — the line a
     // reviewer scans in green CI logs to see where the trend is heading.
@@ -543,6 +580,47 @@ mod tests {
         assert_eq!(run(&args(&fl_bad)), Ok(false));
         // A malformed fleet file is an error, not a silent pass.
         let empty = write_tmp("perf_gate_fl_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+    }
+
+    fn trace_trend(events_per_sec_on: f64, overhead_ratio: f64) -> String {
+        JsonValue::obj(vec![(
+            "trace",
+            JsonValue::obj(vec![
+                ("events_per_sec_on", JsonValue::Num(events_per_sec_on)),
+                ("overhead_ratio", JsonValue::Num(overhead_ratio)),
+            ]),
+        )])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn trace_metric_gates_traced_throughput_and_overhead() {
+        let eng_base = write_tmp("perf_gate_t_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_t_eng_fresh.json", &trend(1000.0, 500.0));
+        let tr_base = write_tmp("perf_gate_tr_base.json", &trace_trend(180_000.0, 1.05));
+        // 20% throughput drop, 4% overhead: passes.
+        let tr_ok = write_tmp("perf_gate_tr_ok.json", &trace_trend(144_000.0, 1.04));
+        // 50% throughput drop: fails — the doctored baseline the CI wiring
+        // was verified against.
+        let tr_slow = write_tmp("perf_gate_tr_slow.json", &trace_trend(90_000.0, 1.04));
+        // Throughput fine, but tracing now costs 25%: the overhead ceiling
+        // fails independently of the cross-run comparison.
+        let tr_heavy = write_tmp("perf_gate_tr_heavy.json", &trace_trend(180_000.0, 1.25));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--trace".to_string(),
+                tr_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&tr_ok)), Ok(true));
+        assert_eq!(run(&args(&tr_slow)), Ok(false));
+        assert_eq!(run(&args(&tr_heavy)), Ok(false));
+        // A malformed trace file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_tr_empty.json", "{}\n");
         assert!(run(&args(&empty)).is_err());
     }
 

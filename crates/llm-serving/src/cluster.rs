@@ -27,6 +27,7 @@ use crate::engine::{PrefillHandoff, ServingEngine};
 use crate::json::JsonValue;
 use crate::metrics::{ReportAccumulator, ServingReport};
 use crate::request::{Request, RequestSpec};
+use crate::trace::{FlightRecording, TraceEventKind, TraceRecorder};
 use crate::ServingConfig;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -558,6 +559,11 @@ pub struct Cluster {
     /// Worker threads for parallel replica advancement between barriers
     /// (see [`Cluster::set_advance_workers`]).
     advance_workers: usize,
+    /// Fleet-level trace recorder (autoscaler events), present iff the base
+    /// config carries a [`crate::TraceConfig`]. Per-request events live in
+    /// the replicas' own recorders; [`Cluster::flight_recording`] merges
+    /// both in replica-index order.
+    tracer: Option<TraceRecorder>,
 }
 
 /// A KV chain in flight between replicas: delivered to a decode replica at
@@ -878,6 +884,11 @@ impl Cluster {
             roles: config.roles,
             migration: config.migration,
             advance_workers: default_advance_workers(),
+            tracer: config
+                .base
+                .tracing
+                .as_ref()
+                .map(|cfg| TraceRecorder::new(cfg.clone())),
             replicas,
         }
     }
@@ -892,6 +903,28 @@ impl Cluster {
     /// requests they served.
     pub fn replicas(&self) -> &[ServingEngine] {
         &self.replicas
+    }
+
+    /// Collect the fleet's flight recording: each replica's trace ring in
+    /// replica-index order, then the cluster-level recorder (autoscaler
+    /// events). `None` unless the base config enabled tracing via
+    /// [`ServingConfig::with_tracing`]. The index-order merge mirrors the
+    /// streaming-metrics accumulator merge, so the recording is bit-for-bit
+    /// identical at every worker count.
+    pub fn flight_recording(&self) -> Option<FlightRecording> {
+        self.tracer.as_ref()?;
+        let mut recording = FlightRecording::new();
+        for replica in &self.replicas {
+            recording.push_replica(
+                replica
+                    .trace_recorder()
+                    .expect("traced clusters build every replica with a recorder"),
+            );
+        }
+        if let Some(tracer) = &self.tracer {
+            recording.set_cluster(tracer);
+        }
+        Some(recording)
     }
 
     /// Set the number of worker threads used to advance due replicas
@@ -1004,6 +1037,10 @@ impl Cluster {
         self.peak_active = self.replicas.len();
         self.out_streak = 0;
         self.in_streak = 0;
+        self.tracer = base
+            .tracing
+            .as_ref()
+            .map(|cfg| TraceRecorder::new(cfg.clone()));
     }
 
     /// Serve `specs` to completion: route every request at its arrival time
@@ -1295,6 +1332,14 @@ impl Cluster {
             self.lifecycle.push(ReplicaLife::new(now));
             self.assigned.push(0);
             self.scale_out_events += 1;
+            if let Some(rec) = self.tracer.as_mut() {
+                rec.record(
+                    now,
+                    TraceEventKind::ScaleOut {
+                        replicas: self.replicas.len(),
+                    },
+                );
+            }
             self.peak_active = self.peak_active.max(active.len() + 1);
             self.out_streak = 0;
             self.in_streak = 0;
@@ -1308,6 +1353,9 @@ impl Cluster {
                 .expect("active set is non-empty");
             self.lifecycle[victim].state = ReplicaState::Draining;
             self.scale_in_events += 1;
+            if let Some(rec) = self.tracer.as_mut() {
+                rec.record(now, TraceEventKind::ScaleIn { replica: victim });
+            }
             self.in_streak = 0;
             self.out_streak = 0;
             // Its not-yet-started requests re-route through the normal

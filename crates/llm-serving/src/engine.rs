@@ -18,6 +18,7 @@ use crate::metrics::{ReportAccumulator, ServingReport};
 use crate::model::ModelConfig;
 use crate::request::{Phase, Priority, Request, RequestSpec, TenantId};
 use crate::scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
+use crate::trace::{FlightRecording, TraceConfig, TraceEventKind, TraceRecorder};
 use attn_kernels::{canonical_decodes, AttentionStrategy, HybridBatch, PrefillChunk};
 use gpu_sim::GpuConfig;
 use std::collections::{HashMap, VecDeque};
@@ -331,6 +332,12 @@ pub struct ServingConfig {
     /// `None` (plain FCFS admission) — the inert default the golden tests
     /// pin bit-for-bit; see [`FairQueueConfig`].
     pub fair_queue: Option<FairQueueConfig>,
+    /// Request-lifecycle tracing into a per-replica flight recorder (see
+    /// [`crate::trace`]). Defaults to `None`: no recorder is allocated, no
+    /// event is constructed, and the simulation is bit-for-bit identical to
+    /// an untraced run — tracing is purely observational either way, so the
+    /// *report* is identical even when this is `Some`.
+    pub tracing: Option<TraceConfig>,
 }
 
 impl ServingConfig {
@@ -349,6 +356,7 @@ impl ServingConfig {
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
             fair_queue: None,
+            tracing: None,
         }
     }
 
@@ -366,6 +374,7 @@ impl ServingConfig {
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
             fair_queue: None,
+            tracing: None,
         }
     }
 
@@ -401,6 +410,18 @@ impl ServingConfig {
     /// [`FairQueueConfig`], priority preemption) attached.
     pub fn with_fair_queue(mut self, fair_queue: FairQueueConfig) -> Self {
         self.fair_queue = Some(fair_queue);
+        self
+    }
+
+    /// The same configuration with request-lifecycle tracing into a flight
+    /// recorder (see [`crate::trace`]). Collect the recording after a run
+    /// with [`ServingEngine::flight_recording`] (or
+    /// [`Cluster::flight_recording`](crate::Cluster::flight_recording) for a
+    /// fleet). Tracing never changes simulation outcomes; its only costs are
+    /// recorder memory (bounded by [`TraceConfig::capacity`]) and the
+    /// recording time itself.
+    pub fn with_tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = Some(tracing);
         self
     }
 
@@ -580,10 +601,15 @@ struct EngineState {
     /// (first request, or returning from idle) are lifted to it so virtual
     /// time cannot be banked while away.
     fair_floor: f64,
+    /// Flight recorder (`Some` exactly when the config carries a
+    /// [`TraceConfig`]): every lifecycle / iteration / KV / migration event
+    /// lands here, stamped on the virtual clock. Purely observational —
+    /// nothing in the simulation reads it back.
+    recorder: Option<TraceRecorder>,
 }
 
 impl EngineState {
-    fn new(kv_capacity: usize, streaming_metrics: bool) -> Self {
+    fn new(kv_capacity: usize, streaming_metrics: bool, tracing: Option<&TraceConfig>) -> Self {
         EngineState {
             requests: Vec::new(),
             arrivals: VecDeque::new(),
@@ -615,6 +641,17 @@ impl EngineState {
             peak_token_samples: 0,
             fair_vtime: Vec::new(),
             fair_floor: 0.0,
+            recorder: tracing.map(|cfg| TraceRecorder::new(cfg.clone())),
+        }
+    }
+
+    /// Record one trace event at time `t` if tracing is on — the single
+    /// choke point every instrumentation site goes through, so tracing off
+    /// is one branch on a `None`.
+    #[inline]
+    fn trace(&mut self, t: f64, kind: impl FnOnce() -> TraceEventKind) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(t, kind());
         }
     }
 
@@ -636,6 +673,13 @@ impl EngineState {
     /// the waiting queue, and mark the full recompute it owes.
     fn preempt(&mut self, rid: usize) {
         let table = std::mem::take(&mut self.tables[rid]);
+        let t = self.clock;
+        self.trace(t, || TraceEventKind::Preempt { request: rid });
+        let freed = table.blocks.len();
+        self.trace(t, || TraceEventKind::KvFree {
+            request: rid,
+            blocks: freed,
+        });
         self.kv.release_blocks(&table.blocks);
         self.requests[rid].preempt();
         self.running.retain(|&r| r != rid);
@@ -722,6 +766,12 @@ impl EngineState {
                     self.index_computed_blocks(rid);
                 }
                 let table = std::mem::take(&mut self.tables[rid]);
+                let t = self.clock;
+                let freed = table.blocks.len();
+                self.trace(t, || TraceEventKind::KvFree {
+                    request: rid,
+                    blocks: freed,
+                });
                 self.kv.release_blocks(&table.blocks);
                 self.reserved[rid] = false;
             }
@@ -799,7 +849,11 @@ impl ServingEngine {
         let kv_capacity = config
             .kv_capacity_tokens
             .unwrap_or_else(|| config.model.kv_cache_capacity_tokens(&config.gpu));
-        let state = EngineState::new(kv_capacity, config.streaming_metrics);
+        let state = EngineState::new(
+            kv_capacity,
+            config.streaming_metrics,
+            config.tracing.as_ref(),
+        );
         ServingEngine {
             config,
             cost,
@@ -1070,6 +1124,23 @@ impl ServingEngine {
         self.state.accumulator.as_ref()
     }
 
+    /// The flight recorder, when the config enables tracing. The cluster
+    /// layer concatenates these in replica-index order.
+    pub(crate) fn trace_recorder(&self) -> Option<&TraceRecorder> {
+        self.state.recorder.as_ref()
+    }
+
+    /// Collect this engine's flight recording (one replica, no cluster
+    /// events), or `None` when the config carries no [`TraceConfig`].
+    /// Valid mid-run; the recording is a snapshot.
+    pub fn flight_recording(&self) -> Option<FlightRecording> {
+        self.state.recorder.as_ref().map(|rec| {
+            let mut recording = FlightRecording::new();
+            recording.push_replica(rec);
+            recording
+        })
+    }
+
     /// Prompt tokens of `spec` this replica's prefix index could satisfy
     /// right now, without touching any state. Zero unless the engine runs
     /// the paged policy with prefix caching. The affinity signal
@@ -1211,12 +1282,24 @@ impl ServingEngine {
     pub fn step(&mut self, now: f64) -> IterationOutcome {
         let st = &mut self.state;
         st.clock = st.clock.max(now);
+        // Eviction watermark for the per-iteration KvEvict delta (a plain
+        // counter read; the delta is only consulted when tracing is on).
+        let evicted_before = st.kv.blocks_evicted();
 
         // Admit arrivals that have happened by now.
         while let Some(&id) = st.arrivals.front() {
             if st.requests[id].spec.arrival <= st.clock {
                 st.waiting.push_back(id);
                 st.arrivals.pop_front();
+                let t = st.clock;
+                let spec = st.requests[id].spec;
+                st.trace(t, || TraceEventKind::Enqueue {
+                    request: id,
+                    tenant: spec.tenant,
+                    priority: spec.priority,
+                    prompt_tokens: spec.prompt_tokens,
+                    output_tokens: spec.output_tokens,
+                });
             } else {
                 break;
             }
@@ -1266,6 +1349,7 @@ impl ServingEngine {
             st.migration_stall_time += stall;
             st.migrated_in += 1;
             st.live_token_samples += imp.request.token_times.len();
+            let tokens = imp.chain.tokens;
             st.requests.push(imp.request);
             st.reserved.push(true);
             st.tables.push(RequestKv {
@@ -1277,6 +1361,12 @@ impl ServingEngine {
                 ..RequestKv::default()
             });
             st.running.push(rid);
+            let t = st.clock;
+            st.trace(t, || TraceEventKind::HandoffImport {
+                request: rid,
+                tokens,
+                stall,
+            });
         }
 
         // Under the paged policy, decode growth happens before batch
@@ -1320,6 +1410,7 @@ impl ServingEngine {
                     &mut st.blocks_reused,
                     &mut st.cow_copies,
                 );
+                let recorder = &mut st.recorder;
                 match self.config.kv_policy {
                     KvCachePolicy::Conservative => plan_batch(
                         self.config.scheduler,
@@ -1335,8 +1426,23 @@ impl ServingEngine {
                             }
                             if kv.reserve(req.spec.total_tokens()) {
                                 reserved[req.id] = true;
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        now_clock,
+                                        TraceEventKind::Admit {
+                                            request: req.id,
+                                            cached_tokens: 0,
+                                        },
+                                    );
+                                }
                                 AdmissionDecision::Admit { cached_tokens: 0 }
                             } else {
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        now_clock,
+                                        TraceEventKind::Defer { request: req.id },
+                                    );
+                                }
                                 AdmissionDecision::Defer
                             }
                         },
@@ -1362,6 +1468,12 @@ impl ServingEngine {
                             // outcome (with the same total-tokens sizing number)
                             // the conservative policy reports.
                             if blocks_for(req.spec.total_tokens()) > capacity_blocks {
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        now_clock,
+                                        TraceEventKind::Defer { request: req.id },
+                                    );
+                                }
                                 return AdmissionDecision::Defer;
                             }
                             // Match the prompt (or, after a preemption, the full
@@ -1392,6 +1504,24 @@ impl ServingEngine {
                                     *cached_ctr += m.cached_tokens;
                                     *reused_ctr += m.blocks.len();
                                     *cow_ctr += usize::from(m.cow_source.is_some());
+                                    if let Some(rec) = recorder.as_mut() {
+                                        rec.record(
+                                            now_clock,
+                                            TraceEventKind::Admit {
+                                                request: req.id,
+                                                cached_tokens: m.cached_tokens,
+                                            },
+                                        );
+                                        rec.record(
+                                            now_clock,
+                                            TraceEventKind::KvAlloc {
+                                                request: req.id,
+                                                blocks: needed,
+                                                reused: m.blocks.len(),
+                                                cow: m.cow_source.is_some(),
+                                            },
+                                        );
+                                    }
                                     let table = &mut tables[req.id];
                                     table.shared = m.blocks.len();
                                     table.indexed = m.blocks.len();
@@ -1407,6 +1537,12 @@ impl ServingEngine {
                                     // Roll back the prefix acquisition; the
                                     // request retries next iteration.
                                     kv.release_blocks(&m.blocks);
+                                    if let Some(rec) = recorder.as_mut() {
+                                        rec.record(
+                                            now_clock,
+                                            TraceEventKind::Defer { request: req.id },
+                                        );
+                                    }
                                     AdmissionDecision::Defer
                                 }
                             };
@@ -1425,6 +1561,8 @@ impl ServingEngine {
             };
             if let Some(rid) = plan.shed {
                 st.requests[rid].shed_time = Some(st.clock);
+                let t = st.clock;
+                st.trace(t, || TraceEventKind::Shed { request: rid });
                 if let Some(acc) = st.accumulator.as_mut() {
                     acc.observe_shed(&st.requests[rid]);
                 }
@@ -1555,6 +1693,25 @@ impl ServingEngine {
             st.release_finished(rid, self.config.kv_policy);
         }
 
+        // Finish events, before streaming metrics drop any request buffers.
+        if st.recorder.is_some() {
+            for &rid in &finished {
+                let req = &st.requests[rid];
+                let prompt_tokens = req.spec.prompt_tokens;
+                let generated = req.generated;
+                let ttft = req.first_token_time.map_or(0.0, |t| t - req.spec.arrival);
+                let latency = req.finish_time.map_or(0.0, |t| t - req.spec.arrival);
+                let t = st.clock;
+                st.trace(t, || TraceEventKind::Finish {
+                    request: rid,
+                    prompt_tokens,
+                    generated,
+                    ttft,
+                    latency,
+                });
+            }
+        }
+
         // Streaming metrics: fold each finished request into the accumulator
         // and drop its token-time buffer — nothing downstream needs it.
         // (Prefill-export parkings are not in `finished`; their buffers ride
@@ -1600,7 +1757,14 @@ impl ServingEngine {
                             st.kv.export_chain(&table.blocks, tokens)
                         }
                     };
+                    let (chain_tokens, chain_blocks) = (chain.tokens, chain.blocks);
                     st.pending_export.push((rid, chain));
+                    let t = st.clock;
+                    st.trace(t, || TraceEventKind::HandoffExport {
+                        request: rid,
+                        tokens: chain_tokens,
+                        blocks: chain_blocks,
+                    });
                 }
             }
         }
@@ -1621,6 +1785,57 @@ impl ServingEngine {
                 *st.fair_vtime_entry(tenant) += prefill_tokens as f64 / weight;
             }
         }
+        // Iteration-level trace events: the priced batch, any evictions the
+        // iteration's allocations forced, and — when a timeline boundary was
+        // crossed — one sample of replica occupancy. All inside one
+        // `is_some` branch so tracing off never builds an event.
+        if st.recorder.is_some() {
+            let evicted = st.kv.blocks_evicted() - evicted_before;
+            let clock = st.clock;
+            if evicted > 0 {
+                st.trace(clock, || TraceEventKind::KvEvict { blocks: evicted });
+            }
+            let prefill_request = plan.prefill.map(|(rid, _)| rid);
+            let chunk = plan.prefill.map_or(0, |(_, c)| c);
+            let decode_count = plan.decodes.len();
+            let newly_finished = finished.len();
+            let hybrid = plan.is_hybrid();
+            st.trace(clock, || TraceEventKind::Iteration {
+                started_at,
+                duration: dt,
+                hybrid,
+                prefill_request,
+                chunk,
+                decodes: decode_count,
+                prefill_tokens,
+                decode_tokens,
+                newly_finished,
+            });
+            let due = st
+                .recorder
+                .as_mut()
+                .is_some_and(|rec| rec.timeline_due(clock));
+            if due {
+                let running = st.running.len();
+                let waiting = st.waiting.len();
+                let kv_utilization = st.kv.utilization();
+                let mut backlog: std::collections::BTreeMap<TenantId, usize> =
+                    std::collections::BTreeMap::new();
+                for &r in &st.waiting {
+                    *backlog.entry(st.requests[r].spec.tenant).or_insert(0) += 1;
+                }
+                let tenant_backlog: Vec<(TenantId, usize)> = backlog.into_iter().collect();
+                st.trace(clock, || TraceEventKind::TimelineSample {
+                    running,
+                    waiting,
+                    kv_utilization,
+                    prefill_tokens,
+                    decode_tokens,
+                    tenant_backlog,
+                });
+            }
+        }
+
         IterationOutcome::Ran(IterationStats {
             started_at,
             completed_at: st.clock,
@@ -1733,7 +1948,11 @@ impl ServingEngine {
             cost: self.cost.clone(),
             kv_capacity: self.kv_capacity,
             export_prefills: self.export_prefills,
-            state: EngineState::new(self.kv_capacity, self.config.streaming_metrics),
+            state: EngineState::new(
+                self.kv_capacity,
+                self.config.streaming_metrics,
+                self.config.tracing.as_ref(),
+            ),
         };
         for spec in specs {
             engine.submit(spec);

@@ -7,6 +7,7 @@
 //! insertion-ordered objects, plus dotted-path lookup for the perf gate.
 
 use std::fmt;
+use std::io;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +69,50 @@ impl JsonValue {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serialize with no whitespace at all — the one-line form JSONL event
+    /// dumps use. Parses back to the same value as the pretty form.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_fmt_value(&mut out, None)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Stream the pretty serialization (byte-identical to
+    /// [`JsonValue::to_string_pretty`], trailing newline included) straight
+    /// into an [`io::Write`] sink, so multi-MB trace and bench files never
+    /// build one giant in-memory `String`.
+    pub fn write_pretty<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        use fmt::Write as _;
+        let mut adapter = IoFmt {
+            inner: w,
+            err: None,
+        };
+        let done = self
+            .write_fmt_value(&mut adapter, Some(0))
+            .and_then(|()| adapter.write_char('\n'));
+        match (done, adapter.err) {
+            (_, Some(e)) => Err(e),
+            (Err(_), None) => unreachable!("fmt failure without an io error"),
+            (Ok(()), None) => Ok(()),
+        }
+    }
+
+    /// Stream the compact serialization (byte-identical to
+    /// [`JsonValue::to_string_compact`], no trailing newline) into an
+    /// [`io::Write`] sink.
+    pub fn write_compact<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut adapter = IoFmt {
+            inner: w,
+            err: None,
+        };
+        match (self.write_fmt_value(&mut adapter, None), adapter.err) {
+            (_, Some(e)) => Err(e),
+            (Err(_), None) => unreachable!("fmt failure without an io error"),
+            (Ok(()), None) => Ok(()),
+        }
     }
 
     /// The numeric value, if this is a number.
@@ -136,52 +181,88 @@ impl JsonValue {
     }
 
     fn write(&self, out: &mut String, indent: usize) {
+        self.write_fmt_value(out, Some(indent))
+            .expect("writing to a String cannot fail");
+    }
+
+    /// The one serializer both string and streaming paths share.
+    /// `indent: Some(level)` is the pretty form (two-space indentation,
+    /// `": "` after keys); `None` is the compact form (no whitespace).
+    fn write_fmt_value<W: fmt::Write>(&self, out: &mut W, indent: Option<usize>) -> fmt::Result {
         match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Null => out.write_str("null"),
+            JsonValue::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
             JsonValue::Num(x) => {
                 if x.is_finite() {
-                    out.push_str(&format!("{x}"));
+                    write!(out, "{x}")
                 } else {
-                    out.push_str("null");
+                    out.write_str("null")
                 }
             }
             JsonValue::Str(s) => write_escaped(out, s),
             JsonValue::Arr(items) => {
                 if items.is_empty() {
-                    out.push_str("[]");
-                    return;
+                    return out.write_str("[]");
                 }
-                out.push_str("[\n");
-                for (i, v) in items.iter().enumerate() {
-                    out.push_str(&"  ".repeat(indent + 1));
-                    v.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
+                match indent {
+                    Some(level) => {
+                        out.write_str("[\n")?;
+                        for (i, v) in items.iter().enumerate() {
+                            write_indent(out, level + 1)?;
+                            v.write_fmt_value(out, Some(level + 1))?;
+                            if i + 1 < items.len() {
+                                out.write_char(',')?;
+                            }
+                            out.write_char('\n')?;
+                        }
+                        write_indent(out, level)?;
+                        out.write_char(']')
                     }
-                    out.push('\n');
+                    None => {
+                        out.write_char('[')?;
+                        for (i, v) in items.iter().enumerate() {
+                            if i > 0 {
+                                out.write_char(',')?;
+                            }
+                            v.write_fmt_value(out, None)?;
+                        }
+                        out.write_char(']')
+                    }
                 }
-                out.push_str(&"  ".repeat(indent));
-                out.push(']');
             }
             JsonValue::Obj(entries) => {
                 if entries.is_empty() {
-                    out.push_str("{}");
-                    return;
+                    return out.write_str("{}");
                 }
-                out.push_str("{\n");
-                for (i, (k, v)) in entries.iter().enumerate() {
-                    out.push_str(&"  ".repeat(indent + 1));
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    if i + 1 < entries.len() {
-                        out.push(',');
+                match indent {
+                    Some(level) => {
+                        out.write_str("{\n")?;
+                        for (i, (k, v)) in entries.iter().enumerate() {
+                            write_indent(out, level + 1)?;
+                            write_escaped(out, k)?;
+                            out.write_str(": ")?;
+                            v.write_fmt_value(out, Some(level + 1))?;
+                            if i + 1 < entries.len() {
+                                out.write_char(',')?;
+                            }
+                            out.write_char('\n')?;
+                        }
+                        write_indent(out, level)?;
+                        out.write_char('}')
                     }
-                    out.push('\n');
+                    None => {
+                        out.write_char('{')?;
+                        for (i, (k, v)) in entries.iter().enumerate() {
+                            if i > 0 {
+                                out.write_char(',')?;
+                            }
+                            write_escaped(out, k)?;
+                            out.write_char(':')?;
+                            v.write_fmt_value(out, None)?;
+                        }
+                        out.write_char('}')
+                    }
                 }
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
             }
         }
     }
@@ -205,18 +286,43 @@ impl JsonValue {
 /// Write `s` as a quoted, escaped JSON string — used for both string values
 /// and object keys, so a key containing quotes or control characters still
 /// produces a parseable document.
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+fn write_escaped<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
+}
+
+/// Two spaces per level — the only indentation the pretty form uses.
+fn write_indent<W: fmt::Write>(out: &mut W, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        out.write_str("  ")?;
+    }
+    Ok(())
+}
+
+/// Adapter from [`fmt::Write`] (the serializer core's bound) onto an
+/// [`io::Write`] sink, parking the first io error so the caller can return
+/// it instead of the unit [`fmt::Error`].
+struct IoFmt<'a, W: io::Write> {
+    inner: &'a mut W,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> fmt::Write for IoFmt<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.err = Some(e);
+            fmt::Error
+        })
+    }
 }
 
 struct Parser<'a> {
@@ -615,6 +721,90 @@ mod tests {
                 JsonValue::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
             assert_eq!(back, v, "case {case} round trip\n{text}");
         }
+    }
+
+    /// The streaming `io::Write` path must be byte-identical to the string
+    /// writer — BENCH files and Chrome traces written either way diff clean.
+    #[test]
+    fn streaming_writer_is_byte_identical_to_string_writer() {
+        let docs = [
+            JsonValue::Null,
+            JsonValue::Num(f64::NAN),
+            JsonValue::obj(vec![]),
+            JsonValue::Arr(vec![]),
+            JsonValue::obj(vec![
+                ("a", JsonValue::Num(1.5)),
+                ("esc\"key\n", JsonValue::str("x\"y\nz\u{1}")),
+                (
+                    "arr",
+                    JsonValue::Arr(vec![
+                        JsonValue::Bool(false),
+                        JsonValue::obj(vec![("deep", JsonValue::Num(-3.25e-2))]),
+                        JsonValue::Arr(vec![]),
+                    ]),
+                ),
+                ("uni", JsonValue::str("日本語 🚀")),
+            ]),
+        ];
+        for v in &docs {
+            let mut streamed = Vec::new();
+            v.write_pretty(&mut streamed).expect("Vec sink cannot fail");
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                v.to_string_pretty(),
+                "pretty bytes diverge for {v:?}"
+            );
+            let mut compact = Vec::new();
+            v.write_compact(&mut compact).expect("Vec sink cannot fail");
+            assert_eq!(
+                String::from_utf8(compact).unwrap(),
+                v.to_string_compact(),
+                "compact bytes diverge for {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_form_round_trips_and_has_no_whitespace() {
+        let v = JsonValue::obj(vec![
+            ("a", JsonValue::Num(1.5)),
+            (
+                "b",
+                JsonValue::Arr(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+            (
+                "c",
+                JsonValue::obj(vec![("n", JsonValue::str("s p a c e"))]),
+            ),
+        ]);
+        let text = v.to_string_compact();
+        assert_eq!(text, r#"{"a":1.5,"b":[null,true],"c":{"n":"s p a c e"}}"#);
+        assert_eq!(JsonValue::parse(&text).expect("compact parses"), v);
+    }
+
+    #[test]
+    fn streaming_writer_propagates_io_errors() {
+        struct FailAfter(usize);
+        impl std::io::Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 < buf.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "sink full",
+                    ));
+                }
+                self.0 -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let v = JsonValue::obj(vec![("key", JsonValue::str("a long enough value"))]);
+        let err = v
+            .write_pretty(&mut FailAfter(4))
+            .expect_err("a full sink surfaces the io error");
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
     }
 
     #[test]

@@ -55,6 +55,13 @@
 //!   path, and reports break goodput, attainment, TTFT and preemptions
 //!   down per tenant ([`TenantReport`]). Adversarial multi-tenant traces
 //!   come from [`TenantMix`].
+//! * [`trace`] ([`TraceConfig`] / [`FlightRecording`]) — request-lifecycle
+//!   tracing: a zero-cost-when-off, deterministic flight recorder capturing
+//!   every enqueue/admit/shed/preempt/migrate/finish, per-iteration batch
+//!   composition, KV block traffic and periodic timeline samples into a
+//!   bounded per-replica ring buffer, exported as Chrome `trace_event` JSON
+//!   (for `chrome://tracing`/Perfetto) or compact JSONL. Attach via
+//!   [`ServingConfig::with_tracing`].
 //! * [`Workload`] — synthetic traces matched to the paper's internal and
 //!   arXiv-Summarization workload statistics, plus the offline and P:D-ratio
 //!   sweeps and time-varying (bursty / diurnal) arrival schedules
@@ -93,6 +100,7 @@ mod request;
 mod rng;
 mod scheduler;
 mod sketch;
+pub mod trace;
 mod workload;
 
 pub use blocks::{
@@ -118,7 +126,11 @@ pub use request::{
 };
 pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
-pub use sketch::{QuantileSketch, DEFAULT_RELATIVE_ERROR};
+pub use sketch::{QuantileSketch, SketchMergeError, DEFAULT_RELATIVE_ERROR};
+pub use trace::{
+    FlightRecording, SpanOutcomes, TimelineSummary, TraceCategory, TraceConfig, TraceEvent,
+    TraceEventKind, TraceFilter, TraceRecorder,
+};
 pub use workload::{
     offline_long_context, pd_ratio_workload, RateSchedule, RateSegment, SharedPrefixWorkload,
     SloMix, TenantMix, TenantTraffic, Workload,

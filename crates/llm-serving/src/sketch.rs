@@ -42,6 +42,29 @@ pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
 /// resolution floor is far below anything the cost model produces.
 const ZERO_BAND: f64 = 1e-12;
 
+/// Error returned by [`QuantileSketch::try_merge`] when the two sketches
+/// were built with different relative-error accuracies: their exponential
+/// bucket bases differ, so their counters cannot be meaningfully added.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchMergeError {
+    /// `alpha` of the sketch being merged into.
+    pub ours: f64,
+    /// `alpha` of the sketch being merged from.
+    pub theirs: f64,
+}
+
+impl std::fmt::Display for SketchMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sketch accuracies differ (alpha {} vs {})",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for SketchMergeError {}
+
 /// A mergeable, deterministic quantile sketch with a relative error bound.
 ///
 /// Handles negative samples (TTFT slack can be negative) via a mirrored
@@ -180,12 +203,27 @@ impl QuantileSketch {
     /// # Panics
     ///
     /// Panics if the two sketches were built with different accuracies
-    /// (their buckets would not line up).
+    /// (their buckets would not line up). Use
+    /// [`QuantileSketch::try_merge`] where a mismatch should be handled
+    /// instead of aborting.
     pub fn merge(&mut self, other: &QuantileSketch) {
-        assert!(
-            self.alpha == other.alpha,
-            "cannot merge sketches with different relative errors"
-        );
+        self.try_merge(other).unwrap_or_else(|e| {
+            panic!("cannot merge sketches with different relative errors: {e}")
+        });
+    }
+
+    /// Fallible [`QuantileSketch::merge`]: rejects a merge between sketches
+    /// built with different relative-error accuracies. Their bucket keys are
+    /// computed against different `gamma` bases, so adding the counters
+    /// would silently misplace every sample of the finer sketch — this
+    /// returns the mismatch instead, leaving `self` untouched.
+    pub fn try_merge(&mut self, other: &QuantileSketch) -> Result<(), SketchMergeError> {
+        if self.alpha != other.alpha {
+            return Err(SketchMergeError {
+                ours: self.alpha,
+                theirs: other.alpha,
+            });
+        }
         for (&k, &c) in &other.pos {
             *self.pos.entry(k).or_insert(0) += c;
         }
@@ -197,6 +235,7 @@ impl QuantileSketch {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// Approximate quantile: the representative of the bucket holding the
@@ -439,6 +478,35 @@ mod tests {
         let mut a = QuantileSketch::with_relative_error(0.01);
         let b = QuantileSketch::with_relative_error(0.02);
         a.merge(&b);
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatch_without_mutating() {
+        let mut a = QuantileSketch::with_relative_error(0.01);
+        a.observe(1.0);
+        a.observe(2.0);
+        let baseline = a.clone();
+        let mut b = QuantileSketch::with_relative_error(0.02);
+        b.observe(100.0);
+        let err = a
+            .try_merge(&b)
+            .expect_err("alpha mismatch must be rejected");
+        assert_eq!(
+            err,
+            SketchMergeError {
+                ours: 0.01,
+                theirs: 0.02
+            }
+        );
+        assert!(err.to_string().contains("0.01"));
+        assert_eq!(a, baseline, "a failed try_merge must leave self untouched");
+
+        // And a matching merge through the fallible path behaves like merge.
+        let mut c = QuantileSketch::with_relative_error(0.01);
+        c.observe(3.0);
+        a.try_merge(&c).expect("matching accuracies merge fine");
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 3.0);
     }
 
     #[test]

@@ -25,13 +25,21 @@
 //! and a serial re-run of a sample is compared against the pooled results so
 //! thread-count independence is enforced *inside* the test as well as by the
 //! CI matrix. `POD_FUZZ_CASES` overrides the case count (default 500).
+//!
+//! Every case runs with the flight recorder on: when an invariant panics,
+//! the recorded trace is dumped to `target/fuzz_artifacts/<seed>.trace.json`
+//! (a Chrome `trace_event` document — load it in `chrome://tracing`) and
+//! the dump path is appended to the panic message, so a failing seed ships
+//! its own request-level timeline. A slice of cases additionally re-runs
+//! untraced and asserts the bit-identical report — tracing must never
+//! perturb the fingerprints these invariants pin.
 
 use gpu_sim::GpuConfig;
 use llm_serving::{
-    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, FairQueueConfig, IterationOutcome,
-    KvCachePolicy, KvMigration, ModelConfig, Phase, Priority, ReplicaRole, RequestSpec,
-    RouterPolicy, ServingConfig, ServingEngine, SharedPrefixWorkload, SloMix, SplitMix64, TenantId,
-    Workload,
+    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, FairQueueConfig, FlightRecording,
+    IterationOutcome, KvCachePolicy, KvMigration, ModelConfig, Phase, Priority, ReplicaRole,
+    RequestSpec, RouterPolicy, ServingConfig, ServingEngine, SharedPrefixWorkload, SloMix,
+    SplitMix64, TenantId, TraceConfig, Workload,
 };
 
 fn fuzz_cases() -> usize {
@@ -167,19 +175,76 @@ fn sample_config(rng: &mut SplitMix64) -> ServingConfig {
     config
 }
 
+/// Where a failing case's flight recording lands.
+fn fuzz_artifact_path(seed: u64) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target/fuzz_artifacts")
+        .join(format!("{seed}.trace.json"))
+}
+
+/// An invariant fired: write the case's flight recording as a Chrome trace
+/// and re-raise the panic with the dump path in the message, so the failure
+/// report carries its own timeline.
+fn dump_and_repanic(
+    seed: u64,
+    recording: Option<FlightRecording>,
+    payload: Box<dyn std::any::Any + Send>,
+) -> ! {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload");
+    let note = match recording {
+        Some(rec) => {
+            let path = fuzz_artifact_path(seed);
+            std::fs::create_dir_all(path.parent().expect("artifact dir"))
+                .and_then(|()| std::fs::write(&path, rec.to_chrome_json().to_string_compact()))
+                .map(|()| format!("flight recording dumped to {}", path.display()))
+                .unwrap_or_else(|e| format!("flight recording dump FAILED: {e}"))
+        }
+        None => "no flight recording (tracing disabled)".to_string(),
+    };
+    panic!("{msg}\n{note}");
+}
+
 /// Step one engine to drain by hand, checking clock/interval invariants on
 /// the way, then check conservation and leak-freedom. Returns the report
-/// JSON as the case's fingerprint.
+/// JSON as the case's fingerprint. Runs traced; on an invariant failure the
+/// flight recording is dumped via [`dump_and_repanic`].
 fn run_engine_case(seed: u64) -> String {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let specs = sample_specs(&mut rng, seed);
     let config = sample_config(&mut rng);
     let tag = format!("engine case seed={seed} ({})", config.system_label());
 
-    let mut engine = ServingEngine::new(config);
+    let mut engine = ServingEngine::new(config.clone().with_tracing(TraceConfig::new()));
     for spec in &specs {
         engine.submit(*spec);
     }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine_case_body(&tag, &mut engine, &specs)
+    }));
+    let fingerprint = match outcome {
+        Ok(fp) => fp,
+        Err(payload) => dump_and_repanic(seed, engine.flight_recording(), payload),
+    };
+    // Inertness ride-along on a slice of cases: the untraced config must
+    // fingerprint bit-identically — tracing observes, never perturbs.
+    if seed % 8 == 0 {
+        let untraced = ServingEngine::new(config)
+            .run(specs)
+            .to_json()
+            .to_string_pretty();
+        assert_eq!(
+            untraced, fingerprint,
+            "{tag}: tracing changed the report fingerprint"
+        );
+    }
+    fingerprint
+}
+
+fn engine_case_body(tag: &str, engine: &mut ServingEngine, specs: &[RequestSpec]) -> String {
     let mut now = 0.0_f64;
     let mut last_clock = 0.0_f64;
     let mut decode_tokens = 0usize;
@@ -391,13 +456,38 @@ fn run_cluster_case(seed: u64) -> String {
         router.label()
     );
 
+    let untraced_config = cluster_config.clone();
+    cluster_config.base = cluster_config.base.with_tracing(TraceConfig::new());
     let mut cluster = Cluster::new(cluster_config);
     // The differential oracle for the event-driven core: the event-queue
     // run — under a random advancement worker count — must reproduce the
     // sequential lockstep sweep bit for bit.
-    cluster.set_advance_workers(1 + rng.next_usize(8));
-    let report = cluster.run(specs.clone());
-    let lockstep = cluster.run_lockstep(specs.clone());
+    let workers = 1 + rng.next_usize(8);
+    cluster.set_advance_workers(workers);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cluster_case_body(&tag, &mut cluster, &specs)
+    }));
+    let fingerprint = match outcome {
+        Ok(fp) => fp,
+        Err(payload) => dump_and_repanic(seed, cluster.flight_recording(), payload),
+    };
+    // Inertness ride-along on a slice of cluster cases: the untraced fleet
+    // must fingerprint bit-identically.
+    if seed % 16 == 3 {
+        let mut untraced = Cluster::new(untraced_config);
+        untraced.set_advance_workers(workers);
+        let fp = untraced.run(specs).to_json().to_string_pretty();
+        assert_eq!(
+            fp, fingerprint,
+            "{tag}: tracing changed the cluster report fingerprint"
+        );
+    }
+    fingerprint
+}
+
+fn cluster_case_body(tag: &str, cluster: &mut Cluster, specs: &[RequestSpec]) -> String {
+    let report = cluster.run(specs.to_vec());
+    let lockstep = cluster.run_lockstep(specs.to_vec());
     assert_eq!(
         report, lockstep,
         "{tag}: event-driven run diverged from the lockstep oracle"

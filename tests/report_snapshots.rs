@@ -18,8 +18,9 @@
 
 use gpu_sim::GpuConfig;
 use llm_serving::{
-    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, FairQueueConfig, ModelConfig,
-    RouterPolicy, ServingConfig, ServingEngine, SloMix, TenantId, Workload,
+    AdmissionPolicy, AutoscalerConfig, Cluster, ClusterConfig, FairQueueConfig, FlightRecording,
+    JsonValue, ModelConfig, Priority, RouterPolicy, ServingConfig, ServingEngine, SloMix, TenantId,
+    TraceConfig, TraceEvent, TraceEventKind, TraceRecorder, Workload,
 };
 use std::path::PathBuf;
 
@@ -105,6 +106,125 @@ fn cluster_report_field_set_is_pinned() {
     .run(specs);
     assert!(report.aggregate.slo_requests > 0);
     assert_matches_snapshot("cluster_report_fields.txt", &report.to_json().field_paths());
+}
+
+/// One event of every [`TraceEventKind`] variant, in a plausible lifecycle
+/// order. Keep this list exhaustive when adding variants — it is what pins
+/// the exporter schemas below.
+fn one_of_every_trace_event() -> Vec<TraceEventKind> {
+    vec![
+        TraceEventKind::Enqueue {
+            request: 0,
+            tenant: TenantId(1),
+            priority: Priority::High,
+            prompt_tokens: 512,
+            output_tokens: 64,
+        },
+        TraceEventKind::Defer { request: 0 },
+        TraceEventKind::Admit {
+            request: 0,
+            cached_tokens: 128,
+        },
+        TraceEventKind::KvAlloc {
+            request: 0,
+            blocks: 4,
+            reused: 2,
+            cow: true,
+        },
+        TraceEventKind::Iteration {
+            started_at: 0.5,
+            duration: 0.25,
+            hybrid: true,
+            prefill_request: Some(0),
+            chunk: 384,
+            decodes: 3,
+            prefill_tokens: 384,
+            decode_tokens: 3,
+            newly_finished: 1,
+        },
+        TraceEventKind::KvEvict { blocks: 2 },
+        TraceEventKind::Preempt { request: 0 },
+        TraceEventKind::HandoffExport {
+            request: 0,
+            tokens: 512,
+            blocks: 4,
+        },
+        TraceEventKind::HandoffImport {
+            request: 0,
+            tokens: 512,
+            stall: 0.03,
+        },
+        TraceEventKind::Shed { request: 1 },
+        TraceEventKind::Finish {
+            request: 0,
+            prompt_tokens: 512,
+            generated: 64,
+            ttft: 0.8,
+            latency: 2.5,
+        },
+        TraceEventKind::KvFree {
+            request: 0,
+            blocks: 4,
+        },
+        TraceEventKind::TimelineSample {
+            running: 3,
+            waiting: 1,
+            kv_utilization: 0.5,
+            prefill_tokens: 384,
+            decode_tokens: 3,
+            tenant_backlog: vec![(TenantId(1), 1)],
+        },
+        TraceEventKind::ScaleOut { replicas: 2 },
+        TraceEventKind::ScaleIn { replica: 1 },
+    ]
+}
+
+/// A synthetic recording covering every event kind: replica 0 carries the
+/// request-level events, the cluster log the autoscaler actions.
+fn full_coverage_recording() -> FlightRecording {
+    let mut replica = TraceRecorder::new(TraceConfig::new());
+    let mut cluster = TraceRecorder::new(TraceConfig::new());
+    for (i, kind) in one_of_every_trace_event().into_iter().enumerate() {
+        let t = i as f64 * 0.1;
+        match kind.category() {
+            llm_serving::TraceCategory::Autoscaler => cluster.record(t, kind),
+            _ => replica.record(t, kind),
+        }
+    }
+    let mut recording = FlightRecording::new();
+    recording.push_replica(&replica);
+    recording.set_cluster(&cluster);
+    recording
+}
+
+/// The JSONL record schema (the flat `TraceEvent::to_json` shape) is pinned
+/// over one event of every kind: a field rename breaks every downstream
+/// trace consumer as silently as a report-field rename breaks the perf
+/// gate.
+#[test]
+fn trace_event_field_set_is_pinned() {
+    let events: Vec<JsonValue> = one_of_every_trace_event()
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            TraceEvent {
+                t: i as f64 * 0.1,
+                kind,
+            }
+            .to_json()
+        })
+        .collect();
+    let doc = JsonValue::obj(vec![("events", JsonValue::Arr(events))]);
+    assert_matches_snapshot("trace_event_fields.txt", &doc.field_paths());
+}
+
+/// The Chrome `trace_event` export schema is pinned the same way — this is
+/// the document `chrome://tracing` / Perfetto loads, so its shape is an
+/// external contract.
+#[test]
+fn chrome_trace_field_set_is_pinned() {
+    let doc = full_coverage_recording().to_chrome_json();
+    assert_matches_snapshot("chrome_trace_fields.txt", &doc.field_paths());
 }
 
 /// The perf gate's exact dotted paths must stay readable from a fresh
