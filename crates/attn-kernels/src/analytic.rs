@@ -39,12 +39,15 @@ type SideCost = (f64, f64, f64, f64);
 /// Memoized side costs. The prefill key `(chunk_len, prior_len, flashinfer,
 /// limited_splits)` is exact — the side cost is a pure function of it. The
 /// decode key keeps the request count exact (it determines the CTA grid and
-/// therefore wave boundaries) and quantizes the total and maximum context to
-/// ~1.5% resolution, pricing one canonical batch per equivalence class.
+/// therefore wave boundaries) and quantizes the total context, the maximum
+/// context and the shared-prefix dedup tokens to ~1.5% resolution, pricing
+/// one canonical batch per equivalence class. Batches declaring no sharing
+/// quantize to a dedup bucket of 0, so the dedup dimension adds no keys (and
+/// changes no prices) for dedup-unaware callers.
 #[derive(Debug, Clone, Default)]
 struct SideMemo {
     prefill: HashMap<(usize, usize, bool, bool), SideCost>,
-    decode: HashMap<(usize, usize, usize, bool, bool), SideCost>,
+    decode: HashMap<(usize, usize, usize, usize, bool, bool), SideCost>,
 }
 
 /// How the attention of a hybrid batch is executed.
@@ -239,9 +242,9 @@ impl AttentionEstimator {
 
     /// Roofline time of the decode batch alone: (compute, memory, flops,
     /// bytes). Memoized by the `(count, quantized total context, quantized
-    /// max context)` aggregate when memoization is on; each equivalence
-    /// class is priced once, as a canonical decode set with the same
-    /// aggregates. The count is kept *exact*: the CTA grid is
+    /// max context, quantized dedup tokens)` aggregate when memoization is
+    /// on; each equivalence class is priced once, as a canonical decode set
+    /// with the same aggregates. The count is kept *exact*: the CTA grid is
     /// `count × kv_heads × splits` and [`quantization_factor`] is a step
     /// function in whole waves, so rounding the count can flip a
     /// wave-quantization boundary and mis-price the batch by the cost of a
@@ -260,17 +263,28 @@ impl AttentionEstimator {
                 total += d.context_len;
                 max_ctx = max_ctx.max(d.context_len);
             }
+            // Dedup can never elide the one mandatory pass over the largest
+            // context; clamping before quantization keeps the key canonical.
+            let dedup = batch.kv_dedup_tokens.min(total.saturating_sub(max_ctx));
+            // The total and max buckets quantize independently (~1/128
+            // relative error each), which can push the quantized total just
+            // past `count × quantized max` — an aggregate no real batch can
+            // produce, and one `aggregate_work` rejects in debug builds.
+            // Capping restores consistency within the same resolution.
+            let qmax = quantize_tokens(max_ctx);
+            let qtotal = quantize_tokens(total).min(count.saturating_mul(qmax));
             let key = (
                 count,
-                quantize_tokens(total),
-                quantize_tokens(max_ctx),
+                qtotal,
+                qmax,
+                quantize_tokens(dedup),
                 flashinfer,
                 pod_tile,
             );
             if let Some(&cost) = memo.borrow().decode.get(&key) {
                 return cost;
             }
-            let cost = self.decode_side_aggregate(key.0, key.1, key.2, flashinfer, pod_tile);
+            let cost = self.decode_side_aggregate(key.0, key.1, key.2, key.3, flashinfer, pod_tile);
             let mut memo = memo.borrow_mut();
             if memo.decode.len() >= MEMO_MAX_ENTRIES {
                 memo.decode.clear();
@@ -278,16 +292,18 @@ impl AttentionEstimator {
             memo.decode.insert(key, cost);
             return cost;
         }
-        self.decode_side_raw(&batch.decodes, flashinfer, pod_tile)
+        self.decode_side_raw(&batch.decodes, batch.kv_dedup_tokens, flashinfer, pod_tile)
     }
 
-    /// Price a decode batch from its `(count, total, max)` aggregate alone —
-    /// O(1) instead of O(count): the miss path of the decode-side memo.
+    /// Price a decode batch from its `(count, total, max, dedup)` aggregate
+    /// alone — O(1) instead of O(count): the miss path of the decode-side
+    /// memo.
     fn decode_side_aggregate(
         &self,
         count: usize,
         total_context: usize,
         max_context: usize,
+        dedup_tokens: usize,
         flashinfer: bool,
         pod_tile: bool,
     ) -> SideCost {
@@ -295,8 +311,14 @@ impl AttentionEstimator {
             return (0.0, 0.0, 0.0, 0.0);
         }
         let kernel = decode_kernel(flashinfer, pod_tile);
-        let (flops, bytes, ctas) =
-            kernel.aggregate_work(count, total_context, max_context, &self.cfg, &self.gpu);
+        let (flops, bytes, ctas) = kernel.aggregate_work(
+            count,
+            total_context,
+            max_context,
+            dedup_tokens,
+            &self.cfg,
+            &self.gpu,
+        );
         let fp = kernel.footprint(&self.cfg);
         let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
         let tc = flops / self.effective_compute(ctas);
@@ -307,6 +329,7 @@ impl AttentionEstimator {
     fn decode_side_raw(
         &self,
         decodes: &[DecodeRequest],
+        dedup_tokens: usize,
         flashinfer: bool,
         pod_tile: bool,
     ) -> SideCost {
@@ -318,7 +341,19 @@ impl AttentionEstimator {
         // CTA count.
         let units = kernel.build_units(decodes, &self.cfg, &self.gpu);
         let flops: f64 = units.iter().map(|u| u.flops).sum();
-        let bytes: f64 = units.iter().map(|u| u.bytes).sum();
+        let mut bytes: f64 = units.iter().map(|u| u.bytes).sum();
+        if dedup_tokens > 0 {
+            // Same shared/unique split as the aggregate path: redundant
+            // passes over shared-prefix KV are elided, bounded by everything
+            // beyond one pass over the largest request.
+            let (mut total, mut max_ctx) = (0usize, 0usize);
+            for d in decodes {
+                total += d.context_len;
+                max_ctx = max_ctx.max(d.context_len);
+            }
+            let dedup = dedup_tokens.min(total.saturating_sub(max_ctx));
+            bytes -= kernel.dedup_bytes_saved(dedup, &self.cfg);
+        }
         let ctas = units.len();
         let fp = kernel.footprint(&self.cfg);
         let wave = self.gpu.wave_size(fp.shared_mem, fp.threads).max(1);
@@ -408,6 +443,10 @@ impl AttentionEstimator {
     }
 
     fn batched(&self, batch: &HybridBatch) -> AnalyticCost {
+        // FI_Batched runs everything through the prefill kernel's grid and
+        // has no per-group KV streaming to share, so it ignores
+        // [`HybridBatch::kv_dedup_tokens`] — matching the real kernel, which
+        // gains nothing from prefix-shared decodes.
         let kernel = BatchedPrefillKernel::flashinfer();
         let units = kernel.build_units(batch, &self.cfg, &self.gpu);
         let flops: f64 = units.iter().map(|u| u.flops).sum();
@@ -680,6 +719,71 @@ mod tests {
             );
             let rel_f = (fast.flops - slow.flops).abs() / slow.flops;
             assert!(rel_f < 1e-12, "flops {} vs {}", fast.flops, slow.flops);
+        }
+    }
+
+    /// Declaring shared-prefix dedup strictly lowers the estimate of a
+    /// memory-bound decode batch for every strategy that streams decode KV
+    /// per request (FI_Batched has no per-group streaming and ignores it),
+    /// and declaring zero leaves every estimate bit-for-bit unchanged.
+    #[test]
+    fn kv_dedup_lowers_decode_estimates_and_zero_is_inert() {
+        let est = estimator();
+        let base = HybridBatch::uniform(1024, 12 * 1024, 80, 12 * 1024);
+        // 40 of the 80 decodes share a 4K-token prefix: 39 redundant passes.
+        let deduped = base.clone().with_kv_dedup(39 * 4096);
+        for strategy in AttentionStrategy::all() {
+            let plain = est.estimate(&base, strategy);
+            let inert = est.estimate(&base.clone().with_kv_dedup(0), strategy);
+            assert_eq!(plain.total_time.to_bits(), inert.total_time.to_bits());
+            assert_eq!(plain.bytes.to_bits(), inert.bytes.to_bits());
+            let shared = est.estimate(&deduped, strategy);
+            assert_eq!(
+                plain.flops.to_bits(),
+                shared.flops.to_bits(),
+                "{strategy}: dedup must not change FLOPs"
+            );
+            if strategy == AttentionStrategy::FiBatched {
+                assert_eq!(plain.total_time.to_bits(), shared.total_time.to_bits());
+            } else {
+                assert!(
+                    shared.total_time < plain.total_time,
+                    "{strategy}: {} !< {}",
+                    shared.total_time,
+                    plain.total_time
+                );
+                assert!(shared.bytes < plain.bytes, "{strategy}");
+            }
+        }
+    }
+
+    /// The memoized fast path tracks exact pricing on dedup-declaring
+    /// batches too (the dedup bucket quantizes like the token buckets).
+    #[test]
+    fn memoized_dedup_estimates_track_exact_estimates() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        let memoized = AttentionEstimator::new(cfg, gpu.clone());
+        let exact = AttentionEstimator::exact(cfg, gpu);
+        let mut heterogeneous = HybridBatch::uniform(512, 4096, 0, 0);
+        for i in 0..48 {
+            heterogeneous.push_decode(6 * 1024 + 211 * i);
+        }
+        for batch in [
+            HybridBatch::config_c0().with_kv_dedup(40 * 4096),
+            HybridBatch::uniform(512, 5000, 33, 7777).with_kv_dedup(16 * 2048),
+            heterogeneous.with_kv_dedup(24 * 1024),
+        ] {
+            for strategy in AttentionStrategy::all() {
+                let fast = memoized.estimate(&batch, strategy).total_time;
+                let slow = exact.estimate(&batch, strategy).total_time;
+                let rel = (fast - slow).abs() / slow.max(1e-12);
+                assert!(
+                    rel < 0.03,
+                    "{strategy}: memoized {fast} vs exact {slow} ({:.2}% off)",
+                    rel * 100.0
+                );
+            }
         }
     }
 

@@ -77,6 +77,15 @@ pub struct HybridBatch {
     pub prefill: Option<PrefillChunk>,
     /// The ongoing decode requests.
     pub decodes: Vec<DecodeRequest>,
+    /// Decode KV tokens whose HBM reads are eliminated by shared-prefix
+    /// dedup across the batch: for each group of decodes sharing the same
+    /// prefix blocks, the shared KV is streamed once for the whole group
+    /// instead of once per request, saving `(members − 1) × shared tokens`
+    /// per group. The batch carries only the sum — the decode cost model is
+    /// linear in KV bytes, so group structure beyond the total does not
+    /// change the price. Zero (the default) declares no sharing and leaves
+    /// every cost bit-for-bit identical to a dedup-unaware batch.
+    pub kv_dedup_tokens: usize,
 }
 
 impl HybridBatch {
@@ -85,6 +94,7 @@ impl HybridBatch {
         HybridBatch {
             prefill: None,
             decodes: Vec::new(),
+            kv_dedup_tokens: 0,
         }
     }
 
@@ -108,6 +118,7 @@ impl HybridBatch {
         HybridBatch {
             prefill: Some(PrefillChunk::new(chunk_len, prefill_context - chunk_len)),
             decodes: vec![DecodeRequest::new(decode_context); decode_batch],
+            kv_dedup_tokens: 0,
         }
     }
 
@@ -116,6 +127,7 @@ impl HybridBatch {
         HybridBatch {
             prefill: None,
             decodes: vec![DecodeRequest::new(decode_context); decode_batch],
+            kv_dedup_tokens: 0,
         }
     }
 
@@ -168,6 +180,13 @@ impl HybridBatch {
     /// Add one decode request.
     pub fn push_decode(&mut self, context_len: usize) {
         self.decodes.push(DecodeRequest::new(context_len));
+    }
+
+    /// The same batch declaring `tokens` decode KV tokens as deduped by
+    /// shared-prefix grouping (see [`HybridBatch::kv_dedup_tokens`]).
+    pub fn with_kv_dedup(mut self, tokens: usize) -> Self {
+        self.kv_dedup_tokens = tokens;
+        self
     }
 }
 

@@ -182,24 +182,47 @@ impl DecodeKernel {
         (flops, bytes / self.bandwidth_efficiency)
     }
 
-    /// Aggregate `(flops, bytes, ctas)` of a batch described only by its
-    /// `(count, total context, max context)` summary: one request at
-    /// `max_context`, the remaining `count - 1` sharing the rest evenly.
+    /// Aggregate `(flops, bytes, ctas)` of a batch described by its
+    /// `(count, total context, max context)` summary — one request at
+    /// `max_context`, the remaining `count - 1` sharing the rest evenly —
+    /// plus a shared/unique token split: `dedup_tokens` of the total context
+    /// are shared-prefix KV that is streamed **once per group** instead of
+    /// once per request (the CoDec-style prefix-shared decode variant), so
+    /// their redundant HBM reads are subtracted from the memory side. FLOPs
+    /// and the CTA grid are unchanged: every request still computes
+    /// attention over its full context, only the duplicate KV traffic is
+    /// saved. With `dedup_tokens == 0` the result is bit-for-bit identical
+    /// to a dedup-unaware aggregate.
     ///
     /// Agrees with summing [`DecodeKernel::build_units`] over the same
     /// canonical batch, without materializing the grid — the attention
     /// estimator's memoized fast path calls this on cache misses.
+    ///
+    /// `dedup_tokens` is clamped to `total_context - max_context`: one full
+    /// pass over the largest request's context can never be elided, which
+    /// also bounds any over-declared sharing from an inconsistent caller.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert `count * max_context >= total_context` (for
+    /// `count > 0`) — an inconsistent aggregate would otherwise be priced
+    /// silently as garbage.
     pub fn aggregate_work(
         &self,
         count: usize,
         total_context: usize,
         max_context: usize,
+        dedup_tokens: usize,
         cfg: &AttentionConfig,
         gpu: &GpuConfig,
     ) -> (f64, f64, usize) {
         if count == 0 {
             return (0.0, 0.0, 0);
         }
+        debug_assert!(
+            count.saturating_mul(max_context.max(1)) >= total_context,
+            "inconsistent decode aggregate: count={count} max={max_context} total={total_context}"
+        );
         let kv_heads = cfg.kv_heads_per_gpu();
         let max_context = max_context.clamp(1, total_context.max(1));
         let splits = self.num_splits(count, max_context, cfg, gpu);
@@ -213,7 +236,20 @@ impl DecodeKernel {
             flops += f_rest * units_per_req * (count - 1) as f64;
             bytes += b_rest * units_per_req * (count - 1) as f64;
         }
+        if dedup_tokens > 0 {
+            let dedup = dedup_tokens.min(total_context.saturating_sub(max_context));
+            bytes -= self.dedup_bytes_saved(dedup, cfg);
+        }
         (flops, bytes, count * kv_heads * splits)
+    }
+
+    /// HBM bytes saved by not re-reading `dedup_tokens` of shared-prefix KV:
+    /// one K/V pass per KV head, at this kernel's bandwidth efficiency (the
+    /// same scaling [`DecodeKernel::unit_work`] applies to the reads being
+    /// elided).
+    pub(crate) fn dedup_bytes_saved(&self, dedup_tokens: usize, cfg: &AttentionConfig) -> f64 {
+        kv_bytes_per_head(dedup_tokens as f64, cfg) * cfg.kv_heads_per_gpu() as f64
+            / self.bandwidth_efficiency
     }
 
     /// Total FLOPs (including padding) across the batch.
@@ -305,7 +341,8 @@ mod tests {
                 let units = kernel.build_units(&decodes, &cfg(), &gpu());
                 let flops: f64 = units.iter().map(|u| u.flops).sum();
                 let bytes: f64 = units.iter().map(|u| u.bytes).sum();
-                let (af, ab, actas) = kernel.aggregate_work(count, total, max_ctx, &cfg(), &gpu());
+                let (af, ab, actas) =
+                    kernel.aggregate_work(count, total, max_ctx, 0, &cfg(), &gpu());
                 assert_eq!(actas, units.len());
                 assert!(
                     (af - flops).abs() / flops.max(1.0) < 1e-9,
@@ -317,10 +354,74 @@ mod tests {
                 );
             }
         }
-        assert_eq!(
-            DecodeKernel::flash_attention().aggregate_work(0, 0, 0, &cfg(), &gpu()),
-            (0.0, 0.0, 0)
-        );
+    }
+
+    /// Every kernel variant returns the same zeroed work split for an empty
+    /// batch — no variant may price phantom work (or divide by a zero count).
+    #[test]
+    fn empty_batch_is_zero_work_for_every_variant() {
+        for kernel in [
+            DecodeKernel::flash_attention(),
+            DecodeKernel::flashinfer(),
+            DecodeKernel::pod(),
+        ] {
+            assert_eq!(
+                kernel.aggregate_work(0, 0, 0, 0, &cfg(), &gpu()),
+                (0.0, 0.0, 0)
+            );
+            // Declared sharing on an empty batch is equally inert.
+            assert_eq!(
+                kernel.aggregate_work(0, 0, 0, 4096, &cfg(), &gpu()),
+                (0.0, 0.0, 0)
+            );
+        }
+    }
+
+    /// An aggregate whose total exceeds `count * max` is inconsistent — no
+    /// real batch can produce it — and must be rejected loudly in debug
+    /// builds instead of priced as garbage.
+    #[test]
+    #[should_panic(expected = "inconsistent decode aggregate")]
+    #[cfg(debug_assertions)]
+    fn inconsistent_aggregate_is_rejected() {
+        let _ = DecodeKernel::flash_attention().aggregate_work(2, 10_000, 100, 0, &cfg(), &gpu());
+    }
+
+    /// Declaring shared-prefix tokens strictly reduces the memory side while
+    /// leaving FLOPs and the CTA grid untouched; declaring zero is
+    /// bit-for-bit the dedup-unaware price.
+    #[test]
+    fn dedup_subtracts_exactly_the_shared_kv_traffic() {
+        for kernel in [
+            DecodeKernel::flash_attention(),
+            DecodeKernel::flashinfer(),
+            DecodeKernel::pod(),
+        ] {
+            let (count, ctx) = (16usize, 8192usize);
+            let total = count * ctx;
+            let (f0, b0, c0) = kernel.aggregate_work(count, total, ctx, 0, &cfg(), &gpu());
+            // Half the batch shares a 2048-token prefix: 7 redundant passes.
+            let dedup = 7 * 2048;
+            let (f1, b1, c1) = kernel.aggregate_work(count, total, ctx, dedup, &cfg(), &gpu());
+            assert_eq!(f0.to_bits(), f1.to_bits(), "flops must not change");
+            assert_eq!(c0, c1, "grid must not change");
+            assert!(b1 < b0, "dedup must reduce bytes: {b1} vs {b0}");
+            let saved = kernel.dedup_bytes_saved(dedup, &cfg());
+            assert!(((b0 - b1) - saved).abs() / saved < 1e-9);
+        }
+    }
+
+    /// Over-declared sharing is clamped: the batch can never be priced below
+    /// one full pass over the largest request plus per-request overheads.
+    #[test]
+    fn dedup_is_clamped_to_the_redundant_share() {
+        let kernel = DecodeKernel::flash_attention();
+        let (count, ctx) = (8usize, 4096usize);
+        let total = count * ctx;
+        let absurd = kernel.aggregate_work(count, total, ctx, total * 10, &cfg(), &gpu());
+        let capped = kernel.aggregate_work(count, total, ctx, total - ctx, &cfg(), &gpu());
+        assert_eq!(absurd.1.to_bits(), capped.1.to_bits());
+        assert!(absurd.1 > 0.0);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!     [--disagg <disagg_baseline.json> <disagg_fresh.json>] \
 //!     [--fairness <fairness_baseline.json> <fairness_fresh.json>] \
 //!     [--fleet <fleet_baseline.json> <fleet_fresh.json>] \
-//!     [--trace <trace_baseline.json> <trace_fresh.json>] [--max-drop 0.30]
+//!     [--trace <trace_baseline.json> <trace_fresh.json>] \
+//!     [--decode <decode_baseline.json> <decode_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
 //! The positional pair is the engine trend (`BENCH_engine.json`): the two
@@ -145,6 +146,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut fairness_paths: Vec<&String> = Vec::new();
     let mut fleet_paths: Vec<&String> = Vec::new();
     let mut trace_paths: Vec<&String> = Vec::new();
+    let mut decode_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -195,6 +197,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             trace_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--decode" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--decode needs <baseline.json> <fresh.json>".to_string());
+            };
+            decode_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
@@ -207,7 +215,8 @@ fn run(args: &[String]) -> Result<bool, String> {
              [--disagg <baseline.json> <fresh.json>] \
              [--fairness <baseline.json> <fresh.json>] \
              [--fleet <baseline.json> <fresh.json>] \
-             [--trace <baseline.json> <fresh.json>] [--max-drop 0.30]"
+             [--trace <baseline.json> <fresh.json>] \
+             [--decode <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
     let (baseline_path, fresh_path) = (paths[0], paths[1]);
@@ -312,6 +321,24 @@ fn run(args: &[String]) -> Result<bool, String> {
         );
         deltas.push(("trace.overhead_ratio".to_string(), (overhead - 1.0) * 100.0));
         ok &= overhead_ok;
+    }
+    if let [decode_base_path, decode_fresh_path] = decode_paths.as_slice() {
+        // The shared-decode gate is a simulated-model ratio, not host
+        // throughput: mean TBT speedup from KV dedup at the highest share
+        // ratio of the fig21 sweep (`BENCH_decode.json`). A modeling change
+        // that erodes the dedup win fails CI here.
+        let base = metric(
+            &load(decode_base_path)?,
+            "decode.mean_tbt_speedup",
+            decode_base_path,
+        )?;
+        let now = metric(
+            &load(decode_fresh_path)?,
+            "decode.mean_tbt_speedup",
+            decode_fresh_path,
+        )?;
+        println!("decode gate: fresh {decode_fresh_path} vs baseline {decode_base_path}");
+        ok &= check("decode.mean_tbt_speedup", base, now, max_drop, &mut deltas);
     }
     // Recap every metric delta, pass or fail, in every mode — the line a
     // reviewer scans in green CI logs to see where the trend is heading.
@@ -621,6 +648,40 @@ mod tests {
         assert_eq!(run(&args(&tr_heavy)), Ok(false));
         // A malformed trace file is an error, not a silent pass.
         let empty = write_tmp("perf_gate_tr_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+    }
+
+    fn decode_trend(mean_tbt_speedup: f64) -> String {
+        JsonValue::obj(vec![(
+            "decode",
+            JsonValue::obj(vec![("mean_tbt_speedup", JsonValue::Num(mean_tbt_speedup))]),
+        )])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn decode_metric_gates_dedup_tbt_speedup() {
+        let eng_base = write_tmp("perf_gate_de_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_de_eng_fresh.json", &trend(1000.0, 500.0));
+        let de_base = write_tmp("perf_gate_de_base.json", &decode_trend(1.20));
+        // 1.20 -> 1.02 is a 15% drop: passes at the default 30%.
+        let de_ok = write_tmp("perf_gate_de_ok.json", &decode_trend(1.02));
+        // 1.20 -> 0.60 is a 50% drop: fails — the doctored baseline the CI
+        // wiring was verified against.
+        let de_bad = write_tmp("perf_gate_de_bad.json", &decode_trend(0.60));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--decode".to_string(),
+                de_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&de_ok)), Ok(true));
+        assert_eq!(run(&args(&de_bad)), Ok(false));
+        // A malformed decode file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_de_empty.json", "{}\n");
         assert!(run(&args(&empty)).is_err());
     }
 

@@ -345,7 +345,9 @@ impl BlockPool {
                 }
             }
         }
-        self.free.len() + count
+        // All free blocks count, including the never-yet-used virgin tail —
+        // `take_free` draws from both populations.
+        self.free_blocks() + count
     }
 
     /// Blocks evicted over the pool's lifetime.
@@ -832,6 +834,39 @@ mod tests {
         assert!(pool.alloc(1).is_none());
         pool.release(&chain);
         assert_eq!(pool.available_blocks(), 2);
+    }
+
+    #[test]
+    fn resident_decode_pins_shared_blocks_against_eviction() {
+        let mut pool = BlockPool::new(BLOCK_TOKENS * 4);
+        // One request computes and indexes a 2-block chain...
+        let owner = pool.alloc(2).unwrap();
+        pool.extend_index(Cursor::root(), content(11), 0, &owner);
+        // ...and a "running decode" acquires that shared prefix.
+        let decode = pool.acquire_prefix(content(11), 2 * BLOCK_TOKENS);
+        assert_eq!(decode.blocks, owner);
+        // The original owner finishes; the decode still references the chain.
+        pool.release(&owner);
+        assert_eq!(pool.referenced_blocks(), 2);
+        // Allocation pressure must refuse rather than evict blocks a running
+        // decode references: the chain is not in the evictable population.
+        assert_eq!(pool.available_blocks(), 2);
+        assert!(
+            pool.alloc(3).is_none(),
+            "must not evict a resident decode's shared blocks"
+        );
+        assert_eq!(pool.blocks_evicted(), 0);
+        assert_eq!(
+            pool.peek_prefix(content(11), 2 * BLOCK_TOKENS),
+            2 * BLOCK_TOKENS,
+            "the decode's prefix is intact after the refused allocation"
+        );
+        // Only once the decode releases does the chain become reclaimable.
+        pool.release(&decode.blocks);
+        assert_eq!(pool.available_blocks(), 4);
+        let big = pool.alloc(4).expect("released chain is now evictable");
+        assert_eq!(pool.blocks_evicted(), 2);
+        pool.release(&big);
     }
 
     #[test]

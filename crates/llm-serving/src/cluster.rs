@@ -1415,6 +1415,8 @@ impl Cluster {
         aggregate.cached_prefix_tokens = subset.iter().map(|r| r.cached_prefix_tokens).sum();
         aggregate.blocks_reused = subset.iter().map(|r| r.blocks_reused).sum();
         aggregate.cow_copies = subset.iter().map(|r| r.cow_copies).sum();
+        aggregate.decode_kv_tokens_deduped =
+            subset.iter().map(|r| r.decode_kv_tokens_deduped).sum();
         aggregate.preemptions = subset.iter().map(|r| r.preemptions).sum();
         aggregate.blocks_evicted = subset.iter().map(|r| r.blocks_evicted).sum();
         aggregate.migrated_out_requests = subset.iter().map(|r| r.migrated_out_requests).sum();

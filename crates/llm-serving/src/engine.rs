@@ -52,12 +52,18 @@ struct BatchSignature {
     decode_total_bucket: usize,
     /// Quantized maximum decode context (drives decode-kernel splits).
     decode_max_bucket: usize,
+    /// Quantized shared-prefix decode KV tokens deduped this iteration
+    /// (always 0 when dedup is off, so dedup-free runs key and price
+    /// exactly as before the dimension existed).
+    decode_dedup_bucket: usize,
 }
 
 impl BatchSignature {
     /// Compute the signature of the batch a plan describes without
-    /// materializing the batch itself.
-    fn of_plan(plan: &BatchPlan, requests: &[Request]) -> Self {
+    /// materializing the batch itself. `dedup_tokens` is the iteration's
+    /// shared-prefix decode KV dedup total (0 unless the engine computed
+    /// sharing groups for this plan).
+    fn of_plan(plan: &BatchPlan, requests: &[Request], dedup_tokens: usize) -> Self {
         let (chunk_len, prior_bucket) = match plan.prefill {
             Some((rid, chunk)) => (chunk, quantize_tokens(requests[rid].prefilled)),
             None => (0, 0),
@@ -75,6 +81,7 @@ impl BatchSignature {
             decode_count: plan.decodes.len(),
             decode_total_bucket: quantize_tokens(total_ctx),
             decode_max_bucket: quantize_tokens(max_ctx),
+            decode_dedup_bucket: quantize_tokens(dedup_tokens),
         }
     }
 
@@ -96,6 +103,7 @@ impl BatchSignature {
                 self.decode_total_bucket,
                 self.decode_max_bucket,
             ),
+            kv_dedup_tokens: self.decode_dedup_bucket,
         }
     }
 }
@@ -316,6 +324,16 @@ pub struct ServingConfig {
     /// KV-cache residency policy (conservative admission vs. paged blocks
     /// with prefix sharing and preemption).
     pub kv_policy: KvCachePolicy,
+    /// Prefix-shared decode attention (CoDec-style KV dedup): each
+    /// iteration, resident decodes holding the same shared-prefix block
+    /// chain are grouped, the scheduler co-batches each group contiguously,
+    /// and the batch is priced with the group's shared KV streamed once
+    /// instead of once per member (see
+    /// [`HybridBatch::kv_dedup_tokens`](attn_kernels::HybridBatch)). Only
+    /// active under [`KvCachePolicy::Paged`] with prefix caching — the
+    /// prefix index is where sharing is proven — and ignored otherwise.
+    /// Defaults to off, which is bit-for-bit inert.
+    pub decode_dedup: bool,
     /// SLO-aware admission control (shed vs. serve requests whose deadlines
     /// are already unmeetable). Defaults to [`AdmissionPolicy::AdmitAll`].
     pub admission: AdmissionPolicy,
@@ -353,6 +371,7 @@ impl ServingConfig {
             kv_capacity_tokens: None,
             price_cache: price_cache_default(),
             kv_policy: KvCachePolicy::Conservative,
+            decode_dedup: false,
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
             fair_queue: None,
@@ -371,6 +390,7 @@ impl ServingConfig {
             kv_capacity_tokens: None,
             price_cache: price_cache_default(),
             kv_policy: KvCachePolicy::Conservative,
+            decode_dedup: false,
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
             fair_queue: None,
@@ -390,6 +410,15 @@ impl ServingConfig {
     /// caching.
     pub fn with_paged_kv(mut self, prefix_caching: bool) -> Self {
         self.kv_policy = KvCachePolicy::Paged { prefix_caching };
+        self
+    }
+
+    /// The same configuration with prefix-shared decode attention (KV
+    /// dedup) on or off (see [`ServingConfig::decode_dedup`]). Takes effect
+    /// only under the paged KV policy with prefix caching
+    /// ([`ServingConfig::with_paged_kv`] with `prefix_caching = true`).
+    pub fn with_decode_dedup(mut self, dedup: bool) -> Self {
+        self.decode_dedup = dedup;
         self
     }
 
@@ -427,18 +456,41 @@ impl ServingConfig {
 
     /// Label used in reports, e.g. `"Sarathi(chunk=1024)+POD"` (with
     /// `"+paged"` / `"+prefix"` appended for the paged KV policies,
-    /// `"+shed"` for deadline-shedding admission, and `"+fair"` for
-    /// fair-queueing configs).
+    /// `"+dedup"` for prefix-shared decode, `"+shed"` for deadline-shedding
+    /// admission, and `"+fair"` for fair-queueing configs).
     pub fn system_label(&self) -> String {
         let kv = self.kv_policy.label_suffix();
+        let dedup = if self.decode_dedup && self.kv_policy.prefix_caching() {
+            "+dedup"
+        } else {
+            ""
+        };
         let adm = self.admission.label_suffix();
         let fair = self.fair_queue.as_ref().map_or("", |f| f.label_suffix());
         let attn = match self.attention {
             AttentionStrategy::Pod => "+POD",
             AttentionStrategy::FaSerial => "",
-            other => return format!("{}[{}]{}{}{}", self.scheduler.label(), other, kv, adm, fair),
+            other => {
+                return format!(
+                    "{}[{}]{}{}{}{}",
+                    self.scheduler.label(),
+                    other,
+                    kv,
+                    dedup,
+                    adm,
+                    fair
+                )
+            }
         };
-        format!("{}{}{}{}{}", self.scheduler.label(), attn, kv, adm, fair)
+        format!(
+            "{}{}{}{}{}{}",
+            self.scheduler.label(),
+            attn,
+            kv,
+            dedup,
+            adm,
+            fair
+        )
     }
 }
 
@@ -560,6 +612,10 @@ struct EngineState {
     blocks_reused: usize,
     /// Copy-on-write block copies made at admissions.
     cow_copies: usize,
+    /// Decode KV tokens whose HBM reads were deduped away by prefix-shared
+    /// decode grouping, summed over iterations (0 unless
+    /// [`ServingConfig::decode_dedup`] is active).
+    decode_kv_tokens_deduped: usize,
     /// Decode preemptions (swap-outs) forced by pool exhaustion.
     preemptions: usize,
     /// Requests that completed prefill and are parked for migration pickup
@@ -629,6 +685,7 @@ impl EngineState {
             cached_prefix_tokens: 0,
             blocks_reused: 0,
             cow_copies: 0,
+            decode_kv_tokens_deduped: 0,
             preemptions: 0,
             pending_export: Vec::new(),
             pending_imports: VecDeque::new(),
@@ -724,6 +781,67 @@ impl EngineState {
                 }
             }
         }
+    }
+
+    /// Co-batching hint for prefix-shared decode: stably reorder the running
+    /// decode set so requests holding the same shared-prefix block chain sit
+    /// contiguously, in order of each group's first member. Requests with no
+    /// shared blocks are singleton groups at their own positions, so the
+    /// permutation is the identity unless at least two residents actually
+    /// share a chain. Running this *before* decode growth and planning keeps
+    /// the growth set, the Sarathi decode cap and the LIFO preemption victim
+    /// all consistent with the co-batched order.
+    fn cobatch_shared_prefixes(&mut self) {
+        let mut group_of: HashMap<&[BlockId], usize> = HashMap::new();
+        let mut next_group = 0usize;
+        let mut ranked: Vec<(usize, usize, usize)> = Vec::with_capacity(self.running.len());
+        for (i, &rid) in self.running.iter().enumerate() {
+            let table = &self.tables[rid];
+            let group = if table.shared == 0 {
+                let g = next_group;
+                next_group += 1;
+                g
+            } else {
+                *group_of
+                    .entry(&table.blocks[..table.shared])
+                    .or_insert_with(|| {
+                        let g = next_group;
+                        next_group += 1;
+                        g
+                    })
+            };
+            ranked.push((group, i, rid));
+        }
+        // Lexicographic (group, original position): stable by construction.
+        ranked.sort_unstable();
+        let reordered: Vec<usize> = ranked.into_iter().map(|(_, _, rid)| rid).collect();
+        self.running = reordered;
+    }
+
+    /// Per-iteration shared-prefix dedup summary of the planned decode set:
+    /// `(groups, tokens)` where `groups` counts shared-block chains held by
+    /// at least two of this iteration's decodes and `tokens` is the decode
+    /// KV the grouped pass does **not** re-read — `(members − 1) × shared
+    /// tokens` summed over those groups. Requests whose admission acquired
+    /// no cached blocks (`shared == 0`) never group.
+    fn shared_decode_dedup(&self, decodes: &[usize]) -> (usize, usize) {
+        let mut chains: HashMap<&[BlockId], usize> = HashMap::new();
+        for &rid in decodes {
+            let table = &self.tables[rid];
+            if table.shared == 0 {
+                continue;
+            }
+            *chains.entry(&table.blocks[..table.shared]).or_insert(0) += 1;
+        }
+        let mut groups = 0usize;
+        let mut tokens = 0usize;
+        for (chain, members) in chains {
+            if members > 1 {
+                groups += 1;
+                tokens += (members - 1) * chain.len() * BLOCK_TOKENS;
+            }
+        }
+        (groups, tokens)
     }
 
     /// Register this request's newly computed full blocks in the prefix
@@ -1369,6 +1487,19 @@ impl ServingEngine {
             });
         }
 
+        // Prefix-shared decode (KV dedup) is only meaningful where sharing
+        // can be proven: the paged policy's prefix index.
+        let dedup_on = self.config.decode_dedup && self.config.kv_policy.prefix_caching();
+
+        // Scheduler hint: co-batch same-prefix decodes so dedup groups
+        // actually form under the Sarathi decode cap (taking the first
+        // `max_batch_size` of an interleaved running set would split
+        // groups). Must precede decode growth so the growth set matches the
+        // co-batched decode set.
+        if dedup_on && st.running.len() > 1 {
+            st.cobatch_shared_prefixes();
+        }
+
         // Under the paged policy, decode growth happens before batch
         // formation: every request that will decode this iteration gets a
         // block for its next token, preempting the newest decodes if the
@@ -1620,10 +1751,29 @@ impl ServingEngine {
             };
         }
 
+        // Shared-prefix decode dedup: group this iteration's decodes by
+        // their shared-block chains and compute the KV traffic the grouped
+        // pass saves. With dedup off this stays (0, 0) and every signature,
+        // price and trace below is bit-for-bit what a dedup-unaware engine
+        // produces.
+        let (dedup_groups, dedup_tokens) = if dedup_on && !plan.decodes.is_empty() {
+            st.shared_decode_dedup(&plan.decodes)
+        } else {
+            (0, 0)
+        };
+        if dedup_tokens > 0 {
+            st.decode_kv_tokens_deduped += dedup_tokens;
+            let t = st.clock;
+            st.trace(t, || TraceEventKind::KvDedup {
+                groups: dedup_groups,
+                tokens: dedup_tokens,
+            });
+        }
+
         // Price the iteration. With the cache on, only novel (quantized)
         // batch shapes reach the cost model; repeats are a map lookup.
         let dt = if self.config.price_cache {
-            let sig = BatchSignature::of_plan(&plan, &st.requests);
+            let sig = BatchSignature::of_plan(&plan, &st.requests, dedup_tokens);
             match st.price_cache.get(&sig) {
                 Some(&cached) => {
                     st.cache_hits += 1;
@@ -1642,7 +1792,7 @@ impl ServingEngine {
                 }
             }
         } else {
-            let batch = to_hybrid_batch(&plan, &st.requests);
+            let batch = to_hybrid_batch(&plan, &st.requests, dedup_tokens);
             self.cost.iteration_time(&batch, self.config.attention)
         };
         let started_at = st.clock;
@@ -1919,6 +2069,7 @@ impl ServingEngine {
         report.cached_prefix_tokens = st.cached_prefix_tokens;
         report.blocks_reused = st.blocks_reused;
         report.cow_copies = st.cow_copies;
+        report.decode_kv_tokens_deduped = st.decode_kv_tokens_deduped;
         report.preemptions = st.preemptions;
         report.blocks_evicted = st.kv.blocks_evicted();
         report.migrated_out_requests = st.migrated_out;
@@ -1977,7 +2128,7 @@ fn panic_blocked(needed_tokens: usize, capacity_tokens: usize) -> ! {
     );
 }
 
-fn to_hybrid_batch(plan: &BatchPlan, requests: &[Request]) -> HybridBatch {
+fn to_hybrid_batch(plan: &BatchPlan, requests: &[Request], dedup_tokens: usize) -> HybridBatch {
     let prefill = plan.prefill.map(|(rid, chunk)| {
         let req = &requests[rid];
         PrefillChunk::new(chunk, req.prefilled)
@@ -1987,7 +2138,11 @@ fn to_hybrid_batch(plan: &BatchPlan, requests: &[Request]) -> HybridBatch {
         .iter()
         .map(|&rid| attn_kernels::DecodeRequest::new(requests[rid].context_len().max(1)))
         .collect();
-    HybridBatch { prefill, decodes }
+    HybridBatch {
+        prefill,
+        decodes,
+        kv_dedup_tokens: dedup_tokens,
+    }
 }
 
 /// Apply one iteration's effects to the request lifecycles and queues,
@@ -2229,9 +2384,9 @@ mod tests {
             decodes: vec![1, 2],
             shed: None,
         };
-        let sig_a = BatchSignature::of_plan(&plan_a, &requests);
-        let sig_b = BatchSignature::of_plan(&plan_b, &requests);
-        let sig_c = BatchSignature::of_plan(&plan_c, &requests);
+        let sig_a = BatchSignature::of_plan(&plan_a, &requests, 0);
+        let sig_b = BatchSignature::of_plan(&plan_b, &requests, 0);
+        let sig_c = BatchSignature::of_plan(&plan_c, &requests, 0);
         assert_eq!(sig_a, sig_b, "decode order must not matter");
         assert_ne!(sig_a, sig_c, "chunk length must matter");
         // The canonical batch reproduces the aggregates.

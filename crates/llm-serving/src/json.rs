@@ -267,9 +267,10 @@ impl JsonValue {
         }
     }
 
-    /// Parse a JSON document. Accepts everything this writer emits (and
-    /// standard JSON generally, minus `\uXXXX` surrogate pairs, which the
-    /// trend files never contain).
+    /// Parse a JSON document. Accepts everything this writer emits and
+    /// standard JSON generally, including `\uXXXX` surrogate pairs (decoded
+    /// to the astral code point they encode; lone surrogates are a parse
+    /// error, as in RFC 8259 §8.2).
     pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
         let bytes = input.as_bytes();
         let mut p = Parser { bytes, pos: 0 };
@@ -430,6 +431,19 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Consume exactly four hex digits of a `\u` escape and return their
+    /// value. The caller has already consumed the `\u` prefix.
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = &self.bytes[self.pos..self.pos + 4];
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, JsonParseError> {
         self.expect(b'"')?;
         let mut s = String::new();
@@ -454,18 +468,35 @@ impl<'a> Parser<'a> {
                         b'b' => s.push('\u{0008}'),
                         b'f' => s.push('\u{000c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = &self.bytes[self.pos..self.pos + 4];
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            let code = self.hex4()?;
+                            let c = match code {
+                                // High surrogate: must be immediately followed
+                                // by a `\uDC00..=\uDFFF` low surrogate; the
+                                // pair decodes to one astral code point.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(self.err("lone high surrogate in \\u escape"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err(
+                                            "high surrogate not followed by a low surrogate",
+                                        ));
+                                    }
+                                    let astral = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(astral)
+                                        .expect("surrogate pairs always decode to a scalar")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("lone low surrogate in \\u escape"))
+                                }
+                                _ => char::from_u32(code)
+                                    .expect("non-surrogate BMP code points are scalars"),
+                            };
                             s.push(c);
-                            self.pos += 4;
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -634,6 +665,47 @@ mod tests {
         );
         // Malformed escapes are rejected, not mangled.
         for bad in ["\"\\q\"", "\"\\u12\"", "\"\\uzzzz\"", "\"\\ud800\"", "\"\\"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_round_trip() {
+        // A valid high/low pair decodes to the astral code point it encodes.
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::str("\u{1F600}")
+        );
+        // Pairs compose with surrounding text and other pairs.
+        assert_eq!(
+            JsonValue::parse("\"a\\ud835\\udd4c b\\ud83d\\ude80\"").unwrap(),
+            JsonValue::str("a\u{1D54C} b\u{1F680}")
+        );
+        // The extremes of the surrogate-encodable range.
+        assert_eq!(
+            JsonValue::parse("\"\\ud800\\udc00\\udbff\\udfff\"").unwrap(),
+            JsonValue::str("\u{10000}\u{10FFFF}")
+        );
+        // Escaped and literal spellings of the same string round-trip to the
+        // same document: the writer emits astral characters as raw UTF-8.
+        let v = JsonValue::obj(vec![("emoji", JsonValue::str("\u{1F600}\u{1F680}"))]);
+        let text = v.to_string_pretty();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        assert_eq!(
+            JsonValue::parse("{\"emoji\":\"\\uD83D\\uDE00\\uD83D\\uDE80\"}").unwrap(),
+            v
+        );
+        // Lone surrogates — high without low, low first, high followed by a
+        // BMP escape or literal text, truncated pair — are parse errors.
+        for bad in [
+            "\"\\ud83d\"",
+            "\"\\ude00\"",
+            "\"\\ud83d\\u0041\"",
+            "\"\\ud83dxx\"",
+            "\"\\ud83d\\ud83d\\ude00\"",
+            "\"\\ud83d\\u\"",
+            "\"\\ud83d\\ude\"",
+        ] {
             assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
         }
     }

@@ -297,6 +297,10 @@ pub struct ServingReport {
     /// Copy-on-write block copies made when a prompt diverged mid-block
     /// from a cached prefix.
     pub cow_copies: usize,
+    /// Decode KV tokens whose HBM reads were deduped away by prefix-shared
+    /// decode grouping (0 unless the engine ran with
+    /// [`ServingConfig::decode_dedup`](crate::ServingConfig::decode_dedup)).
+    pub decode_kv_tokens_deduped: usize,
     /// Decode preemptions (swap-outs) forced by KV-pool exhaustion under the
     /// paged policy.
     pub preemptions: usize,
@@ -488,6 +492,7 @@ impl ServingReport {
             cached_prefix_tokens: 0,
             blocks_reused: 0,
             cow_copies: 0,
+            decode_kv_tokens_deduped: 0,
             preemptions: 0,
             blocks_evicted: 0,
             migrated_out_requests: 0,
@@ -558,6 +563,10 @@ impl ServingReport {
             ("prefix_hit_rate", JsonValue::Num(self.prefix_hit_rate())),
             ("blocks_reused", JsonValue::Num(self.blocks_reused as f64)),
             ("cow_copies", JsonValue::Num(self.cow_copies as f64)),
+            (
+                "decode_kv_tokens_deduped",
+                JsonValue::Num(self.decode_kv_tokens_deduped as f64),
+            ),
             ("preemptions", JsonValue::Num(self.preemptions as f64)),
             ("blocks_evicted", JsonValue::Num(self.blocks_evicted as f64)),
             (
@@ -903,6 +912,7 @@ impl ReportAccumulator {
             cached_prefix_tokens: 0,
             blocks_reused: 0,
             cow_copies: 0,
+            decode_kv_tokens_deduped: 0,
             preemptions: 0,
             blocks_evicted: 0,
             migrated_out_requests: 0,
@@ -957,6 +967,20 @@ mod tests {
         assert!((s.p50 - 2.5).abs() < 1e-12);
         assert_eq!(s.max, 4.0);
         assert_eq!(SummaryStats::from_samples(&[]).count, 0);
+    }
+
+    #[test]
+    fn prefix_hit_rate_is_zero_not_nan_when_nothing_ran() {
+        // Regression: with no prefill scheduled and no cached tokens the
+        // ratio's denominator is 0 — the rate must report 0.0, not NaN,
+        // or JSON trend files and perf gates downstream choke on it.
+        let report = ServingReport::from_requests("test", &[], 0.0, 0, 0);
+        assert_eq!(report.prefix_hit_rate(), 0.0);
+        assert!(!report.prefix_hit_rate().is_nan());
+        // Cached tokens alone (all prefill elided) still yield a finite rate.
+        let mut cached = ServingReport::from_requests("test", &[], 1.0, 1, 0);
+        cached.cached_prefix_tokens = 128;
+        assert_eq!(cached.prefix_hit_rate(), 1.0);
     }
 
     #[test]

@@ -317,6 +317,15 @@ pub enum TraceEventKind {
         /// Blocks evicted.
         blocks: usize,
     },
+    /// Prefix-shared decode grouping deduped KV traffic this iteration:
+    /// `groups` shared-block chains were each streamed once for all their
+    /// members, saving `tokens` redundant decode KV-token reads.
+    KvDedup {
+        /// Shared-prefix groups with at least two co-batched decodes.
+        groups: usize,
+        /// Decode KV tokens whose re-reads were elided.
+        tokens: usize,
+    },
     /// A completed prefill was parked for migration to a decode replica,
     /// its KV chain serialized and the local residency released.
     HandoffExport {
@@ -378,7 +387,8 @@ impl TraceEventKind {
             TraceEventKind::Iteration { .. } => TraceCategory::Iteration,
             TraceEventKind::KvAlloc { .. }
             | TraceEventKind::KvFree { .. }
-            | TraceEventKind::KvEvict { .. } => TraceCategory::Kv,
+            | TraceEventKind::KvEvict { .. }
+            | TraceEventKind::KvDedup { .. } => TraceCategory::Kv,
             TraceEventKind::HandoffExport { .. } | TraceEventKind::HandoffImport { .. } => {
                 TraceCategory::Migration
             }
@@ -402,6 +412,7 @@ impl TraceEventKind {
             TraceEventKind::KvAlloc { .. } => "kv_alloc",
             TraceEventKind::KvFree { .. } => "kv_free",
             TraceEventKind::KvEvict { .. } => "kv_evict",
+            TraceEventKind::KvDedup { .. } => "kv_dedup",
             TraceEventKind::HandoffExport { .. } => "handoff_export",
             TraceEventKind::HandoffImport { .. } => "handoff_import",
             TraceEventKind::ScaleOut { .. } => "scale_out",
@@ -501,6 +512,10 @@ impl TraceEvent {
             }
             TraceEventKind::KvEvict { blocks } => {
                 fields.push(("blocks", num(*blocks)));
+            }
+            TraceEventKind::KvDedup { groups, tokens } => {
+                fields.push(("groups", num(*groups)));
+                fields.push(("tokens", num(*tokens)));
             }
             TraceEventKind::HandoffExport {
                 request,
@@ -1031,6 +1046,25 @@ fn chrome_process(out: &mut Vec<JsonValue>, pid: usize, name: &str, events: &[Tr
                     request_tid(*request),
                     us(ev.t),
                     vec![("s", JsonValue::str("t"))],
+                ));
+            }
+            TraceEventKind::KvDedup { groups, tokens } => {
+                out.push(chrome_event(
+                    "kv_dedup",
+                    "i",
+                    pid,
+                    0.0,
+                    us(ev.t),
+                    vec![
+                        ("s", JsonValue::str("p")),
+                        (
+                            "args",
+                            JsonValue::obj(vec![
+                                ("groups", JsonValue::Num(*groups as f64)),
+                                ("tokens", JsonValue::Num(*tokens as f64)),
+                            ]),
+                        ),
+                    ],
                 ));
             }
             TraceEventKind::KvEvict { blocks } => {

@@ -75,6 +75,7 @@ mod tests {
             &HybridBatch {
                 prefill: batch.prefill,
                 decodes: vec![],
+                kv_dedup_tokens: 0,
             },
             &cfg,
             &gpu,
@@ -83,6 +84,7 @@ mod tests {
             &HybridBatch {
                 prefill: None,
                 decodes: batch.decodes.clone(),
+                kv_dedup_tokens: 0,
             },
             &cfg,
             &gpu,

@@ -1,0 +1,79 @@
+//! Shared-prefix decode walkthrough: the same shared-system-prompt workload
+//! served with and without CoDec-style decode KV dedup.
+//!
+//! With prefix caching on, requests of one conversation group hold the
+//! *same* physical KV blocks for their shared prefix. Their decode steps
+//! nevertheless each stream that prefix out of HBM — the batched decode
+//! kernel is priced per request over its full context. Decode dedup
+//! co-batches resident decodes that share a block chain and prices one pass
+//! over each shared chain per iteration instead of one per member; the
+//! eliminated reads surface as `decode_kv_tokens_deduped` and shrink
+//! per-iteration decode time, i.e. TBT.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example shared_decode
+//! ```
+
+use gpu_sim::GpuConfig;
+use llm_serving::{ModelConfig, ServingConfig, ServingEngine, SharedPrefixWorkload, Workload};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let gpu = GpuConfig::a100_80gb();
+
+    // Four agent "products" with ~2K-token system prompts; 90% of requests
+    // belong to a product, 35% are multi-turn follow-ups. High sharing and a
+    // brisk arrival rate keep several same-group decodes resident at once —
+    // the population dedup acts on.
+    let workload = SharedPrefixWorkload::new(Workload::internal(), 4, 2043, 0.9, 0.35);
+    let specs = workload.generate(96, 3.0, 7);
+
+    let base = ServingConfig::sarathi_pod(model.clone(), gpu.clone(), 1024).with_paged_kv(true);
+    let off = ServingEngine::new(base.clone()).run(specs.clone());
+    let on = ServingEngine::new(base.with_decode_dedup(true)).run(specs.clone());
+
+    println!("system (dedup off): {}", off.system);
+    println!("system (dedup on):  {}", on.system);
+    println!();
+    println!("{:<28} {:>12} {:>12}", "metric", "dedup off", "dedup on");
+    println!(
+        "{:<28} {:>12.4} {:>12.4}",
+        "mean TBT (s)", off.tbt.mean, on.tbt.mean
+    );
+    println!(
+        "{:<28} {:>12.4} {:>12.4}",
+        "P99 TBT (s)", off.tbt.p99, on.tbt.p99
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2}",
+        "makespan (s)", off.makespan, on.makespan
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "KV tokens deduped", off.decode_kv_tokens_deduped, on.decode_kv_tokens_deduped
+    );
+    println!();
+    println!(
+        "dedup eliminated {} redundant shared-prefix KV token reads,",
+        on.decode_kv_tokens_deduped
+    );
+    println!(
+        "cutting mean TBT by {:.1}% and makespan by {:.1}%.",
+        (1.0 - on.tbt.mean / off.tbt.mean) * 100.0,
+        (1.0 - on.makespan / off.makespan) * 100.0
+    );
+
+    // Under the conservative KV policy there is no block identity to group
+    // by: requesting dedup changes nothing, label included.
+    let conservative = ServingConfig::sarathi(model, gpu, 1024);
+    let cons_on =
+        ServingEngine::new(conservative.clone().with_decode_dedup(true)).run(specs.clone());
+    let cons_off = ServingEngine::new(conservative).run(specs);
+    assert_eq!(cons_on, cons_off);
+    println!();
+    println!(
+        "conservative policy: dedup request is inert ({} == {}).",
+        cons_on.system, cons_off.system
+    );
+}

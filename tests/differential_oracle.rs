@@ -118,6 +118,52 @@ fn paged_matches_conservative_with_slos_and_shedding() {
     }
 }
 
+/// Dedup dimension of the oracle: with nothing shareable (plain workloads
+/// carry opaque prompts, so no request ever holds a shared block), turning
+/// decode dedup on over the full prefix-caching stack must stay in lockstep
+/// — iteration for iteration — with the dedup-off engine. Any divergence is
+/// dedup drift: the co-batching hint or the grouping pass changed a
+/// schedule it had no sharing to justify changing.
+#[test]
+fn decode_dedup_matches_dedup_off_in_lockstep_when_nothing_is_shared() {
+    for (tag, specs) in [
+        ("internal", Workload::internal().generate(32, 1.2, 17)),
+        ("offline", offline_long_context(12, 8 * 1024, 128)),
+    ] {
+        let base =
+            ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), 1024)
+                .with_paged_kv(true);
+        let mut off = ServingEngine::new(base.clone());
+        let mut on = ServingEngine::new(base.with_decode_dedup(true));
+        for spec in &specs {
+            off.submit(*spec);
+            on.submit(*spec);
+        }
+        let mut now = 0.0;
+        let mut steps = 0usize;
+        loop {
+            let a = off.step(now);
+            let b = on.step(now);
+            assert_eq!(a, b, "{tag}: dedup diverged at step {steps} (now = {now})");
+            steps += 1;
+            match a {
+                IterationOutcome::Ran(stats) => now = stats.completed_at,
+                IterationOutcome::IdleUntil(t) => now = t,
+                IterationOutcome::Drained => break,
+                IterationOutcome::Blocked { .. } => {
+                    panic!("{tag}: ample-memory workload must never block")
+                }
+            }
+        }
+        let mut ra = off.report();
+        let rb = on.report();
+        assert_eq!(format!("{}+dedup", ra.system), rb.system, "{tag}: labels");
+        ra.system = rb.system.clone();
+        assert_eq!(ra, rb, "{tag}: final reports diverged");
+        assert_eq!(rb.decode_kv_tokens_deduped, 0, "{tag}: nothing shareable");
+    }
+}
+
 /// Disaggregation oracle: with zero-cost migration and arrivals spaced so
 /// requests never overlap, a prefill-replica + decode-replica pair must be
 /// **outcome-identical** to a single colocated replica — same TTFT, same

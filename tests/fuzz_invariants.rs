@@ -145,6 +145,12 @@ fn sample_config(rng: &mut SplitMix64) -> ServingConfig {
             prefix_caching: true,
         },
     };
+    // Decode dedup rides along on half the configs — active only when the
+    // policy above landed on paged + prefix caching, so the sweep covers
+    // inert-by-policy combinations too.
+    if rng.next_usize(2) == 0 {
+        config.decode_dedup = true;
+    }
     // Small capacities force queueing (conservative) and preemption (paged);
     // 48K still fits the largest generatable request, so no config is a
     // guaranteed deadlock.

@@ -39,9 +39,18 @@ fn arb_batch(rng: &mut SplitMix64) -> HybridBatch {
     let prior = rng.next_usize(16 * 1024 + 1);
     let decode_bs = rng.next_usize(97);
     let decode_ctx = 64 + rng.next_usize(16 * 1024 - 63);
+    // Half the cases declare shared-prefix KV dedup; the descriptor contract
+    // clamps over-declared sharing to the redundant share, so any value is
+    // legal here — including declarations on empty decode sides.
+    let kv_dedup_tokens = if rng.next_f64() < 0.5 {
+        rng.next_usize(decode_bs.max(1) * decode_ctx)
+    } else {
+        0
+    };
     HybridBatch {
         prefill: Some(PrefillChunk::new(chunk, prior)),
         decodes: vec![attn_kernels::DecodeRequest::new(decode_ctx); decode_bs],
+        kv_dedup_tokens,
     }
 }
 

@@ -1,0 +1,197 @@
+//! Integration tests for prefix-shared decode attention (CoDec-style KV
+//! dedup): bit-for-bit inertness when nothing is shared or the feature is
+//! off, the strict decode-cost/TBT win on shared workloads, counter and
+//! label surfacing, and grouping hygiene under preemption + eviction
+//! pressure.
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    Cluster, ClusterConfig, ModelConfig, RouterPolicy, ServingConfig, ServingEngine, ServingReport,
+    SharedPrefixWorkload, Workload,
+};
+
+fn llama3() -> ModelConfig {
+    ModelConfig::llama3_8b()
+}
+
+fn gpu() -> GpuConfig {
+    GpuConfig::a100_80gb()
+}
+
+fn sarathi() -> ServingConfig {
+    ServingConfig::sarathi(llama3(), gpu(), 1024)
+}
+
+fn shared_workload(share_ratio: f64) -> SharedPrefixWorkload {
+    SharedPrefixWorkload::new(Workload::internal(), 4, 2048, share_ratio, 0.35)
+}
+
+/// Scheduling-relevant fields must agree **bit-for-bit**. (The `system`
+/// label legitimately differs — dedup-on configurations advertise
+/// themselves — so whole-report equality is too strong here.)
+fn assert_schedule_identical(tag: &str, a: &ServingReport, b: &ServingReport) {
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "{tag}: makespan"
+    );
+    assert_eq!(a.completed, b.completed, "{tag}: completed");
+    assert_eq!(a.iterations, b.iterations, "{tag}: iterations");
+    assert_eq!(
+        a.ttft.p50.to_bits(),
+        b.ttft.p50.to_bits(),
+        "{tag}: TTFT p50"
+    );
+    assert_eq!(
+        a.tbt.mean.to_bits(),
+        b.tbt.mean.to_bits(),
+        "{tag}: TBT mean"
+    );
+    assert_eq!(a.tbt.max.to_bits(), b.tbt.max.to_bits(), "{tag}: TBT max");
+    assert_eq!(a.busy_time.to_bits(), b.busy_time.to_bits(), "{tag}: busy");
+    assert_eq!(
+        a.prefill_tokens_scheduled, b.prefill_tokens_scheduled,
+        "{tag}: prefill tokens"
+    );
+    assert_eq!(a.preemptions, b.preemptions, "{tag}: preemptions");
+    assert_eq!(
+        a.cached_prefix_tokens, b.cached_prefix_tokens,
+        "{tag}: cached tokens"
+    );
+}
+
+/// With share ratio 0 no two requests ever share a block, so turning dedup
+/// on (co-batching hint, grouping pass, pricing plumbing and all) must not
+/// move a single bit of the schedule.
+#[test]
+fn dedup_at_share_ratio_zero_is_bit_for_bit_inert() {
+    let specs = shared_workload(0.0).generate(40, 0.9, 21);
+    let base = sarathi().with_paged_kv(true);
+    let on = ServingEngine::new(base.clone().with_decode_dedup(true)).run(specs.clone());
+    let off = ServingEngine::new(base).run(specs);
+    assert_schedule_identical("share0 dedup", &on, &off);
+    assert_eq!(
+        on.decode_kv_tokens_deduped, 0,
+        "nothing to dedup at share 0"
+    );
+    assert_eq!(off.decode_kv_tokens_deduped, 0);
+}
+
+/// Under the conservative KV policy there is no block identity to group by;
+/// requesting dedup is a no-op and the whole report — label included — is
+/// identical.
+#[test]
+fn dedup_under_conservative_policy_is_fully_inert() {
+    let specs = shared_workload(0.8).generate(32, 1.0, 7);
+    let on = ServingEngine::new(sarathi().with_decode_dedup(true)).run(specs.clone());
+    let off = ServingEngine::new(sarathi()).run(specs);
+    assert_eq!(on, off, "conservative policy must ignore decode_dedup");
+    assert_eq!(on.decode_kv_tokens_deduped, 0);
+}
+
+/// The headline win: on a high-share workload, eliding the redundant
+/// shared-prefix KV reads strictly reduces makespan and mean TBT, for both
+/// attention backends, without changing what completes.
+#[test]
+fn dedup_strictly_improves_decode_cost_and_tbt_on_shared_workloads() {
+    let specs = shared_workload(0.9).generate(48, 1.2, 7);
+    for base in [sarathi(), ServingConfig::sarathi_pod(llama3(), gpu(), 1024)] {
+        let base = base.with_paged_kv(true);
+        let on = ServingEngine::new(base.clone().with_decode_dedup(true)).run(specs.clone());
+        let off = ServingEngine::new(base).run(specs.clone());
+        assert_eq!(on.completed, 48, "{}", on.system);
+        assert_eq!(off.completed, 48, "{}", off.system);
+        assert!(
+            on.decode_kv_tokens_deduped > 0,
+            "{}: shared decodes must actually dedup",
+            on.system
+        );
+        assert_eq!(off.decode_kv_tokens_deduped, 0);
+        assert!(
+            on.makespan < off.makespan,
+            "{}: makespan {} must beat {}",
+            on.system,
+            on.makespan,
+            off.makespan
+        );
+        assert!(
+            on.tbt.mean < off.tbt.mean,
+            "{}: mean TBT {} must beat {}",
+            on.system,
+            on.tbt.mean,
+            off.tbt.mean
+        );
+    }
+}
+
+/// The configuration advertises itself and the counter reaches both the
+/// report JSON and the cluster aggregate.
+#[test]
+fn dedup_label_and_counter_surface_in_reports() {
+    let base = sarathi().with_paged_kv(true).with_decode_dedup(true);
+    assert!(
+        base.system_label().contains("+dedup"),
+        "label: {}",
+        base.system_label()
+    );
+    // Conservative + dedup: no "+dedup" claim for a feature that cannot act.
+    assert!(!sarathi()
+        .with_decode_dedup(true)
+        .system_label()
+        .contains("+dedup"));
+
+    let specs = shared_workload(0.9).generate(32, 1.5, 13);
+    let report = ServingEngine::new(base.clone()).run(specs.clone());
+    assert!(report.decode_kv_tokens_deduped > 0);
+    let json = report.to_json().to_string_pretty();
+    let parsed = llm_serving::JsonValue::parse(&json).expect("report JSON parses");
+    assert_eq!(
+        parsed
+            .get_path("decode_kv_tokens_deduped")
+            .and_then(llm_serving::JsonValue::as_f64),
+        Some(report.decode_kv_tokens_deduped as f64)
+    );
+
+    let fleet = Cluster::new(ClusterConfig::new(base, 2, RouterPolicy::PrefixAffinity)).run(specs);
+    let summed: usize = fleet
+        .per_replica
+        .iter()
+        .map(|r| r.decode_kv_tokens_deduped)
+        .sum();
+    assert_eq!(
+        fleet.aggregate.decode_kv_tokens_deduped, summed,
+        "aggregate must sum per-replica dedup counters"
+    );
+    assert!(summed > 0, "affinity-routed shared fleet must dedup");
+}
+
+/// Grouping hygiene under pressure: with a pool small enough to force
+/// preemption and LRU eviction, dedup-on runs stay deterministic, complete
+/// everything, and complete exactly what dedup-off completes — i.e. the
+/// grouping state (block-chain keys into live tables) never leaks across
+/// preempt/restore or eviction.
+#[test]
+fn dedup_grouping_survives_preemption_and_eviction_pressure() {
+    for seed in [3u64, 17, 99] {
+        let w = SharedPrefixWorkload::new(Workload::internal(), 3, 2048, 0.7, 0.4);
+        let mut specs = w.generate(28, 1.5, seed);
+        for s in &mut specs {
+            s.arrival = 0.0; // offline pressure: everyone at once
+        }
+        let make = |dedup: bool| {
+            let mut c = sarathi().with_paged_kv(true).with_decode_dedup(dedup);
+            c.kv_capacity_tokens = Some(30_000);
+            c
+        };
+        let a = ServingEngine::new(make(true)).run(specs.clone());
+        let b = ServingEngine::new(make(true)).run(specs.clone());
+        assert_eq!(a, b, "seed {seed}: dedup run must be deterministic");
+        assert!(
+            a.preemptions > 0,
+            "seed {seed}: workload must actually exercise preemption"
+        );
+        let off = ServingEngine::new(make(false)).run(specs);
+        assert_eq!(a.completed, off.completed, "seed {seed}");
+        assert_eq!(a.completed, 28, "seed {seed}: everything drains");
+    }
+}
