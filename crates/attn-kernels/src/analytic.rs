@@ -256,6 +256,30 @@ impl AttentionEstimator {
         if batch.decodes.is_empty() {
             return (0.0, 0.0, 0.0, 0.0);
         }
+        self.apply_spec_verify(self.decode_side_base(batch, flashinfer, pod_tile), batch)
+    }
+
+    /// Scale a decode-side cost for the extra speculative-verify query
+    /// tokens the batch declares. Verify queries ride the decode's single
+    /// pass over KV — memory time and bytes are untouched — but each extra
+    /// query scores against the same context as the decode it extends, so
+    /// attention compute grows by `(count + extra) / count`. Applied
+    /// *outside* the memo, so speculation adds no decode-memo keys and a
+    /// batch declaring zero is bit-for-bit unaffected (the scaling is
+    /// skipped entirely).
+    fn apply_spec_verify(&self, cost: SideCost, batch: &HybridBatch) -> SideCost {
+        if batch.spec_verify_tokens == 0 {
+            return cost;
+        }
+        let count = batch.decodes.len() as f64;
+        let scale = (count + batch.spec_verify_tokens as f64) / count;
+        let (tc, tm, flops, bytes) = cost;
+        (tc * scale, tm, flops * scale, bytes)
+    }
+
+    /// The memoized (or exact) decode-side cost before speculative-verify
+    /// scaling: the body of [`AttentionEstimator::decode_side`].
+    fn decode_side_base(&self, batch: &HybridBatch, flashinfer: bool, pod_tile: bool) -> SideCost {
         if let Some(memo) = &self.memo {
             let count = batch.decodes.len();
             let (mut total, mut max_ctx) = (0usize, 0usize);
@@ -446,7 +470,9 @@ impl AttentionEstimator {
         // FI_Batched runs everything through the prefill kernel's grid and
         // has no per-group KV streaming to share, so it ignores
         // [`HybridBatch::kv_dedup_tokens`] — matching the real kernel, which
-        // gains nothing from prefix-shared decodes.
+        // gains nothing from prefix-shared decodes. It likewise ignores
+        // [`HybridBatch::spec_verify_tokens`]: the serving layer only forms
+        // speculative batches on the FA/POD strategies it deploys.
         let kernel = BatchedPrefillKernel::flashinfer();
         let units = kernel.build_units(batch, &self.cfg, &self.gpu);
         let flops: f64 = units.iter().map(|u| u.flops).sum();
@@ -784,6 +810,82 @@ mod tests {
                     rel * 100.0
                 );
             }
+        }
+    }
+
+    /// Declaring speculative-verify tokens strictly raises decode *compute*
+    /// (each verify query scores against the full context) without touching
+    /// bytes, for every per-request decode strategy; declaring zero leaves
+    /// every estimate bit-for-bit unchanged, and speculation is never priced
+    /// cheaper than the plain batch it extends.
+    #[test]
+    fn spec_verify_raises_decode_compute_and_zero_is_inert() {
+        let est = estimator();
+        // Compute-sensitive shape: large decode batch at long context.
+        let base = HybridBatch::uniform(1024, 12 * 1024, 220, 12 * 1024);
+        // 220 decodes each verifying 4 drafts: 3 extra queries per decode.
+        let spec = base.clone().with_spec_verify(220 * 3);
+        for strategy in AttentionStrategy::all() {
+            let plain = est.estimate(&base, strategy);
+            let inert = est.estimate(&base.clone().with_spec_verify(0), strategy);
+            assert_eq!(plain.total_time.to_bits(), inert.total_time.to_bits());
+            assert_eq!(plain.flops.to_bits(), inert.flops.to_bits());
+            let verify = est.estimate(&spec, strategy);
+            if strategy == AttentionStrategy::FiBatched {
+                assert_eq!(plain.total_time.to_bits(), verify.total_time.to_bits());
+                continue;
+            }
+            assert_eq!(
+                verify.bytes.to_bits(),
+                plain.bytes.to_bits(),
+                "{strategy}: verify shares the decode KV pass"
+            );
+            assert!(
+                verify.flops > plain.flops,
+                "{strategy}: verify must add compute"
+            );
+            assert!(
+                verify.total_time >= plain.total_time,
+                "{strategy}: {} < {}",
+                verify.total_time,
+                plain.total_time
+            );
+        }
+        // On POD the extra verify compute overlaps with decode's memory
+        // streaming, so the fused penalty is smaller than serial's.
+        let serial_penalty = est.estimate(&spec, AttentionStrategy::FaSerial).total_time
+            - est.estimate(&base, AttentionStrategy::FaSerial).total_time;
+        let pod_penalty = est.estimate(&spec, AttentionStrategy::Pod).total_time
+            - est.estimate(&base, AttentionStrategy::Pod).total_time;
+        assert!(
+            pod_penalty <= serial_penalty,
+            "POD penalty {pod_penalty} vs serial {serial_penalty}"
+        );
+    }
+
+    /// Speculative-verify scaling happens outside the memo: memoized and
+    /// exact estimates agree on spec-declaring batches, and pricing a
+    /// spec batch does not perturb the price of its plain twin.
+    #[test]
+    fn memoized_spec_estimates_track_exact_estimates() {
+        let cfg = AttentionConfig::llama3_8b();
+        let gpu = GpuConfig::a100_80gb();
+        let memoized = AttentionEstimator::new(cfg, gpu.clone());
+        let exact = AttentionEstimator::exact(cfg, gpu);
+        let base = HybridBatch::uniform(512, 5000, 33, 7777);
+        let spec = base.clone().with_spec_verify(33 * 5);
+        for strategy in AttentionStrategy::all() {
+            let before = memoized.estimate(&base, strategy).total_time;
+            let fast = memoized.estimate(&spec, strategy).total_time;
+            let slow = exact.estimate(&spec, strategy).total_time;
+            let rel = (fast - slow).abs() / slow.max(1e-12);
+            assert!(
+                rel < 0.03,
+                "{strategy}: memoized {fast} vs exact {slow} ({:.2}% off)",
+                rel * 100.0
+            );
+            let after = memoized.estimate(&base, strategy).total_time;
+            assert_eq!(before.to_bits(), after.to_bits(), "{strategy}");
         }
     }
 

@@ -86,6 +86,17 @@ pub struct HybridBatch {
     /// change the price. Zero (the default) declares no sharing and leaves
     /// every cost bit-for-bit identical to a dedup-unaware batch.
     pub kv_dedup_tokens: usize,
+    /// Extra speculative-verify query tokens carried by the decode side,
+    /// beyond the one token per decode already implied by `decodes`. In
+    /// draft-then-verify decoding each speculating request verifies
+    /// `width` draft tokens against its full context in one prefill-shaped
+    /// op; the batch carries `Σ (width − 1)` here. Verify queries share the
+    /// decode's single pass over KV (no extra HBM traffic) but each scores
+    /// against the full context, so they scale decode attention *compute*
+    /// and count as query tokens for the GEMM side. Zero (the default)
+    /// declares no speculation and leaves every cost bit-for-bit identical
+    /// to a speculation-unaware batch.
+    pub spec_verify_tokens: usize,
 }
 
 impl HybridBatch {
@@ -95,6 +106,7 @@ impl HybridBatch {
             prefill: None,
             decodes: Vec::new(),
             kv_dedup_tokens: 0,
+            spec_verify_tokens: 0,
         }
     }
 
@@ -119,6 +131,7 @@ impl HybridBatch {
             prefill: Some(PrefillChunk::new(chunk_len, prefill_context - chunk_len)),
             decodes: vec![DecodeRequest::new(decode_context); decode_batch],
             kv_dedup_tokens: 0,
+            spec_verify_tokens: 0,
         }
     }
 
@@ -128,6 +141,7 @@ impl HybridBatch {
             prefill: None,
             decodes: vec![DecodeRequest::new(decode_context); decode_batch],
             kv_dedup_tokens: 0,
+            spec_verify_tokens: 0,
         }
     }
 
@@ -172,9 +186,10 @@ impl HybridBatch {
     }
 
     /// Total number of *query* tokens processed in this iteration
-    /// (prefill chunk tokens plus one token per decode).
+    /// (prefill chunk tokens, one token per decode, plus any extra
+    /// speculative-verify tokens).
     pub fn total_query_tokens(&self) -> usize {
-        self.prefill.map_or(0, |p| p.chunk_len) + self.decodes.len()
+        self.prefill.map_or(0, |p| p.chunk_len) + self.decodes.len() + self.spec_verify_tokens
     }
 
     /// Add one decode request.
@@ -186,6 +201,13 @@ impl HybridBatch {
     /// shared-prefix grouping (see [`HybridBatch::kv_dedup_tokens`]).
     pub fn with_kv_dedup(mut self, tokens: usize) -> Self {
         self.kv_dedup_tokens = tokens;
+        self
+    }
+
+    /// The same batch declaring `tokens` extra speculative-verify query
+    /// tokens on the decode side (see [`HybridBatch::spec_verify_tokens`]).
+    pub fn with_spec_verify(mut self, tokens: usize) -> Self {
+        self.spec_verify_tokens = tokens;
         self
     }
 }
@@ -231,6 +253,9 @@ mod tests {
         let b = HybridBatch::uniform(512, 2048, 10, 4096);
         assert_eq!(b.total_query_tokens(), 522);
         assert_eq!(b.total_decode_context(), 10 * 4096);
+        // Speculative-verify tokens count as query tokens.
+        let s = b.with_spec_verify(30);
+        assert_eq!(s.total_query_tokens(), 552);
     }
 
     #[test]

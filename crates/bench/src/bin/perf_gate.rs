@@ -10,7 +10,8 @@
 //!     [--fairness <fairness_baseline.json> <fairness_fresh.json>] \
 //!     [--fleet <fleet_baseline.json> <fleet_fresh.json>] \
 //!     [--trace <trace_baseline.json> <trace_fresh.json>] \
-//!     [--decode <decode_baseline.json> <decode_fresh.json>] [--max-drop 0.30]
+//!     [--decode <decode_baseline.json> <decode_fresh.json>] \
+//!     [--spec <spec_baseline.json> <spec_fresh.json>] [--max-drop 0.30]
 //! ```
 //!
 //! The positional pair is the engine trend (`BENCH_engine.json`): the two
@@ -147,6 +148,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut fleet_paths: Vec<&String> = Vec::new();
     let mut trace_paths: Vec<&String> = Vec::new();
     let mut decode_paths: Vec<&String> = Vec::new();
+    let mut spec_paths: Vec<&String> = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut i = 0;
     while i < args.len() {
@@ -203,6 +205,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             decode_paths = vec![base, fresh];
             i += 3;
+        } else if args[i] == "--spec" {
+            let (Some(base), Some(fresh)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--spec needs <baseline.json> <fresh.json>".to_string());
+            };
+            spec_paths = vec![base, fresh];
+            i += 3;
         } else {
             paths.push(&args[i]);
             i += 1;
@@ -216,7 +224,8 @@ fn run(args: &[String]) -> Result<bool, String> {
              [--fairness <baseline.json> <fresh.json>] \
              [--fleet <baseline.json> <fresh.json>] \
              [--trace <baseline.json> <fresh.json>] \
-             [--decode <baseline.json> <fresh.json>] [--max-drop 0.30]"
+             [--decode <baseline.json> <fresh.json>] \
+             [--spec <baseline.json> <fresh.json>] [--max-drop 0.30]"
             .to_string());
     }
     let (baseline_path, fresh_path) = (paths[0], paths[1]);
@@ -339,6 +348,24 @@ fn run(args: &[String]) -> Result<bool, String> {
         )?;
         println!("decode gate: fresh {decode_fresh_path} vs baseline {decode_base_path}");
         ok &= check("decode.mean_tbt_speedup", base, now, max_drop, &mut deltas);
+    }
+    if let [spec_base_path, spec_fresh_path] = spec_paths.as_slice() {
+        // The speculative gate is a simulated-model ratio like the decode
+        // gate: POD-at-saturation makespan speedup of draft-then-verify
+        // decoding at the highest swept acceptance rate (`BENCH_spec.json`).
+        // A modeling change that erodes the speculation win fails CI here.
+        let base = metric(
+            &load(spec_base_path)?,
+            "spec.makespan_speedup",
+            spec_base_path,
+        )?;
+        let now = metric(
+            &load(spec_fresh_path)?,
+            "spec.makespan_speedup",
+            spec_fresh_path,
+        )?;
+        println!("spec gate: fresh {spec_fresh_path} vs baseline {spec_base_path}");
+        ok &= check("spec.makespan_speedup", base, now, max_drop, &mut deltas);
     }
     // Recap every metric delta, pass or fail, in every mode — the line a
     // reviewer scans in green CI logs to see where the trend is heading.
@@ -682,6 +709,40 @@ mod tests {
         assert_eq!(run(&args(&de_bad)), Ok(false));
         // A malformed decode file is an error, not a silent pass.
         let empty = write_tmp("perf_gate_de_empty.json", "{}\n");
+        assert!(run(&args(&empty)).is_err());
+    }
+
+    fn spec_trend(makespan_speedup: f64) -> String {
+        JsonValue::obj(vec![(
+            "spec",
+            JsonValue::obj(vec![("makespan_speedup", JsonValue::Num(makespan_speedup))]),
+        )])
+        .to_string_pretty()
+    }
+
+    #[test]
+    fn spec_metric_gates_speculative_makespan_speedup() {
+        let eng_base = write_tmp("perf_gate_sp_eng_base.json", &trend(1000.0, 500.0));
+        let eng_fresh = write_tmp("perf_gate_sp_eng_fresh.json", &trend(1000.0, 500.0));
+        let sp_base = write_tmp("perf_gate_sp_base.json", &spec_trend(1.25));
+        // 1.25 -> 1.00 is a 20% drop: passes at the default 30%.
+        let sp_ok = write_tmp("perf_gate_sp_ok.json", &spec_trend(1.00));
+        // 1.25 -> 0.625 is a 50% drop: fails — the doctored baseline the CI
+        // wiring was verified against.
+        let sp_bad = write_tmp("perf_gate_sp_bad.json", &spec_trend(0.625));
+        let args = |fresh: &str| {
+            vec![
+                eng_base.clone(),
+                eng_fresh.clone(),
+                "--spec".to_string(),
+                sp_base.clone(),
+                fresh.to_string(),
+            ]
+        };
+        assert_eq!(run(&args(&sp_ok)), Ok(true));
+        assert_eq!(run(&args(&sp_bad)), Ok(false));
+        // A malformed spec file is an error, not a silent pass.
+        let empty = write_tmp("perf_gate_sp_empty.json", "{}\n");
         assert!(run(&args(&empty)).is_err());
     }
 

@@ -1417,6 +1417,9 @@ impl Cluster {
         aggregate.cow_copies = subset.iter().map(|r| r.cow_copies).sum();
         aggregate.decode_kv_tokens_deduped =
             subset.iter().map(|r| r.decode_kv_tokens_deduped).sum();
+        aggregate.spec_rounds = subset.iter().map(|r| r.spec_rounds).sum();
+        aggregate.draft_tokens_accepted = subset.iter().map(|r| r.draft_tokens_accepted).sum();
+        aggregate.draft_tokens_rejected = subset.iter().map(|r| r.draft_tokens_rejected).sum();
         aggregate.preemptions = subset.iter().map(|r| r.preemptions).sum();
         aggregate.blocks_evicted = subset.iter().map(|r| r.blocks_evicted).sum();
         aggregate.migrated_out_requests = subset.iter().map(|r| r.migrated_out_requests).sum();

@@ -18,8 +18,11 @@ use crate::metrics::{ReportAccumulator, ServingReport};
 use crate::model::ModelConfig;
 use crate::request::{Phase, Priority, Request, RequestSpec, TenantId};
 use crate::scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
+use crate::speculative::{AcceptanceModel, DecodeMode};
 use crate::trace::{FlightRecording, TraceConfig, TraceEventKind, TraceRecorder};
-use attn_kernels::{canonical_decodes, AttentionStrategy, HybridBatch, PrefillChunk};
+use attn_kernels::{
+    canonical_decodes, AttentionStrategy, DecodeRequest, HybridBatch, PrefillChunk,
+};
 use gpu_sim::GpuConfig;
 use std::collections::{HashMap, VecDeque};
 
@@ -56,6 +59,10 @@ struct BatchSignature {
     /// (always 0 when dedup is off, so dedup-free runs key and price
     /// exactly as before the dimension existed).
     decode_dedup_bucket: usize,
+    /// Quantized extra speculative-verify query tokens carried by the
+    /// decode side (always 0 in autoregressive mode, so speculation-free
+    /// runs key and price exactly as before the dimension existed).
+    spec_bucket: usize,
 }
 
 impl BatchSignature {
@@ -82,6 +89,7 @@ impl BatchSignature {
             decode_total_bucket: quantize_tokens(total_ctx),
             decode_max_bucket: quantize_tokens(max_ctx),
             decode_dedup_bucket: quantize_tokens(dedup_tokens),
+            spec_bucket: quantize_tokens(plan.spec_tokens),
         }
     }
 
@@ -104,6 +112,7 @@ impl BatchSignature {
                 self.decode_max_bucket,
             ),
             kv_dedup_tokens: self.decode_dedup_bucket,
+            spec_verify_tokens: self.spec_bucket,
         }
     }
 }
@@ -346,6 +355,15 @@ pub struct ServingConfig {
     /// bit-for-bit pinned by the golden tests; fleet-scale trace replay
     /// turns this on.
     pub streaming_metrics: bool,
+    /// How decode rounds mint tokens: plain autoregressive (the default,
+    /// bit-for-bit pinned by the golden tests) or speculative
+    /// draft-then-verify (see [`DecodeMode`] and
+    /// [`ServingConfig::with_speculative`]). In speculative mode every
+    /// resident decode proposes up to `k` draft tokens per round on the
+    /// draft model, the verify step rides the hybrid batch as extra
+    /// prefill-shaped query tokens budgeted against the Sarathi chunk, and
+    /// rejected suffixes roll back through the paged-KV free paths.
+    pub decode_mode: DecodeMode,
     /// Multi-tenant fair queueing and priority preemption. Defaults to
     /// `None` (plain FCFS admission) — the inert default the golden tests
     /// pin bit-for-bit; see [`FairQueueConfig`].
@@ -374,6 +392,7 @@ impl ServingConfig {
             decode_dedup: false,
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
+            decode_mode: DecodeMode::Autoregressive,
             fair_queue: None,
             tracing: None,
         }
@@ -393,6 +412,7 @@ impl ServingConfig {
             decode_dedup: false,
             admission: AdmissionPolicy::AdmitAll,
             streaming_metrics: false,
+            decode_mode: DecodeMode::Autoregressive,
             fair_queue: None,
             tracing: None,
         }
@@ -435,6 +455,31 @@ impl ServingConfig {
         self
     }
 
+    /// The same configuration decoding speculatively: every decode round
+    /// drafts `k` tokens on `draft` (a scaled-down copy of the target
+    /// model), verifies them in one prefill-shaped op inside the hybrid
+    /// batch, and keeps the prefix `acceptance` accepts (plus the target's
+    /// correction token on the first rejection). See [`DecodeMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero (a zero-depth round is plain autoregressive
+    /// decode; use the default mode for that).
+    pub fn with_speculative(
+        mut self,
+        k: usize,
+        draft: crate::DraftModelConfig,
+        acceptance: AcceptanceModel,
+    ) -> Self {
+        assert!(k > 0, "speculation depth must be at least 1");
+        self.decode_mode = DecodeMode::Speculative {
+            k,
+            draft,
+            acceptance,
+        };
+        self
+    }
+
     /// The same configuration with multi-tenant fair queueing (and, per the
     /// [`FairQueueConfig`], priority preemption) attached.
     pub fn with_fair_queue(mut self, fair_queue: FairQueueConfig) -> Self {
@@ -457,7 +502,8 @@ impl ServingConfig {
     /// Label used in reports, e.g. `"Sarathi(chunk=1024)+POD"` (with
     /// `"+paged"` / `"+prefix"` appended for the paged KV policies,
     /// `"+dedup"` for prefix-shared decode, `"+shed"` for deadline-shedding
-    /// admission, and `"+fair"` for fair-queueing configs).
+    /// admission, `"+fair"` for fair-queueing configs, and `"+spec"` for
+    /// speculative decode).
     pub fn system_label(&self) -> String {
         let kv = self.kv_policy.label_suffix();
         let dedup = if self.decode_dedup && self.kv_policy.prefix_caching() {
@@ -467,29 +513,36 @@ impl ServingConfig {
         };
         let adm = self.admission.label_suffix();
         let fair = self.fair_queue.as_ref().map_or("", |f| f.label_suffix());
+        let spec = if self.decode_mode.is_speculative() {
+            "+spec"
+        } else {
+            ""
+        };
         let attn = match self.attention {
             AttentionStrategy::Pod => "+POD",
             AttentionStrategy::FaSerial => "",
             other => {
                 return format!(
-                    "{}[{}]{}{}{}{}",
+                    "{}[{}]{}{}{}{}{}",
                     self.scheduler.label(),
                     other,
                     kv,
                     dedup,
                     adm,
-                    fair
+                    fair,
+                    spec
                 )
             }
         };
         format!(
-            "{}{}{}{}{}{}",
+            "{}{}{}{}{}{}{}",
             self.scheduler.label(),
             attn,
             kv,
             dedup,
             adm,
-            fair
+            fair,
+            spec
         )
     }
 }
@@ -618,6 +671,14 @@ struct EngineState {
     decode_kv_tokens_deduped: usize,
     /// Decode preemptions (swap-outs) forced by pool exhaustion.
     preemptions: usize,
+    /// Speculative draft-then-verify rounds executed (one per decode per
+    /// iteration in speculative mode; 0 otherwise).
+    spec_rounds: usize,
+    /// Draft tokens verification accepted, summed over all rounds.
+    draft_tokens_accepted: usize,
+    /// Draft tokens verification rejected and rolled back, summed over all
+    /// rounds.
+    draft_tokens_rejected: usize,
     /// Requests that completed prefill and are parked for migration pickup
     /// (prefill-export mode only), with their already-serialized KV chains.
     /// The KV residency is released the moment a request parks — the
@@ -687,6 +748,9 @@ impl EngineState {
             cow_copies: 0,
             decode_kv_tokens_deduped: 0,
             preemptions: 0,
+            spec_rounds: 0,
+            draft_tokens_accepted: 0,
+            draft_tokens_rejected: 0,
             pending_export: Vec::new(),
             pending_imports: VecDeque::new(),
             migrated_out: 0,
@@ -755,14 +819,19 @@ impl EngineState {
     }
 
     /// Ensure every request that will decode this iteration has a block for
-    /// its next token, preempting the most recently started decodes when the
-    /// pool is exhausted (LIFO victim selection: the youngest decode loses
-    /// the least recomputation).
-    fn grow_decode_blocks(&mut self, decode_cap: usize) {
+    /// its next token — or, in speculative mode, for its whole drafted
+    /// width of up to `spec_k` tokens (speculative allocation; the rejected
+    /// tail is released after verification) — preempting the most recently
+    /// started decodes when the pool is exhausted (LIFO victim selection:
+    /// the youngest decode loses the least recomputation). `spec_k = 0`
+    /// (autoregressive) grows by exactly one token, bit-for-bit the
+    /// pre-speculation arithmetic.
+    fn grow_decode_blocks(&mut self, decode_cap: usize, spec_k: usize) {
         let mut i = 0;
         while i < self.running.len().min(decode_cap) {
             let rid = self.running[i];
-            let needed = blocks_for(self.requests[rid].context_len() + 1);
+            let width = self.requests[rid].spec_width(spec_k);
+            let needed = blocks_for(self.requests[rid].context_len() + width);
             if self.tables[rid].blocks.len() >= needed {
                 i += 1;
                 continue;
@@ -946,6 +1015,11 @@ impl EngineState {
 pub struct ServingEngine {
     config: ServingConfig,
     cost: IterationCostModel,
+    /// Iteration cost model of the draft model (`Some` exactly when the
+    /// config decodes speculatively with a non-free drafter): prices the
+    /// `k` draft proposal passes each speculative round runs before its
+    /// verify step.
+    draft_cost: Option<IterationCostModel>,
     kv_capacity: usize,
     /// Prefill-only mode (disaggregated serving): requests that complete
     /// their prefill here are parked for [`ServingEngine::take_ready_handoffs`]
@@ -964,6 +1038,19 @@ impl ServingEngine {
         } else {
             IterationCostModel::exact(config.model.clone(), config.gpu.clone())
         };
+        // The drafter is priced through the same estimator stack as the
+        // target, just over a scaled-down model. A free drafter (scale 0)
+        // resolves to no model and costs exactly nothing.
+        let draft_cost = match &config.decode_mode {
+            DecodeMode::Autoregressive => None,
+            DecodeMode::Speculative { draft, .. } => draft.resolve(&config.model).map(|model| {
+                if config.price_cache {
+                    IterationCostModel::new(model, config.gpu.clone())
+                } else {
+                    IterationCostModel::exact(model, config.gpu.clone())
+                }
+            }),
+        };
         let kv_capacity = config
             .kv_capacity_tokens
             .unwrap_or_else(|| config.model.kv_cache_capacity_tokens(&config.gpu));
@@ -975,6 +1062,7 @@ impl ServingEngine {
         ServingEngine {
             config,
             cost,
+            draft_cost,
             kv_capacity,
             export_prefills: false,
             state,
@@ -1491,6 +1579,11 @@ impl ServingEngine {
         // can be proven: the paged policy's prefix index.
         let dedup_on = self.config.decode_dedup && self.config.kv_policy.prefix_caching();
 
+        // Speculation depth this engine decodes at (0 = autoregressive,
+        // which leaves every downstream budget, signature and price
+        // bit-for-bit untouched).
+        let spec_k = self.config.decode_mode.spec_k();
+
         // Scheduler hint: co-batch same-prefix decodes so dedup groups
         // actually form under the Sarathi decode cap (taking the first
         // `max_batch_size` of an interleaved running set would split
@@ -1511,7 +1604,7 @@ impl ServingEngine {
                 SchedulerKind::Vllm => usize::MAX,
                 SchedulerKind::Sarathi { .. } => self.config.max_batch_size,
             };
-            st.grow_decode_blocks(decode_cap);
+            st.grow_decode_blocks(decode_cap, spec_k);
         }
 
         // Multi-tenant fair queueing: decide which waiting request owns the
@@ -1578,6 +1671,7 @@ impl ServingEngine {
                             }
                         },
                         self.config.max_batch_size,
+                        spec_k,
                     ),
                     KvCachePolicy::Paged { prefix_caching } => plan_batch(
                         self.config.scheduler,
@@ -1687,6 +1781,7 @@ impl ServingEngine {
                             outcome
                         },
                         self.config.max_batch_size,
+                        spec_k,
                     ),
                 }
             };
@@ -1795,6 +1890,20 @@ impl ServingEngine {
             let batch = to_hybrid_batch(&plan, &st.requests, dedup_tokens);
             self.cost.iteration_time(&batch, self.config.attention)
         };
+        // Draft proposal time: `k` decode passes of the drafter over this
+        // iteration's decode set, added outside the price cache (the
+        // drafter's own cost model memoizes internally). Zero — and
+        // bit-for-bit absent — in autoregressive mode or with a free
+        // drafter, so speculation can never be priced cheaper than the
+        // verify work already inside `dt`.
+        let draft_dt = draft_proposal_time(
+            self.draft_cost.as_ref(),
+            spec_k,
+            self.config.attention,
+            &plan,
+            &st.requests,
+        );
+        let dt = if draft_dt > 0.0 { dt + draft_dt } else { dt };
         let started_at = st.clock;
         st.clock += dt;
         st.iterations += 1;
@@ -1803,25 +1912,96 @@ impl ServingEngine {
             st.hybrid_iterations += 1;
         }
 
+        // Speculative rounds: draw each decode's acceptance outcome up
+        // front. Outcomes are pure functions of (seed, request id, round),
+        // so the vector — and everything downstream of it — is identical
+        // across thread counts, replica layouts and replays. Empty in
+        // autoregressive mode.
+        let spec_outcomes: Vec<SpecOutcome> = match &self.config.decode_mode {
+            DecodeMode::Autoregressive => Vec::new(),
+            DecodeMode::Speculative { k, acceptance, .. } => plan
+                .decodes
+                .iter()
+                .map(|&rid| {
+                    let req = &st.requests[rid];
+                    let width = req.spec_width(*k);
+                    let accepted = acceptance.accepted(rid, req.spec_rounds, width);
+                    let minted = AcceptanceModel::minted(accepted, width);
+                    SpecOutcome {
+                        width,
+                        accepted,
+                        minted,
+                    }
+                })
+                .collect(),
+        };
+
         // Apply the iteration's effects to request lifecycles and queues.
         let prefill_tt_before = plan
             .prefill
             .map(|(rid, _)| st.requests[rid].token_times.len());
         let finished = apply_plan(
             &plan,
+            &spec_outcomes,
             st.clock,
             &mut st.requests,
             &mut st.waiting,
             &mut st.running,
         );
-        // Resident-sample accounting: every decode minted one token time,
+        // Net decode tokens minted this iteration: one per decode
+        // autoregressively; the accepted prefix plus correction token per
+        // speculative round (optimistic mints beyond that were rolled back).
+        let decode_tokens = if spec_outcomes.is_empty() {
+            plan.decodes.len()
+        } else {
+            spec_outcomes.iter().map(|o| o.minted).sum()
+        };
+        // Resident-sample accounting: every decode minted its net tokens,
         // and a prefill completion may have minted the first one.
-        st.live_token_samples += plan.decodes.len()
+        st.live_token_samples += decode_tokens
             + plan.prefill.map_or(0, |(rid, _)| {
                 st.requests[rid].token_times.len() - prefill_tt_before.unwrap_or(0)
             });
         if st.live_token_samples > st.peak_token_samples {
             st.peak_token_samples = st.live_token_samples;
+        }
+
+        // Speculative bookkeeping: advance round indices, tally draft
+        // accept/reject counters, release the KV tail a rollback stranded
+        // (those blocks were allocated by this iteration's speculative
+        // growth and are never indexed or shared — the refcount-conserving
+        // truncation path), and trace each round.
+        if !spec_outcomes.is_empty() {
+            let paged = matches!(self.config.kv_policy, KvCachePolicy::Paged { .. });
+            for (i, &rid) in plan.decodes.iter().enumerate() {
+                let o = spec_outcomes[i];
+                let rejected = o.width - o.accepted;
+                {
+                    let req = &mut st.requests[rid];
+                    req.spec_rounds += 1;
+                    req.draft_accepted += o.accepted;
+                    req.draft_rejected += rejected;
+                }
+                st.spec_rounds += 1;
+                st.draft_tokens_accepted += o.accepted;
+                st.draft_tokens_rejected += rejected;
+                if paged && o.minted < o.width {
+                    let keep = blocks_for(st.requests[rid].context_len())
+                        .max(st.tables[rid].indexed)
+                        .max(st.tables[rid].shared);
+                    if st.tables[rid].blocks.len() > keep {
+                        let tail = st.tables[rid].blocks.split_off(keep);
+                        st.kv.release_blocks(&tail);
+                    }
+                }
+                let t = st.clock;
+                st.trace(t, || TraceEventKind::SpecRound {
+                    request: rid,
+                    width: o.width,
+                    accepted: o.accepted,
+                    minted: o.minted,
+                });
+            }
         }
 
         // KV-cache effects, per policy: register newly computed full blocks
@@ -1920,9 +2100,9 @@ impl ServingEngine {
         }
 
         // Token accounting via the plan's own budget arithmetic, so the
-        // stats and the Sarathi chunk accounting can never drift apart.
-        let decode_tokens = plan.decodes.len();
-        let prefill_tokens = plan.scheduled_tokens() - decode_tokens;
+        // stats and the Sarathi chunk accounting can never drift apart
+        // (`decode_tokens`, the net minted count, was computed above).
+        let prefill_tokens = plan.scheduled_tokens() - plan.decodes.len() - plan.spec_tokens;
         st.prefill_tokens_scheduled += prefill_tokens;
         // Fair queueing bills scheduled prefill work to the owning tenant's
         // virtual-token counter, weighted (cached-prefix tokens were never
@@ -2070,6 +2250,9 @@ impl ServingEngine {
         report.blocks_reused = st.blocks_reused;
         report.cow_copies = st.cow_copies;
         report.decode_kv_tokens_deduped = st.decode_kv_tokens_deduped;
+        report.spec_rounds = st.spec_rounds;
+        report.draft_tokens_accepted = st.draft_tokens_accepted;
+        report.draft_tokens_rejected = st.draft_tokens_rejected;
         report.preemptions = st.preemptions;
         report.blocks_evicted = st.kv.blocks_evicted();
         report.migrated_out_requests = st.migrated_out;
@@ -2097,6 +2280,7 @@ impl ServingEngine {
         let mut engine = ServingEngine {
             config: self.config.clone(),
             cost: self.cost.clone(),
+            draft_cost: self.draft_cost.clone(),
             kv_capacity: self.kv_capacity,
             export_prefills: self.export_prefills,
             state: EngineState::new(
@@ -2136,21 +2320,72 @@ fn to_hybrid_batch(plan: &BatchPlan, requests: &[Request], dedup_tokens: usize) 
     let decodes = plan
         .decodes
         .iter()
-        .map(|&rid| attn_kernels::DecodeRequest::new(requests[rid].context_len().max(1)))
+        .map(|&rid| DecodeRequest::new(requests[rid].context_len().max(1)))
         .collect();
     HybridBatch {
         prefill,
         decodes,
         kv_dedup_tokens: dedup_tokens,
+        spec_verify_tokens: plan.spec_tokens,
     }
+}
+
+/// One decode's speculative-round outcome, drawn before the mint.
+#[derive(Debug, Clone, Copy)]
+struct SpecOutcome {
+    /// Draft tokens proposed and verified this round (`spec_width`).
+    width: usize,
+    /// Leading drafts verification accepted (`<= width`).
+    accepted: usize,
+    /// Net tokens the round mints: the accepted prefix plus the target's
+    /// correction token on the first rejection (`1..=width`).
+    minted: usize,
+}
+
+/// Time the draft model spends proposing `spec_k` tokens for each of this
+/// iteration's decodes: `spec_k` decode-only passes of the scaled-down
+/// drafter over the same contexts as the target batch. Zero without a
+/// drafter cost model (autoregressive mode or a free drafter) or without
+/// decodes.
+fn draft_proposal_time(
+    draft_cost: Option<&IterationCostModel>,
+    spec_k: usize,
+    attention: AttentionStrategy,
+    plan: &BatchPlan,
+    requests: &[Request],
+) -> f64 {
+    let Some(cost) = draft_cost else {
+        return 0.0;
+    };
+    if plan.decodes.is_empty() || spec_k == 0 {
+        return 0.0;
+    }
+    let batch = HybridBatch {
+        prefill: None,
+        decodes: plan
+            .decodes
+            .iter()
+            .map(|&rid| DecodeRequest::new(requests[rid].context_len().max(1)))
+            .collect(),
+        kv_dedup_tokens: 0,
+        spec_verify_tokens: 0,
+    };
+    spec_k as f64 * cost.iteration_time(&batch, attention)
 }
 
 /// Apply one iteration's effects to the request lifecycles and queues,
 /// returning the ids that finished (prefill-completions first, then decodes,
 /// in plan order — a deterministic release order). KV-cache effects are the
 /// caller's job, since they depend on the residency policy.
+///
+/// `spec` is empty in autoregressive mode (each decode mints exactly one
+/// token); in speculative mode it is parallel to `plan.decodes` and each
+/// decode optimistically mints its whole drafted width, then rolls the
+/// rejected suffix back through [`Request::rollback`] — the same
+/// mint-then-truncate lifecycle a real draft-then-verify engine follows.
 fn apply_plan(
     plan: &BatchPlan,
+    spec: &[SpecOutcome],
     clock: f64,
     requests: &mut [Request],
     waiting: &mut VecDeque<usize>,
@@ -2173,8 +2408,18 @@ fn apply_plan(
             _ => {}
         }
     }
-    for &rid in &plan.decodes {
-        requests[rid].record_decode_token(clock);
+    for (i, &rid) in plan.decodes.iter().enumerate() {
+        match spec.get(i) {
+            None => requests[rid].record_decode_token(clock),
+            Some(o) => {
+                // `width <= remaining output`, so the optimistic mint never
+                // overshoots the request's budget.
+                for _ in 0..o.width {
+                    requests[rid].record_decode_token(clock);
+                }
+                requests[rid].rollback(o.width - o.minted);
+            }
+        }
         if requests[rid].phase() == Phase::Finished {
             running.retain(|&r| r != rid);
             finished.push(rid);
@@ -2373,16 +2618,19 @@ mod tests {
             prefill: Some((0, 512)),
             decodes: vec![1, 2],
             shed: None,
+            spec_tokens: 0,
         };
         let plan_b = BatchPlan {
             prefill: Some((0, 512)),
             decodes: vec![2, 1],
             shed: None,
+            spec_tokens: 0,
         };
         let plan_c = BatchPlan {
             prefill: Some((0, 256)),
             decodes: vec![1, 2],
             shed: None,
+            spec_tokens: 0,
         };
         let sig_a = BatchSignature::of_plan(&plan_a, &requests, 0);
         let sig_b = BatchSignature::of_plan(&plan_b, &requests, 0);
@@ -2633,5 +2881,158 @@ mod tests {
             high_ttft(&fair),
             high_ttft(&fcfs)
         );
+    }
+
+    /// The "+spec" suffix appears exactly when speculative decoding is
+    /// configured, and it sorts last in the label.
+    #[test]
+    fn speculative_label_suffix() {
+        let plain = ServingConfig::sarathi_pod(llama3(), gpu(), 512);
+        assert!(!plain.system_label().contains("+spec"));
+        let spec = plain.with_speculative(
+            4,
+            crate::DraftModelConfig::scaled(0.25),
+            AcceptanceModel::new(0.8, 7),
+        );
+        let label = spec.system_label();
+        assert!(label.ends_with("+spec"), "spec label: {label}");
+    }
+
+    /// The headline win: with a free drafter and perfect acceptance, k=4
+    /// speculation mints four tokens per verify round, so the same workload
+    /// completes in strictly less virtual time than plain autoregressive
+    /// decode — with zero rejected drafts.
+    #[test]
+    fn perfect_acceptance_free_draft_beats_autoregressive() {
+        let specs = Workload::internal().generate(24, 2.0, 11);
+        let base = ServingConfig::sarathi_pod(llama3(), gpu(), 1024);
+        let ar = ServingEngine::new(base.clone()).run(specs.clone());
+        let spec = ServingEngine::new(base.with_speculative(
+            4,
+            crate::DraftModelConfig::free(),
+            AcceptanceModel::new(1.0, 11),
+        ))
+        .run(specs);
+        assert_eq!(spec.completed, ar.completed, "no request lost");
+        assert!(spec.spec_rounds > 0, "speculation must actually run");
+        assert_eq!(
+            spec.draft_tokens_rejected, 0,
+            "acceptance 1.0 rejects nothing"
+        );
+        assert!(spec.draft_tokens_accepted > 0);
+        assert!(
+            spec.makespan < ar.makespan,
+            "spec makespan {} vs AR {}",
+            spec.makespan,
+            ar.makespan
+        );
+    }
+
+    /// At acceptance 0.0 every round nets exactly one token (the mandatory
+    /// bonus token), so speculation degrades to autoregressive progress while
+    /// still paying for its drafts and verify work: one spec round per decode
+    /// token, all drafts rejected, and a makespan no better than plain AR.
+    #[test]
+    fn zero_acceptance_mints_one_token_per_round() {
+        // Offline batch with ample KV: no preemption, so every request mints
+        // its first token at prefill completion and the remaining
+        // `output - 1` in decode rounds.
+        let specs: Vec<RequestSpec> = (0..8).map(|_| RequestSpec::new(0.0, 2000, 40)).collect();
+        let base = ServingConfig::sarathi_pod(llama3(), gpu(), 1024);
+        let ar = ServingEngine::new(base.clone()).run(specs.clone());
+        let spec = ServingEngine::new(base.with_speculative(
+            4,
+            crate::DraftModelConfig::scaled(0.25),
+            AcceptanceModel::new(0.0, 13),
+        ))
+        .run(specs);
+        assert_eq!(spec.completed, ar.completed);
+        assert_eq!(
+            spec.draft_tokens_accepted, 0,
+            "acceptance 0.0 accepts nothing"
+        );
+        assert!(spec.draft_tokens_rejected > 0);
+        assert_eq!(
+            spec.spec_rounds,
+            8 * (40 - 1),
+            "one net token per round means one round per decode token"
+        );
+        assert!(
+            spec.makespan >= ar.makespan,
+            "verify work is never free: spec {} vs AR {}",
+            spec.makespan,
+            ar.makespan
+        );
+    }
+
+    /// Rollback through the paged KV path must conserve blocks: after a
+    /// speculative run full of rejected drafts drains, the pool is empty.
+    #[test]
+    fn speculative_rollback_leaks_no_kv_blocks() {
+        let mut config = ServingConfig::sarathi_pod(llama3(), gpu(), 512)
+            .with_paged_kv(false)
+            .with_speculative(
+                6,
+                crate::DraftModelConfig::scaled(0.25),
+                AcceptanceModel::new(0.4, 29),
+            );
+        config.kv_capacity_tokens = Some(60_000);
+        let mut engine = ServingEngine::new(config);
+        for spec in Workload::internal().generate(20, 4.0, 29) {
+            engine.submit(spec);
+        }
+        engine.run_until_drained();
+        let report = engine.report();
+        assert_eq!(report.completed, 20);
+        assert!(report.spec_rounds > 0);
+        assert!(
+            report.draft_tokens_rejected > 0,
+            "rollback must be exercised"
+        );
+        assert_eq!(
+            engine.kv_utilization(),
+            0.0,
+            "drained pool must hold no leaked blocks"
+        );
+    }
+
+    /// Every speculative round lands a `spec_round` event in the flight
+    /// recorder, and the recorded accepted/rejected tallies reconcile with
+    /// the report's counters.
+    #[test]
+    fn speculative_rounds_are_traced() {
+        let config = ServingConfig::sarathi_pod(llama3(), gpu(), 1024)
+            .with_speculative(
+                4,
+                crate::DraftModelConfig::scaled(0.25),
+                AcceptanceModel::new(0.7, 5),
+            )
+            .with_tracing(TraceConfig::new().with_capacity(1 << 20));
+        let mut engine = ServingEngine::new(config);
+        for spec in Workload::internal().generate(10, 2.0, 5) {
+            engine.submit(spec);
+        }
+        engine.run_until_drained();
+        let report = engine.report();
+        let recording = engine.flight_recording().expect("tracing configured");
+        let (mut rounds, mut accepted, mut rejected) = (0usize, 0usize, 0usize);
+        for ev in &recording.replicas[0] {
+            if let TraceEventKind::SpecRound {
+                width,
+                accepted: a,
+                minted,
+                ..
+            } = ev.kind
+            {
+                rounds += 1;
+                accepted += a;
+                rejected += width - a;
+                assert!(minted >= 1 && minted <= width);
+                assert!(a <= width);
+            }
+        }
+        assert_eq!(rounds, report.spec_rounds);
+        assert_eq!(accepted, report.draft_tokens_accepted);
+        assert_eq!(rejected, report.draft_tokens_rejected);
     }
 }

@@ -100,6 +100,7 @@ mod request;
 mod rng;
 mod scheduler;
 mod sketch;
+mod speculative;
 pub mod trace;
 mod workload;
 
@@ -127,6 +128,7 @@ pub use request::{
 pub use rng::SplitMix64;
 pub use scheduler::{plan_batch, AdmissionDecision, BatchPlan, SchedulerKind};
 pub use sketch::{QuantileSketch, SketchMergeError, DEFAULT_RELATIVE_ERROR};
+pub use speculative::{AcceptanceModel, DecodeMode, DraftModelConfig};
 pub use trace::{
     FlightRecording, SpanOutcomes, TimelineSummary, TraceCategory, TraceConfig, TraceEvent,
     TraceEventKind, TraceFilter, TraceRecorder,

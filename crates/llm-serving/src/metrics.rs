@@ -301,6 +301,15 @@ pub struct ServingReport {
     /// decode grouping (0 unless the engine ran with
     /// [`ServingConfig::decode_dedup`](crate::ServingConfig::decode_dedup)).
     pub decode_kv_tokens_deduped: usize,
+    /// Speculative draft-then-verify rounds executed (one per decode per
+    /// iteration when the engine ran with
+    /// [`DecodeMode::Speculative`](crate::DecodeMode); 0 otherwise).
+    pub spec_rounds: usize,
+    /// Draft tokens verification accepted across all speculative rounds.
+    pub draft_tokens_accepted: usize,
+    /// Draft tokens verification rejected and rolled back across all
+    /// speculative rounds.
+    pub draft_tokens_rejected: usize,
     /// Decode preemptions (swap-outs) forced by KV-pool exhaustion under the
     /// paged policy.
     pub preemptions: usize,
@@ -493,6 +502,9 @@ impl ServingReport {
             blocks_reused: 0,
             cow_copies: 0,
             decode_kv_tokens_deduped: 0,
+            spec_rounds: 0,
+            draft_tokens_accepted: 0,
+            draft_tokens_rejected: 0,
             preemptions: 0,
             blocks_evicted: 0,
             migrated_out_requests: 0,
@@ -566,6 +578,15 @@ impl ServingReport {
             (
                 "decode_kv_tokens_deduped",
                 JsonValue::Num(self.decode_kv_tokens_deduped as f64),
+            ),
+            ("spec_rounds", JsonValue::Num(self.spec_rounds as f64)),
+            (
+                "draft_tokens_accepted",
+                JsonValue::Num(self.draft_tokens_accepted as f64),
+            ),
+            (
+                "draft_tokens_rejected",
+                JsonValue::Num(self.draft_tokens_rejected as f64),
             ),
             ("preemptions", JsonValue::Num(self.preemptions as f64)),
             ("blocks_evicted", JsonValue::Num(self.blocks_evicted as f64)),
@@ -913,6 +934,9 @@ impl ReportAccumulator {
             blocks_reused: 0,
             cow_copies: 0,
             decode_kv_tokens_deduped: 0,
+            spec_rounds: 0,
+            draft_tokens_accepted: 0,
+            draft_tokens_rejected: 0,
             preemptions: 0,
             blocks_evicted: 0,
             migrated_out_requests: 0,

@@ -425,6 +425,17 @@ pub struct Request {
     /// requests: the KV transfer plus any queueing for residency. Shows up
     /// in the TBT samples as the gap before the second token.
     pub migration_stall: f64,
+    /// Speculative draft-then-verify rounds this request has executed.
+    /// Doubles as the deterministic round index for
+    /// [`crate::AcceptanceModel`] draws: the draw for round `n` is a pure
+    /// function of `(seed, id, n)`, so replays and different worker counts
+    /// see identical acceptance outcomes.
+    pub spec_rounds: usize,
+    /// Draft tokens this request's verify steps accepted (cumulative).
+    pub draft_accepted: usize,
+    /// Draft tokens this request's verify steps rejected and rolled back
+    /// (cumulative).
+    pub draft_rejected: usize,
 }
 
 impl Request {
@@ -448,6 +459,9 @@ impl Request {
             migrated_out: false,
             migrated_in: false,
             migration_stall: 0.0,
+            spec_rounds: 0,
+            draft_accepted: 0,
+            draft_rejected: 0,
         }
     }
 
@@ -546,6 +560,42 @@ impl Request {
     fn check_finished(&mut self, time: f64) {
         if self.generated >= self.spec.output_tokens {
             self.finish_time = Some(time);
+        }
+    }
+
+    /// Width of this request's next speculative round at depth `k`: how many
+    /// tokens the round drafts and verifies. A request never drafts past its
+    /// remaining output budget, and every round carries at least its one
+    /// mandatory decode token.
+    pub fn spec_width(&self, k: usize) -> usize {
+        k.min(self.spec.output_tokens.saturating_sub(self.generated))
+            .max(1)
+    }
+
+    /// Un-mint the last `n` generated tokens: the rejected suffix of a
+    /// speculative round. Progress, the per-token latency samples and any
+    /// finish stamped by the optimistic mint are rolled back together, so a
+    /// request that speculated past its end is indistinguishable from one
+    /// that never did. The KV-side truncation (releasing now-unused tail
+    /// blocks) is the engine's job.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the rollback stays within this round's mint (the
+    /// first token, produced by prefill, is never rolled back).
+    pub fn rollback(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        debug_assert!(
+            n < self.generated,
+            "rollback({n}) of a request with {} generated tokens",
+            self.generated
+        );
+        self.generated -= n;
+        self.token_times.truncate(self.token_times.len() - n);
+        if self.generated < self.spec.output_tokens {
+            self.finish_time = None;
         }
     }
 
@@ -820,6 +870,48 @@ mod tests {
         assert_eq!(Priority::High.as_str(), "high");
         assert_eq!(TenantId::default(), TenantId(0));
         assert_eq!(TenantId(3).to_string(), "tenant-3");
+    }
+
+    #[test]
+    fn spec_width_caps_at_remaining_output() {
+        let mut r = Request::new(0, RequestSpec::new(0.0, 8, 5));
+        r.record_prefill(8, 1.0); // generated = 1, remaining = 4
+        assert_eq!(r.spec_width(3), 3);
+        assert_eq!(r.spec_width(8), 4);
+        r.record_decode_token(1.1);
+        r.record_decode_token(1.2);
+        r.record_decode_token(1.3); // generated = 4, remaining = 1
+        assert_eq!(r.spec_width(8), 1);
+        // Width never drops below the mandatory decode token.
+        assert_eq!(r.spec_width(0), 1);
+    }
+
+    #[test]
+    fn rollback_unminds_tokens_and_clears_optimistic_finish() {
+        let mut r = Request::new(0, RequestSpec::new(0.0, 8, 4));
+        r.record_prefill(8, 1.0);
+        // Optimistically mint the remaining three tokens (a k=3 round)...
+        r.record_decode_token(1.1);
+        r.record_decode_token(1.1);
+        r.record_decode_token(1.1);
+        assert_eq!(r.phase(), Phase::Finished);
+        assert_eq!(r.token_times.len(), 4);
+        // ...then verification rejects the last two.
+        r.rollback(2);
+        assert_eq!(r.generated, 2);
+        assert_eq!(r.token_times.len(), 2);
+        assert_eq!(r.phase(), Phase::Decoding, "optimistic finish is undone");
+        assert_eq!(r.finish_time, None);
+        assert_eq!(r.context_len(), 10);
+        // A zero rollback (fully accepted round) changes nothing.
+        let before = r.clone();
+        r.rollback(0);
+        assert_eq!(r, before);
+        // Finishing again after the rollback sticks.
+        r.record_decode_token(2.0);
+        r.record_decode_token(2.5);
+        assert_eq!(r.phase(), Phase::Finished);
+        assert_eq!(r.latency(), Some(2.5));
     }
 
     #[test]

@@ -76,6 +76,15 @@ pub struct BatchPlan {
     /// unmeetable): to be dropped unserved by the engine, freeing the
     /// prefill slot for the next candidate.
     pub shed: Option<usize>,
+    /// Extra speculative-verify query tokens carried by the decode side:
+    /// `Σ (width − 1)` over the scheduled decodes, where a request's round
+    /// width is `min(k, remaining output)` under
+    /// [`DecodeMode::Speculative`]. Zero in autoregressive mode. These
+    /// tokens count against the Sarathi chunk budget — verify work competes
+    /// with prefill chunks for the iteration's token target.
+    ///
+    /// [`DecodeMode::Speculative`]: crate::DecodeMode::Speculative
+    pub spec_tokens: usize,
 }
 
 impl BatchPlan {
@@ -90,10 +99,11 @@ impl BatchPlan {
         self.prefill.is_some() && !self.decodes.is_empty()
     }
 
-    /// Total tokens the plan processes this iteration: the prefill chunk
-    /// plus one token per decode (the Sarathi token-budget accounting).
+    /// Total tokens the plan processes this iteration: the prefill chunk,
+    /// one token per decode, plus any extra speculative-verify tokens (the
+    /// Sarathi token-budget accounting).
     pub fn scheduled_tokens(&self) -> usize {
-        self.prefill.map(|(_, chunk)| chunk).unwrap_or(0) + self.decodes.len()
+        self.prefill.map(|(_, chunk)| chunk).unwrap_or(0) + self.decodes.len() + self.spec_tokens
     }
 }
 
@@ -103,6 +113,11 @@ impl BatchPlan {
 /// processed (front = oldest / partially prefilled); `running` holds indices
 /// of requests in their decode phase. Admission of the front waiting request
 /// is delegated to `admit` (see [`AdmissionDecision`]).
+///
+/// `spec_k` is the speculation depth (0 = plain autoregressive decode): each
+/// scheduled decode verifies up to `spec_k` draft tokens per round, and the
+/// extra verify tokens are charged against the Sarathi chunk budget like
+/// prefill tokens (see [`BatchPlan::spec_tokens`]).
 pub fn plan_batch(
     kind: SchedulerKind,
     requests: &mut [Request],
@@ -110,9 +125,10 @@ pub fn plan_batch(
     running: &[usize],
     admit: &mut AdmitFn<'_>,
     max_batch_size: usize,
+    spec_k: usize,
 ) -> BatchPlan {
     match kind {
-        SchedulerKind::Vllm => plan_vllm(requests, waiting, running, admit),
+        SchedulerKind::Vllm => plan_vllm(requests, waiting, running, admit, spec_k),
         SchedulerKind::Sarathi { chunk_size } => plan_sarathi(
             chunk_size,
             requests,
@@ -120,8 +136,23 @@ pub fn plan_batch(
             running,
             admit,
             max_batch_size,
+            spec_k,
         ),
     }
+}
+
+/// Extra verify tokens (`Σ (width − 1)`) the given decodes carry at
+/// speculation depth `spec_k`. A request never drafts past its remaining
+/// output budget, and every round carries at least its one mandatory decode
+/// token, so each width is `min(spec_k, remaining).max(1)`.
+fn spec_extra_tokens(spec_k: usize, requests: &[Request], decodes: &[usize]) -> usize {
+    if spec_k <= 1 {
+        return 0;
+    }
+    decodes
+        .iter()
+        .map(|&rid| requests[rid].spec_width(spec_k).saturating_sub(1))
+        .sum()
 }
 
 /// Outcome of consulting the admission policy for the front request.
@@ -151,6 +182,7 @@ fn plan_vllm(
     waiting: &VecDeque<usize>,
     running: &[usize],
     admit: &mut AdmitFn<'_>,
+    spec_k: usize,
 ) -> BatchPlan {
     // Prefill-prioritizing: if the oldest waiting request fits, run its whole
     // prompt now, pausing decodes.
@@ -163,16 +195,20 @@ fn plan_vllm(
                     prefill: Some((front, chunk)),
                     decodes: Vec::new(),
                     shed: None,
+                    spec_tokens: 0,
                 };
             }
             FrontAdmission::Shed => shed = Some(front),
             FrontAdmission::Deferred => {}
         }
     }
+    let decodes = running.to_vec();
+    let spec_tokens = spec_extra_tokens(spec_k, requests, &decodes);
     BatchPlan {
         prefill: None,
-        decodes: running.to_vec(),
+        decodes,
         shed,
+        spec_tokens,
     }
 }
 
@@ -183,9 +219,14 @@ fn plan_sarathi(
     running: &[usize],
     admit: &mut AdmitFn<'_>,
     max_batch_size: usize,
+    spec_k: usize,
 ) -> BatchPlan {
     let decodes: Vec<usize> = running.iter().copied().take(max_batch_size).collect();
-    let budget = chunk_size.saturating_sub(decodes.len());
+    // Verify tokens are real query tokens: they eat the chunk budget before
+    // any prefill is admitted, so a speculative iteration keeps the same
+    // token target as a plain one (Sarathi's stall-free guarantee).
+    let spec_tokens = spec_extra_tokens(spec_k, requests, &decodes);
+    let budget = chunk_size.saturating_sub(decodes.len() + spec_tokens);
     let mut prefill = None;
     let mut shed = None;
     if budget > 0 && decodes.len() < max_batch_size {
@@ -207,6 +248,7 @@ fn plan_sarathi(
         prefill,
         decodes,
         shed,
+        spec_tokens,
     }
 }
 
@@ -256,6 +298,7 @@ mod tests {
             &running,
             &mut conservative(&mut kv, &mut reserved),
             256,
+            0,
         );
         // The whole prompt is scheduled and the decodes are paused.
         assert_eq!(plan.prefill, Some((0, 1000)));
@@ -276,6 +319,7 @@ mod tests {
             &running,
             &mut conservative(&mut kv, &mut reserved),
             256,
+            0,
         );
         assert!(plan.prefill.is_none());
         assert_eq!(plan.decodes, vec![1]);
@@ -294,6 +338,7 @@ mod tests {
             &running,
             &mut conservative(&mut kv, &mut reserved),
             256,
+            0,
         );
         assert!(plan.is_hybrid());
         // 4 decode tokens leave 508 tokens of budget for the chunk.
@@ -317,6 +362,7 @@ mod tests {
             &[],
             &mut conservative(&mut kv, &mut reserved),
             256,
+            0,
         );
         // Only the remaining 100 prompt tokens are scheduled.
         assert_eq!(plan.prefill, Some((0, 100)));
@@ -335,6 +381,7 @@ mod tests {
             &running,
             &mut conservative(&mut kv, &mut reserved),
             256,
+            0,
         );
         assert!(plan.prefill.is_none());
         assert_eq!(plan.decodes.len(), 64);
@@ -355,6 +402,7 @@ mod tests {
             &[],
             &mut admit,
             256,
+            0,
         );
         assert_eq!(plan.prefill, Some((0, 108)));
         assert_eq!(requests[0].cached_prompt_tokens, 192);
@@ -373,13 +421,67 @@ mod tests {
             SchedulerKind::Vllm,
             SchedulerKind::Sarathi { chunk_size: 512 },
         ] {
-            let plan = plan_batch(kind, &mut requests, &waiting, &running, &mut admit, 256);
+            let plan = plan_batch(kind, &mut requests, &waiting, &running, &mut admit, 256, 0);
             assert_eq!(plan.shed, Some(0), "{kind:?}");
             assert!(plan.prefill.is_none(), "{kind:?}");
             assert_eq!(plan.decodes, vec![1, 2], "{kind:?}");
             // A shed alone is not schedulable work.
             assert_eq!(plan.scheduled_tokens(), 2, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn spec_verify_tokens_eat_the_sarathi_chunk_budget() {
+        // 4 running decodes at depth k=4: each mid-flight request carries 3
+        // extra verify tokens, shrinking the prefill chunk accordingly.
+        let (mut requests, mut reserved) = setup(5, 4096, 100);
+        for r in &mut requests[1..5] {
+            r.record_prefill(4096, 0.5);
+        }
+        let mut kv = KvCacheManager::new(1_000_000);
+        let waiting: VecDeque<usize> = vec![0].into();
+        let running = vec![1, 2, 3, 4];
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 512 },
+            &mut requests,
+            &waiting,
+            &running,
+            &mut conservative(&mut kv, &mut reserved),
+            256,
+            4,
+        );
+        assert_eq!(plan.spec_tokens, 4 * 3);
+        // 4 decode tokens + 12 verify tokens leave 496 for the chunk.
+        assert_eq!(plan.prefill, Some((0, 496)));
+        // The iteration still hits the exact token target.
+        assert_eq!(plan.scheduled_tokens(), 512);
+
+        // Near the end of a request, the width collapses to its remaining
+        // output: a request one token from done carries no verify tokens.
+        requests[1].generated = 100 - 1;
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 512 },
+            &mut requests,
+            &waiting,
+            &running,
+            &mut conservative(&mut kv, &mut reserved),
+            256,
+            4,
+        );
+        assert_eq!(plan.spec_tokens, 3 * 3);
+
+        // Depth 1 (and 0) add nothing: the plan is the autoregressive one.
+        let plan = plan_batch(
+            SchedulerKind::Sarathi { chunk_size: 512 },
+            &mut requests,
+            &waiting,
+            &running,
+            &mut conservative(&mut kv, &mut reserved),
+            256,
+            1,
+        );
+        assert_eq!(plan.spec_tokens, 0);
+        assert_eq!(plan.prefill, Some((0, 508)));
     }
 
     #[test]
@@ -393,6 +495,7 @@ mod tests {
             &[],
             &mut conservative(&mut kv, &mut reserved),
             256,
+            0,
         );
         assert!(plan.is_empty());
         assert!(!plan.is_hybrid());

@@ -326,6 +326,21 @@ pub enum TraceEventKind {
         /// Decode KV tokens whose re-reads were elided.
         tokens: usize,
     },
+    /// A speculative draft-then-verify round completed for one decode:
+    /// `width` drafts were proposed and verified, the leading `accepted`
+    /// survived, and `minted` tokens (the accepted prefix plus the target's
+    /// correction token on the first rejection) advanced the request; the
+    /// rejected suffix was rolled back and its KV tail released.
+    SpecRound {
+        /// Engine-local request id.
+        request: usize,
+        /// Draft tokens proposed and verified this round.
+        width: usize,
+        /// Leading drafts verification accepted.
+        accepted: usize,
+        /// Net tokens the round minted (`1..=width`).
+        minted: usize,
+    },
     /// A completed prefill was parked for migration to a decode replica,
     /// its KV chain serialized and the local residency released.
     HandoffExport {
@@ -384,7 +399,9 @@ impl TraceEventKind {
             | TraceEventKind::Shed { .. }
             | TraceEventKind::Preempt { .. }
             | TraceEventKind::Finish { .. } => TraceCategory::Lifecycle,
-            TraceEventKind::Iteration { .. } => TraceCategory::Iteration,
+            TraceEventKind::Iteration { .. } | TraceEventKind::SpecRound { .. } => {
+                TraceCategory::Iteration
+            }
             TraceEventKind::KvAlloc { .. }
             | TraceEventKind::KvFree { .. }
             | TraceEventKind::KvEvict { .. }
@@ -413,6 +430,7 @@ impl TraceEventKind {
             TraceEventKind::KvFree { .. } => "kv_free",
             TraceEventKind::KvEvict { .. } => "kv_evict",
             TraceEventKind::KvDedup { .. } => "kv_dedup",
+            TraceEventKind::SpecRound { .. } => "spec_round",
             TraceEventKind::HandoffExport { .. } => "handoff_export",
             TraceEventKind::HandoffImport { .. } => "handoff_import",
             TraceEventKind::ScaleOut { .. } => "scale_out",
@@ -516,6 +534,17 @@ impl TraceEvent {
             TraceEventKind::KvDedup { groups, tokens } => {
                 fields.push(("groups", num(*groups)));
                 fields.push(("tokens", num(*tokens)));
+            }
+            TraceEventKind::SpecRound {
+                request,
+                width,
+                accepted,
+                minted,
+            } => {
+                fields.push(("request", num(*request)));
+                fields.push(("width", num(*width)));
+                fields.push(("accepted", num(*accepted)));
+                fields.push(("minted", num(*minted)));
             }
             TraceEventKind::HandoffExport {
                 request,
@@ -1062,6 +1091,31 @@ fn chrome_process(out: &mut Vec<JsonValue>, pid: usize, name: &str, events: &[Tr
                             JsonValue::obj(vec![
                                 ("groups", JsonValue::Num(*groups as f64)),
                                 ("tokens", JsonValue::Num(*tokens as f64)),
+                            ]),
+                        ),
+                    ],
+                ));
+            }
+            TraceEventKind::SpecRound {
+                request,
+                width,
+                accepted,
+                minted,
+            } => {
+                out.push(chrome_event(
+                    "spec_round",
+                    "i",
+                    pid,
+                    request_tid(*request),
+                    us(ev.t),
+                    vec![
+                        ("s", JsonValue::str("t")),
+                        (
+                            "args",
+                            JsonValue::obj(vec![
+                                ("width", JsonValue::Num(*width as f64)),
+                                ("accepted", JsonValue::Num(*accepted as f64)),
+                                ("minted", JsonValue::Num(*minted as f64)),
                             ]),
                         ),
                     ],

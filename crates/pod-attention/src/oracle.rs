@@ -76,6 +76,7 @@ mod tests {
                 prefill: batch.prefill,
                 decodes: vec![],
                 kv_dedup_tokens: 0,
+                spec_verify_tokens: 0,
             },
             &cfg,
             &gpu,
@@ -85,6 +86,7 @@ mod tests {
                 prefill: None,
                 decodes: batch.decodes.clone(),
                 kv_dedup_tokens: 0,
+                spec_verify_tokens: 0,
             },
             &cfg,
             &gpu,

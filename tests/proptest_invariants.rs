@@ -47,10 +47,18 @@ fn arb_batch(rng: &mut SplitMix64) -> HybridBatch {
     } else {
         0
     };
+    // Half the cases carry speculative-verify query tokens (up to 7 extra
+    // per decode, the k-1 of a k<=8 draft round).
+    let spec_verify_tokens = if rng.next_f64() < 0.5 {
+        rng.next_usize(decode_bs * 7 + 1)
+    } else {
+        0
+    };
     HybridBatch {
         prefill: Some(PrefillChunk::new(chunk, prior)),
         decodes: vec![attn_kernels::DecodeRequest::new(decode_ctx); decode_bs],
         kv_dedup_tokens,
+        spec_verify_tokens,
     }
 }
 

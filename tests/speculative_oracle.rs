@@ -1,0 +1,155 @@
+//! Speculative-decode oracle: in its degenerate corners the speculative
+//! engine must be **indistinguishable** from plain autoregressive decode.
+//!
+//! Corner one: `k = 1`, acceptance 1.0, zero-cost draft. A one-deep draft
+//! round drafts exactly the one token autoregressive decode would mint, the
+//! verifier accepts it, the draft model costs nothing and a width-1 verify
+//! adds zero extra query tokens — so every iteration must be bit-for-bit the
+//! autoregressive iteration. Any divergence is speculative drift: the spec
+//! path changed a schedule or a price it had no speculation to justify
+//! changing.
+//!
+//! Corner two: acceptance 0.0 at any depth. Every draft is rejected and each
+//! round nets exactly its one mandatory bonus token — autoregressive
+//! progress at speculative prices. The round count must equal the decode
+//! token count exactly.
+
+use gpu_sim::GpuConfig;
+use llm_serving::{
+    offline_long_context, AcceptanceModel, DraftModelConfig, IterationOutcome, ModelConfig,
+    RequestSpec, ServingConfig, ServingEngine, Workload,
+};
+
+fn base_config(chunk: usize) -> ServingConfig {
+    ServingConfig::sarathi_pod(ModelConfig::llama3_8b(), GpuConfig::a100_80gb(), chunk)
+}
+
+/// Drive the autoregressive engine and the degenerate speculative engine to
+/// drain in lockstep, asserting identical [`IterationOutcome`] sequences,
+/// then identical reports up to the `"+spec"` label and the speculative
+/// counters (which count rounds the autoregressive engine never runs).
+fn assert_lockstep_identical(tag: &str, specs: Vec<RequestSpec>, chunk: usize) {
+    let ar_cfg = base_config(chunk);
+    let spec_cfg = base_config(chunk).with_speculative(
+        1,
+        DraftModelConfig::free(),
+        AcceptanceModel::new(1.0, 42),
+    );
+    let mut ar = ServingEngine::new(ar_cfg);
+    let mut spec = ServingEngine::new(spec_cfg);
+    for s in &specs {
+        ar.submit(*s);
+        spec.submit(*s);
+    }
+    let mut now = 0.0;
+    let mut steps = 0usize;
+    loop {
+        let a = ar.step(now);
+        let b = spec.step(now);
+        assert_eq!(
+            a, b,
+            "{tag}: outcome diverged at step {steps} (now = {now})"
+        );
+        steps += 1;
+        match a {
+            IterationOutcome::Ran(stats) => now = stats.completed_at,
+            IterationOutcome::IdleUntil(t) => now = t,
+            IterationOutcome::Drained => break,
+            IterationOutcome::Blocked { .. } => {
+                panic!("{tag}: ample-memory workload must never block")
+            }
+        }
+    }
+    let ra = ar.report();
+    let mut rb = spec.report();
+    assert_eq!(format!("{}+spec", ra.system), rb.system, "{tag}: labels");
+    // The degenerate round still counts as a round: one per decode token,
+    // every drafted token accepted, none rejected.
+    assert!(rb.spec_rounds > 0, "{tag}: speculation must actually run");
+    assert_eq!(rb.draft_tokens_accepted, rb.spec_rounds, "{tag}");
+    assert_eq!(rb.draft_tokens_rejected, 0, "{tag}");
+    rb.system = ra.system.clone();
+    rb.spec_rounds = 0;
+    rb.draft_tokens_accepted = 0;
+    assert_eq!(ra, rb, "{tag}: final reports diverged");
+    // Token-level identity, not just aggregate identity: every token of
+    // every request minted at the same virtual instant.
+    for (want, got) in ar.requests().iter().zip(spec.requests()) {
+        assert_eq!(
+            want.token_times, got.token_times,
+            "{tag}: token times diverged for request {}",
+            want.id
+        );
+    }
+}
+
+#[test]
+fn k1_full_acceptance_free_draft_is_lockstep_autoregressive() {
+    for seed in [3, 17, 91] {
+        let specs = Workload::internal().generate(32, 1.2, seed);
+        assert_lockstep_identical(&format!("internal/seed{seed}"), specs, 1024);
+    }
+    let specs = Workload::arxiv().generate(24, 0.8, 7);
+    assert_lockstep_identical("arxiv", specs, 512);
+}
+
+#[test]
+fn k1_full_acceptance_is_lockstep_on_offline_batches() {
+    assert_lockstep_identical("offline", offline_long_context(16, 8 * 1024, 128), 1024);
+}
+
+/// Acceptance 0.0: every round nets exactly one token, so the round count
+/// equals the decode-token count — `sum(output - 1)` over the workload (the
+/// first token of each request is minted at prefill completion) — at every
+/// draft depth, over seeded sweeps.
+#[test]
+fn zero_acceptance_nets_one_token_per_round_at_every_depth() {
+    for seed in [5, 23, 77] {
+        let specs = Workload::internal().generate(24, 1.0, seed);
+        let decode_tokens: usize = specs.iter().map(|s| s.output_tokens - 1).sum();
+        for k in [2usize, 4, 8] {
+            let report = ServingEngine::new(base_config(1024).with_speculative(
+                k,
+                DraftModelConfig::scaled(0.25),
+                AcceptanceModel::new(0.0, seed),
+            ))
+            .run(specs.clone());
+            assert_eq!(report.completed, 24, "seed {seed} k {k}");
+            assert_eq!(
+                report.preemptions, 0,
+                "seed {seed} k {k}: the arithmetic below assumes no recompute"
+            );
+            assert_eq!(
+                report.spec_rounds, decode_tokens,
+                "seed {seed} k {k}: one net token per round"
+            );
+            assert_eq!(report.draft_tokens_accepted, 0, "seed {seed} k {k}");
+            // Every drafted-but-not-mandatory token was rejected: each round
+            // drafts `width` tokens and keeps exactly one.
+            assert!(report.draft_tokens_rejected > 0, "seed {seed} k {k}");
+        }
+    }
+}
+
+/// The oracle is only an oracle where its preconditions hold: away from the
+/// degenerate corner (k > 1, real acceptance, priced draft) the speculative
+/// engine must genuinely diverge from autoregressive decode. Guards the
+/// lockstep tests against becoming vacuous.
+#[test]
+fn speculation_does_diverge_away_from_the_degenerate_corner() {
+    let specs = Workload::internal().generate(24, 1.2, 17);
+    let ar = ServingEngine::new(base_config(1024)).run(specs.clone());
+    let spec = ServingEngine::new(base_config(1024).with_speculative(
+        4,
+        DraftModelConfig::scaled(0.25),
+        AcceptanceModel::new(0.8, 17),
+    ))
+    .run(specs);
+    assert_eq!(spec.completed, ar.completed);
+    assert_ne!(
+        spec.makespan.to_bits(),
+        ar.makespan.to_bits(),
+        "k=4 speculation at acceptance 0.8 must change the schedule — if it \
+         does not, the lockstep tests above are testing nothing"
+    );
+}
